@@ -1,0 +1,34 @@
+//! Criterion benchmark: the full parallel-execution pipeline (Fig. 3
+//! style workload) end to end, per strategy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qucp_bench::combo_circuits;
+use qucp_core::{execute_parallel, plan_workload, strategy, ParallelConfig};
+use qucp_device::ibm;
+use qucp_sim::ExecutionConfig;
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let device = ibm::toronto();
+    let programs = combo_circuits(&["adder", "fred", "alu"]);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("plan_only_qucp", |b| {
+        b.iter(|| black_box(plan_workload(&device, &programs, &strategy::qucp(4.0), true)))
+    });
+
+    for (name, strat) in [("qucp", strategy::qucp(4.0)), ("cna", strategy::cna())] {
+        let cfg = ParallelConfig {
+            execution: ExecutionConfig::default().with_shots(512).with_seed(5),
+            optimize: true,
+        };
+        group.bench_function(format!("execute_512shots_{name}"), |b| {
+            b.iter(|| black_box(execute_parallel(&device, &programs, &strat, &cfg).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

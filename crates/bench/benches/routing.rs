@@ -1,0 +1,31 @@
+//! Criterion benchmark: initial mapping + SWAP routing of the Table II
+//! benchmarks onto Toronto partitions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qucp_circuit::library;
+use qucp_core::{allocate_partitions, map_program, CrosstalkTreatment, PartitionPolicy};
+use qucp_device::ibm;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let device = ibm::toronto();
+    let mut group = c.benchmark_group("map_program");
+    group.sample_size(30);
+    for name in ["adder", "4mod5-v1_22", "alu-v0_27", "variation"] {
+        let circuit = library::by_name(name).unwrap().circuit();
+        let allocs = allocate_partitions(
+            &device,
+            &[&circuit],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::Sigma(4.0)),
+        )
+        .unwrap();
+        let partition = allocs[0].qubits.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(map_program(&device, &partition, &circuit)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

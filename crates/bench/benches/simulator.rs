@@ -1,0 +1,35 @@
+//! Criterion benchmark: noisy trajectory simulation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qucp_circuit::library;
+use qucp_device::ibm;
+use qucp_sim::{run_noisy, ExecutionConfig, NoiseScaling};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let device = ibm::toronto();
+    let mut group = c.benchmark_group("run_noisy_1024_shots");
+    group.sample_size(15);
+    for name in ["fredkin", "adder", "alu-v0_27", "variation"] {
+        let circuit = library::by_name(name).unwrap().circuit();
+        // A path-shaped partition that fits each width; route first so
+        // every gate is executable.
+        let layout: Vec<usize> = match circuit.width() {
+            3 => vec![0, 1, 2],
+            4 => vec![0, 1, 2, 3],
+            _ => vec![0, 1, 2, 3, 5],
+        };
+        let mapped = qucp_core::map_program(&device, &layout, &circuit);
+        let cfg = ExecutionConfig::default().with_shots(1024).with_seed(1);
+        let scaling = NoiseScaling::uniform(mapped.circuit.gate_count());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mapped, |b, mp| {
+            b.iter(|| {
+                black_box(run_noisy(&mp.circuit, &mp.layout, &device, &scaling, &cfg).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

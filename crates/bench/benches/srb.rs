@@ -1,0 +1,50 @@
+//! Criterion benchmark: the cost of SRB characterization per pair —
+//! the overhead QuCP's σ parameter eliminates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qucp_device::{ibm, LinkPair};
+use qucp_srb::{characterize_pair, fit_decay, rb_circuit, srb_groups, RbConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_srb(c: &mut Criterion) {
+    let device = ibm::toronto();
+    let mut group = c.benchmark_group("srb");
+    group.sample_size(10);
+
+    group.bench_function("grouping_toronto", |b| {
+        b.iter(|| black_box(srb_groups(device.topology())))
+    });
+
+    group.bench_function("rb_circuit_m16", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            black_box(rb_circuit(16, &mut rng))
+        })
+    });
+
+    group.bench_function("fit_decay_6pts", |b| {
+        let samples: Vec<(usize, f64)> = [1usize, 4, 8, 16, 32, 48]
+            .iter()
+            .map(|&m| (m, 0.72 * 0.93f64.powi(m as i32) + 0.26))
+            .collect();
+        b.iter(|| black_box(fit_decay(&samples)))
+    });
+
+    group.bench_function("characterize_one_pair", |b| {
+        let pair: LinkPair = device.topology().one_hop_link_pairs()[0];
+        let cfg = RbConfig {
+            lengths: vec![1, 8, 16],
+            seeds: 1,
+            shots: 128,
+            base_seed: 7,
+        };
+        b.iter(|| black_box(characterize_pair(&device, pair, &cfg)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_srb);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion benchmark: folding and extrapolation kernels of digital
+//! ZNE.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qucp_circuit::library;
+use qucp_zne::{fold_gates_at_random, standard_factories};
+use std::hint::black_box;
+
+fn bench_zne(c: &mut Criterion) {
+    let mut group = c.benchmark_group("zne");
+    let circuit = library::by_name("variation").unwrap().circuit();
+
+    group.bench_function("fold_scale_2.5", |b| {
+        b.iter(|| black_box(fold_gates_at_random(&circuit, 2.5, 7)))
+    });
+
+    group.bench_function("extrapolate_all_factories", |b| {
+        let samples = [(1.0, 0.82), (1.5, 0.71), (2.0, 0.60), (2.5, 0.52)];
+        b.iter(|| {
+            for f in standard_factories() {
+                black_box(f.extrapolate(&samples).unwrap());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_zne);
+criterion_main!(benches);

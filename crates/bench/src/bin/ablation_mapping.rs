@@ -1,0 +1,73 @@
+//! Ablation **A2**: initial-mapping quality — the noise-aware HA-style
+//! placement against a trivial (identity) placement, measured by SWAP
+//! count and resulting fidelity.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin ablation_mapping
+//! ```
+
+use qucp_bench::EXPERIMENT_SEED;
+use qucp_circuit::library;
+use qucp_core::report::{fix, Table};
+use qucp_core::{
+    allocate_partitions, initial_mapping, route, CrosstalkTreatment, PartitionPolicy,
+};
+use qucp_device::ibm;
+use qucp_sim::{
+    ideal_outcome, metrics, noiseless_probabilities, run_noisy, ExecutionConfig, NoiseScaling,
+};
+
+fn main() {
+    let device = ibm::toronto();
+    println!("Ablation A2: noise-aware vs trivial initial mapping ({})\n", device.name());
+    let mut t = Table::new(&[
+        "benchmark",
+        "swaps (HA)",
+        "swaps (trivial)",
+        "fidelity (HA)",
+        "fidelity (trivial)",
+    ]);
+    for b in library::all() {
+        let circuit = b.circuit();
+        let allocs = allocate_partitions(
+            &device,
+            &[&circuit],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::Sigma(4.0)),
+        )
+        .expect("allocation");
+        let partition = &allocs[0].qubits;
+
+        let ha_initial = initial_mapping(&device, partition, &circuit);
+        let trivial: Vec<usize> = (0..circuit.width()).collect();
+        let mapped_ha = route(&device, partition, &circuit, &ha_initial, |_| 0.0);
+        let mapped_triv = route(&device, partition, &circuit, &trivial, |_| 0.0);
+
+        let cfg = ExecutionConfig::default()
+            .with_shots(4096)
+            .with_seed(EXPERIMENT_SEED ^ b.name.len() as u64);
+        let score = |mp: &qucp_core::MappedProgram| -> f64 {
+            let counts = run_noisy(
+                &mp.circuit,
+                &mp.layout,
+                &device,
+                &NoiseScaling::uniform(mp.circuit.gate_count()),
+                &cfg,
+            )
+            .expect("mapped job runs");
+            let logical = mp.to_logical_counts(&counts);
+            match ideal_outcome(&circuit) {
+                Some(target) => logical.probability(target),
+                None => 1.0 - metrics::jsd(&logical.distribution(), &noiseless_probabilities(&circuit)),
+            }
+        };
+        t.row_owned(vec![
+            b.name.to_string(),
+            mapped_ha.swap_count.to_string(),
+            mapped_triv.swap_count.to_string(),
+            fix(score(&mapped_ha), 3),
+            fix(score(&mapped_triv), 3),
+        ]);
+    }
+    print!("{t}");
+    println!("\n(fidelity = PST for deterministic benchmarks, 1 - JSD otherwise)");
+}

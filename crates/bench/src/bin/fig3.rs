@@ -1,0 +1,68 @@
+//! Regenerates **Fig. 3** of the paper: fidelity of three simultaneous
+//! benchmarks on IBM Q 27 Toronto, QuCP vs CNA — (a) JSD on the
+//! distribution benchmarks, (b) PST on the deterministic benchmarks.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin fig3
+//! ```
+
+use qucp_bench::{combo_circuits, combo_label, EXPERIMENT_SEED, FIG3A_COMBOS, FIG3B_COMBOS, PAPER_SHOTS};
+use qucp_core::report::{fix, Table};
+use qucp_core::{execute_parallel, strategy, ParallelConfig};
+use qucp_device::ibm;
+use qucp_sim::ExecutionConfig;
+
+fn main() {
+    let device = ibm::toronto();
+    let cfg = ParallelConfig {
+        execution: ExecutionConfig::default()
+            .with_shots(PAPER_SHOTS)
+            .with_seed(EXPERIMENT_SEED),
+        optimize: true,
+    };
+    let qucp = strategy::qucp(4.0);
+    let cna = strategy::cna();
+
+    println!("Fig. 3a: JSD of three simultaneous circuits on {} (lower is better)\n", device.name());
+    let mut ta = Table::new(&["benchmarks", "QuCP", "CNA"]);
+    let mut qucp_jsd = Vec::new();
+    let mut cna_jsd = Vec::new();
+    for combo in &FIG3A_COMBOS {
+        let programs = combo_circuits(combo);
+        let a = execute_parallel(&device, &programs, &qucp, &cfg).expect("qucp run");
+        let b = execute_parallel(&device, &programs, &cna, &cfg).expect("cna run");
+        qucp_jsd.push(a.mean_jsd());
+        cna_jsd.push(b.mean_jsd());
+        ta.row_owned(vec![
+            combo_label(combo),
+            fix(a.mean_jsd(), 3),
+            fix(b.mean_jsd(), 3),
+        ]);
+    }
+    print!("{ta}");
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let jsd_gain = 100.0 * (mean(&cna_jsd) - mean(&qucp_jsd)) / mean(&cna_jsd);
+    println!("\nMean JSD: QuCP {:.3} vs CNA {:.3} -> {:.1}% improvement (paper: 10.5%)\n",
+        mean(&qucp_jsd), mean(&cna_jsd), jsd_gain);
+
+    println!("Fig. 3b: PST of three simultaneous circuits (higher is better)\n");
+    let mut tb = Table::new(&["benchmarks", "QuCP", "CNA"]);
+    let mut qucp_pst = Vec::new();
+    let mut cna_pst = Vec::new();
+    for combo in &FIG3B_COMBOS {
+        let programs = combo_circuits(combo);
+        let a = execute_parallel(&device, &programs, &qucp, &cfg).expect("qucp run");
+        let b = execute_parallel(&device, &programs, &cna, &cfg).expect("cna run");
+        qucp_pst.push(a.mean_pst().expect("deterministic"));
+        cna_pst.push(b.mean_pst().expect("deterministic"));
+        tb.row_owned(vec![
+            combo_label(combo),
+            fix(*qucp_pst.last().unwrap(), 3),
+            fix(*cna_pst.last().unwrap(), 3),
+        ]);
+    }
+    print!("{tb}");
+    let pst_gain = 100.0 * (mean(&qucp_pst) - mean(&cna_pst)) / mean(&cna_pst);
+    println!("\nMean PST: QuCP {:.3} vs CNA {:.3} -> {:.1}% improvement (paper: 89.9%)",
+        mean(&qucp_pst), mean(&cna_pst), pst_gain);
+}

@@ -1,0 +1,73 @@
+//! Regenerates **Fig. 6** of the paper: absolute error of the eight
+//! benchmarks without mitigation (Baseline), with ZNE run through QuCP
+//! parallel execution (QuCP+ZNE), and with independent ZNE.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin fig6
+//! ```
+
+use qucp_bench::{EXPERIMENT_SEED, PAPER_SHOTS};
+use qucp_circuit::library;
+use qucp_core::report::{fix, Table};
+use qucp_core::strategy;
+use qucp_device::ibm;
+use qucp_zne::{run_zne_comparison, ZneExperiment};
+
+fn main() {
+    let device = ibm::manhattan();
+    println!(
+        "Fig. 6: absolute error of <Z...Z> without and with ZNE on {} (4 folded",
+        device.name()
+    );
+    println!("circuits, scale factors 1.0/1.5/2.0/2.5; best of Linear/Poly/Richardson)\n");
+
+    let order = ["adder", "4mod", "fred", "alu", "lin", "qec", "var", "bell"];
+    let mut t = Table::new(&["benchmark", "Baseline", "QuCP+ZNE", "ZNE", "winner factory"]);
+    let mut base_sum = 0.0;
+    let mut par_sum = 0.0;
+    let mut ind_sum = 0.0;
+    let mut best_gain: (f64, &str) = (0.0, "");
+    for name in order {
+        let circuit = library::by_name(name).unwrap().circuit();
+        let exp = ZneExperiment {
+            shots: PAPER_SHOTS,
+            seed: EXPERIMENT_SEED ^ (name.len() as u64) << 8,
+            strategy: strategy::qucp(4.0),
+            ..ZneExperiment::default()
+        };
+        let out = run_zne_comparison(&device, &circuit, &exp).expect("zne comparison");
+        base_sum += out.baseline_error;
+        par_sum += out.parallel_error;
+        ind_sum += out.independent_error;
+        let gain = if out.parallel_error > 1e-12 {
+            out.baseline_error / out.parallel_error
+        } else {
+            f64::INFINITY
+        };
+        if gain > best_gain.0 {
+            best_gain = (gain, name);
+        }
+        t.row_owned(vec![
+            name.to_string(),
+            fix(out.baseline_error, 3),
+            fix(out.parallel_error, 3),
+            fix(out.independent_error, 3),
+            out.parallel_factory.to_string(),
+        ]);
+    }
+    print!("{t}");
+    let n = order.len() as f64;
+    println!(
+        "\nMean error: Baseline {:.3}, QuCP+ZNE {:.3}, ZNE {:.3}",
+        base_sum / n,
+        par_sum / n,
+        ind_sum / n
+    );
+    println!(
+        "QuCP+ZNE reduces error {:.1}x on average (paper: 2x); best case {} at {:.1}x (paper: 11x on alu).",
+        base_sum / par_sum.max(1e-12),
+        best_gain.1,
+        best_gain.0
+    );
+    println!("Runtime/throughput gain of QuCP+ZNE over ZNE: 4 circuits per job instead of 4 jobs.");
+}

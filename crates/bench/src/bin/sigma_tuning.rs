@@ -1,0 +1,108 @@
+//! Regenerates the **σ-tuning experiment** of Sec. IV-A: sweeping the
+//! crosstalk parameter σ and comparing QuCP's partitioning against
+//! QuMC's (which uses SRB-measured crosstalk). The paper finds that for
+//! σ ≥ 4 QuCP provides the same results as QuMC.
+//!
+//! Two convergence measures are reported: exact partition-set agreement,
+//! and the gap in *ground-truth* partition quality (the plan's EFS
+//! re-evaluated with the device's true γ factors) — the latter is what
+//! "same results" means operationally, and is robust to ties between
+//! equally good regions.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin sigma_tuning
+//! ```
+
+use qucp_bench::{combo_circuits, FIG3A_COMBOS, FIG3B_COMBOS};
+use qucp_circuit::Circuit;
+use qucp_core::report::{fix, Table};
+use qucp_core::{efs, plan_workload, strategy, CircuitStats, CrosstalkTreatment, Strategy};
+use qucp_device::{Device, Link};
+
+/// The plan's total EFS under the device's full ground-truth crosstalk.
+fn true_plan_quality(device: &Device, programs: &[Circuit], strat: &Strategy) -> f64 {
+    let truth = CrosstalkTreatment::Measured(device.crosstalk().pairs().collect());
+    let (opt, allocs, _) = plan_workload(device, programs, strat, true).expect("plan");
+    let mut total = 0.0;
+    for (i, alloc) in allocs.iter().enumerate() {
+        let other_links: Vec<Link> = allocs
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .flat_map(|(_, a)| device.topology().links_within(&a.qubits))
+            .collect();
+        total += efs(
+            device,
+            &alloc.qubits,
+            &CircuitStats::of(&opt[i]),
+            &other_links,
+            &truth,
+        )
+        .score;
+    }
+    total
+}
+
+fn main() {
+    let device = qucp_device::ibm::toronto();
+    let qumc = strategy::qumc_with_ground_truth(&device);
+    println!("Sigma tuning on {} (Sec. IV-A)\n", device.name());
+
+    let workloads: Vec<Vec<Circuit>> = FIG3A_COMBOS
+        .iter()
+        .chain(FIG3B_COMBOS.iter())
+        .map(combo_circuits)
+        .collect();
+
+    // QuMC reference: exact partitions and true quality.
+    let reference: Vec<Vec<Vec<usize>>> = workloads
+        .iter()
+        .map(|w| {
+            let (_, allocs, _) = plan_workload(&device, w, &qumc, true).expect("qumc plan");
+            allocs.into_iter().map(|a| a.qubits).collect()
+        })
+        .collect();
+    let qumc_quality: Vec<f64> = workloads
+        .iter()
+        .map(|w| true_plan_quality(&device, w, &qumc))
+        .collect();
+
+    let mut t = Table::new(&[
+        "sigma",
+        "partition agreement",
+        "true-EFS gap vs QuMC",
+        "crosstalk pairs accepted",
+    ]);
+    for sigma in [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0] {
+        let strat = strategy::qucp(sigma);
+        let mut agree = 0usize;
+        let mut gap = 0.0;
+        let mut xtalk_pairs = 0usize;
+        for ((w, reference_partitions), &qq) in
+            workloads.iter().zip(&reference).zip(&qumc_quality)
+        {
+            let (_, allocs, _) = plan_workload(&device, w, &strat, true).expect("qucp plan");
+            let partitions: Vec<Vec<usize>> = allocs.iter().map(|a| a.qubits.clone()).collect();
+            if &partitions == reference_partitions {
+                agree += 1;
+            }
+            for a in &allocs {
+                xtalk_pairs += a.efs.crosstalk_pairs.len();
+            }
+            let quality = true_plan_quality(&device, w, &strat);
+            gap += (quality - qq) / qq;
+        }
+        t.row_owned(vec![
+            fix(sigma, 1),
+            format!("{}/{}", agree, workloads.len()),
+            format!("{:+.2}%", 100.0 * gap / workloads.len() as f64),
+            xtalk_pairs.to_string(),
+        ]);
+    }
+    print!("{t}");
+    println!("\nReading: small sigma accepts placements next to strongly coupled");
+    println!("links (large positive quality gap); once sigma reaches the 2-4 range");
+    println!("the gap versus SRB-characterized QuMC collapses to ~1% with zero");
+    println!("characterization jobs — matching the paper's finding that sigma >= 4");
+    println!("makes QuCP equivalent to QuMC (we fix sigma = 4 as they do).");
+}

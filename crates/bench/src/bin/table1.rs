@@ -1,0 +1,60 @@
+//! Regenerates **Table I** of the paper: the overhead of SRB crosstalk
+//! characterization on IBM Q 27 Toronto and IBM Q 65 Manhattan.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin table1
+//! ```
+
+use qucp_core::report::Table;
+use qucp_device::ibm;
+use qucp_srb::srb_overhead;
+
+fn main() {
+    println!("Table I: Overhead of SRB on different IBM quantum chips");
+    println!("(paper values in parentheses; the paper's \"1-hop pairs\" row equals");
+    println!("the chip link count — both our link count and the geometric one-hop");
+    println!("pair count are reported)\n");
+
+    let toronto = srb_overhead(&ibm::toronto(), 5);
+    let manhattan = srb_overhead(&ibm::manhattan(), 5);
+
+    let mut t = Table::new(&["Chip", "IBM Q 27 Toronto", "IBM Q 65 Manhattan"]);
+    t.row_owned(vec![
+        "qubit".into(),
+        format!("{} (27)", toronto.qubits),
+        format!("{} (65)", manhattan.qubits),
+    ]);
+    t.row_owned(vec![
+        "links (paper: 1-hop pairs)".into(),
+        format!("{} (28)", toronto.links),
+        format!("{} (72)", manhattan.links),
+    ]);
+    t.row_owned(vec![
+        "one-hop link pairs".into(),
+        format!("{}", toronto.one_hop_pairs),
+        format!("{}", manhattan.one_hop_pairs),
+    ]);
+    t.row_owned(vec![
+        "groups".into(),
+        format!("{} (9)", toronto.groups),
+        format!("{} (11)", manhattan.groups),
+    ]);
+    t.row_owned(vec![
+        "seeds".into(),
+        format!("{} (5)", toronto.seeds),
+        format!("{} (5)", manhattan.seeds),
+    ]);
+    t.row_owned(vec![
+        "jobs = 3 x groups x seeds".into(),
+        format!("{} (135)", toronto.jobs),
+        format!("{} (165)", manhattan.jobs),
+    ]);
+    print!("{t}");
+
+    println!();
+    println!(
+        "Shape check: jobs grow with chip size ({} -> {}), and characterization",
+        toronto.jobs, manhattan.jobs
+    );
+    println!("remains in the hundreds of jobs — the overhead QuCP eliminates.");
+}

@@ -1,0 +1,117 @@
+//! # qucp-bench
+//!
+//! Shared fixtures for the experiment-regeneration binaries and the
+//! Criterion benchmarks: the exact benchmark combinations of the
+//! paper's figures and the standard experiment configurations.
+//!
+//! Regenerate any paper artifact with, e.g.:
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin table1
+//! cargo run --release -p qucp-bench --bin fig3
+//! ```
+
+#![warn(missing_docs)]
+
+use qucp_circuit::{library, Circuit};
+
+/// The Fig. 3a workloads (JSD benchmarks, three simultaneous circuits):
+/// four same-benchmark triples and four mixed triples, in figure order.
+pub const FIG3A_COMBOS: [[&str; 3]; 8] = [
+    ["lin", "lin", "lin"],
+    ["qec", "qec", "qec"],
+    ["var", "var", "var"],
+    ["bell", "bell", "bell"],
+    ["qec", "var", "bell"],
+    ["qec", "bell", "lin"],
+    ["var", "bell", "lin"],
+    ["qec", "var", "lin"],
+];
+
+/// The Fig. 3b workloads (PST benchmarks).
+pub const FIG3B_COMBOS: [[&str; 3]; 8] = [
+    ["adder", "adder", "adder"],
+    ["4mod", "4mod", "4mod"],
+    ["fred", "fred", "fred"],
+    ["alu", "alu", "alu"],
+    ["adder", "fred", "alu"],
+    ["adder", "4mod", "alu"],
+    ["adder", "fred", "4mod"],
+    ["4mod", "fred", "alu"],
+];
+
+/// A display label for a combination (`qec-var-bell` or `lin ×3`).
+pub fn combo_label(combo: &[&str; 3]) -> String {
+    if combo[0] == combo[1] && combo[1] == combo[2] {
+        format!("{} x3", combo[0])
+    } else {
+        combo.join("-")
+    }
+}
+
+/// Materializes a combination into circuits (instances get unique
+/// names so reports stay readable).
+///
+/// # Panics
+///
+/// Panics if a name is not in the benchmark library.
+pub fn combo_circuits(combo: &[&str; 3]) -> Vec<Circuit> {
+    combo
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            let mut c = library::by_name(name)
+                .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))
+                .circuit();
+            c.set_name(format!("{name}#{i}"));
+            c
+        })
+        .collect()
+}
+
+/// The shot count used by the paper's jobs.
+pub const PAPER_SHOTS: usize = 8192;
+
+/// The workspace-wide experiment seed.
+pub const EXPERIMENT_SEED: u64 = 20220314;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combos_reference_known_benchmarks() {
+        for combo in FIG3A_COMBOS.iter().chain(FIG3B_COMBOS.iter()) {
+            let circuits = combo_circuits(combo);
+            assert_eq!(circuits.len(), 3);
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(combo_label(&["lin", "lin", "lin"]), "lin x3");
+        assert_eq!(combo_label(&["qec", "var", "bell"]), "qec-var-bell");
+    }
+
+    #[test]
+    fn fig3a_is_distribution_benchmarks() {
+        use qucp_circuit::library::ResultKind;
+        for combo in &FIG3A_COMBOS {
+            for name in combo {
+                let b = library::by_name(name).unwrap();
+                assert_eq!(b.result, ResultKind::Distribution, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn fig3b_is_deterministic_benchmarks() {
+        use qucp_circuit::library::ResultKind;
+        for combo in &FIG3B_COMBOS {
+            for name in combo {
+                let b = library::by_name(name).unwrap();
+                assert_eq!(b.result, ResultKind::Deterministic, "{name}");
+            }
+        }
+    }
+}

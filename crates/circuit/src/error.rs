@@ -1,0 +1,77 @@
+//! Error types of the circuit crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or transforming circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A gate refers to a qubit index `qubit` outside `0..width`.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: usize,
+        /// Circuit width.
+        width: usize,
+    },
+    /// A two-qubit gate was given the same qubit twice.
+    DuplicateQubit {
+        /// The repeated qubit index.
+        qubit: usize,
+    },
+    /// Two circuits of incompatible widths were combined.
+    WidthMismatch {
+        /// Width expected by the receiver.
+        expected: usize,
+        /// Width of the argument.
+        found: usize,
+    },
+    /// A qubit remapping did not cover every used qubit or was not injective.
+    InvalidMapping {
+        /// Human-readable description of the defect.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit index {qubit} out of range for width {width}")
+            }
+            CircuitError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} twice")
+            }
+            CircuitError::WidthMismatch { expected, found } => {
+                write!(f, "circuit width mismatch: expected {expected}, found {found}")
+            }
+            CircuitError::InvalidMapping { reason } => {
+                write!(f, "invalid qubit mapping: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::QubitOutOfRange { qubit: 5, width: 3 };
+        assert_eq!(e.to_string(), "qubit index 5 out of range for width 3");
+        let e = CircuitError::DuplicateQubit { qubit: 2 };
+        assert_eq!(e.to_string(), "two-qubit gate uses qubit 2 twice");
+        let e = CircuitError::WidthMismatch { expected: 4, found: 6 };
+        assert!(e.to_string().contains("expected 4"));
+        let e = CircuitError::InvalidMapping { reason: "not injective".into() };
+        assert!(e.to_string().contains("not injective"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(CircuitError::DuplicateQubit { qubit: 0 });
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,819 @@
+//! A parser and writer for the OpenQASM 2.0 subset used by the paper's
+//! benchmark suites (RevLib, QASMBench).
+//!
+//! Supported statements: the version header, `include`, `qreg`, `creg`,
+//! `barrier` (ignored), `measure`, and applications of the `qelib1.inc`
+//! gates in [`crate::Gate`] plus `u1`/`u2`/`u`/`cu1` aliases and `ccx`
+//! (expanded into the standard 15-gate decomposition). Parameter
+//! expressions support numbers, `pi`, unary minus, `+ - * /` and
+//! parentheses.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Errors produced while parsing OpenQASM 2.0 source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// A statement could not be parsed.
+    Syntax {
+        /// 1-based statement number in the source.
+        statement: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A gate refers to an undeclared register or an out-of-range index.
+    UnknownQubit {
+        /// 1-based statement number in the source.
+        statement: usize,
+        /// The offending reference, e.g. `q[9]`.
+        reference: String,
+    },
+    /// The gate mnemonic is not in the supported subset.
+    UnsupportedGate {
+        /// 1-based statement number in the source.
+        statement: usize,
+        /// The mnemonic found.
+        name: String,
+    },
+    /// No `qreg` was declared before the first gate.
+    MissingRegister,
+}
+
+impl fmt::Display for QasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QasmError::Syntax { statement, message } => {
+                write!(f, "syntax error in statement {statement}: {message}")
+            }
+            QasmError::UnknownQubit { statement, reference } => {
+                write!(f, "unknown qubit reference {reference} in statement {statement}")
+            }
+            QasmError::UnsupportedGate { statement, name } => {
+                write!(f, "unsupported gate `{name}` in statement {statement}")
+            }
+            QasmError::MissingRegister => write!(f, "no qreg declared before first gate"),
+        }
+    }
+}
+
+impl Error for QasmError {}
+
+/// Parses OpenQASM 2.0 source into a [`Circuit`].
+///
+/// Multiple `qreg` declarations are concatenated in declaration order.
+/// `measure` and `barrier` statements are validated and dropped (this IR
+/// measures every qubit implicitly at the end).
+///
+/// # Errors
+///
+/// Returns a [`QasmError`] describing the first offending statement.
+///
+/// ```
+/// # fn main() -> Result<(), qucp_circuit::QasmError> {
+/// let src = r#"
+///     OPENQASM 2.0;
+///     include "qelib1.inc";
+///     qreg q[2];
+///     creg c[2];
+///     h q[0];
+///     cx q[0],q[1];
+///     measure q[0] -> c[0];
+/// "#;
+/// let c = qucp_circuit::parse_qasm(src)?;
+/// assert_eq!(c.gate_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
+    let cleaned = strip_comments(source);
+    let mut registers: Vec<(String, usize)> = Vec::new();
+    let mut pending: Vec<PendingGate> = Vec::new();
+
+    for (idx, raw) in cleaned.split(';').enumerate() {
+        let stmt_no = idx + 1;
+        let stmt = raw.trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let lower = stmt.to_ascii_lowercase();
+        if lower.starts_with("openqasm") || lower.starts_with("include") {
+            continue;
+        }
+        if let Some(rest) = lower.strip_prefix("qreg") {
+            let (name, size) = parse_register(rest, stmt_no)?;
+            registers.push((name, size));
+            continue;
+        }
+        if lower.starts_with("creg") || lower.starts_with("barrier") {
+            continue;
+        }
+        if lower.starts_with("measure") {
+            // Validated lazily: references must name a declared register.
+            continue;
+        }
+        pending.push(parse_gate_statement(stmt, stmt_no)?);
+    }
+
+    if registers.is_empty() {
+        if pending.is_empty() {
+            return Ok(Circuit::new(0));
+        }
+        return Err(QasmError::MissingRegister);
+    }
+
+    let width: usize = registers.iter().map(|(_, n)| n).sum();
+    let mut circuit = Circuit::new(width);
+    for g in pending {
+        let resolve = |reference: &QubitRef| -> Result<usize, QasmError> {
+            let mut offset = 0;
+            for (name, size) in &registers {
+                if *name == reference.register {
+                    if reference.index < *size {
+                        return Ok(offset + reference.index);
+                    }
+                    break;
+                }
+                offset += size;
+            }
+            Err(QasmError::UnknownQubit {
+                statement: g.statement,
+                reference: format!("{}[{}]", reference.register, reference.index),
+            })
+        };
+        let qubits: Vec<usize> = g
+            .qubits
+            .iter()
+            .map(&resolve)
+            .collect::<Result<_, _>>()?;
+        emit_gate(&mut circuit, &g, &qubits)?;
+    }
+    Ok(circuit)
+}
+
+/// A single-register qubit reference like `q[3]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct QubitRef {
+    register: String,
+    index: usize,
+}
+
+#[derive(Debug, Clone)]
+struct PendingGate {
+    statement: usize,
+    name: String,
+    params: Vec<f64>,
+    qubits: Vec<QubitRef>,
+}
+
+fn strip_comments(source: &str) -> String {
+    source
+        .lines()
+        .map(|l| match l.find("//") {
+            Some(pos) => &l[..pos],
+            None => l,
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn parse_register(rest: &str, statement: usize) -> Result<(String, usize), QasmError> {
+    let rest = rest.trim();
+    let open = rest.find('[').ok_or_else(|| QasmError::Syntax {
+        statement,
+        message: "expected `name[size]`".to_string(),
+    })?;
+    let close = rest.find(']').ok_or_else(|| QasmError::Syntax {
+        statement,
+        message: "missing `]`".to_string(),
+    })?;
+    let name = rest[..open].trim().to_string();
+    let size: usize = rest[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::Syntax {
+            statement,
+            message: "register size is not an integer".to_string(),
+        })?;
+    if name.is_empty() {
+        return Err(QasmError::Syntax {
+            statement,
+            message: "empty register name".to_string(),
+        });
+    }
+    Ok((name, size))
+}
+
+fn parse_gate_statement(stmt: &str, statement: usize) -> Result<PendingGate, QasmError> {
+    // Split "name(params)? operands".
+    let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
+        Some(pos) if !stmt[..pos].contains('(') && !stmt.contains('(') => {
+            (&stmt[..pos], &stmt[pos..])
+        }
+        _ => {
+            if let Some(open) = stmt.find('(') {
+                let close = matching_paren(stmt, open).ok_or_else(|| QasmError::Syntax {
+                    statement,
+                    message: "unbalanced parentheses".to_string(),
+                })?;
+                (&stmt[..close + 1], &stmt[close + 1..])
+            } else {
+                let pos = stmt
+                    .find(|c: char| c.is_whitespace())
+                    .ok_or_else(|| QasmError::Syntax {
+                        statement,
+                        message: "gate without operands".to_string(),
+                    })?;
+                (&stmt[..pos], &stmt[pos..])
+            }
+        }
+    };
+
+    let (name, params) = if let Some(open) = head.find('(') {
+        let name = head[..open].trim().to_ascii_lowercase();
+        let inner = &head[open + 1..head.len() - 1];
+        let params = inner
+            .split(',')
+            .map(|e| eval_expr(e, statement))
+            .collect::<Result<Vec<_>, _>>()?;
+        (name, params)
+    } else {
+        (head.trim().to_ascii_lowercase(), Vec::new())
+    };
+
+    let qubits = operands
+        .split(',')
+        .map(|s| parse_qubit_ref(s, statement))
+        .collect::<Result<Vec<_>, _>>()?;
+    if qubits.is_empty() {
+        return Err(QasmError::Syntax {
+            statement,
+            message: "gate without operands".to_string(),
+        });
+    }
+    Ok(PendingGate {
+        statement,
+        name,
+        params,
+        qubits,
+    })
+}
+
+fn matching_paren(s: &str, open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, c) in s.char_indices().skip(open) {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn parse_qubit_ref(text: &str, statement: usize) -> Result<QubitRef, QasmError> {
+    let text = text.trim();
+    let open = text.find('[').ok_or_else(|| QasmError::Syntax {
+        statement,
+        message: format!("expected qubit reference, found `{text}`"),
+    })?;
+    let close = text.find(']').ok_or_else(|| QasmError::Syntax {
+        statement,
+        message: "missing `]` in qubit reference".to_string(),
+    })?;
+    let register = text[..open].trim().to_string();
+    let index: usize = text[open + 1..close]
+        .trim()
+        .parse()
+        .map_err(|_| QasmError::Syntax {
+            statement,
+            message: "qubit index is not an integer".to_string(),
+        })?;
+    Ok(QubitRef { register, index })
+}
+
+fn emit_gate(
+    circuit: &mut Circuit,
+    g: &PendingGate,
+    q: &[usize],
+) -> Result<(), QasmError> {
+    let statement = g.statement;
+    let arity_err = |want: usize| QasmError::Syntax {
+        statement,
+        message: format!("gate `{}` expects {want} qubit(s), found {}", g.name, q.len()),
+    };
+    let param_err = |want: usize| QasmError::Syntax {
+        statement,
+        message: format!(
+            "gate `{}` expects {want} parameter(s), found {}",
+            g.name,
+            g.params.len()
+        ),
+    };
+    let need = |n: usize| -> Result<(), QasmError> {
+        if q.len() != n {
+            Err(arity_err(n))
+        } else {
+            Ok(())
+        }
+    };
+    let need_p = |n: usize| -> Result<(), QasmError> {
+        if g.params.len() != n {
+            Err(param_err(n))
+        } else {
+            Ok(())
+        }
+    };
+
+    let push = |circuit: &mut Circuit, gate: Gate| -> Result<(), QasmError> {
+        circuit.try_push(gate).map_err(|e| QasmError::Syntax {
+            statement,
+            message: e.to_string(),
+        })
+    };
+
+    match g.name.as_str() {
+        "id" | "i" => {
+            need(1)?;
+            push(circuit, Gate::I(q[0]))
+        }
+        "x" => {
+            need(1)?;
+            push(circuit, Gate::X(q[0]))
+        }
+        "y" => {
+            need(1)?;
+            push(circuit, Gate::Y(q[0]))
+        }
+        "z" => {
+            need(1)?;
+            push(circuit, Gate::Z(q[0]))
+        }
+        "h" => {
+            need(1)?;
+            push(circuit, Gate::H(q[0]))
+        }
+        "s" => {
+            need(1)?;
+            push(circuit, Gate::S(q[0]))
+        }
+        "sdg" => {
+            need(1)?;
+            push(circuit, Gate::Sdg(q[0]))
+        }
+        "t" => {
+            need(1)?;
+            push(circuit, Gate::T(q[0]))
+        }
+        "tdg" => {
+            need(1)?;
+            push(circuit, Gate::Tdg(q[0]))
+        }
+        "sx" => {
+            need(1)?;
+            push(circuit, Gate::Sx(q[0]))
+        }
+        "sxdg" => {
+            need(1)?;
+            push(circuit, Gate::Sxdg(q[0]))
+        }
+        "rx" => {
+            need(1)?;
+            need_p(1)?;
+            push(circuit, Gate::Rx(q[0], g.params[0]))
+        }
+        "ry" => {
+            need(1)?;
+            need_p(1)?;
+            push(circuit, Gate::Ry(q[0], g.params[0]))
+        }
+        "rz" => {
+            need(1)?;
+            need_p(1)?;
+            push(circuit, Gate::Rz(q[0], g.params[0]))
+        }
+        "p" | "u1" => {
+            need(1)?;
+            need_p(1)?;
+            push(circuit, Gate::P(q[0], g.params[0]))
+        }
+        "u2" => {
+            need(1)?;
+            need_p(2)?;
+            push(
+                circuit,
+                Gate::U(q[0], std::f64::consts::FRAC_PI_2, g.params[0], g.params[1]),
+            )
+        }
+        "u3" | "u" => {
+            need(1)?;
+            need_p(3)?;
+            push(
+                circuit,
+                Gate::U(q[0], g.params[0], g.params[1], g.params[2]),
+            )
+        }
+        "cx" | "cnot" => {
+            need(2)?;
+            push(circuit, Gate::Cx(q[0], q[1]))
+        }
+        "cz" => {
+            need(2)?;
+            push(circuit, Gate::Cz(q[0], q[1]))
+        }
+        "cp" | "cu1" => {
+            need(2)?;
+            need_p(1)?;
+            push(circuit, Gate::Cp(q[0], q[1], g.params[0]))
+        }
+        "swap" => {
+            need(2)?;
+            push(circuit, Gate::Swap(q[0], q[1]))
+        }
+        "ccx" => {
+            need(3)?;
+            if q[0] == q[1] || q[1] == q[2] || q[0] == q[2] {
+                return Err(QasmError::Syntax {
+                    statement,
+                    message: "ccx operands must be distinct".to_string(),
+                });
+            }
+            circuit.ccx(q[0], q[1], q[2]);
+            Ok(())
+        }
+        other => Err(QasmError::UnsupportedGate {
+            statement,
+            name: other.to_string(),
+        }),
+    }
+}
+
+// --- tiny arithmetic expression evaluator for gate parameters -------------
+
+fn eval_expr(expr: &str, statement: usize) -> Result<f64, QasmError> {
+    let tokens = tokenize_expr(expr, statement)?;
+    let mut parser = ExprParser {
+        tokens,
+        pos: 0,
+        statement,
+    };
+    let v = parser.parse_additive()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(QasmError::Syntax {
+            statement,
+            message: format!("trailing tokens in expression `{expr}`"),
+        });
+    }
+    Ok(v)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize_expr(expr: &str, statement: usize) -> Result<Vec<Tok>, QasmError> {
+    let mut out = Vec::new();
+    let bytes = expr.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '+' => {
+                out.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            'p' | 'P' => {
+                if expr[i..].len() >= 2 && expr[i..i + 2].eq_ignore_ascii_case("pi") {
+                    out.push(Tok::Num(std::f64::consts::PI));
+                    i += 2;
+                } else {
+                    return Err(QasmError::Syntax {
+                        statement,
+                        message: format!("unexpected character `{c}` in expression"),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let v: f64 = expr[start..i].parse().map_err(|_| QasmError::Syntax {
+                    statement,
+                    message: format!("bad number `{}`", &expr[start..i]),
+                })?;
+                out.push(Tok::Num(v));
+            }
+            other => {
+                return Err(QasmError::Syntax {
+                    statement,
+                    message: format!("unexpected character `{other}` in expression"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct ExprParser {
+    tokens: Vec<Tok>,
+    pos: usize,
+    statement: usize,
+}
+
+impl ExprParser {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> QasmError {
+        QasmError::Syntax {
+            statement: self.statement,
+            message: message.into(),
+        }
+    }
+
+    fn parse_additive(&mut self) -> Result<f64, QasmError> {
+        let mut v = self.parse_multiplicative()?;
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Plus => {
+                    self.bump();
+                    v += self.parse_multiplicative()?;
+                }
+                Tok::Minus => {
+                    self.bump();
+                    v -= self.parse_multiplicative()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<f64, QasmError> {
+        let mut v = self.parse_unary()?;
+        while let Some(tok) = self.peek() {
+            match tok {
+                Tok::Star => {
+                    self.bump();
+                    v *= self.parse_unary()?;
+                }
+                Tok::Slash => {
+                    self.bump();
+                    v /= self.parse_unary()?;
+                }
+                _ => break,
+            }
+        }
+        Ok(v)
+    }
+
+    fn parse_unary(&mut self) -> Result<f64, QasmError> {
+        match self.bump() {
+            Some(Tok::Minus) => Ok(-self.parse_unary()?),
+            Some(Tok::Plus) => self.parse_unary(),
+            Some(Tok::Num(v)) => Ok(v),
+            Some(Tok::LParen) => {
+                let v = self.parse_additive()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Ok(v),
+                    _ => Err(self.err("missing `)`")),
+                }
+            }
+            other => Err(self.err(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const HEADER: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+
+    #[test]
+    fn parse_minimal_bell() {
+        let src = format!("{HEADER}qreg q[2];\ncreg c[2];\nh q[0];\ncx q[0],q[1];\n");
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.width(), 2);
+        assert_eq!(c.gates(), &[Gate::H(0), Gate::Cx(0, 1)]);
+    }
+
+    #[test]
+    fn parse_parameterized_gates() {
+        let src = format!(
+            "{HEADER}qreg q[1];\nrx(pi/2) q[0];\nry(-pi/4) q[0];\nrz(0.5) q[0];\nu3(pi,0,pi) q[0];\nu1(2*pi/3) q[0];\n"
+        );
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.gate_count(), 5);
+        assert_eq!(c.gates()[0], Gate::Rx(0, PI / 2.0));
+        assert_eq!(c.gates()[1], Gate::Ry(0, -PI / 4.0));
+        assert_eq!(c.gates()[2], Gate::Rz(0, 0.5));
+        assert_eq!(c.gates()[3], Gate::U(0, PI, 0.0, PI));
+        assert_eq!(c.gates()[4], Gate::P(0, 2.0 * PI / 3.0));
+    }
+
+    #[test]
+    fn parse_expression_arithmetic() {
+        assert!((eval_expr("pi/2", 1).unwrap() - PI / 2.0).abs() < 1e-15);
+        assert!((eval_expr("-pi", 1).unwrap() + PI).abs() < 1e-15);
+        assert!((eval_expr("3*pi/4", 1).unwrap() - 3.0 * PI / 4.0).abs() < 1e-15);
+        assert!((eval_expr("(1+2)*0.5", 1).unwrap() - 1.5).abs() < 1e-15);
+        assert!((eval_expr("1e-3", 1).unwrap() - 0.001).abs() < 1e-18);
+        assert!((eval_expr("2.5e2", 1).unwrap() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_expression_errors() {
+        assert!(eval_expr("pi pi", 1).is_err());
+        assert!(eval_expr("(1", 1).is_err());
+        assert!(eval_expr("1 $ 2", 1).is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = format!("{HEADER}// a comment\nqreg q[1];\n\nx q[0]; // trailing\n");
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.gates(), &[Gate::X(0)]);
+    }
+
+    #[test]
+    fn measure_and_barrier_dropped() {
+        let src = format!(
+            "{HEADER}qreg q[2];\ncreg c[2];\nh q[0];\nbarrier q[0],q[1];\nmeasure q[0] -> c[0];\nmeasure q[1] -> c[1];\n"
+        );
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.gate_count(), 1);
+    }
+
+    #[test]
+    fn ccx_expands() {
+        let src = format!("{HEADER}qreg q[3];\nccx q[0],q[1],q[2];\n");
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.gate_count(), 15);
+        assert_eq!(c.cx_count(), 6);
+    }
+
+    #[test]
+    fn multiple_registers_concatenate() {
+        let src = format!("{HEADER}qreg a[2];\nqreg b[2];\nh a[1];\ncx a[0],b[1];\n");
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.width(), 4);
+        assert_eq!(c.gates(), &[Gate::H(1), Gate::Cx(0, 3)]);
+    }
+
+    #[test]
+    fn unknown_register_rejected() {
+        let src = format!("{HEADER}qreg q[2];\nh r[0];\n");
+        let err = parse_qasm(&src).unwrap_err();
+        assert!(matches!(err, QasmError::UnknownQubit { .. }));
+    }
+
+    #[test]
+    fn out_of_range_index_rejected() {
+        let src = format!("{HEADER}qreg q[2];\nh q[5];\n");
+        let err = parse_qasm(&src).unwrap_err();
+        assert!(matches!(err, QasmError::UnknownQubit { .. }));
+    }
+
+    #[test]
+    fn unsupported_gate_rejected() {
+        let src = format!("{HEADER}qreg q[2];\nfancy q[0];\n");
+        let err = parse_qasm(&src).unwrap_err();
+        assert!(matches!(err, QasmError::UnsupportedGate { .. }));
+    }
+
+    #[test]
+    fn gates_without_any_register_rejected() {
+        let src = format!("{HEADER}h q[0];\n");
+        assert_eq!(parse_qasm(&src).unwrap_err(), QasmError::MissingRegister);
+    }
+
+    #[test]
+    fn empty_source_gives_empty_circuit() {
+        let c = parse_qasm(HEADER).unwrap();
+        assert_eq!(c.width(), 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let mut c = Circuit::new(3);
+        c.h(0)
+            .cx(0, 1)
+            .rz(1, PI / 8.0)
+            .swap(1, 2)
+            .t(2)
+            .cp(0, 2, -PI / 2.0);
+        let qasm = c.to_qasm();
+        let parsed = parse_qasm(&qasm).unwrap();
+        assert_eq!(parsed.width(), c.width());
+        assert_eq!(parsed.gates().len(), c.gates().len());
+        for (a, b) in parsed.gates().iter().zip(c.gates()) {
+            match (a, b) {
+                (Gate::Rz(qa, ta), Gate::Rz(qb, tb)) => {
+                    assert_eq!(qa, qb);
+                    assert!((ta - tb).abs() < 1e-9);
+                }
+                (Gate::Cp(xa, ya, ta), Gate::Cp(xb, yb, tb)) => {
+                    assert_eq!((xa, ya), (xb, yb));
+                    assert!((ta - tb).abs() < 1e-9);
+                }
+                _ => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn cz_and_swap_and_aliases() {
+        let src = format!(
+            "{HEADER}qreg q[2];\ncz q[0],q[1];\nswap q[0],q[1];\ncnot q[0],q[1];\ncu1(pi/8) q[0],q[1];\nu2(0,pi) q[0];\n"
+        );
+        let c = parse_qasm(&src).unwrap();
+        assert_eq!(c.gates()[0], Gate::Cz(0, 1));
+        assert_eq!(c.gates()[1], Gate::Swap(0, 1));
+        assert_eq!(c.gates()[2], Gate::Cx(0, 1));
+        assert!(matches!(c.gates()[3], Gate::Cp(0, 1, _)));
+        assert!(matches!(c.gates()[4], Gate::U(0, ..)));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let src = format!("{HEADER}qreg q[2];\ncx q[0];\n");
+        assert!(matches!(
+            parse_qasm(&src).unwrap_err(),
+            QasmError::Syntax { .. }
+        ));
+        let src = format!("{HEADER}qreg q[2];\nrx q[0];\n");
+        assert!(matches!(
+            parse_qasm(&src).unwrap_err(),
+            QasmError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = QasmError::UnsupportedGate {
+            statement: 4,
+            name: "foo".to_string(),
+        };
+        assert_eq!(e.to_string(), "unsupported gate `foo` in statement 4");
+        assert_eq!(
+            QasmError::MissingRegister.to_string(),
+            "no qreg declared before first gate"
+        );
+    }
+}

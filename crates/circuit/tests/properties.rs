@@ -1,0 +1,169 @@
+//! Property-based tests for the circuit IR, scheduling, and QASM round trip.
+
+use proptest::prelude::*;
+use qucp_circuit::{schedule, Circuit, Gate};
+
+/// Strategy producing an arbitrary gate on a register of `width` qubits.
+fn arb_gate(width: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..width;
+    let q2 = (0..width, 0..width).prop_filter("distinct qubits", |(a, b)| a != b);
+    let angle = -std::f64::consts::TAU..std::f64::consts::TAU;
+    prop_oneof![
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::Y),
+        q.clone().prop_map(Gate::Z),
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::Sdg),
+        q.clone().prop_map(Gate::T),
+        q.clone().prop_map(Gate::Tdg),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Rx(q, a)),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Ry(q, a)),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Rz(q, a)),
+        (q, angle.clone()).prop_map(|(q, a)| Gate::P(q, a)),
+        q2.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
+        q2.clone().prop_map(|(a, b)| Gate::Cz(a, b)),
+        (q2.clone(), angle).prop_map(|((a, b), t)| Gate::Cp(a, b, t)),
+        q2.prop_map(|(a, b)| Gate::Swap(a, b)),
+    ]
+}
+
+/// Strategy producing a random circuit of up to `max_gates` gates on
+/// 2..=6 qubits.
+fn arb_circuit(max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2usize..=6).prop_flat_map(move |width| {
+        proptest::collection::vec(arb_gate(width), 0..max_gates).prop_map(move |gates| {
+            let mut c = Circuit::new(width);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+    })
+}
+
+fn dur(g: &Gate) -> f64 {
+    if g.is_two_qubit() {
+        300.0
+    } else {
+        35.0
+    }
+}
+
+proptest! {
+    #[test]
+    fn depth_never_exceeds_gate_count(c in arb_circuit(60)) {
+        prop_assert!(c.depth() <= c.gate_count());
+    }
+
+    #[test]
+    fn counts_are_consistent(c in arb_circuit(60)) {
+        prop_assert_eq!(c.single_qubit_count() + c.two_qubit_count(), c.gate_count());
+        prop_assert!(c.cx_count() <= c.two_qubit_count());
+        let by_name: usize = c.count_ops().values().sum();
+        prop_assert_eq!(by_name, c.gate_count());
+    }
+
+    #[test]
+    fn double_inverse_is_identity(c in arb_circuit(40)) {
+        let back = c.inverse().inverse();
+        prop_assert_eq!(back.gates(), c.gates());
+    }
+
+    #[test]
+    fn identity_remap_preserves_gates(c in arb_circuit(40)) {
+        let mapping: Vec<usize> = (0..c.width()).collect();
+        let mapped = c.remap(&mapping, c.width()).unwrap();
+        prop_assert_eq!(mapped.gates(), c.gates());
+    }
+
+    #[test]
+    fn shifted_remap_preserves_structure(c in arb_circuit(40)) {
+        let mapping: Vec<usize> = (0..c.width()).map(|q| q + 3).collect();
+        let mapped = c.remap(&mapping, c.width() + 3).unwrap();
+        prop_assert_eq!(mapped.gate_count(), c.gate_count());
+        prop_assert_eq!(mapped.cx_count(), c.cx_count());
+        prop_assert_eq!(mapped.depth(), c.depth());
+    }
+
+    #[test]
+    fn cancellation_never_grows(c in arb_circuit(60)) {
+        let before = c.gate_count();
+        let mut copy = c.clone();
+        let removed = copy.cancel_adjacent_inverses();
+        prop_assert_eq!(copy.gate_count() + removed, before);
+    }
+
+    #[test]
+    fn asap_alap_same_makespan(c in arb_circuit(60)) {
+        let asap = schedule::asap_schedule(&c, dur);
+        let alap = schedule::alap_schedule(&c, dur);
+        prop_assert!((asap.makespan() - alap.makespan()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn alap_entries_within_makespan(c in arb_circuit(60)) {
+        let alap = schedule::alap_schedule(&c, dur);
+        for e in alap.entries() {
+            prop_assert!(e.start >= -1e-9);
+            prop_assert!(e.end() <= alap.makespan() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn alap_preserves_per_qubit_order(c in arb_circuit(60)) {
+        let alap = schedule::alap_schedule(&c, dur);
+        for q in 0..c.width() {
+            let mut last_end = -1e18;
+            for (i, g) in c.gates().iter().enumerate() {
+                if g.qubits().contains(q) {
+                    let e = alap.entries()[i];
+                    prop_assert!(e.start >= last_end - 1e-9,
+                        "gate {i} starts before predecessor ends on qubit {q}");
+                    last_end = e.end();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn moments_partition_gates(c in arb_circuit(60)) {
+        let m = schedule::moments(&c);
+        let mut seen = vec![false; c.gate_count()];
+        for layer in &m {
+            // Gates within a moment act on disjoint qubits.
+            let mut used = std::collections::HashSet::new();
+            for &gi in layer {
+                prop_assert!(!seen[gi]);
+                seen[gi] = true;
+                for q in &c.gates()[gi].qubits() {
+                    prop_assert!(used.insert(q), "qubit collision inside moment");
+                }
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+        prop_assert_eq!(m.len(), c.depth());
+    }
+
+    #[test]
+    fn qasm_round_trip_preserves_counts(c in arb_circuit(40)) {
+        let parsed = qucp_circuit::parse_qasm(&c.to_qasm()).unwrap();
+        prop_assert_eq!(parsed.width(), c.width());
+        prop_assert_eq!(parsed.gate_count(), c.gate_count());
+        prop_assert_eq!(parsed.cx_count(), c.cx_count());
+        prop_assert_eq!(parsed.two_qubit_count(), c.two_qubit_count());
+    }
+
+    #[test]
+    fn idle_windows_are_ordered_and_positive(c in arb_circuit(60)) {
+        let s = schedule::alap_schedule(&c, dur);
+        for windows in s.idle_windows(&c) {
+            let mut prev_end = -1e18;
+            for (a, b) in windows {
+                prop_assert!(b > a);
+                prop_assert!(a >= prev_end - 1e-9);
+                prev_end = b;
+            }
+        }
+    }
+}

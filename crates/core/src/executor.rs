@@ -1,0 +1,341 @@
+//! The parallel workload executor: partition → map → schedule → execute
+//! → score, under a chosen [`Strategy`](crate::strategy::Strategy).
+
+use qucp_circuit::Circuit;
+use qucp_device::{Device, Link};
+use qucp_sim::{
+    ideal_outcome, metrics, noiseless_probabilities, run_noisy_with_idle, Counts,
+    ExecutionConfig,
+};
+
+use crate::context::build_context;
+use crate::error::CoreError;
+use crate::mapping::{initial_mapping, route, MappedProgram};
+use crate::partition::{allocate_partitions, Allocation};
+use crate::strategy::Strategy;
+
+/// Configuration of a parallel execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParallelConfig {
+    /// Simulator settings (shots, seed, noise channels).
+    pub execution: ExecutionConfig,
+    /// Run the cancellation peephole pass before mapping (stands in for
+    /// the paper's `optimization_level = 3`).
+    pub optimize: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            execution: ExecutionConfig::default(),
+            optimize: true,
+        }
+    }
+}
+
+/// Per-program outcome of a parallel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramResult {
+    /// Program name.
+    pub name: String,
+    /// Physical qubits of the allocated partition.
+    pub partition: Vec<usize>,
+    /// EFS of the chosen partition at allocation time.
+    pub efs: f64,
+    /// SWAPs inserted by routing.
+    pub swap_count: usize,
+    /// Measured counts, permuted back to logical qubit order.
+    pub counts: Counts,
+    /// PST against the ideal outcome (deterministic circuits only).
+    pub pst: Option<f64>,
+    /// Jensen-Shannon divergence against the noiseless distribution.
+    pub jsd: f64,
+}
+
+/// Outcome of a parallel workload execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelOutcome {
+    /// Per-program results in the caller's order.
+    pub programs: Vec<ProgramResult>,
+    /// Hardware throughput: used qubits / device qubits (Sec. II-A).
+    pub throughput: f64,
+    /// Cross-program one-hop CNOT overlaps encountered.
+    pub conflict_count: usize,
+    /// Merged-schedule makespan (ns).
+    pub makespan: f64,
+    /// Serial runtime (ns) that independent execution would need.
+    pub serial_runtime: f64,
+}
+
+impl ParallelOutcome {
+    /// Mean PST over the deterministic programs (`None` if there are
+    /// none).
+    pub fn mean_pst(&self) -> Option<f64> {
+        let psts: Vec<f64> = self.programs.iter().filter_map(|p| p.pst).collect();
+        if psts.is_empty() {
+            None
+        } else {
+            Some(psts.iter().sum::<f64>() / psts.len() as f64)
+        }
+    }
+
+    /// Mean JSD over all programs.
+    pub fn mean_jsd(&self) -> f64 {
+        self.programs.iter().map(|p| p.jsd).sum::<f64>() / self.programs.len().max(1) as f64
+    }
+
+    /// Runtime reduction factor of parallel over serial execution.
+    pub fn runtime_reduction(&self) -> f64 {
+        if self.makespan == 0.0 {
+            1.0
+        } else {
+            self.serial_runtime / self.makespan
+        }
+    }
+}
+
+/// A planned (not yet executed) workload: the optimized circuits, their
+/// partition allocations, and the routed mappings, index-aligned.
+pub type WorkloadPlan = (Vec<Circuit>, Vec<Allocation>, Vec<MappedProgram>);
+
+/// Allocates, maps and routes `programs` without executing them.
+///
+/// Exposed separately so the threshold explorer (Fig. 4) and the
+/// ablation benches can inspect plans cheaply.
+///
+/// # Errors
+///
+/// Propagates partitioning failures ([`CoreError::PartitionUnavailable`],
+/// [`CoreError::ProgramTooWide`]).
+pub fn plan_workload(
+    device: &Device,
+    programs: &[Circuit],
+    strategy: &Strategy,
+    optimize: bool,
+) -> Result<WorkloadPlan, CoreError> {
+    let mut optimized: Vec<Circuit> = programs.to_vec();
+    if optimize {
+        for c in &mut optimized {
+            c.cancel_adjacent_inverses();
+        }
+    }
+    let refs: Vec<&Circuit> = optimized.iter().collect();
+    let allocations = allocate_partitions(device, &refs, &strategy.partition)?;
+
+    // Gate-level crosstalk penalty (CNA): routing avoids links with
+    // strong γ partners inside *other* partitions.
+    let all_links: Vec<Vec<Link>> = allocations
+        .iter()
+        .map(|a| device.topology().links_within(&a.qubits))
+        .collect();
+
+    let mapped: Vec<MappedProgram> = allocations
+        .iter()
+        .enumerate()
+        .map(|(i, alloc)| {
+            let circuit = &optimized[alloc.program_index];
+            let initial = initial_mapping(device, &alloc.qubits, circuit);
+            if strategy.crosstalk_aware_routing {
+                let other_links: Vec<Link> = all_links
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .flat_map(|(_, ls)| ls.iter().copied())
+                    .collect();
+                let topo = device.topology();
+                let xtalk = device.crosstalk();
+                let cal = device.calibration();
+                route(device, &alloc.qubits, circuit, &initial, |l| {
+                    let mut worst = 1.0f64;
+                    for &ol in &other_links {
+                        if !l.shares_qubit(&ol) && topo.link_distance(l, ol) == 1 {
+                            worst = worst.max(xtalk.gamma(l, ol));
+                        }
+                    }
+                    (worst - 1.0) * cal.cx_error(l)
+                })
+            } else {
+                route(device, &alloc.qubits, circuit, &initial, |_| 0.0)
+            }
+        })
+        .collect();
+    Ok((optimized, allocations, mapped))
+}
+
+/// Executes `programs` simultaneously on `device` under `strategy`.
+///
+/// # Errors
+///
+/// Returns a [`CoreError`] if partitioning fails or a mapped job is
+/// rejected by the simulator (which would indicate a mapping bug).
+pub fn execute_parallel(
+    device: &Device,
+    programs: &[Circuit],
+    strategy: &Strategy,
+    cfg: &ParallelConfig,
+) -> Result<ParallelOutcome, CoreError> {
+    let (optimized, allocations, mapped) =
+        plan_workload(device, programs, strategy, cfg.optimize)?;
+    let ctx = build_context(device, &mapped, strategy.serialize_conflicts);
+
+    let mut results = Vec::with_capacity(programs.len());
+    for (i, mp) in mapped.iter().enumerate() {
+        let exec = ExecutionConfig {
+            seed: cfg
+                .execution
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+            ..cfg.execution
+        };
+        let raw = run_noisy_with_idle(
+            &mp.circuit,
+            &mp.layout,
+            device,
+            &ctx.scalings[i],
+            &ctx.tail_idle[i],
+            &exec,
+        )?;
+        let counts = mp.to_logical_counts(&raw);
+        let logical = &optimized[i];
+        let ideal = noiseless_probabilities(logical);
+        let jsd = metrics::jsd(&counts.distribution(), &ideal);
+        let pst = ideal_outcome(logical).map(|target| counts.probability(target));
+        results.push(ProgramResult {
+            name: logical.name().to_string(),
+            partition: allocations[i].qubits.clone(),
+            efs: allocations[i].efs.score,
+            swap_count: mp.swap_count,
+            counts,
+            pst,
+            jsd,
+        });
+    }
+
+    let used: usize = allocations.iter().map(|a| a.qubits.len()).sum();
+    Ok(ParallelOutcome {
+        programs: results,
+        throughput: device.throughput(used),
+        conflict_count: ctx.conflict_count,
+        makespan: ctx.makespan,
+        serial_runtime: ctx.serial_runtime,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy;
+    use qucp_circuit::library;
+    use qucp_device::ibm;
+
+    fn quick_cfg() -> ParallelConfig {
+        ParallelConfig {
+            execution: ExecutionConfig::default().with_shots(512).with_seed(42),
+            optimize: true,
+        }
+    }
+
+    #[test]
+    fn single_program_executes() {
+        let dev = ibm::toronto();
+        let prog = library::by_name("fredkin").unwrap().circuit();
+        let out = execute_parallel(&dev, &[prog], &strategy::qucp(4.0), &quick_cfg()).unwrap();
+        assert_eq!(out.programs.len(), 1);
+        let r = &out.programs[0];
+        assert_eq!(r.counts.shots(), 512);
+        assert!(r.pst.is_some(), "fredkin is deterministic");
+        let pst = r.pst.unwrap();
+        assert!(pst > 0.4, "pst unexpectedly low: {pst}");
+        assert!((out.throughput - 3.0 / 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_programs_execute_disjointly() {
+        let dev = ibm::toronto();
+        let progs = vec![
+            library::by_name("adder").unwrap().circuit(),
+            library::by_name("fredkin").unwrap().circuit(),
+            library::by_name("linearsolver").unwrap().circuit(),
+        ];
+        let out = execute_parallel(&dev, &progs, &strategy::qucp(4.0), &quick_cfg()).unwrap();
+        assert_eq!(out.programs.len(), 3);
+        let mut all: Vec<usize> = out
+            .programs
+            .iter()
+            .flat_map(|p| p.partition.clone())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n);
+        assert!((out.throughput - 10.0 / 27.0).abs() < 1e-12);
+        assert!(out.runtime_reduction() > 1.5, "parallel should be faster");
+    }
+
+    #[test]
+    fn jsd_is_finite_and_bounded() {
+        let dev = ibm::toronto();
+        let progs = vec![
+            library::by_name("bell").unwrap().circuit(),
+            library::by_name("variation").unwrap().circuit(),
+        ];
+        let out = execute_parallel(&dev, &progs, &strategy::qucp(4.0), &quick_cfg()).unwrap();
+        for p in &out.programs {
+            assert!(p.jsd >= 0.0 && p.jsd <= 1.0, "{} jsd {}", p.name, p.jsd);
+            assert!(p.pst.is_none());
+        }
+        assert!(out.mean_jsd() > 0.0);
+        assert!(out.mean_pst().is_none());
+    }
+
+    #[test]
+    fn all_strategies_run_the_same_workload() {
+        let dev = ibm::toronto();
+        let progs = vec![
+            library::by_name("fredkin").unwrap().circuit(),
+            library::by_name("linearsolver").unwrap().circuit(),
+        ];
+        for strat in [
+            strategy::qucp(4.0),
+            strategy::qumc_with_ground_truth(&dev),
+            strategy::cna(),
+            strategy::multiqc(),
+            strategy::qucloud(),
+        ] {
+            let out = execute_parallel(&dev, &progs, &strat, &quick_cfg())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", strat.name));
+            assert_eq!(out.programs.len(), 2, "{}", strat.name);
+        }
+    }
+
+    #[test]
+    fn plan_workload_exposes_mapping() {
+        let dev = ibm::toronto();
+        let progs = vec![library::by_name("adder").unwrap().circuit()];
+        let (opt, allocs, mapped) =
+            plan_workload(&dev, &progs, &strategy::qucp(4.0), true).unwrap();
+        assert_eq!(opt.len(), 1);
+        assert_eq!(allocs.len(), 1);
+        assert_eq!(mapped.len(), 1);
+        assert_eq!(mapped[0].layout, allocs[0].qubits);
+    }
+
+    #[test]
+    fn too_many_programs_fail_cleanly() {
+        let dev = ibm::toronto();
+        let progs: Vec<_> = (0..8)
+            .map(|_| library::by_name("alu-v0_27").unwrap().circuit())
+            .collect();
+        let err = execute_parallel(&dev, &progs, &strategy::qucp(4.0), &quick_cfg()).unwrap_err();
+        assert!(matches!(err, CoreError::PartitionUnavailable { .. }));
+    }
+
+    #[test]
+    fn outcome_reproducible() {
+        let dev = ibm::toronto();
+        let progs = vec![library::by_name("fredkin").unwrap().circuit()];
+        let a = execute_parallel(&dev, &progs, &strategy::qucp(4.0), &quick_cfg()).unwrap();
+        let b = execute_parallel(&dev, &progs, &strategy::qucp(4.0), &quick_cfg()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,375 @@
+//! Qubit partitioning: allocating disjoint reliable regions to programs.
+//!
+//! Follows the QuMC heuristic the paper builds on: grow connected
+//! candidate regions from every free seed qubit, score each candidate
+//! with the EFS metric (crosstalk-aware for QuCP/QuMC), and allocate the
+//! best region to each program in turn. Baseline policies differ in the
+//! candidate scoring: CNA-style topology-greedy ignores calibration;
+//! QuCloud-style scoring maximizes "fidelity degree" (link fidelity sums)
+//! without readout or crosstalk terms.
+
+use std::collections::BTreeSet;
+
+use qucp_circuit::Circuit;
+use qucp_device::{Device, Link};
+
+use crate::efs::{efs, CircuitStats, CrosstalkTreatment, EfsBreakdown};
+use crate::error::CoreError;
+
+/// Candidate-scoring policy of the partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionPolicy {
+    /// Grow and score candidates by EFS (Eq. 1) with the given crosstalk
+    /// treatment. QuCP uses `Sigma`, QuMC `Measured`, MultiQC `None`.
+    NoiseAware(CrosstalkTreatment),
+    /// CNA-style: first connected region found scanning qubits in index
+    /// order — topology only, calibration-blind.
+    TopologyGreedy,
+    /// QuCloud-style: maximize the summed link fidelity (1 − CNOT error)
+    /// inside the region; no readout or crosstalk terms.
+    FidelityDegree,
+}
+
+/// One allocated partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Allocation {
+    /// Index of the program in the caller's list.
+    pub program_index: usize,
+    /// Physical qubits of the partition (sorted).
+    pub qubits: Vec<usize>,
+    /// The EFS breakdown of the chosen candidate (always computed with
+    /// the policy's treatment, `None` treatment for the baselines).
+    pub efs: EfsBreakdown,
+}
+
+impl Allocation {
+    /// The coupling links inside the partition.
+    pub fn links(&self, device: &Device) -> Vec<Link> {
+        device.topology().links_within(&self.qubits)
+    }
+}
+
+/// Grows connected candidate regions of `size` qubits from every free
+/// seed. Neighbour additions are ranked compactness-first (most links
+/// back into the region — the QuMC growth heuristic, which keeps
+/// routing cheap), then by connecting-link reliability, then readout.
+///
+/// Returns deduplicated candidates (each sorted ascending).
+pub fn candidate_partitions(
+    device: &Device,
+    size: usize,
+    allocated: &BTreeSet<usize>,
+) -> Vec<Vec<usize>> {
+    let topo = device.topology();
+    let cal = device.calibration();
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for seed in 0..topo.num_qubits() {
+        if allocated.contains(&seed) {
+            continue;
+        }
+        let mut region = vec![seed];
+        while region.len() < size {
+            // Frontier: free neighbours of the region, scored by
+            // (links into region desc, connecting link error asc,
+            // readout asc, index asc).
+            let mut best: Option<(usize, f64, f64, usize)> = None;
+            for &q in &region {
+                for &nb in topo.neighbors(q) {
+                    if allocated.contains(&nb) || region.contains(&nb) {
+                        continue;
+                    }
+                    let mut into_region = 0usize;
+                    let mut link_err = f64::INFINITY;
+                    for &r in &region {
+                        if topo.has_link(r, nb) {
+                            into_region += 1;
+                            link_err = link_err.min(cal.cx_error(Link::new(r, nb)));
+                        }
+                    }
+                    let better = match best {
+                        None => true,
+                        Some((bi, be, bro, bnb)) => {
+                            (std::cmp::Reverse(into_region), link_err, cal.readout_error(nb), nb)
+                                < (std::cmp::Reverse(bi), be, bro, bnb)
+                        }
+                    };
+                    if better {
+                        best = Some((into_region, link_err, cal.readout_error(nb), nb));
+                    }
+                }
+            }
+            match best {
+                Some((_, _, _, nb)) => region.push(nb),
+                None => break,
+            }
+        }
+        if region.len() == size {
+            let mut sorted = region.clone();
+            sorted.sort_unstable();
+            if seen.insert(sorted.clone()) {
+                out.push(sorted);
+            }
+        }
+    }
+    out
+}
+
+/// Allocates disjoint partitions for `programs` under `policy`.
+///
+/// Programs are placed in descending (width, CNOT count) order — densest
+/// first, as in QuMC — but the returned allocations are indexed by the
+/// caller's original order.
+///
+/// # Errors
+///
+/// [`CoreError::ProgramTooWide`] if a program exceeds the device;
+/// [`CoreError::PartitionUnavailable`] if no free connected region fits.
+pub fn allocate_partitions(
+    device: &Device,
+    programs: &[&Circuit],
+    policy: &PartitionPolicy,
+) -> Result<Vec<Allocation>, CoreError> {
+    for (i, p) in programs.iter().enumerate() {
+        if p.width() > device.num_qubits() {
+            return Err(CoreError::ProgramTooWide {
+                program: i,
+                width: p.width(),
+                device: device.num_qubits(),
+            });
+        }
+    }
+    let mut order: Vec<usize> = (0..programs.len()).collect();
+    order.sort_by_key(|&i| {
+        std::cmp::Reverse((programs[i].width(), programs[i].cx_count(), usize::MAX - i))
+    });
+
+    let mut allocated_qubits: BTreeSet<usize> = BTreeSet::new();
+    let mut allocated_links: Vec<Link> = Vec::new();
+    let mut result: Vec<Option<Allocation>> = vec![None; programs.len()];
+
+    for &pi in &order {
+        let program = programs[pi];
+        let stats = CircuitStats::of(program);
+        let size = program.width();
+        let candidates = candidate_partitions(device, size, &allocated_qubits);
+        if candidates.is_empty() {
+            return Err(CoreError::PartitionUnavailable { program: pi, size });
+        }
+        let chosen = match policy {
+            PartitionPolicy::NoiseAware(treatment) => candidates
+                .into_iter()
+                .map(|c| {
+                    let b = efs(device, &c, &stats, &allocated_links, treatment);
+                    (c, b)
+                })
+                .min_by(|a, b| {
+                    a.1.score
+                        .partial_cmp(&b.1.score)
+                        .unwrap()
+                        .then_with(|| a.0.cmp(&b.0))
+                })
+                .expect("candidates not empty"),
+            PartitionPolicy::TopologyGreedy => {
+                // First region in qubit-index order, calibration-blind.
+                let c = candidates
+                    .into_iter()
+                    .min_by(|a, b| a.cmp(b))
+                    .expect("candidates not empty");
+                let b = efs(device, &c, &stats, &allocated_links, &CrosstalkTreatment::None);
+                (c, b)
+            }
+            PartitionPolicy::FidelityDegree => candidates
+                .into_iter()
+                .map(|c| {
+                    let links = device.topology().links_within(&c);
+                    let fidelity: f64 = links
+                        .iter()
+                        .map(|&l| 1.0 - device.calibration().cx_error(l))
+                        .sum();
+                    let b = efs(device, &c, &stats, &allocated_links, &CrosstalkTreatment::None);
+                    (c, b, fidelity)
+                })
+                .max_by(|a, b| {
+                    a.2.partial_cmp(&b.2)
+                        .unwrap()
+                        .then_with(|| b.0.cmp(&a.0))
+                })
+                .map(|(c, b, _)| (c, b))
+                .expect("candidates not empty"),
+        };
+        let (qubits, breakdown) = chosen;
+        for &q in &qubits {
+            allocated_qubits.insert(q);
+        }
+        allocated_links.extend(device.topology().links_within(&qubits));
+        result[pi] = Some(Allocation {
+            program_index: pi,
+            qubits,
+            efs: breakdown,
+        });
+    }
+    Ok(result.into_iter().map(Option::unwrap).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_device::{ibm, Calibration, CrosstalkModel, Topology};
+
+    fn line_device() -> Device {
+        let t = Topology::line(8);
+        let mut cal = Calibration::uniform(&t, 0.02, 3e-4, 0.02);
+        // Make the right end clearly better.
+        cal.set_cx_error(Link::new(0, 1), 0.06);
+        cal.set_cx_error(Link::new(1, 2), 0.05);
+        cal.set_cx_error(Link::new(6, 7), 0.008);
+        cal.set_cx_error(Link::new(5, 6), 0.009);
+        Device::new("line8", t, cal, CrosstalkModel::none())
+    }
+
+    fn program(width: usize, cx: usize) -> Circuit {
+        let mut c = Circuit::new(width);
+        for i in 0..cx {
+            c.cx(i % width, (i + 1) % width);
+        }
+        c.h(0);
+        c
+    }
+
+    #[test]
+    fn candidates_are_connected_and_right_sized() {
+        let dev = line_device();
+        let cands = candidate_partitions(&dev, 3, &BTreeSet::new());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert_eq!(c.len(), 3);
+            assert!(dev.topology().is_connected_subset(c));
+        }
+    }
+
+    #[test]
+    fn candidates_avoid_allocated() {
+        let dev = line_device();
+        let allocated: BTreeSet<usize> = [3, 4].into_iter().collect();
+        for c in candidate_partitions(&dev, 3, &allocated) {
+            assert!(c.iter().all(|q| !allocated.contains(q)));
+        }
+    }
+
+    #[test]
+    fn noise_aware_picks_reliable_end() {
+        let dev = line_device();
+        let p = program(3, 8);
+        let allocs = allocate_partitions(
+            &dev,
+            &[&p],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::None),
+        )
+        .unwrap();
+        // The reliable end is 5,6,7.
+        assert_eq!(allocs[0].qubits, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn topology_greedy_picks_low_indices() {
+        let dev = line_device();
+        let p = program(3, 8);
+        let allocs = allocate_partitions(&dev, &[&p], &PartitionPolicy::TopologyGreedy).unwrap();
+        assert_eq!(allocs[0].qubits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let dev = ibm::toronto();
+        let p1 = program(4, 10);
+        let p2 = program(4, 8);
+        let p3 = program(3, 6);
+        let allocs = allocate_partitions(
+            &dev,
+            &[&p1, &p2, &p3],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::Sigma(4.0)),
+        )
+        .unwrap();
+        let mut all: Vec<usize> = allocs.iter().flat_map(|a| a.qubits.clone()).collect();
+        let before = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), before, "partitions overlap");
+        for a in &allocs {
+            assert!(dev.topology().is_connected_subset(&a.qubits));
+        }
+    }
+
+    #[test]
+    fn allocation_preserves_program_order() {
+        let dev = ibm::toronto();
+        let small = program(2, 2);
+        let big = program(5, 12);
+        let allocs = allocate_partitions(
+            &dev,
+            &[&small, &big],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::None),
+        )
+        .unwrap();
+        assert_eq!(allocs[0].program_index, 0);
+        assert_eq!(allocs[0].qubits.len(), 2);
+        assert_eq!(allocs[1].qubits.len(), 5);
+    }
+
+    #[test]
+    fn too_wide_program_rejected() {
+        let dev = line_device();
+        let p = program(9, 4);
+        let err = allocate_partitions(&dev, &[&p], &PartitionPolicy::TopologyGreedy).unwrap_err();
+        assert!(matches!(err, CoreError::ProgramTooWide { .. }));
+    }
+
+    #[test]
+    fn exhausted_device_rejected() {
+        let dev = line_device();
+        let p1 = program(5, 4);
+        let p2 = program(5, 4);
+        let err = allocate_partitions(
+            &dev,
+            &[&p1, &p2],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::None),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::PartitionUnavailable { .. }));
+    }
+
+    #[test]
+    fn sigma_steers_away_from_allocated_neighbours() {
+        // Uniform line: without crosstalk treatment the second partition
+        // may sit one hop from the first; with a large sigma it should
+        // prefer distance.
+        let t = Topology::line(10);
+        let cal = Calibration::uniform(&t, 0.02, 3e-4, 0.02);
+        let dev = Device::new("line10", t, cal, CrosstalkModel::none());
+        let p1 = program(3, 10);
+        let p2 = program(3, 10);
+        let allocs = allocate_partitions(
+            &dev,
+            &[&p1, &p2],
+            &PartitionPolicy::NoiseAware(CrosstalkTreatment::Sigma(8.0)),
+        )
+        .unwrap();
+        // Distance between the two regions should exceed one hop for the
+        // links (no crosstalk pairs chosen).
+        assert!(
+            allocs[1].efs.crosstalk_pairs.is_empty()
+                || allocs[0].efs.crosstalk_pairs.is_empty(),
+            "sigma treatment should find a crosstalk-free placement on an idle line"
+        );
+    }
+
+    #[test]
+    fn fidelity_degree_prefers_good_links() {
+        let dev = line_device();
+        let p = program(3, 8);
+        let allocs =
+            allocate_partitions(&dev, &[&p], &PartitionPolicy::FidelityDegree).unwrap();
+        assert_eq!(allocs[0].qubits, vec![5, 6, 7]);
+    }
+}

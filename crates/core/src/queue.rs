@@ -1,0 +1,246 @@
+//! A cloud job-queue model quantifying the motivation of Sec. I/II-A:
+//! multi-programming improves hardware throughput and reduces the total
+//! runtime (waiting time + execution time) of queued jobs.
+//!
+//! The model is a deterministic discrete-event simulation: jobs arrive
+//! at given times, each needing a number of qubits and an execution
+//! duration; the device serves them FIFO, either one at a time
+//! (dedicated mode) or packing up to `max_parallel` jobs whose combined
+//! qubit demand fits the chip (multi-programmed mode).
+
+/// A queued job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedJob {
+    /// Arrival time (arbitrary time units).
+    pub arrival: f64,
+    /// Qubits required.
+    pub qubits: usize,
+    /// Execution duration once started.
+    pub duration: f64,
+}
+
+/// Aggregate statistics of a queue simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueueStats {
+    /// Mean waiting time (start − arrival).
+    pub mean_waiting: f64,
+    /// Mean turnaround (completion − arrival).
+    pub mean_turnaround: f64,
+    /// Time the last job completes.
+    pub makespan: f64,
+    /// Mean hardware throughput while the device was busy (used qubits /
+    /// device qubits, time-averaged over busy periods).
+    pub mean_throughput: f64,
+    /// Number of execution batches dispatched.
+    pub batches: usize,
+}
+
+/// Simulates FIFO service of `jobs` on a `device_qubits`-qubit machine,
+/// packing up to `max_parallel` jobs per batch (1 = dedicated mode).
+///
+/// Jobs in a batch run simultaneously; the batch lasts as long as its
+/// longest member. Only jobs that have arrived by the batch start are
+/// packed (no reordering — FIFO head-of-line semantics, like the IBM
+/// fair-share queue the paper describes).
+///
+/// # Panics
+///
+/// Panics if a job needs more qubits than the device has, or if
+/// `max_parallel` is zero.
+pub fn simulate_queue(jobs: &[QueuedJob], device_qubits: usize, max_parallel: usize) -> QueueStats {
+    assert!(max_parallel > 0, "max_parallel must be positive");
+    for j in jobs {
+        assert!(
+            j.qubits <= device_qubits,
+            "job needs {} qubits, device has {device_qubits}",
+            j.qubits
+        );
+    }
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| jobs[a].arrival.partial_cmp(&jobs[b].arrival).unwrap().then(a.cmp(&b)));
+
+    let mut clock = 0.0f64;
+    let mut next = 0usize;
+    let mut total_wait = 0.0;
+    let mut total_turnaround = 0.0;
+    let mut busy_qubit_time = 0.0;
+    let mut busy_time = 0.0;
+    let mut batches = 0usize;
+
+    while next < order.len() {
+        let head = &jobs[order[next]];
+        if clock < head.arrival {
+            clock = head.arrival;
+        }
+        // Pack the FIFO prefix of arrived jobs that fits.
+        let mut batch: Vec<usize> = Vec::new();
+        let mut used = 0usize;
+        let mut i = next;
+        while i < order.len() && batch.len() < max_parallel {
+            let j = &jobs[order[i]];
+            if j.arrival > clock || used + j.qubits > device_qubits {
+                break;
+            }
+            used += j.qubits;
+            batch.push(order[i]);
+            i += 1;
+        }
+        debug_assert!(!batch.is_empty());
+        let batch_duration = batch
+            .iter()
+            .map(|&j| jobs[j].duration)
+            .fold(0.0f64, f64::max);
+        for &j in &batch {
+            total_wait += clock - jobs[j].arrival;
+            total_turnaround += clock + batch_duration - jobs[j].arrival;
+            busy_qubit_time += jobs[j].qubits as f64 * jobs[j].duration;
+        }
+        busy_time += batch_duration;
+        clock += batch_duration;
+        next = i;
+        batches += 1;
+    }
+
+    let n = jobs.len().max(1) as f64;
+    QueueStats {
+        mean_waiting: total_wait / n,
+        mean_turnaround: total_turnaround / n,
+        makespan: clock,
+        mean_throughput: if busy_time > 0.0 {
+            busy_qubit_time / (busy_time * device_qubits as f64)
+        } else {
+            0.0
+        },
+        batches,
+    }
+}
+
+/// Generates a deterministic synthetic workload of `n` jobs resembling
+/// the paper's setting: small circuits (2–6 qubits) arriving in a burst.
+pub fn synthetic_workload(n: usize, seed: u64) -> Vec<QueuedJob> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|_| {
+            t += rng.gen_range(0.0..0.5);
+            QueuedJob {
+                arrival: t,
+                qubits: rng.gen_range(2..=6),
+                duration: rng.gen_range(0.8..1.4),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(n: usize, qubits: usize, duration: f64) -> Vec<QueuedJob> {
+        (0..n)
+            .map(|_| QueuedJob {
+                arrival: 0.0,
+                qubits,
+                duration,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dedicated_mode_serializes() {
+        let jobs = burst(4, 4, 1.0);
+        let s = simulate_queue(&jobs, 15, 1);
+        assert_eq!(s.batches, 4);
+        assert!((s.makespan - 4.0).abs() < 1e-12);
+        // Waits: 0,1,2,3 → mean 1.5.
+        assert!((s.mean_waiting - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiprogramming_packs_jobs() {
+        let jobs = burst(4, 4, 1.0);
+        let s = simulate_queue(&jobs, 15, 3);
+        // 3 jobs fit (12 ≤ 15), then 1.
+        assert_eq!(s.batches, 2);
+        assert!((s.makespan - 2.0).abs() < 1e-12);
+        assert!(s.mean_waiting < 1.5);
+    }
+
+    #[test]
+    fn fig1_melbourne_throughput_numbers() {
+        // One 4-qubit circuit on the 15-qubit Melbourne: 26.7%; two in
+        // parallel: 53.3% (paper Fig. 1).
+        let jobs = burst(2, 4, 1.0);
+        let solo = simulate_queue(&jobs, 15, 1);
+        assert!((solo.mean_throughput - 4.0 / 15.0).abs() < 1e-9);
+        let dual = simulate_queue(&jobs, 15, 2);
+        assert!((dual.mean_throughput - 8.0 / 15.0).abs() < 1e-9);
+        // Total runtime halves.
+        assert!((solo.makespan / dual.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn qubit_capacity_limits_packing() {
+        let jobs = burst(3, 6, 1.0);
+        let s = simulate_queue(&jobs, 15, 3);
+        // 6+6 = 12 fits, +6 would exceed 15 → batches of 2 then 1.
+        assert_eq!(s.batches, 2);
+    }
+
+    #[test]
+    fn late_arrivals_are_not_packed_early() {
+        let jobs = vec![
+            QueuedJob { arrival: 0.0, qubits: 4, duration: 1.0 },
+            QueuedJob { arrival: 0.9, qubits: 4, duration: 1.0 },
+        ];
+        let s = simulate_queue(&jobs, 15, 2);
+        // Second job arrives mid-flight of the first batch: two batches.
+        assert_eq!(s.batches, 2);
+        assert!((s.makespan - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn turnaround_includes_execution() {
+        let jobs = burst(1, 4, 2.5);
+        let s = simulate_queue(&jobs, 15, 1);
+        assert!((s.mean_turnaround - 2.5).abs() < 1e-12);
+        assert_eq!(s.mean_waiting, 0.0);
+    }
+
+    #[test]
+    fn synthetic_workload_is_deterministic() {
+        assert_eq!(synthetic_workload(20, 7), synthetic_workload(20, 7));
+        let jobs = synthetic_workload(50, 9);
+        assert_eq!(jobs.len(), 50);
+        assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(jobs.iter().all(|j| (2..=6).contains(&j.qubits)));
+    }
+
+    #[test]
+    fn multiprogramming_beats_dedicated_on_synthetic_load() {
+        let jobs = synthetic_workload(40, 123);
+        let solo = simulate_queue(&jobs, 27, 1);
+        let multi = simulate_queue(&jobs, 27, 4);
+        assert!(multi.mean_waiting < solo.mean_waiting);
+        assert!(multi.makespan < solo.makespan);
+        assert!(multi.mean_throughput > solo.mean_throughput);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_parallel must be positive")]
+    fn zero_parallel_panics() {
+        simulate_queue(&[], 15, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn oversized_job_panics() {
+        simulate_queue(
+            &[QueuedJob { arrival: 0.0, qubits: 20, duration: 1.0 }],
+            15,
+            1,
+        );
+    }
+}

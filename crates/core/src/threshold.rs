@@ -1,0 +1,198 @@
+//! The fidelity-threshold mechanism of Sec. IV-B: trading hardware
+//! throughput against output fidelity.
+//!
+//! QuCP estimates, from EFS alone (no execution), how much fidelity a
+//! parallel workload would lose compared to running each circuit
+//! independently on the best partition. A user-supplied threshold on
+//! that difference then determines how many copies run simultaneously —
+//! the mechanism behind the paper's Fig. 4.
+
+use qucp_circuit::Circuit;
+use qucp_device::Device;
+
+use crate::error::CoreError;
+use crate::executor::{execute_parallel, ParallelConfig};
+use crate::partition::allocate_partitions;
+use crate::strategy::Strategy;
+
+/// The EFS-estimated fidelity difference of running `k` copies in
+/// parallel versus one copy independently.
+///
+/// Independent execution uses the single best partition (EFS `E₁`);
+/// parallel execution allocates `k` disjoint partitions and suffers the
+/// mean EFS `E̅ₖ`. The difference `E̅ₖ − E₁ ≥ 0` grows as the allocator is
+/// pushed into worse regions of the chip.
+///
+/// # Errors
+///
+/// Propagates partition failures when even a single copy does not fit.
+pub fn efs_difference(device: &Device, circuit: &Circuit, k: usize, strategy: &Strategy) -> Result<f64, CoreError> {
+    let single = allocate_partitions(device, &[circuit], &strategy.partition)?;
+    let best = single[0].efs.score;
+    let copies: Vec<&Circuit> = std::iter::repeat_n(circuit, k).collect();
+    let parallel = allocate_partitions(device, &copies, &strategy.partition)?;
+    let mean = parallel.iter().map(|a| a.efs.score).sum::<f64>() / k as f64;
+    Ok((mean - best).max(0.0))
+}
+
+/// The largest `k ≤ k_max` whose EFS difference stays within
+/// `threshold`. A threshold of zero admits exactly one circuit (the
+/// paper: "when the fidelity threshold is zero … only one circuit is
+/// executed each time").
+///
+/// # Errors
+///
+/// Propagates partition failures when even a single copy does not fit.
+pub fn parallel_count_for_threshold(
+    device: &Device,
+    circuit: &Circuit,
+    threshold: f64,
+    k_max: usize,
+    strategy: &Strategy,
+) -> Result<usize, CoreError> {
+    let mut best_k = 1;
+    for k in 2..=k_max {
+        match efs_difference(device, circuit, k, strategy) {
+            Ok(diff) if diff <= threshold => best_k = k,
+            Ok(_) => break,
+            Err(CoreError::PartitionUnavailable { .. }) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(best_k)
+}
+
+/// One point of the Fig. 4 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdPoint {
+    /// The fidelity threshold applied.
+    pub threshold: f64,
+    /// Number of simultaneous copies admitted.
+    pub parallel_count: usize,
+    /// Hardware throughput achieved.
+    pub throughput: f64,
+    /// Mean PST of the copies (deterministic benchmarks).
+    pub mean_pst: Option<f64>,
+    /// Mean JSD of the copies.
+    pub mean_jsd: f64,
+    /// EFS difference estimate that admitted this count.
+    pub efs_difference: f64,
+}
+
+/// Sweeps fidelity thresholds, executing the admitted number of copies
+/// at every point (the paper's Fig. 4 experiment).
+///
+/// # Errors
+///
+/// Propagates partition and simulation failures.
+pub fn threshold_sweep(
+    device: &Device,
+    circuit: &Circuit,
+    thresholds: &[f64],
+    k_max: usize,
+    strategy: &Strategy,
+    cfg: &ParallelConfig,
+) -> Result<Vec<ThresholdPoint>, CoreError> {
+    let mut out = Vec::with_capacity(thresholds.len());
+    for &threshold in thresholds {
+        let k = parallel_count_for_threshold(device, circuit, threshold, k_max, strategy)?;
+        let copies: Vec<Circuit> = (0..k)
+            .map(|i| {
+                let mut c = circuit.clone();
+                c.set_name(format!("{}#{}", circuit.name(), i));
+                c
+            })
+            .collect();
+        let outcome = execute_parallel(device, &copies, strategy, cfg)?;
+        let diff = if k == 1 {
+            0.0
+        } else {
+            efs_difference(device, circuit, k, strategy)?
+        };
+        out.push(ThresholdPoint {
+            threshold,
+            parallel_count: k,
+            throughput: outcome.throughput,
+            mean_pst: outcome.mean_pst(),
+            mean_jsd: outcome.mean_jsd(),
+            efs_difference: diff,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy;
+    use qucp_circuit::library;
+    use qucp_device::ibm;
+    use qucp_sim::ExecutionConfig;
+
+    #[test]
+    fn efs_difference_grows_with_copies() {
+        let dev = ibm::manhattan();
+        let c = library::by_name("4mod5-v1_22").unwrap().circuit();
+        let s = strategy::qucp(4.0);
+        let d2 = efs_difference(&dev, &c, 2, &s).unwrap();
+        let d4 = efs_difference(&dev, &c, 4, &s).unwrap();
+        let d6 = efs_difference(&dev, &c, 6, &s).unwrap();
+        assert!(d2 >= 0.0);
+        assert!(d4 >= d2 - 1e-12);
+        assert!(d6 >= d4 - 1e-12, "d6 {d6} < d4 {d4}");
+    }
+
+    #[test]
+    fn zero_threshold_admits_one() {
+        let dev = ibm::manhattan();
+        let c = library::by_name("4mod5-v1_22").unwrap().circuit();
+        let k =
+            parallel_count_for_threshold(&dev, &c, 0.0, 6, &strategy::qucp(4.0)).unwrap();
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn huge_threshold_admits_max() {
+        let dev = ibm::manhattan();
+        let c = library::by_name("4mod5-v1_22").unwrap().circuit();
+        let k = parallel_count_for_threshold(&dev, &c, 1e9, 6, &strategy::qucp(4.0)).unwrap();
+        assert_eq!(k, 6);
+    }
+
+    #[test]
+    fn admitted_count_is_monotone_in_threshold() {
+        let dev = ibm::manhattan();
+        let c = library::by_name("alu-v0_27").unwrap().circuit();
+        let s = strategy::qucp(4.0);
+        let mut last = 0;
+        for t in [0.0, 0.05, 0.1, 0.2, 0.5, 2.0] {
+            let k = parallel_count_for_threshold(&dev, &c, t, 6, &s).unwrap();
+            assert!(k >= last, "k not monotone at threshold {t}");
+            last = k;
+        }
+    }
+
+    #[test]
+    fn sweep_reports_throughput_growth() {
+        let dev = ibm::manhattan();
+        let c = library::by_name("4mod5-v1_22").unwrap().circuit();
+        let cfg = ParallelConfig {
+            execution: ExecutionConfig::default().with_shots(256),
+            optimize: true,
+        };
+        let points = threshold_sweep(
+            &dev,
+            &c,
+            &[0.0, 1e9],
+            4,
+            &strategy::qucp(4.0),
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].parallel_count, 1);
+        assert_eq!(points[1].parallel_count, 4);
+        assert!(points[1].throughput > points[0].throughput);
+        assert!(points[0].mean_pst.is_some());
+    }
+}

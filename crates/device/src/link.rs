@@ -1,0 +1,201 @@
+//! Undirected coupling links between physical qubits.
+
+use std::fmt;
+
+/// An undirected coupling-graph edge between two physical qubits.
+///
+/// The endpoints are stored in ascending order so a `Link` can be used as a
+/// canonical map key regardless of the direction a CNOT is applied in.
+///
+/// ```
+/// use qucp_device::Link;
+/// assert_eq!(Link::new(3, 1), Link::new(1, 3));
+/// assert_eq!(Link::new(1, 3).low(), 1);
+/// assert_eq!(Link::new(1, 3).high(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Link {
+    low: usize,
+    high: usize,
+}
+
+impl Link {
+    /// Creates a link between two distinct qubits (order-insensitive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    pub fn new(a: usize, b: usize) -> Self {
+        assert!(a != b, "a link needs two distinct qubits, got {a} twice");
+        Link {
+            low: a.min(b),
+            high: a.max(b),
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn low(&self) -> usize {
+        self.low
+    }
+
+    /// The larger endpoint.
+    pub fn high(&self) -> usize {
+        self.high
+    }
+
+    /// Both endpoints as a `(low, high)` tuple.
+    pub fn endpoints(&self) -> (usize, usize) {
+        (self.low, self.high)
+    }
+
+    /// Whether `q` is one of the endpoints.
+    pub fn touches(&self, q: usize) -> bool {
+        self.low == q || self.high == q
+    }
+
+    /// Whether the two links share an endpoint.
+    pub fn shares_qubit(&self, other: &Link) -> bool {
+        other.touches(self.low) || other.touches(self.high)
+    }
+
+    /// The endpoint that is not `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not an endpoint of the link.
+    pub fn other(&self, q: usize) -> usize {
+        if q == self.low {
+            self.high
+        } else if q == self.high {
+            self.low
+        } else {
+            panic!("qubit {q} is not an endpoint of {self}")
+        }
+    }
+}
+
+impl From<(usize, usize)> for Link {
+    fn from((a, b): (usize, usize)) -> Self {
+        Link::new(a, b)
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.low, self.high)
+    }
+}
+
+/// An unordered pair of links, canonically ordered for use as a map key.
+///
+/// Used to index crosstalk strengths γ(e₁, e₂) between simultaneously
+/// driven CNOTs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkPair {
+    first: Link,
+    second: Link,
+}
+
+impl LinkPair {
+    /// Creates a canonical unordered pair of links.
+    pub fn new(a: Link, b: Link) -> Self {
+        if a <= b {
+            LinkPair { first: a, second: b }
+        } else {
+            LinkPair { first: b, second: a }
+        }
+    }
+
+    /// The lexicographically smaller link.
+    pub fn first(&self) -> Link {
+        self.first
+    }
+
+    /// The lexicographically larger link.
+    pub fn second(&self) -> Link {
+        self.second
+    }
+
+    /// Whether the two links of the pair are disjoint (no shared qubit).
+    pub fn is_disjoint(&self) -> bool {
+        !self.first.shares_qubit(&self.second)
+    }
+}
+
+impl fmt::Display for LinkPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_normalizes_order() {
+        let l = Link::new(5, 2);
+        assert_eq!(l.low(), 2);
+        assert_eq!(l.high(), 5);
+        assert_eq!(l.endpoints(), (2, 5));
+        assert_eq!(Link::new(2, 5), l);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct qubits")]
+    fn link_rejects_self_loop() {
+        Link::new(3, 3);
+    }
+
+    #[test]
+    fn link_touches_and_other() {
+        let l = Link::new(1, 4);
+        assert!(l.touches(1));
+        assert!(l.touches(4));
+        assert!(!l.touches(2));
+        assert_eq!(l.other(1), 4);
+        assert_eq!(l.other(4), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn link_other_panics_for_non_member() {
+        Link::new(1, 4).other(2);
+    }
+
+    #[test]
+    fn shares_qubit() {
+        assert!(Link::new(0, 1).shares_qubit(&Link::new(1, 2)));
+        assert!(!Link::new(0, 1).shares_qubit(&Link::new(2, 3)));
+    }
+
+    #[test]
+    fn pair_canonical_order() {
+        let a = Link::new(0, 1);
+        let b = Link::new(2, 3);
+        assert_eq!(LinkPair::new(a, b), LinkPair::new(b, a));
+        assert_eq!(LinkPair::new(b, a).first(), a);
+        assert_eq!(LinkPair::new(b, a).second(), b);
+    }
+
+    #[test]
+    fn pair_disjointness() {
+        assert!(LinkPair::new(Link::new(0, 1), Link::new(2, 3)).is_disjoint());
+        assert!(!LinkPair::new(Link::new(0, 1), Link::new(1, 2)).is_disjoint());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Link::new(3, 1).to_string(), "1-3");
+        assert_eq!(
+            LinkPair::new(Link::new(2, 3), Link::new(0, 1)).to_string(),
+            "(0-1, 2-3)"
+        );
+    }
+
+    #[test]
+    fn from_tuple() {
+        let l: Link = (7, 2).into();
+        assert_eq!(l, Link::new(2, 7));
+    }
+}

@@ -1,0 +1,361 @@
+//! Coupling-graph topology of a quantum chip.
+
+use std::collections::VecDeque;
+
+use crate::link::{Link, LinkPair};
+
+/// The undirected coupling graph of a device.
+///
+/// Stores adjacency, the link list, and an all-pairs BFS distance matrix
+/// (hop counts), which the mapper and partitioner query heavily.
+///
+/// ```
+/// use qucp_device::Topology;
+/// let t = Topology::line(4);
+/// assert_eq!(t.distance(0, 3), 3);
+/// assert!(t.has_link(1, 2));
+/// assert!(t.is_connected_subset(&[1, 2, 3]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    links: Vec<Link>,
+    adjacency: Vec<Vec<usize>>,
+    distance: Vec<Vec<usize>>,
+}
+
+/// Distance value meaning "unreachable".
+pub const UNREACHABLE: usize = usize::MAX;
+
+impl Topology {
+    /// Builds a topology on `n` qubits from an edge list.
+    ///
+    /// Duplicate edges are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an edge references a qubit `>= n` or is a self-loop.
+    pub fn new(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut links: Vec<Link> = edges
+            .iter()
+            .map(|&(a, b)| {
+                assert!(a < n && b < n, "edge ({a},{b}) out of range for {n} qubits");
+                Link::new(a, b)
+            })
+            .collect();
+        links.sort_unstable();
+        links.dedup();
+        let mut adjacency = vec![Vec::new(); n];
+        for l in &links {
+            adjacency[l.low()].push(l.high());
+            adjacency[l.high()].push(l.low());
+        }
+        for nbrs in &mut adjacency {
+            nbrs.sort_unstable();
+        }
+        let distance = all_pairs_bfs(n, &adjacency);
+        Topology {
+            n,
+            links,
+            adjacency,
+            distance,
+        }
+    }
+
+    /// A 1-D chain of `n` qubits (useful in tests).
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        Topology::new(n, &edges)
+    }
+
+    /// A cycle of `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 qubits");
+        let mut edges: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        edges.push((n - 1, 0));
+        Topology::new(n, &edges)
+    }
+
+    /// A `rows × cols` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let q = r * cols + c;
+                if c + 1 < cols {
+                    edges.push((q, q + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((q, q + cols));
+                }
+            }
+        }
+        Topology::new(rows * cols, &edges)
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// All coupling links, sorted canonically.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Number of coupling links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Neighbors of `q`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= num_qubits()`.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Degree of `q`.
+    pub fn degree(&self, q: usize) -> usize {
+        self.adjacency[q].len()
+    }
+
+    /// Whether qubits `a` and `b` are directly coupled.
+    pub fn has_link(&self, a: usize, b: usize) -> bool {
+        a != b && self.adjacency[a].binary_search(&b).is_ok()
+    }
+
+    /// Hop distance between two qubits ([`UNREACHABLE`] if disconnected).
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.distance[a][b]
+    }
+
+    /// Hop distance between two links: the minimum endpoint-to-endpoint
+    /// distance. Adjacent links (sharing a qubit) have distance 0; the
+    /// "one-hop" pairs of the SRB literature have distance 1.
+    pub fn link_distance(&self, a: Link, b: Link) -> usize {
+        let mut best = UNREACHABLE;
+        for &x in &[a.low(), a.high()] {
+            for &y in &[b.low(), b.high()] {
+                best = best.min(self.distance(x, y));
+            }
+        }
+        best
+    }
+
+    /// All unordered pairs of disjoint links at one-hop distance — the
+    /// pairs whose simultaneous operation may suffer crosstalk and that SRB
+    /// must characterize (Sec. III of the paper).
+    pub fn one_hop_link_pairs(&self) -> Vec<LinkPair> {
+        let mut out = Vec::new();
+        for (i, &a) in self.links.iter().enumerate() {
+            for &b in &self.links[i + 1..] {
+                if !a.shares_qubit(&b) && self.link_distance(a, b) == 1 {
+                    out.push(LinkPair::new(a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the induced subgraph on `subset` is connected and non-empty.
+    pub fn is_connected_subset(&self, subset: &[usize]) -> bool {
+        if subset.is_empty() {
+            return false;
+        }
+        let inside = |q: usize| subset.contains(&q);
+        let mut seen = vec![false; self.n];
+        let mut queue = VecDeque::new();
+        queue.push_back(subset[0]);
+        seen[subset[0]] = true;
+        let mut count = 1;
+        while let Some(q) = queue.pop_front() {
+            for &nb in self.neighbors(q) {
+                if inside(nb) && !seen[nb] {
+                    seen[nb] = true;
+                    count += 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+        count == subset.len()
+    }
+
+    /// Whether the whole graph is connected.
+    pub fn is_connected(&self) -> bool {
+        let all: Vec<usize> = (0..self.n).collect();
+        self.n > 0 && self.is_connected_subset(&all)
+    }
+
+    /// The shortest path between two qubits as a vertex list (inclusive),
+    /// or `None` if disconnected. Ties are broken toward lower qubit
+    /// indices, making routing deterministic.
+    pub fn shortest_path(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        if self.distance(from, to) == UNREACHABLE {
+            return None;
+        }
+        let mut path = vec![from];
+        let mut cur = from;
+        while cur != to {
+            let next = *self
+                .neighbors(cur)
+                .iter()
+                .find(|&&nb| self.distance(nb, to) + 1 == self.distance(cur, to))
+                .expect("distance matrix is consistent");
+            path.push(next);
+            cur = next;
+        }
+        Some(path)
+    }
+
+    /// The links within a qubit subset (induced edges).
+    pub fn links_within(&self, subset: &[usize]) -> Vec<Link> {
+        self.links
+            .iter()
+            .copied()
+            .filter(|l| subset.contains(&l.low()) && subset.contains(&l.high()))
+            .collect()
+    }
+}
+
+fn all_pairs_bfs(n: usize, adjacency: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut dist = vec![vec![UNREACHABLE; n]; n];
+    for (start, row) in dist.iter_mut().enumerate() {
+        row[start] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(start);
+        while let Some(q) = queue.pop_front() {
+            for &nb in &adjacency[q] {
+                if row[nb] == UNREACHABLE {
+                    row[nb] = row[q] + 1;
+                    queue.push_back(nb);
+                }
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        let t = Topology::line(5);
+        assert_eq!(t.num_qubits(), 5);
+        assert_eq!(t.num_links(), 4);
+        assert_eq!(t.distance(0, 4), 4);
+        assert_eq!(t.distance(2, 2), 0);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn ring_wraps() {
+        let t = Topology::ring(6);
+        assert_eq!(t.distance(0, 5), 1);
+        assert_eq!(t.distance(0, 3), 3);
+        assert_eq!(t.num_links(), 6);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.num_qubits(), 9);
+        assert_eq!(t.num_links(), 12);
+        assert_eq!(t.distance(0, 8), 4);
+        assert!(t.has_link(0, 1));
+        assert!(t.has_link(0, 3));
+        assert!(!t.has_link(0, 4));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let t = Topology::new(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(t.num_links(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Topology::new(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn disconnected_distance() {
+        let t = Topology::new(4, &[(0, 1), (2, 3)]);
+        assert_eq!(t.distance(0, 3), UNREACHABLE);
+        assert!(!t.is_connected());
+        assert!(t.shortest_path(0, 3).is_none());
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let t = Topology::line(5);
+        assert!(t.is_connected_subset(&[1, 2, 3]));
+        assert!(!t.is_connected_subset(&[0, 2]));
+        assert!(!t.is_connected_subset(&[]));
+        assert!(t.is_connected_subset(&[4]));
+    }
+
+    #[test]
+    fn shortest_path_endpoints() {
+        let t = Topology::grid(2, 3);
+        let p = t.shortest_path(0, 5).unwrap();
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&5));
+        assert_eq!(p.len(), t.distance(0, 5) + 1);
+        assert_eq!(t.shortest_path(2, 2).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn link_distance_classes() {
+        let t = Topology::line(6);
+        let l01 = Link::new(0, 1);
+        let l12 = Link::new(1, 2);
+        let l23 = Link::new(2, 3);
+        let l45 = Link::new(4, 5);
+        assert_eq!(t.link_distance(l01, l12), 0); // share qubit 1
+        assert_eq!(t.link_distance(l01, l23), 1); // one hop
+        assert_eq!(t.link_distance(l01, l45), 3);
+    }
+
+    #[test]
+    fn one_hop_pairs_on_line() {
+        // Line 0-1-2-3-4: links 01,12,23,34. Disjoint one-hop pairs:
+        // (01,23), (12,34).
+        let t = Topology::line(5);
+        let pairs = t.one_hop_link_pairs();
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.iter().all(|p| p.is_disjoint()));
+    }
+
+    #[test]
+    fn links_within_subset() {
+        let t = Topology::grid(2, 2);
+        let links = t.links_within(&[0, 1, 2]);
+        assert_eq!(links.len(), 2); // 0-1 and 0-2
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.neighbors(4), &[1, 3, 5, 7]);
+        assert_eq!(t.degree(4), 4);
+        assert_eq!(t.degree(0), 2);
+    }
+}

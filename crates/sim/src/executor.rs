@@ -1,0 +1,758 @@
+//! Noisy Monte-Carlo trajectory execution of mapped circuits.
+//!
+//! A *job* is a circuit whose qubits are laid out on physical qubits of a
+//! device. Each shot walks the ALAP-scheduled event stream: every gate is
+//! applied ideally and followed, with the calibrated probability, by a
+//! random Pauli error on its operands (stochastic Pauli-twirled
+//! depolarizing noise); idle gaps in the schedule inject thermal
+//! relaxation/dephasing errors derived from T1/T2; readout flips each
+//! measured bit with the qubit's readout error.
+//!
+//! Crosstalk enters through a per-gate [`NoiseScaling`]: the parallel
+//! executor in `qucp-core` inspects the *merged* schedule of all
+//! simultaneous programs and scales a CNOT's error probability by the
+//! device's γ factor whenever a one-hop neighbour CNOT from another
+//! program overlaps it in time. This is exactly the error structure the
+//! paper's QuCP/QuMC/CNA policies are designed to avoid.
+
+use std::error::Error;
+use std::fmt;
+
+use qucp_circuit::{schedule, Circuit, Gate};
+use qucp_device::{Device, Link};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::counts::Counts;
+use crate::state::Statevector;
+
+/// Execution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutionConfig {
+    /// Number of measurement shots.
+    pub shots: usize,
+    /// RNG seed (trajectories are reproducible given the seed).
+    pub seed: u64,
+    /// Enable stochastic Pauli noise after gates.
+    pub gate_noise: bool,
+    /// Enable readout bit flips.
+    pub readout_noise: bool,
+    /// Enable idle decoherence from schedule gaps.
+    pub idle_noise: bool,
+}
+
+impl Default for ExecutionConfig {
+    /// 8192 shots (the paper's job size), all noise channels enabled.
+    fn default() -> Self {
+        ExecutionConfig {
+            shots: 8192,
+            seed: 0x5EED,
+            gate_noise: true,
+            readout_noise: true,
+            idle_noise: true,
+        }
+    }
+}
+
+impl ExecutionConfig {
+    /// A config with a different seed (convenience for sweeps).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A config with a different shot count.
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = shots;
+        self
+    }
+}
+
+/// Per-gate multiplicative scaling of error probabilities.
+///
+/// Index `i` scales the error probability of gate `i` of the circuit.
+/// Factors default to 1 beyond the stored length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseScaling {
+    factors: Vec<f64>,
+}
+
+impl NoiseScaling {
+    /// Unit scaling for a circuit of `len` gates.
+    pub fn uniform(len: usize) -> Self {
+        NoiseScaling {
+            factors: vec![1.0; len],
+        }
+    }
+
+    /// Builds from explicit factors.
+    pub fn from_factors(factors: Vec<f64>) -> Self {
+        NoiseScaling { factors }
+    }
+
+    /// The factor for gate `i` (1.0 when out of range).
+    pub fn factor(&self, i: usize) -> f64 {
+        self.factors.get(i).copied().unwrap_or(1.0)
+    }
+
+    /// Sets the factor for gate `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize, factor: f64) {
+        self.factors[i] = factor;
+    }
+
+    /// Multiplies the factor for gate `i` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn amplify(&mut self, i: usize, factor: f64) {
+        self.factors[i] *= factor;
+    }
+
+    /// The largest factor present (1.0 for empty scalings).
+    pub fn max_factor(&self) -> f64 {
+        self.factors.iter().copied().fold(1.0, f64::max)
+    }
+}
+
+/// Errors produced when a job is inconsistent with the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Layout length does not match the circuit width.
+    LayoutMismatch {
+        /// Circuit width.
+        circuit: usize,
+        /// Layout length.
+        layout: usize,
+    },
+    /// The layout maps two qubits to the same physical qubit.
+    LayoutNotInjective {
+        /// The physical qubit claimed twice.
+        physical: usize,
+    },
+    /// A layout entry exceeds the device size.
+    PhysicalOutOfRange {
+        /// The offending physical index.
+        physical: usize,
+        /// Device size.
+        device: usize,
+    },
+    /// A two-qubit gate acts on physical qubits that are not coupled.
+    NotCoupled {
+        /// Index of the offending gate.
+        gate_index: usize,
+        /// First physical operand.
+        a: usize,
+        /// Second physical operand.
+        b: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LayoutMismatch { circuit, layout } => write!(
+                f,
+                "layout length {layout} does not match circuit width {circuit}"
+            ),
+            SimError::LayoutNotInjective { physical } => {
+                write!(f, "layout maps two qubits onto physical qubit {physical}")
+            }
+            SimError::PhysicalOutOfRange { physical, device } => {
+                write!(f, "physical qubit {physical} out of range for device of {device}")
+            }
+            SimError::NotCoupled { gate_index, a, b } => write!(
+                f,
+                "gate {gate_index} acts on uncoupled physical qubits {a} and {b}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The identity layout `[0, 1, …, width-1]`.
+pub fn trivial_layout(width: usize) -> Vec<usize> {
+    (0..width).collect()
+}
+
+/// Per-gate durations (ns) of a mapped circuit under the device
+/// calibration: one-qubit gates take the calibrated single-qubit time,
+/// CNOT/CZ/CP the link's CNOT time, SWAP three CNOTs.
+///
+/// This is the same duration model [`run_noisy`] uses internally, exposed
+/// so that the parallel scheduler in `qucp-core` computes time overlaps
+/// consistent with the simulator's ALAP timing.
+///
+/// # Panics
+///
+/// Panics if a two-qubit gate does not land on a coupling link.
+pub fn gate_durations(circuit: &Circuit, layout: &[usize], device: &Device) -> Vec<f64> {
+    let cal = device.calibration();
+    circuit
+        .gates()
+        .iter()
+        .map(|g| {
+            let qs = g.qubits();
+            let qs = qs.as_slice();
+            match g {
+                Gate::Swap(..) => 3.0 * cal.cx_duration(Link::new(layout[qs[0]], layout[qs[1]])),
+                g if g.is_two_qubit() => cal.cx_duration(Link::new(layout[qs[0]], layout[qs[1]])),
+                _ => cal.sq_duration(),
+            }
+        })
+        .collect()
+}
+
+/// Noiseless output probabilities of a circuit (dense, little-endian).
+pub fn noiseless_probabilities(circuit: &Circuit) -> Vec<f64> {
+    Statevector::from_circuit(circuit).probabilities()
+}
+
+/// The deterministic noiseless outcome of a circuit, if it has one
+/// (probability above 0.999).
+pub fn ideal_outcome(circuit: &Circuit) -> Option<usize> {
+    let (idx, p) = Statevector::from_circuit(circuit).argmax();
+    (p > 0.999).then_some(idx)
+}
+
+/// Samples `shots` outcomes from the noiseless circuit.
+pub fn run_ideal(circuit: &Circuit, shots: usize, seed: u64) -> Counts {
+    let sv = Statevector::from_circuit(circuit);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut counts = Counts::new(circuit.width());
+    for _ in 0..shots {
+        counts.record(sv.sample(&mut rng));
+    }
+    counts
+}
+
+/// One scheduled noise opportunity in the trajectory event stream.
+///
+/// Shared (crate-internal) with the exact density-matrix evaluator in
+/// [`crate::density`], which walks the identical stream so that the two
+/// simulation paths implement the *same* noise model.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Event {
+    /// Apply gate `index`, then (maybe) its error.
+    Gate {
+        /// Gate position in the circuit.
+        index: usize,
+    },
+    /// Idle decoherence window on local qubit `q`.
+    Idle {
+        /// Local qubit that idles.
+        q: usize,
+        /// Pauli-twirled relaxation probability of the window.
+        relax_p: f64,
+        /// Pauli-twirled dephasing probability of the window.
+        dephase_p: f64,
+    },
+}
+
+/// The deterministic part of a noisy execution: the time-ordered event
+/// stream and the effective (crosstalk-scaled) per-gate error
+/// probabilities.
+#[derive(Debug, Clone)]
+pub(crate) struct TrajectoryPlan {
+    /// `(time, kind, event)` sorted by time with idles before gates.
+    pub events: Vec<(f64, u8, Event)>,
+    /// Per-gate error probabilities after scaling, capped at 0.75.
+    pub error_p: Vec<f64>,
+}
+
+/// Builds the shared trajectory plan (see [`TrajectoryPlan`]).
+pub(crate) fn build_plan(
+    circuit: &Circuit,
+    layout: &[usize],
+    device: &Device,
+    scaling: &NoiseScaling,
+    tail_idle: &[f64],
+    cfg: &ExecutionConfig,
+) -> Result<TrajectoryPlan, SimError> {
+    validate_layout(circuit, layout, device)?;
+    let cal = device.calibration();
+
+    // Per-gate durations and base error probabilities.
+    let mut durations = Vec::with_capacity(circuit.gate_count());
+    let mut base_error = Vec::with_capacity(circuit.gate_count());
+    for g in circuit.gates() {
+        let qs = g.qubits();
+        let qs = qs.as_slice();
+        match g {
+            Gate::Swap(..) => {
+                let link = Link::new(layout[qs[0]], layout[qs[1]]);
+                let e = cal.cx_error(link);
+                durations.push(3.0 * cal.cx_duration(link));
+                base_error.push(1.0 - (1.0 - e).powi(3));
+            }
+            g if g.is_two_qubit() => {
+                let link = Link::new(layout[qs[0]], layout[qs[1]]);
+                durations.push(cal.cx_duration(link));
+                base_error.push(cal.cx_error(link));
+            }
+            _ => {
+                durations.push(cal.sq_duration());
+                base_error.push(cal.sq_error(layout[qs[0]]));
+            }
+        }
+    }
+
+    // ALAP schedule (the paper's policy) and its idle windows.
+    let sched = schedule::alap_schedule_with(circuit, |i, _| durations[i]);
+
+    let mut events: Vec<(f64, u8, Event)> = Vec::new();
+    for e in sched.entries() {
+        events.push((e.start, 1, Event::Gate { index: e.gate_index }));
+    }
+    if cfg.idle_noise {
+        for (q, windows) in sched.idle_windows(circuit).into_iter().enumerate() {
+            let phys = layout[q];
+            let t1 = cal.t1(phys);
+            let t2 = cal.t2(phys);
+            for (a, b) in windows {
+                let tau = b - a;
+                let relax_p = 1.0 - (-tau / t1).exp();
+                let dephase_p = 1.0 - (-tau / t2).exp();
+                events.push((b, 0, Event::Idle { q, relax_p, dephase_p }));
+            }
+        }
+        for (q, &tau) in tail_idle.iter().enumerate() {
+            if tau > 0.0 && q < circuit.width() {
+                let phys = layout[q];
+                let relax_p = 1.0 - (-tau / cal.t1(phys)).exp();
+                let dephase_p = 1.0 - (-tau / cal.t2(phys)).exp();
+                events.push((sched.makespan() + tau, 0, Event::Idle { q, relax_p, dephase_p }));
+            }
+        }
+    }
+    events.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+
+    // Effective per-gate error probabilities with crosstalk scaling.
+    let error_p: Vec<f64> = base_error
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| {
+            if cfg.gate_noise {
+                (e * scaling.factor(i)).min(0.75)
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Ok(TrajectoryPlan { events, error_p })
+}
+
+/// Executes a mapped circuit on the device's noise model.
+///
+/// `layout[q]` gives the physical qubit carrying local qubit `q`; every
+/// two-qubit gate must land on a coupling link. `scaling` holds the
+/// crosstalk amplification of each gate (see module docs).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the layout is malformed or a two-qubit gate
+/// is not executable on the topology.
+pub fn run_noisy(
+    circuit: &Circuit,
+    layout: &[usize],
+    device: &Device,
+    scaling: &NoiseScaling,
+    cfg: &ExecutionConfig,
+) -> Result<Counts, SimError> {
+    run_noisy_with_idle(circuit, layout, device, scaling, &[], cfg)
+}
+
+/// [`run_noisy`] with additional trailing idle time per local qubit.
+///
+/// `tail_idle[q]` nanoseconds of extra waiting are appended to qubit `q`
+/// before readout (missing entries mean zero). The parallel executor uses
+/// this to charge the decoherence cost of gate-level crosstalk
+/// *serialization* (the CNA baseline delays conflicting CNOTs, which
+/// stretches the schedule).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the layout is malformed or a two-qubit gate
+/// is not executable on the topology.
+pub fn run_noisy_with_idle(
+    circuit: &Circuit,
+    layout: &[usize],
+    device: &Device,
+    scaling: &NoiseScaling,
+    tail_idle: &[f64],
+    cfg: &ExecutionConfig,
+) -> Result<Counts, SimError> {
+    let plan = build_plan(circuit, layout, device, scaling, tail_idle, cfg)?;
+    let TrajectoryPlan { events, error_p } = plan;
+    let cal = device.calibration();
+
+    let ideal = Statevector::from_circuit(circuit);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut counts = Counts::new(circuit.width());
+
+    for _ in 0..cfg.shots {
+        // Pre-draw the error pattern; error-free shots sample the cached
+        // ideal state directly (the dominant fast path).
+        let mut gate_errors: Vec<usize> = Vec::new();
+        let mut idle_errors: Vec<(usize, Pauli)> = Vec::new();
+        for (pos, &(_, _, ev)) in events.iter().enumerate() {
+            match ev {
+                Event::Gate { index } => {
+                    if cfg.gate_noise && error_p[index] > 0.0 && rng.gen_bool(error_p[index]) {
+                        gate_errors.push(pos);
+                    }
+                }
+                Event::Idle { relax_p, dephase_p, .. } => {
+                    // Pauli-twirled thermal noise: X/Y each with
+                    // p_relax/4, Z with p_dephase/2.
+                    let px = relax_p / 4.0;
+                    let py = relax_p / 4.0;
+                    let pz = dephase_p / 2.0;
+                    let u: f64 = rng.gen();
+                    if u < px {
+                        idle_errors.push((pos, Pauli::X));
+                    } else if u < px + py {
+                        idle_errors.push((pos, Pauli::Y));
+                    } else if u < px + py + pz {
+                        idle_errors.push((pos, Pauli::Z));
+                    }
+                }
+            }
+        }
+
+        let outcome = if gate_errors.is_empty() && idle_errors.is_empty() {
+            ideal.sample(&mut rng)
+        } else {
+            let mut sv = Statevector::zero_state(circuit.width());
+            let mut gate_err = gate_errors.iter().peekable();
+            let mut idle_err = idle_errors.iter().peekable();
+            for (pos, &(_, _, ev)) in events.iter().enumerate() {
+                match ev {
+                    Event::Gate { index } => {
+                        sv.apply(&circuit.gates()[index]);
+                        if gate_err.peek() == Some(&&pos) {
+                            gate_err.next();
+                            apply_gate_error(&mut sv, &circuit.gates()[index], &mut rng);
+                        }
+                    }
+                    Event::Idle { q, .. } => {
+                        if let Some(&&(epos, pauli)) = idle_err.peek() {
+                            if epos == pos {
+                                idle_err.next();
+                                apply_pauli(&mut sv, q, pauli);
+                            }
+                        }
+                    }
+                }
+            }
+            sv.sample(&mut rng)
+        };
+
+        let mut measured = outcome;
+        if cfg.readout_noise {
+            for (q, &phys) in layout.iter().enumerate() {
+                if rng.gen_bool(cal.readout_error(phys)) {
+                    measured ^= 1 << q;
+                }
+            }
+        }
+        counts.record(measured);
+    }
+    Ok(counts)
+}
+
+fn validate_layout(circuit: &Circuit, layout: &[usize], device: &Device) -> Result<(), SimError> {
+    if layout.len() != circuit.width() {
+        return Err(SimError::LayoutMismatch {
+            circuit: circuit.width(),
+            layout: layout.len(),
+        });
+    }
+    let n = device.num_qubits();
+    let mut seen = vec![false; n];
+    for &p in layout {
+        if p >= n {
+            return Err(SimError::PhysicalOutOfRange { physical: p, device: n });
+        }
+        if seen[p] {
+            return Err(SimError::LayoutNotInjective { physical: p });
+        }
+        seen[p] = true;
+    }
+    for (i, g) in circuit.gates().iter().enumerate() {
+        if g.is_two_qubit() {
+            let qs = g.qubits();
+            let qs = qs.as_slice();
+            let (a, b) = (layout[qs[0]], layout[qs[1]]);
+            if !device.topology().has_link(a, b) {
+                return Err(SimError::NotCoupled { gate_index: i, a, b });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A single-qubit Pauli error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pauli {
+    X,
+    Y,
+    Z,
+}
+
+fn random_pauli(rng: &mut impl Rng) -> Pauli {
+    match rng.gen_range(0..3) {
+        0 => Pauli::X,
+        1 => Pauli::Y,
+        _ => Pauli::Z,
+    }
+}
+
+fn apply_pauli(sv: &mut Statevector, q: usize, pauli: Pauli) {
+    let gate = match pauli {
+        Pauli::X => Gate::X(q),
+        Pauli::Y => Gate::Y(q),
+        Pauli::Z => Gate::Z(q),
+    };
+    sv.apply(&gate);
+}
+
+/// Applies a depolarizing-style error after `gate`: a uniformly random
+/// non-identity Pauli on a one-qubit gate's operand, or a uniformly
+/// random non-identity two-qubit Pauli on both operands.
+fn apply_gate_error(sv: &mut Statevector, gate: &Gate, rng: &mut impl Rng) {
+    let qs = gate.qubits();
+    let qs = qs.as_slice();
+    if qs.len() == 1 {
+        apply_pauli(sv, qs[0], random_pauli(rng));
+    } else {
+        // Uniform over the 15 non-identity two-qubit Paulis.
+        let k = rng.gen_range(1..16);
+        let (a, b) = (k / 4, k % 4);
+        if a > 0 {
+            apply_pauli(sv, qs[0], int_pauli(a));
+        }
+        if b > 0 {
+            apply_pauli(sv, qs[1], int_pauli(b));
+        }
+    }
+}
+
+fn int_pauli(i: usize) -> Pauli {
+    match i {
+        1 => Pauli::X,
+        2 => Pauli::Y,
+        _ => Pauli::Z,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_device::{Calibration, CrosstalkModel, Topology};
+
+    fn line_device(n: usize, cx_err: f64, ro_err: f64) -> Device {
+        let t = Topology::line(n);
+        let cal = Calibration::uniform(&t, cx_err, 1e-4, ro_err);
+        Device::new("line", t, cal, CrosstalkModel::none())
+    }
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        c
+    }
+
+    #[test]
+    fn ideal_run_of_deterministic_circuit() {
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let counts = run_ideal(&c, 100, 7);
+        assert_eq!(counts.count(0b11), 100);
+        assert_eq!(ideal_outcome(&c), Some(0b11));
+    }
+
+    #[test]
+    fn bell_has_no_deterministic_outcome() {
+        assert_eq!(ideal_outcome(&bell()), None);
+    }
+
+    #[test]
+    fn noiseless_probabilities_of_bell() {
+        let p = noiseless_probabilities(&bell());
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_noise_device_reproduces_ideal() {
+        let dev = line_device(2, 0.0, 0.0);
+        let mut cfg = ExecutionConfig::default().with_shots(2000).with_seed(5);
+        cfg.idle_noise = false;
+        let c = {
+            let mut c = Circuit::new(2);
+            c.x(0).cx(0, 1);
+            c
+        };
+        let counts = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        assert_eq!(counts.count(0b11), 2000);
+    }
+
+    #[test]
+    fn gate_noise_reduces_pst() {
+        let noisy = line_device(2, 0.10, 0.0);
+        let cfg = ExecutionConfig {
+            shots: 4000,
+            seed: 11,
+            gate_noise: true,
+            readout_noise: false,
+            idle_noise: false,
+        };
+        let c = {
+            let mut c = Circuit::new(2);
+            c.x(0).cx(0, 1);
+            c
+        };
+        let counts = run_noisy(&c, &[0, 1], &noisy, &NoiseScaling::uniform(2), &cfg).unwrap();
+        let pst = counts.probability(0b11);
+        assert!(pst < 0.99, "pst = {pst}");
+        assert!(pst > 0.80, "pst = {pst}");
+    }
+
+    #[test]
+    fn readout_noise_flips_bits() {
+        let dev = line_device(1, 0.0, 0.25);
+        let cfg = ExecutionConfig {
+            shots: 8000,
+            seed: 3,
+            gate_noise: false,
+            readout_noise: true,
+            idle_noise: false,
+        };
+        let c = Circuit::new(1); // |0>
+        let counts = run_noisy(&c, &[0], &dev, &NoiseScaling::uniform(0), &cfg).unwrap();
+        let frac_one = counts.probability(1);
+        assert!((frac_one - 0.25).abs() < 0.03, "frac = {frac_one}");
+    }
+
+    #[test]
+    fn scaling_amplifies_errors() {
+        let dev = line_device(2, 0.05, 0.0);
+        let cfg = ExecutionConfig {
+            shots: 6000,
+            seed: 17,
+            gate_noise: true,
+            readout_noise: false,
+            idle_noise: false,
+        };
+        let c = {
+            let mut c = Circuit::new(2);
+            c.x(0);
+            for _ in 0..5 {
+                c.cx(0, 1).cx(0, 1);
+            }
+            c.cx(0, 1);
+            c
+        };
+        let plain = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(c.gate_count()), &cfg)
+            .unwrap()
+            .probability(0b11);
+        let mut scaled = NoiseScaling::uniform(c.gate_count());
+        for i in 0..c.gate_count() {
+            scaled.amplify(i, 4.0);
+        }
+        let worse = run_noisy(&c, &[0, 1], &dev, &scaled, &cfg)
+            .unwrap()
+            .probability(0b11);
+        assert!(worse < plain, "scaled {worse} should be below plain {plain}");
+    }
+
+    #[test]
+    fn idle_noise_hurts_staggered_circuits() {
+        // A circuit where qubit 1 idles a long time between two CNOTs.
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        for _ in 0..40 {
+            c.h(0).h(0);
+        }
+        c.cx(0, 1);
+        let dev = {
+            let t = Topology::line(2);
+            // Short T1/T2 to make idling visible.
+            let cal = Calibration::uniform(&t, 0.0, 0.0, 0.0);
+            Device::new("line", t, cal, CrosstalkModel::none())
+        };
+        let with_idle = ExecutionConfig {
+            shots: 2000,
+            seed: 23,
+            gate_noise: false,
+            readout_noise: false,
+            idle_noise: true,
+        };
+        let without_idle = ExecutionConfig {
+            idle_noise: false,
+            ..with_idle
+        };
+        let a = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(c.gate_count()), &with_idle)
+            .unwrap()
+            .probability(0b01);
+        let b = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(c.gate_count()), &without_idle)
+            .unwrap()
+            .probability(0b01);
+        // The target state is |01⟩ (x then two cx cancel); idle noise can
+        // only reduce its probability.
+        assert!(a <= b + 1e-9, "idle {a} vs no idle {b}");
+    }
+
+    #[test]
+    fn layout_validation_errors() {
+        let dev = line_device(3, 0.01, 0.01);
+        let c = bell();
+        let cfg = ExecutionConfig::default().with_shots(1);
+        // Wrong length.
+        let e = run_noisy(&c, &[0], &dev, &NoiseScaling::uniform(2), &cfg).unwrap_err();
+        assert!(matches!(e, SimError::LayoutMismatch { .. }));
+        // Duplicate physical.
+        let e = run_noisy(&c, &[1, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap_err();
+        assert!(matches!(e, SimError::LayoutNotInjective { physical: 1 }));
+        // Out of range.
+        let e = run_noisy(&c, &[0, 9], &dev, &NoiseScaling::uniform(2), &cfg).unwrap_err();
+        assert!(matches!(e, SimError::PhysicalOutOfRange { .. }));
+        // Uncoupled 2q gate.
+        let e = run_noisy(&c, &[0, 2], &dev, &NoiseScaling::uniform(2), &cfg).unwrap_err();
+        assert!(matches!(e, SimError::NotCoupled { gate_index: 1, .. }));
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let dev = line_device(2, 0.05, 0.02);
+        let cfg = ExecutionConfig::default().with_shots(500);
+        let a = run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        let b = run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_scaling_accessors() {
+        let mut s = NoiseScaling::uniform(3);
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(99), 1.0);
+        s.set(1, 2.0);
+        s.amplify(1, 3.0);
+        assert_eq!(s.factor(1), 6.0);
+        assert_eq!(s.max_factor(), 6.0);
+    }
+
+    #[test]
+    fn sim_error_display() {
+        let e = SimError::NotCoupled { gate_index: 4, a: 1, b: 5 };
+        assert!(e.to_string().contains("uncoupled"));
+        let e = SimError::LayoutMismatch { circuit: 2, layout: 3 };
+        assert!(e.to_string().contains("does not match"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Output-fidelity metrics of the paper: PST (Eq. 2), Jensen-Shannon
+//! divergence (Eq. 3), Kullback-Leibler divergence (Eq. 4), plus total
+//! variation distance and Hellinger fidelity used in ablations.
+
+use crate::counts::Counts;
+
+/// Probability of a Successful Trial (paper Eq. 2): the fraction of shots
+/// that produced the expected bitstring of a deterministic circuit.
+pub fn pst(counts: &Counts, expected: usize) -> f64 {
+    counts.probability(expected)
+}
+
+/// Kullback-Leibler divergence `D(P‖Q)` (paper Eq. 4) in bits.
+///
+/// Terms with `p = 0` contribute zero; terms with `p > 0, q = 0` would be
+/// infinite, which is why the paper prefers JSD — here they saturate to a
+/// large finite value (`1e9`) to stay orderable.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn kl_divergence(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let mut acc = 0.0;
+    for (&pi, &qi) in p.iter().zip(q) {
+        if pi > 0.0 {
+            if qi > 0.0 {
+                acc += pi * (pi / qi).log2();
+            } else {
+                return 1e9;
+            }
+        }
+    }
+    acc
+}
+
+/// Jensen-Shannon divergence (paper Eq. 3) in bits: always finite,
+/// symmetric, and bounded by 1.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn jsd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let m: Vec<f64> = p.iter().zip(q).map(|(&a, &b)| 0.5 * (a + b)).collect();
+    0.5 * kl_divergence(p, &m) + 0.5 * kl_divergence(q, &m)
+}
+
+/// Total variation distance `½ Σ |p - q|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn tvd(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    0.5 * p.iter().zip(q).map(|(&a, &b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Hellinger fidelity `(Σ √(p·q))²` — 1 for identical distributions.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn hellinger_fidelity(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let bc: f64 = p.iter().zip(q).map(|(&a, &b)| (a * b).sqrt()).sum();
+    bc * bc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pst_from_counts() {
+        let mut c = Counts::new(2);
+        c.record(0b11);
+        c.record(0b11);
+        c.record(0b01);
+        c.record(0b00);
+        assert!((pst(&c, 0b11) - 0.5).abs() < 1e-12);
+        assert_eq!(pst(&c, 0b10), 0.0);
+    }
+
+    #[test]
+    fn kl_zero_for_identical() {
+        let p = [0.25, 0.25, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kl_positive_and_asymmetric() {
+        let p = [0.9, 0.1];
+        let q = [0.5, 0.5];
+        let d1 = kl_divergence(&p, &q);
+        let d2 = kl_divergence(&q, &p);
+        assert!(d1 > 0.0);
+        assert!(d2 > 0.0);
+        assert!((d1 - d2).abs() > 1e-6);
+    }
+
+    #[test]
+    fn kl_saturates_on_missing_support() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert_eq!(kl_divergence(&p, &q), 1e9);
+    }
+
+    #[test]
+    fn jsd_bounds() {
+        // Identical → 0.
+        let p = [0.5, 0.5];
+        assert!(jsd(&p, &p).abs() < 1e-15);
+        // Disjoint support → 1 bit.
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!((jsd(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jsd_symmetric() {
+        let p = [0.7, 0.2, 0.1, 0.0];
+        let q = [0.25, 0.25, 0.25, 0.25];
+        assert!((jsd(&p, &q) - jsd(&q, &p)).abs() < 1e-15);
+        let v = jsd(&p, &q);
+        assert!(v > 0.0 && v < 1.0);
+    }
+
+    #[test]
+    fn tvd_properties() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((tvd(&p, &q) - 1.0).abs() < 1e-15);
+        assert!(tvd(&p, &p).abs() < 1e-15);
+        let r = [0.5, 0.5];
+        assert!((tvd(&p, &r) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hellinger_bounds() {
+        let p = [0.5, 0.5];
+        assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+        let a = [1.0, 0.0];
+        let b = [0.0, 1.0];
+        assert!(hellinger_fidelity(&a, &b).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        jsd(&[0.5, 0.5], &[1.0]);
+    }
+}

@@ -1,0 +1,343 @@
+//! Dense statevector with gate kernels.
+
+use qucp_circuit::{Circuit, Gate};
+use rand::Rng;
+
+use crate::math::{Complex, Mat2};
+use crate::unitaries::single_qubit_matrix;
+
+/// A dense statevector on `n` qubits.
+///
+/// Basis-state indices are little-endian: bit `q` of the index is the
+/// value of qubit `q`, so `|q1 q0⟩ = |10⟩` is index 2.
+///
+/// ```
+/// use qucp_sim::Statevector;
+/// use qucp_circuit::Circuit;
+///
+/// let mut bell = Circuit::new(2);
+/// bell.h(0).cx(0, 1);
+/// let sv = Statevector::from_circuit(&bell);
+/// let p = sv.probabilities();
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// assert!((p[3] - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statevector {
+    n: usize,
+    amps: Vec<Complex>,
+}
+
+impl Statevector {
+    /// The all-zeros state `|0…0⟩` on `n` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24` (dense simulation would exceed memory; parallel
+    /// programs are simulated per-partition, so this bound is never hit in
+    /// practice).
+    pub fn zero_state(n: usize) -> Self {
+        assert!(n <= 24, "statevector limited to 24 qubits, got {n}");
+        let mut amps = vec![Complex::zero(); 1 << n];
+        amps[0] = Complex::one();
+        Statevector { n, amps }
+    }
+
+    /// Runs `circuit` from `|0…0⟩` and returns the final state.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut sv = Statevector::zero_state(circuit.width());
+        for g in circuit.gates() {
+            sv.apply(g);
+        }
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes (little-endian basis ordering).
+    pub fn amplitudes(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Applies any supported gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate's qubits are out of range.
+    pub fn apply(&mut self, gate: &Gate) {
+        match *gate {
+            Gate::Cx(c, t) => self.apply_cx(c, t),
+            Gate::Cz(a, b) => self.apply_cz(a, b),
+            Gate::Cp(a, b, theta) => self.apply_cp(a, b, theta),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            ref g => {
+                let q = g.qubits().as_slice()[0];
+                self.apply_single(q, &single_qubit_matrix(g));
+            }
+        }
+    }
+
+    /// Applies a 2×2 unitary to qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn apply_single(&mut self, q: usize, m: &Mat2) {
+        assert!(q < self.n, "qubit {q} out of range");
+        let bit = 1usize << q;
+        for base in 0..self.amps.len() {
+            if base & bit == 0 {
+                let a = self.amps[base];
+                let b = self.amps[base | bit];
+                self.amps[base] = m[0][0] * a + m[0][1] * b;
+                self.amps[base | bit] = m[1][0] * a + m[1][1] * b;
+            }
+        }
+    }
+
+    /// Applies CNOT with the given control and target.
+    pub fn apply_cx(&mut self, control: usize, target: usize) {
+        assert!(control < self.n && target < self.n && control != target);
+        let cb = 1usize << control;
+        let tb = 1usize << target;
+        for idx in 0..self.amps.len() {
+            if idx & cb != 0 && idx & tb == 0 {
+                self.amps.swap(idx, idx | tb);
+            }
+        }
+    }
+
+    /// Applies CZ.
+    pub fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        let ab = 1usize << a;
+        let bb = 1usize << b;
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            if idx & ab != 0 && idx & bb != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    /// Applies a controlled phase of angle `theta`.
+    pub fn apply_cp(&mut self, a: usize, b: usize, theta: f64) {
+        assert!(a < self.n && b < self.n && a != b);
+        let phase = Complex::cis(theta);
+        let ab = 1usize << a;
+        let bb = 1usize << b;
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            if idx & ab != 0 && idx & bb != 0 {
+                *amp *= phase;
+            }
+        }
+    }
+
+    /// Applies SWAP.
+    pub fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n && b < self.n && a != b);
+        let ab = 1usize << a;
+        let bb = 1usize << b;
+        for idx in 0..self.amps.len() {
+            if idx & ab != 0 && idx & bb == 0 {
+                self.amps.swap(idx, idx ^ ab ^ bb);
+            }
+        }
+    }
+
+    /// Measurement probabilities of every basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Squared norm (should be 1 for a valid state).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Samples one measurement outcome (a basis-state index).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (idx, amp) in self.amps.iter().enumerate() {
+            acc += amp.norm_sqr();
+            if u < acc {
+                return idx;
+            }
+        }
+        self.amps.len() - 1
+    }
+
+    /// The most probable outcome and its probability.
+    pub fn argmax(&self) -> (usize, f64) {
+        let mut best = (0, 0.0);
+        for (idx, amp) in self.amps.iter().enumerate() {
+            let p = amp.norm_sqr();
+            if p > best.1 {
+                best = (idx, p);
+            }
+        }
+        best
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` with another state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn fidelity(&self, other: &Statevector) -> f64 {
+        assert_eq!(self.n, other.n, "state dimension mismatch");
+        let mut ip = Complex::zero();
+        for (a, b) in self.amps.iter().zip(&other.amps) {
+            ip += a.conj() * *b;
+        }
+        ip.norm_sqr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_state_initialization() {
+        let sv = Statevector::zero_state(3);
+        assert_eq!(sv.num_qubits(), 3);
+        assert_eq!(sv.amplitudes().len(), 8);
+        assert!((sv.probabilities()[0] - 1.0).abs() < 1e-15);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn x_flips_bit() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::X(1));
+        let p = sv.probabilities();
+        assert!((p[2] - 1.0).abs() < 1e-15); // |10⟩ little-endian: qubit1=1
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = Statevector::from_circuit(&c);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!(p[1].abs() < 1e-12);
+        assert!(p[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn cx_truth_table() {
+        // |control=1, target=0⟩ → |11⟩
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::X(0));
+        sv.apply(&Gate::Cx(0, 1));
+        assert_eq!(sv.argmax().0, 0b11);
+        // control=0 leaves target alone
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::Cx(0, 1));
+        assert_eq!(sv.argmax().0, 0);
+    }
+
+    #[test]
+    fn swap_exchanges_bits() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::X(0));
+        sv.apply(&Gate::Swap(0, 1));
+        assert_eq!(sv.argmax().0, 0b10);
+    }
+
+    #[test]
+    fn cz_phases_only_11() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply(&Gate::H(0));
+        sv.apply(&Gate::H(1));
+        sv.apply(&Gate::Cz(0, 1));
+        let amps = sv.amplitudes();
+        assert!(amps[3].approx_eq(Complex::real(-0.5), 1e-12));
+        assert!(amps[0].approx_eq(Complex::real(0.5), 1e-12));
+    }
+
+    #[test]
+    fn cp_matches_cz_at_pi() {
+        let mut a = Statevector::zero_state(2);
+        a.apply(&Gate::H(0));
+        a.apply(&Gate::H(1));
+        a.apply(&Gate::Cz(0, 1));
+        let mut b = Statevector::zero_state(2);
+        b.apply(&Gate::H(0));
+        b.apply(&Gate::H(1));
+        b.apply(&Gate::Cp(0, 1, std::f64::consts::PI));
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_inverse_returns_to_zero() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).ry(2, 0.7).cz(0, 2).rz(1, -0.3);
+        let composed = c.compose(&c.inverse()).unwrap();
+        let sv = Statevector::from_circuit(&composed);
+        assert!((sv.probabilities()[0] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .cx(0, 1)
+            .ry(2, 1.1)
+            .swap(1, 3)
+            .cp(0, 2, 0.4)
+            .u(3, 0.3, 0.2, 0.1)
+            .sx(1);
+        let sv = Statevector::from_circuit(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let sv = Statevector::from_circuit(&c);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut ones = 0;
+        let shots = 20_000;
+        for _ in 0..shots {
+            ones += sv.sample(&mut rng);
+        }
+        let frac = ones as f64 / shots as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states() {
+        let mut a = Statevector::zero_state(1);
+        let mut b = Statevector::zero_state(1);
+        b.apply(&Gate::X(0));
+        assert!(a.fidelity(&b) < 1e-15);
+        a.apply(&Gate::X(0));
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn apply_out_of_range_panics() {
+        let mut sv = Statevector::zero_state(2);
+        sv.apply_single(2, &crate::math::mat2_identity());
+    }
+
+    #[test]
+    fn ghz_endpoints() {
+        let c = qucp_circuit::library::ghz(5);
+        let sv = Statevector::from_circuit(&c);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[31] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Unitary matrices of the gate set.
+
+use qucp_circuit::Gate;
+
+use crate::math::{Complex, Mat2};
+
+/// The 2×2 unitary of a one-qubit gate.
+///
+/// # Panics
+///
+/// Panics if `gate` is a two-qubit gate (those are applied with the
+/// specialized statevector kernels).
+pub fn single_qubit_matrix(gate: &Gate) -> Mat2 {
+    use std::f64::consts::FRAC_1_SQRT_2 as INV_SQRT2;
+    let z = Complex::zero();
+    let o = Complex::one();
+    let i = Complex::i();
+    match *gate {
+        Gate::I(_) => [[o, z], [z, o]],
+        Gate::X(_) => [[z, o], [o, z]],
+        Gate::Y(_) => [[z, -i], [i, z]],
+        Gate::Z(_) => [[o, z], [z, -o]],
+        Gate::H(_) => [
+            [Complex::real(INV_SQRT2), Complex::real(INV_SQRT2)],
+            [Complex::real(INV_SQRT2), Complex::real(-INV_SQRT2)],
+        ],
+        Gate::S(_) => [[o, z], [z, i]],
+        Gate::Sdg(_) => [[o, z], [z, -i]],
+        Gate::T(_) => [[o, z], [z, Complex::cis(std::f64::consts::FRAC_PI_4)]],
+        Gate::Tdg(_) => [[o, z], [z, Complex::cis(-std::f64::consts::FRAC_PI_4)]],
+        Gate::Sx(_) => {
+            let a = Complex::new(0.5, 0.5);
+            let b = Complex::new(0.5, -0.5);
+            [[a, b], [b, a]]
+        }
+        Gate::Sxdg(_) => {
+            let a = Complex::new(0.5, -0.5);
+            let b = Complex::new(0.5, 0.5);
+            [[a, b], [b, a]]
+        }
+        Gate::Rx(_, t) => {
+            let c = Complex::real((t / 2.0).cos());
+            let s = Complex::new(0.0, -(t / 2.0).sin());
+            [[c, s], [s, c]]
+        }
+        Gate::Ry(_, t) => {
+            let c = Complex::real((t / 2.0).cos());
+            let s = (t / 2.0).sin();
+            [[c, Complex::real(-s)], [Complex::real(s), c]]
+        }
+        Gate::Rz(_, t) => [[Complex::cis(-t / 2.0), z], [z, Complex::cis(t / 2.0)]],
+        Gate::P(_, t) => [[o, z], [z, Complex::cis(t)]],
+        Gate::U(_, t, p, l) => {
+            let c = (t / 2.0).cos();
+            let s = (t / 2.0).sin();
+            [
+                [Complex::real(c), -(Complex::cis(l).scale(s))],
+                [Complex::cis(p).scale(s), Complex::cis(p + l).scale(c)],
+            ]
+        }
+        _ => panic!("{gate:?} is not a one-qubit gate"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::{mat2_dagger, mat2_is_unitary, mat2_mul};
+
+    fn all_single_qubit_gates() -> Vec<Gate> {
+        vec![
+            Gate::I(0),
+            Gate::X(0),
+            Gate::Y(0),
+            Gate::Z(0),
+            Gate::H(0),
+            Gate::S(0),
+            Gate::Sdg(0),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::Sx(0),
+            Gate::Sxdg(0),
+            Gate::Rx(0, 0.37),
+            Gate::Ry(0, -1.2),
+            Gate::Rz(0, 2.1),
+            Gate::P(0, 0.9),
+            Gate::U(0, 0.4, 1.3, -0.6),
+        ]
+    }
+
+    #[test]
+    fn all_matrices_unitary() {
+        for g in all_single_qubit_gates() {
+            assert!(
+                mat2_is_unitary(&single_qubit_matrix(&g), 1e-12),
+                "{g:?} not unitary"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_matrix_matches_symbolic_inverse() {
+        for g in all_single_qubit_gates() {
+            let m = single_qubit_matrix(&g);
+            let mi = single_qubit_matrix(&g.inverse());
+            let prod = mat2_mul(&m, &mi);
+            // Product should be the identity (these gates have matched
+            // global-phase conventions for inverses).
+            assert!(prod[0][0].approx_eq(Complex::one(), 1e-12), "{g:?}");
+            assert!(prod[0][1].approx_eq(Complex::zero(), 1e-12), "{g:?}");
+            assert!(prod[1][0].approx_eq(Complex::zero(), 1e-12), "{g:?}");
+            assert!(prod[1][1].approx_eq(Complex::one(), 1e-12), "{g:?}");
+        }
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let sx = single_qubit_matrix(&Gate::Sx(0));
+        let x = single_qubit_matrix(&Gate::X(0));
+        let prod = mat2_mul(&sx, &sx);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(prod[r][c].approx_eq(x[r][c], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn h_is_self_adjoint() {
+        let h = single_qubit_matrix(&Gate::H(0));
+        let hd = mat2_dagger(&h);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(h[r][c].approx_eq(hd[r][c], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn u_with_euler_angles_matches_named_gates() {
+        use std::f64::consts::PI;
+        // U(π, 0, π) = X up to global phase; compare |entry| magnitudes.
+        let u = single_qubit_matrix(&Gate::U(0, PI, 0.0, PI));
+        let x = single_qubit_matrix(&Gate::X(0));
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!((u[r][c].abs() - x[r][c].abs()).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a one-qubit gate")]
+    fn two_qubit_gate_panics() {
+        single_qubit_matrix(&Gate::Cx(0, 1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Verifies that the Table II benchmark library has the output structure
+//! the paper's "Result" column claims, using the noiseless simulator.
+
+use qucp_circuit::library::{self, ResultKind};
+use qucp_sim::{ideal_outcome, noiseless_probabilities};
+
+#[test]
+fn deterministic_benchmarks_have_unit_probability_outcome() {
+    for b in library::all() {
+        let c = b.circuit();
+        match b.result {
+            ResultKind::Deterministic => {
+                let outcome = ideal_outcome(&c);
+                assert!(
+                    outcome.is_some(),
+                    "{} is classified deterministic but has no unit-probability outcome",
+                    b.name
+                );
+            }
+            ResultKind::Distribution => {
+                assert!(
+                    ideal_outcome(&c).is_none(),
+                    "{} is classified as a distribution but is deterministic",
+                    b.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn adder_outputs_sum_and_carry() {
+    // Inputs a = b = 1 (x on q0, q1). The carry network leaves
+    // q0 = a = 1, q1 = a ⊕ b = 0, q2 = sum-propagate = 0 and sets the
+    // carry q3 = maj = 1: outcome 0b1001.
+    let c = library::by_name("adder").unwrap().circuit();
+    let outcome = ideal_outcome(&c).unwrap();
+    assert_eq!(outcome, 0b1001);
+    assert_eq!(outcome >> 3 & 1, 1, "carry set");
+    assert_eq!(outcome >> 2 & 1, 0, "sum a xor b = 0");
+}
+
+#[test]
+fn fredkin_swaps_targets() {
+    // Input |110⟩ (q0 = control = 1): targets swap, giving q1 = 0, q2 = 1.
+    let c = library::by_name("fredkin").unwrap().circuit();
+    let outcome = ideal_outcome(&c).unwrap();
+    assert_eq!(outcome, 0b101);
+}
+
+#[test]
+fn distribution_benchmarks_have_spread_support() {
+    for b in library::all() {
+        if b.result == ResultKind::Distribution {
+            let p = noiseless_probabilities(&b.circuit());
+            let support = p.iter().filter(|&&x| x > 1e-6).count();
+            assert!(
+                support >= 3,
+                "{} should produce a spread distribution, support = {support}",
+                b.name
+            );
+        }
+    }
+}
+
+#[test]
+fn probabilities_normalized_for_all_benchmarks() {
+    for b in library::all() {
+        let p = noiseless_probabilities(&b.circuit());
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "{} norm {total}", b.name);
+    }
+}
+
+#[test]
+fn w_state_is_uniform_over_one_hot_strings() {
+    for n in 2..=5 {
+        let p = noiseless_probabilities(&library::w_state(n));
+        for (idx, &prob) in p.iter().enumerate() {
+            if idx.count_ones() == 1 {
+                assert!(
+                    (prob - 1.0 / n as f64).abs() < 1e-9,
+                    "n={n}, idx={idx:b}: {prob}"
+                );
+            } else {
+                assert!(prob < 1e-9, "n={n}, idx={idx:b}: {prob}");
+            }
+        }
+    }
+}
+
+#[test]
+fn bernstein_vazirani_recovers_secret() {
+    for secret in [0b0000, 0b1011, 0b1111, 0b0100] {
+        let c = library::bernstein_vazirani(4, secret);
+        let outcome = ideal_outcome(&c).expect("BV is deterministic");
+        // Data qubits hold the secret; the ancilla returns to |0⟩.
+        assert_eq!(outcome & 0b1111, secret, "secret {secret:04b}");
+        assert_eq!(outcome >> 4, 0, "ancilla clean for secret {secret:04b}");
+    }
+}
+
+#[test]
+fn qaoa_ring_distribution_is_symmetric_under_bit_flip() {
+    // MaxCut on a ring is invariant under global bit flip: the QAOA state
+    // assigns equal probability to each cut and its complement.
+    let c = library::qaoa_maxcut_ring(4, 0.4, 0.9);
+    let p = noiseless_probabilities(&c);
+    let mask = (1 << 4) - 1;
+    for idx in 0..p.len() {
+        assert!(
+            (p[idx] - p[idx ^ mask]).abs() < 1e-9,
+            "asymmetry at {idx:04b}"
+        );
+    }
+}

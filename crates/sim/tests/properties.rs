@@ -1,0 +1,168 @@
+//! Property-based tests for the statevector engine, counts, and metrics.
+
+use proptest::prelude::*;
+use qucp_circuit::{Circuit, Gate};
+use qucp_device::{Calibration, CrosstalkModel, Device, Topology};
+use qucp_sim::{
+    metrics, noiseless_probabilities, run_noisy, Counts, ExecutionConfig, NoiseScaling,
+    Statevector,
+};
+
+fn arb_gate(width: usize) -> impl Strategy<Value = Gate> {
+    let q = 0..width;
+    let q2 = (0..width, 0..width).prop_filter("distinct", |(a, b)| a != b);
+    let angle = -3.2..3.2f64;
+    prop_oneof![
+        q.clone().prop_map(Gate::X),
+        q.clone().prop_map(Gate::H),
+        q.clone().prop_map(Gate::S),
+        q.clone().prop_map(Gate::T),
+        (q.clone(), angle.clone()).prop_map(|(q, a)| Gate::Ry(q, a)),
+        (q, angle.clone()).prop_map(|(q, a)| Gate::Rz(q, a)),
+        q2.clone().prop_map(|(a, b)| Gate::Cx(a, b)),
+        q2.clone().prop_map(|(a, b)| Gate::Cz(a, b)),
+        (q2, angle).prop_map(|((a, b), t)| Gate::Cp(a, b, t)),
+    ]
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    (2usize..=4).prop_flat_map(|width| {
+        proptest::collection::vec(arb_gate(width), 0..30).prop_map(move |gates| {
+            let mut c = Circuit::new(width);
+            for g in gates {
+                c.push(g);
+            }
+            c
+        })
+    })
+}
+
+/// Distribution strategy: a normalized vector of length 4.
+fn arb_distribution() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..1.0f64, 4).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        if s == 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in &mut v {
+                *x /= s;
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn state_norm_preserved(c in arb_circuit()) {
+        let sv = Statevector::from_circuit(&c);
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_circuit_restores_zero_state(c in arb_circuit()) {
+        let round = c.compose(&c.inverse()).unwrap();
+        let sv = Statevector::from_circuit(&round);
+        prop_assert!((sv.probabilities()[0] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one(c in arb_circuit()) {
+        let p = noiseless_probabilities(&c);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jsd_bounds_hold(p in arb_distribution(), q in arb_distribution()) {
+        let v = metrics::jsd(&p, &q);
+        prop_assert!(v >= -1e-12, "jsd = {v}");
+        prop_assert!(v <= 1.0 + 1e-12, "jsd = {v}");
+        // Symmetry.
+        prop_assert!((v - metrics::jsd(&q, &p)).abs() < 1e-12);
+        // Identity of indiscernibles (approximately).
+        prop_assert!(metrics::jsd(&p, &p).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tvd_and_hellinger_bounds(p in arb_distribution(), q in arb_distribution()) {
+        let t = metrics::tvd(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+        let h = metrics::hellinger_fidelity(&p, &q);
+        prop_assert!((-1e-12..=1.0 + 1e-9).contains(&h));
+    }
+
+    #[test]
+    fn kl_nonnegative(p in arb_distribution(), q in arb_distribution()) {
+        // Gibbs' inequality (when finite).
+        let d = metrics::kl_divergence(&p, &q);
+        prop_assert!(d >= -1e-9);
+    }
+
+    #[test]
+    fn counts_distribution_matches_records(outcomes in proptest::collection::vec(0usize..8, 1..200)) {
+        let mut counts = Counts::new(3);
+        for &o in &outcomes {
+            counts.record(o);
+        }
+        prop_assert_eq!(counts.shots(), outcomes.len());
+        let d = counts.distribution();
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        for idx in 0..8 {
+            let expected = outcomes.iter().filter(|&&o| o == idx).count();
+            prop_assert_eq!(counts.count(idx), expected);
+        }
+    }
+
+    #[test]
+    fn expectation_z_within_bounds(outcomes in proptest::collection::vec(0usize..16, 1..200), mask in 0usize..16) {
+        let mut counts = Counts::new(4);
+        for &o in &outcomes {
+            counts.record(o);
+        }
+        let e = counts.expectation_z(mask);
+        prop_assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&e));
+    }
+
+    #[test]
+    fn noisy_run_records_all_shots(seed in 0u64..50) {
+        let t = Topology::line(3);
+        let cal = Calibration::uniform(&t, 0.03, 3e-4, 0.02);
+        let dev = Device::new("line", t, cal, CrosstalkModel::none());
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let cfg = ExecutionConfig::default().with_shots(256).with_seed(seed);
+        let counts = run_noisy(&c, &[0, 1, 2], &dev, &NoiseScaling::uniform(3), &cfg).unwrap();
+        prop_assert_eq!(counts.shots(), 256);
+        prop_assert_eq!(counts.width(), 3);
+    }
+
+    #[test]
+    fn stronger_noise_never_helps_ghz_pst(scale in 1.0..6.0f64) {
+        let t = Topology::line(3);
+        let cal = Calibration::uniform(&t, 0.02, 1e-4, 0.0);
+        let dev = Device::new("line", t, cal, CrosstalkModel::none());
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 1).cx(1, 2);
+        let cfg = ExecutionConfig {
+            shots: 3000,
+            seed: 99,
+            gate_noise: true,
+            readout_noise: false,
+            idle_noise: false,
+        };
+        let base = run_noisy(&c, &[0, 1, 2], &dev, &NoiseScaling::uniform(3), &cfg)
+            .unwrap()
+            .probability(0b111);
+        let mut s = NoiseScaling::uniform(3);
+        for i in 0..3 {
+            s.amplify(i, scale);
+        }
+        let scaled = run_noisy(&c, &[0, 1, 2], &dev, &s, &cfg).unwrap().probability(0b111);
+        // Allow sampling slack: scaled error probability must not beat the
+        // baseline by more than statistical noise.
+        prop_assert!(scaled <= base + 0.03, "base {base}, scaled {scaled}");
+    }
+}

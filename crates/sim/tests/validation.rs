@@ -1,0 +1,94 @@
+//! Validation of the Monte-Carlo trajectory sampler against the exact
+//! density-matrix channel evaluation: both walk the same event stream,
+//! so sampled counts must converge to the exact distribution.
+
+use qucp_circuit::Circuit;
+use qucp_device::{Calibration, CrosstalkModel, Device, Topology};
+use qucp_sim::{exact_probabilities, metrics, run_noisy, ExecutionConfig, NoiseScaling};
+
+fn device(n: usize, cx: f64, ro: f64) -> Device {
+    let t = Topology::line(n);
+    let cal = Calibration::uniform(&t, cx, 5e-4, ro);
+    Device::new("val", t, cal, CrosstalkModel::none())
+}
+
+fn tvd_between(circuit: &Circuit, dev: &Device, scaling: &NoiseScaling, shots: usize) -> f64 {
+    let cfg = ExecutionConfig::default().with_shots(shots).with_seed(0xA11CE);
+    let counts = run_noisy(circuit, &(0..circuit.width()).collect::<Vec<_>>(), dev, scaling, &cfg)
+        .expect("sampler");
+    let exact = exact_probabilities(
+        circuit,
+        &(0..circuit.width()).collect::<Vec<_>>(),
+        dev,
+        scaling,
+        &cfg,
+    )
+    .expect("exact");
+    metrics::tvd(&counts.distribution(), &exact)
+}
+
+#[test]
+fn trajectories_converge_to_exact_distribution_bell() {
+    let mut c = Circuit::new(2);
+    c.h(0).cx(0, 1);
+    let dev = device(2, 0.05, 0.03);
+    let tvd = tvd_between(&c, &dev, &NoiseScaling::uniform(2), 60_000);
+    assert!(tvd < 0.02, "tvd = {tvd}");
+}
+
+#[test]
+fn trajectories_converge_with_idle_and_swaps() {
+    let mut c = Circuit::new(3);
+    c.x(0).cx(0, 1).h(2);
+    for _ in 0..10 {
+        c.t(0);
+    }
+    c.swap(1, 2).cx(1, 2).ry(0, 0.8);
+    let dev = device(3, 0.04, 0.02);
+    let tvd = tvd_between(&c, &dev, &NoiseScaling::uniform(c.gate_count()), 60_000);
+    assert!(tvd < 0.02, "tvd = {tvd}");
+}
+
+#[test]
+fn trajectories_converge_under_crosstalk_scaling() {
+    let mut c = Circuit::new(2);
+    c.x(0);
+    for _ in 0..4 {
+        c.cx(0, 1);
+    }
+    let dev = device(2, 0.03, 0.01);
+    let mut scaling = NoiseScaling::uniform(c.gate_count());
+    for i in 1..c.gate_count() {
+        scaling.amplify(i, 4.0);
+    }
+    let tvd = tvd_between(&c, &dev, &scaling, 60_000);
+    assert!(tvd < 0.02, "tvd = {tvd}");
+}
+
+#[test]
+fn exact_pst_matches_sampled_pst_on_deterministic_circuit() {
+    // A Toffoli-style deterministic circuit on a line: the exact PST
+    // from channels must sit within sampling distance of the trajectory
+    // PST.
+    let mut c = Circuit::new(3);
+    c.x(0).x(1).ccx(0, 1, 2); // deterministic output |111⟩
+    // The CCX decomposition needs all three pairings: use a triangle.
+    let t = Topology::ring(3);
+    let cal = Calibration::uniform(&t, 0.03, 5e-4, 0.02);
+    let dev = Device::new("tri", t, cal, CrosstalkModel::none());
+    let layout = vec![0, 1, 2];
+    let cfg = ExecutionConfig::default().with_shots(40_000).with_seed(3);
+    let scaling = NoiseScaling::uniform(c.gate_count());
+    let counts = run_noisy(&c, &layout, &dev, &scaling, &cfg).unwrap();
+    let exact = exact_probabilities(&c, &layout, &dev, &scaling, &cfg).unwrap();
+    let target = qucp_sim::ideal_outcome(&c).unwrap();
+    assert_eq!(target, 0b111);
+    let sampled_pst = counts.probability(target);
+    let exact_pst = exact[target];
+    assert!(
+        (sampled_pst - exact_pst).abs() < 0.02,
+        "sampled {sampled_pst} vs exact {exact_pst}"
+    );
+    // The full distributions agree too.
+    assert!(metrics::tvd(&counts.distribution(), &exact) < 0.02);
+}

@@ -1,0 +1,172 @@
+//! The single-qubit Clifford group as gate sequences.
+//!
+//! Randomized benchmarking layers draw uniformly from the 24 single-qubit
+//! Cliffords. The group is generated once by enumerating products of
+//! `H` and `S` and deduplicating by unitary (up to global phase).
+
+use std::sync::OnceLock;
+
+use qucp_circuit::Gate;
+use qucp_sim::math::{mat2_identity, mat2_mul, Complex, Mat2};
+use qucp_sim::single_qubit_matrix;
+
+/// Number of single-qubit Clifford group elements.
+pub const CLIFFORD_COUNT: usize = 24;
+
+static CLIFFORDS: OnceLock<Vec<Vec<Gate>>> = OnceLock::new();
+
+/// The 24 single-qubit Cliffords as gate sequences on qubit 0.
+///
+/// The sequences are products of `H` and `S` of minimal discovered
+/// length; remap them onto other qubits with [`Gate::map_qubits`].
+///
+/// ```
+/// use qucp_srb::cliffords;
+/// assert_eq!(cliffords::all().len(), 24);
+/// ```
+pub fn all() -> &'static [Vec<Gate>] {
+    CLIFFORDS.get_or_init(enumerate)
+}
+
+/// The `i`-th Clifford sequence applied to qubit `q`.
+///
+/// # Panics
+///
+/// Panics if `i >= 24`.
+pub fn on_qubit(i: usize, q: usize) -> Vec<Gate> {
+    all()[i]
+        .iter()
+        .map(|g| g.map_qubits(|_| q))
+        .collect()
+}
+
+/// A canonical key for a 2×2 unitary up to global phase.
+fn phase_invariant_key(m: &Mat2) -> [i64; 8] {
+    // Normalize global phase: rotate so the first entry with significant
+    // magnitude becomes real positive.
+    let mut phase = Complex::one();
+    'outer: for row in m {
+        for &e in row {
+            if e.abs() > 1e-6 {
+                phase = e.conj() * (1.0 / e.abs());
+                break 'outer;
+            }
+        }
+    }
+    let mut key = [0i64; 8];
+    let mut k = 0;
+    for row in m {
+        for &e in row {
+            let v = e * phase;
+            key[k] = (v.re * 1e6).round() as i64;
+            key[k + 1] = (v.im * 1e6).round() as i64;
+            k += 2;
+        }
+    }
+    key
+}
+
+fn sequence_matrix(seq: &[Gate]) -> Mat2 {
+    let mut m = mat2_identity();
+    for g in seq {
+        m = mat2_mul(&single_qubit_matrix(g), &m);
+    }
+    m
+}
+
+fn enumerate() -> Vec<Vec<Gate>> {
+    let generators = [Gate::H(0), Gate::S(0)];
+    let mut found: Vec<(Vec<Gate>, [i64; 8])> = vec![(Vec::new(), phase_invariant_key(&mat2_identity()))];
+    let mut frontier: Vec<Vec<Gate>> = vec![Vec::new()];
+    while found.len() < CLIFFORD_COUNT {
+        let mut next_frontier = Vec::new();
+        for seq in &frontier {
+            for g in &generators {
+                let mut candidate = seq.clone();
+                candidate.push(*g);
+                let key = phase_invariant_key(&sequence_matrix(&candidate));
+                if !found.iter().any(|(_, k)| *k == key) {
+                    found.push((candidate.clone(), key));
+                    next_frontier.push(candidate);
+                }
+            }
+        }
+        assert!(
+            !next_frontier.is_empty(),
+            "Clifford enumeration stalled at {} elements",
+            found.len()
+        );
+        frontier = next_frontier;
+    }
+    found.truncate(CLIFFORD_COUNT);
+    found.into_iter().map(|(seq, _)| seq).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_24_elements() {
+        assert_eq!(all().len(), 24);
+    }
+
+    #[test]
+    fn elements_are_distinct_up_to_phase() {
+        let keys: Vec<[i64; 8]> = all()
+            .iter()
+            .map(|seq| phase_invariant_key(&sequence_matrix(seq)))
+            .collect();
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "cliffords {i} and {j} coincide");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_first() {
+        assert!(all()[0].is_empty());
+    }
+
+    #[test]
+    fn sequences_are_short() {
+        for seq in all() {
+            assert!(seq.len() <= 6, "sequence too long: {seq:?}");
+        }
+    }
+
+    #[test]
+    fn group_closed_under_h_and_s() {
+        // Multiplying any element by H stays in the set.
+        let keys: Vec<[i64; 8]> = all()
+            .iter()
+            .map(|seq| phase_invariant_key(&sequence_matrix(seq)))
+            .collect();
+        for seq in all() {
+            let mut extended = seq.clone();
+            extended.push(Gate::H(0));
+            let key = phase_invariant_key(&sequence_matrix(&extended));
+            assert!(keys.contains(&key));
+        }
+    }
+
+    #[test]
+    fn on_qubit_remaps() {
+        // Find a non-empty sequence and remap it.
+        let idx = all().iter().position(|s| !s.is_empty()).unwrap();
+        for g in on_qubit(idx, 5) {
+            assert_eq!(g.qubits().as_slice(), &[5]);
+        }
+    }
+
+    #[test]
+    fn x_gate_is_in_group() {
+        // X = H S S H up to phase; verify some sequence matches X.
+        let x_key = phase_invariant_key(&single_qubit_matrix(&Gate::X(0)));
+        let found = all()
+            .iter()
+            .any(|seq| phase_invariant_key(&sequence_matrix(seq)) == x_key);
+        assert!(found, "Pauli X not found in enumerated Clifford group");
+    }
+}

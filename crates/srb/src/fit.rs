@@ -1,0 +1,206 @@
+//! Exponential decay fitting for randomized benchmarking.
+//!
+//! RB survival probabilities follow `P(m) = A·α^m + B`. For a fixed α the
+//! model is linear in `(A, B)`, so the fit scans α with closed-form
+//! linear least squares and refines the best region by golden-section
+//! search.
+
+/// A fitted RB decay curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecayFit {
+    /// Depolarizing parameter per Clifford layer.
+    pub alpha: f64,
+    /// SPAM amplitude.
+    pub a: f64,
+    /// SPAM floor.
+    pub b: f64,
+    /// Sum of squared residuals at the optimum.
+    pub residual: f64,
+}
+
+impl DecayFit {
+    /// Error per Clifford layer for a two-qubit register:
+    /// `ε = (3/4)(1 − α)` (d = 4 depolarizing convention).
+    pub fn error_per_clifford(&self) -> f64 {
+        0.75 * (1.0 - self.alpha)
+    }
+
+    /// The model value at sequence length `m`.
+    pub fn predict(&self, m: f64) -> f64 {
+        self.a * self.alpha.powf(m) + self.b
+    }
+}
+
+/// Fits `P(m) = A·α^m + B` to `(m, survival)` samples.
+///
+/// # Panics
+///
+/// Panics if fewer than three samples are provided (the model has three
+/// parameters).
+pub fn fit_decay(samples: &[(usize, f64)]) -> DecayFit {
+    assert!(
+        samples.len() >= 3,
+        "need at least 3 samples to fit a 3-parameter decay, got {}",
+        samples.len()
+    );
+    let mut best = DecayFit {
+        alpha: 0.0,
+        a: 0.0,
+        b: samples.iter().map(|s| s.1).sum::<f64>() / samples.len() as f64,
+        residual: f64::INFINITY,
+    };
+    // Coarse scan.
+    for i in 1..1000 {
+        let alpha = i as f64 / 1000.0;
+        let fit = linear_fit(samples, alpha);
+        if fit.residual < best.residual {
+            best = fit;
+        }
+    }
+    // Golden-section refinement around the best coarse alpha.
+    let mut lo = (best.alpha - 0.002).max(1e-6);
+    let mut hi = (best.alpha + 0.002).min(1.0 - 1e-9);
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..60 {
+        let m1 = hi - PHI * (hi - lo);
+        let m2 = lo + PHI * (hi - lo);
+        let f1 = linear_fit(samples, m1).residual;
+        let f2 = linear_fit(samples, m2).residual;
+        if f1 < f2 {
+            hi = m2;
+        } else {
+            lo = m1;
+        }
+    }
+    let refined = linear_fit(samples, 0.5 * (lo + hi));
+    if refined.residual < best.residual {
+        best = refined;
+    }
+    best
+}
+
+/// Least-squares `(A, B)` for fixed `alpha`, with the physicality
+/// constraints of a two-qubit RB decay: the floor `B` lies in
+/// `[0, 0.5]` (the depolarized limit is 1/4; readout error keeps it
+/// below one half) and the amplitude `A` is non-negative. Without the
+/// clamp, slow decays under shot noise can fit `α ≈ 1, ε ≈ 0` and blow
+/// up downstream crosstalk ratios.
+fn linear_fit(samples: &[(usize, f64)], alpha: f64) -> DecayFit {
+    let n = samples.len() as f64;
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for &(m, p) in samples {
+        let x = alpha.powi(m as i32);
+        sx += x;
+        sy += p;
+        sxx += x * x;
+        sxy += x * p;
+    }
+    let denom = n * sxx - sx * sx;
+    let (mut a, mut b) = if denom.abs() < 1e-15 {
+        (0.0, sy / n)
+    } else {
+        let a = (n * sxy - sx * sy) / denom;
+        let b = (sy - a * sx) / n;
+        (a, b)
+    };
+    if !(0.0..=0.5).contains(&b) || a < 0.0 {
+        // Re-fit A with B pinned to the nearest physical boundary.
+        b = b.clamp(0.0, 0.5);
+        a = if sxx.abs() < 1e-15 {
+            0.0
+        } else {
+            ((sxy - b * sx) / sxx).max(0.0)
+        };
+    }
+    let mut residual = 0.0;
+    for &(m, p) in samples {
+        let pred = a * alpha.powi(m as i32) + b;
+        residual += (p - pred) * (p - pred);
+    }
+    DecayFit {
+        alpha,
+        a,
+        b,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(alpha: f64, a: f64, b: f64, lengths: &[usize]) -> Vec<(usize, f64)> {
+        lengths
+            .iter()
+            .map(|&m| (m, a * alpha.powi(m as i32) + b))
+            .collect()
+    }
+
+    #[test]
+    fn recovers_exact_parameters() {
+        let samples = synth(0.93, 0.72, 0.26, &[1, 2, 4, 8, 16, 32, 64]);
+        let fit = fit_decay(&samples);
+        assert!((fit.alpha - 0.93).abs() < 1e-4, "alpha {}", fit.alpha);
+        assert!((fit.a - 0.72).abs() < 1e-3);
+        assert!((fit.b - 0.26).abs() < 1e-3);
+        assert!(fit.residual < 1e-9);
+    }
+
+    #[test]
+    fn error_per_clifford_formula() {
+        let fit = DecayFit {
+            alpha: 0.9,
+            a: 0.75,
+            b: 0.25,
+            residual: 0.0,
+        };
+        assert!((fit.error_per_clifford() - 0.075).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_matches_model() {
+        let fit = DecayFit {
+            alpha: 0.8,
+            a: 0.5,
+            b: 0.25,
+            residual: 0.0,
+        };
+        assert!((fit.predict(0.0) - 0.75).abs() < 1e-12);
+        assert!((fit.predict(2.0) - (0.5 * 0.64 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerates_noisy_samples() {
+        let mut samples = synth(0.90, 0.7, 0.27, &[1, 2, 4, 8, 16, 32]);
+        // Perturb deterministically.
+        for (i, s) in samples.iter_mut().enumerate() {
+            s.1 += if i % 2 == 0 { 0.01 } else { -0.01 };
+        }
+        let fit = fit_decay(&samples);
+        assert!((fit.alpha - 0.90).abs() < 0.05, "alpha {}", fit.alpha);
+    }
+
+    #[test]
+    fn faster_decay_gives_higher_error() {
+        let clean = fit_decay(&synth(0.95, 0.7, 0.27, &[1, 2, 4, 8, 16, 32]));
+        let noisy = fit_decay(&synth(0.80, 0.7, 0.27, &[1, 2, 4, 8, 16, 32]));
+        assert!(noisy.error_per_clifford() > clean.error_per_clifford());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 samples")]
+    fn too_few_samples_panics() {
+        fit_decay(&[(1, 0.9), (2, 0.8)]);
+    }
+
+    #[test]
+    fn flat_data_fits_constant() {
+        let samples = vec![(1, 0.5), (2, 0.5), (4, 0.5), (8, 0.5)];
+        let fit = fit_decay(&samples);
+        assert!(fit.residual < 1e-9);
+        assert!((fit.predict(3.0) - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,146 @@
+//! Scheduling one-hop link pairs into simultaneous characterization
+//! groups.
+//!
+//! SRB is expensive because each pair needs its own jobs. Murali et al.
+//! (whom the paper cites) lower the overhead by benchmarking *several*
+//! pairs in the same job when they are far enough apart that they cannot
+//! disturb each other. Two pairs can share a group when every link of one
+//! is at least two hops from every link of the other. Finding the minimum
+//! number of groups is graph coloring; this module uses the Welsh–Powell
+//! greedy heuristic, which reproduces the small group counts of the
+//! paper's Table I.
+
+use qucp_device::{LinkPair, Topology};
+
+/// Whether two pairs would interfere if benchmarked simultaneously:
+/// some link of `a` is within one hop of some link of `b`.
+pub fn pairs_conflict(topology: &Topology, a: &LinkPair, b: &LinkPair) -> bool {
+    let links_a = [a.first(), a.second()];
+    let links_b = [b.first(), b.second()];
+    for la in links_a {
+        for lb in links_b {
+            if la == lb || topology.link_distance(la, lb) <= 1 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Partitions the device's one-hop pairs into simultaneous groups using
+/// Welsh–Powell greedy coloring of the conflict graph.
+///
+/// Every returned group is conflict-free; the group count is the jobs
+/// multiplier of Table I.
+pub fn srb_groups(topology: &Topology) -> Vec<Vec<LinkPair>> {
+    let pairs = topology.one_hop_link_pairs();
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    let n = pairs.len();
+    let mut conflicts = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in i + 1..n {
+            if pairs_conflict(topology, &pairs[i], &pairs[j]) {
+                conflicts[i].push(j);
+                conflicts[j].push(i);
+            }
+        }
+    }
+    // Welsh–Powell: color vertices in order of descending degree.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(conflicts[i].len()));
+    let mut color = vec![usize::MAX; n];
+    let mut num_colors = 0;
+    for &v in &order {
+        let mut used = vec![false; num_colors];
+        for &nb in &conflicts[v] {
+            if color[nb] != usize::MAX {
+                used[color[nb]] = true;
+            }
+        }
+        let c = (0..num_colors).find(|&c| !used[c]).unwrap_or_else(|| {
+            num_colors += 1;
+            num_colors - 1
+        });
+        color[v] = c;
+    }
+    let mut groups = vec![Vec::new(); num_colors];
+    for (i, &c) in color.iter().enumerate() {
+        groups[c].push(pairs[i]);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_device::ibm;
+
+    #[test]
+    fn groups_cover_all_pairs_exactly_once() {
+        let t = ibm::toronto_topology();
+        let groups = srb_groups(&t);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, t.one_hop_link_pairs().len());
+    }
+
+    #[test]
+    fn groups_are_conflict_free() {
+        let t = ibm::toronto_topology();
+        for group in srb_groups(&t) {
+            for i in 0..group.len() {
+                for j in i + 1..group.len() {
+                    assert!(
+                        !pairs_conflict(&t, &group[i], &group[j]),
+                        "{} and {} conflict within a group",
+                        group[i],
+                        group[j]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_counts_are_small() {
+        // The whole point of grouping: far fewer groups than pairs.
+        let t = ibm::toronto_topology();
+        let pairs = t.one_hop_link_pairs().len();
+        let groups = srb_groups(&t).len();
+        assert!(groups < pairs, "{groups} groups vs {pairs} pairs");
+        assert!(groups <= 16, "Toronto needs few groups, got {groups}");
+
+        let m = ibm::manhattan_topology();
+        let mg = srb_groups(&m).len();
+        assert!(mg <= 16, "Manhattan needs few groups, got {mg}");
+    }
+
+    #[test]
+    fn conflict_is_symmetric_and_reflexive() {
+        let t = ibm::toronto_topology();
+        let pairs = t.one_hop_link_pairs();
+        let a = pairs[0];
+        let b = pairs[1];
+        assert_eq!(pairs_conflict(&t, &a, &b), pairs_conflict(&t, &b, &a));
+        assert!(pairs_conflict(&t, &a, &a));
+    }
+
+    #[test]
+    fn empty_topology_has_no_groups() {
+        let t = Topology::line(2); // one link, no disjoint one-hop pairs
+        assert!(srb_groups(&t).is_empty());
+    }
+
+    #[test]
+    fn line_groups() {
+        // 0-1-2-3-4-5-6: one-hop pairs (01,23),(12,34),(23,45),(34,56),(01,45)?
+        // link_distance((0,1),(4,5)) = dist(1,4)=3 → not one-hop. Pairs are
+        // chains; conflicts force at least 2 groups.
+        let t = Topology::line(7);
+        let groups = srb_groups(&t);
+        assert!(!groups.is_empty());
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, t.one_hop_link_pairs().len());
+    }
+}

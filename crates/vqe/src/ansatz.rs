@@ -1,0 +1,103 @@
+//! The hardware-efficient ansatz of the paper's Sec. IV-C: alternating
+//! RyRz rotation layers and CNOT entanglers (Kandala et al. 2017).
+
+use qucp_circuit::Circuit;
+
+/// Number of rotation parameters of the ansatz: `(reps + 1)` rotation
+/// layers × 2 gates × `n` qubits.
+pub fn parameter_count(n_qubits: usize, reps: usize) -> usize {
+    (reps + 1) * 2 * n_qubits
+}
+
+/// Builds the hardware-efficient RyRz ansatz.
+///
+/// Layout: a rotation layer (Ry(θ), Rz(θ) on every qubit), then `reps`
+/// times {a linear CNOT entangler, another rotation layer}. With
+/// `n_qubits = 2, reps = 2` this is exactly the paper's circuit: 12
+/// rotation parameters and 2 CNOTs.
+///
+/// # Panics
+///
+/// Panics if `params.len() != parameter_count(n_qubits, reps)`.
+pub fn hardware_efficient(n_qubits: usize, reps: usize, params: &[f64]) -> Circuit {
+    assert_eq!(
+        params.len(),
+        parameter_count(n_qubits, reps),
+        "expected {} parameters",
+        parameter_count(n_qubits, reps)
+    );
+    let mut c = Circuit::with_name(n_qubits, "ryrz_ansatz");
+    let mut p = params.iter();
+    let mut rotation_layer = |c: &mut Circuit| {
+        for q in 0..n_qubits {
+            c.ry(q, *p.next().expect("enough params"));
+            c.rz(q, *p.next().expect("enough params"));
+        }
+    };
+    rotation_layer(&mut c);
+    for _ in 0..reps {
+        for q in 0..n_qubits.saturating_sub(1) {
+            c.cx(q, q + 1);
+        }
+        rotation_layer(&mut c);
+    }
+    c
+}
+
+/// The paper's simplification: every rotation uses the same angle θ
+/// ("we set the same value for these parameters each time and regard
+/// them as one parameter").
+pub fn tied_ansatz(n_qubits: usize, reps: usize, theta: f64) -> Circuit {
+    let params = vec![theta; parameter_count(n_qubits, reps)];
+    hardware_efficient(n_qubits, reps, &params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_counts() {
+        // 2 qubits, 2 reps: 12 parameters, 2 CNOTs.
+        assert_eq!(parameter_count(2, 2), 12);
+        let c = tied_ansatz(2, 2, 0.5);
+        assert_eq!(c.cx_count(), 2);
+        assert_eq!(c.gate_count(), 12 + 2);
+        assert_eq!(c.width(), 2);
+    }
+
+    #[test]
+    fn zero_reps_is_single_rotation_layer() {
+        let c = tied_ansatz(3, 0, 0.1);
+        assert_eq!(c.cx_count(), 0);
+        assert_eq!(c.gate_count(), 6);
+    }
+
+    #[test]
+    fn explicit_parameters_land_in_order() {
+        let params: Vec<f64> = (0..12).map(|i| i as f64 * 0.1).collect();
+        let c = hardware_efficient(2, 2, &params);
+        // First gate is Ry(0.0) on q0, second Rz(0.1) on q0.
+        match c.gates()[0] {
+            qucp_circuit::Gate::Ry(0, t) => assert!((t - 0.0).abs() < 1e-15),
+            ref g => panic!("unexpected first gate {g:?}"),
+        }
+        match c.gates()[1] {
+            qucp_circuit::Gate::Rz(0, t) => assert!((t - 0.1).abs() < 1e-15),
+            ref g => panic!("unexpected second gate {g:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 12 parameters")]
+    fn wrong_parameter_count_panics() {
+        hardware_efficient(2, 2, &[0.0; 5]);
+    }
+
+    #[test]
+    fn wider_ansatz_uses_linear_entangler() {
+        let c = tied_ansatz(4, 1, 0.3);
+        assert_eq!(c.cx_count(), 3);
+        assert_eq!(c.gate_count(), 16 + 3);
+    }
+}

@@ -1,0 +1,212 @@
+//! Dense Hermitian eigensolver for small qubit Hamiltonians — the
+//! "theory" reference of the paper's Table III (they use SciPy's
+//! eigensolver; we implement Jacobi rotations on the real symmetric
+//! embedding of the Hermitian matrix).
+
+use qucp_sim::math::Complex;
+
+use crate::hamiltonian::Hamiltonian;
+use crate::pauli::PauliOp;
+
+/// Builds the dense `2^n × 2^n` matrix of a Hamiltonian
+/// (row-major, little-endian basis indexing).
+#[allow(clippy::needless_range_loop)] // the column index doubles as the basis state
+pub fn dense_matrix(h: &Hamiltonian) -> Vec<Vec<Complex>> {
+    let n = h.num_qubits();
+    let dim = 1usize << n;
+    let mut m = vec![vec![Complex::zero(); dim]; dim];
+    for (pauli, coeff) in h.terms() {
+        // Each Pauli string maps basis state |col⟩ to phase·|row⟩.
+        for col in 0..dim {
+            let mut row = col;
+            let mut phase = Complex::real(*coeff);
+            for q in 0..n {
+                let bit = col >> q & 1;
+                match pauli.op(q) {
+                    PauliOp::I => {}
+                    PauliOp::X => row ^= 1 << q,
+                    PauliOp::Y => {
+                        row ^= 1 << q;
+                        // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
+                        phase *= if bit == 0 { Complex::i() } else { -Complex::i() };
+                    }
+                    PauliOp::Z => {
+                        if bit == 1 {
+                            phase = -phase;
+                        }
+                    }
+                }
+            }
+            m[row][col] += phase;
+        }
+    }
+    m
+}
+
+/// All eigenvalues of a Hermitian matrix, ascending.
+///
+/// Uses cyclic Jacobi on the real symmetric embedding
+/// `[[Re H, −Im H], [Im H, Re H]]`, whose spectrum is that of `H` with
+/// every eigenvalue doubled.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty or not square.
+#[allow(clippy::needless_range_loop)] // block-embedding reads clearer with indices
+pub fn hermitian_eigenvalues(m: &[Vec<Complex>]) -> Vec<f64> {
+    let dim = m.len();
+    assert!(dim > 0, "matrix must be non-empty");
+    assert!(m.iter().all(|r| r.len() == dim), "matrix must be square");
+    let n = 2 * dim;
+    let mut a = vec![vec![0.0f64; n]; n];
+    for i in 0..dim {
+        for j in 0..dim {
+            a[i][j] = m[i][j].re;
+            a[i + dim][j + dim] = m[i][j].re;
+            a[i + dim][j] = m[i][j].im;
+            a[i][j + dim] = -m[i][j].im;
+        }
+    }
+    jacobi_eigenvalues(&mut a);
+    let mut eig: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+    eig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    // Keep every other one (eigenvalues come in duplicated pairs).
+    eig.into_iter().step_by(2).collect()
+}
+
+/// The smallest eigenvalue (ground-state energy) of a Hamiltonian.
+pub fn ground_state_energy(h: &Hamiltonian) -> f64 {
+    let m = dense_matrix(h);
+    hermitian_eigenvalues(&m)[0]
+}
+
+/// In-place cyclic Jacobi diagonalization of a real symmetric matrix.
+#[allow(clippy::needless_range_loop)] // index loops mirror the textbook rotations
+fn jacobi_eigenvalues(a: &mut [Vec<f64>]) {
+    let n = a.len();
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in i + 1..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-22 {
+            return;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamiltonian::{h2_exact_ground_energy, h2_hamiltonian};
+    use crate::pauli::PauliString;
+    use crate::Hamiltonian as H;
+
+    #[test]
+    fn pauli_z_matrix() {
+        let h = H::new(vec![("Z".parse::<PauliString>().unwrap(), 1.0)]);
+        let m = dense_matrix(&h);
+        assert!(m[0][0].approx_eq(Complex::one(), 1e-14));
+        assert!(m[1][1].approx_eq(Complex::real(-1.0), 1e-14));
+        assert!(m[0][1].approx_eq(Complex::zero(), 1e-14));
+    }
+
+    #[test]
+    fn pauli_x_matrix() {
+        let h = H::new(vec![("X".parse::<PauliString>().unwrap(), 2.0)]);
+        let m = dense_matrix(&h);
+        assert!(m[0][1].approx_eq(Complex::real(2.0), 1e-14));
+        assert!(m[1][0].approx_eq(Complex::real(2.0), 1e-14));
+    }
+
+    #[test]
+    fn pauli_y_matrix() {
+        let h = H::new(vec![("Y".parse::<PauliString>().unwrap(), 1.0)]);
+        let m = dense_matrix(&h);
+        // Y = [[0, -i], [i, 0]].
+        assert!(m[1][0].approx_eq(Complex::i(), 1e-14));
+        assert!(m[0][1].approx_eq(-Complex::i(), 1e-14));
+    }
+
+    #[test]
+    fn single_qubit_eigenvalues() {
+        for s in ["X", "Y", "Z"] {
+            let h = H::new(vec![(s.parse::<PauliString>().unwrap(), 1.0)]);
+            let eig = hermitian_eigenvalues(&dense_matrix(&h));
+            assert_eq!(eig.len(), 2);
+            assert!((eig[0] + 1.0).abs() < 1e-10, "{s}: {eig:?}");
+            assert!((eig[1] - 1.0).abs() < 1e-10, "{s}: {eig:?}");
+        }
+    }
+
+    #[test]
+    fn zz_spectrum() {
+        let h = H::new(vec![("ZZ".parse::<PauliString>().unwrap(), 1.0)]);
+        let eig = hermitian_eigenvalues(&dense_matrix(&h));
+        assert_eq!(eig.len(), 4);
+        assert!((eig[0] + 1.0).abs() < 1e-10);
+        assert!((eig[3] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn h2_ground_energy_matches_analytic() {
+        let numeric = ground_state_energy(&h2_hamiltonian());
+        let exact = h2_exact_ground_energy();
+        assert!(
+            (numeric - exact).abs() < 1e-8,
+            "numeric {numeric} vs analytic {exact}"
+        );
+    }
+
+    #[test]
+    fn identity_shifts_spectrum() {
+        let h = H::new(vec![
+            ("Z".parse::<PauliString>().unwrap(), 1.0),
+            ("I".parse::<PauliString>().unwrap(), 5.0),
+        ]);
+        let eig = hermitian_eigenvalues(&dense_matrix(&h));
+        assert!((eig[0] - 4.0).abs() < 1e-10);
+        assert!((eig[1] - 6.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn xx_plus_zz_spectrum() {
+        // H = XX + ZZ has eigenvalues {−2? } — check against known:
+        // eigenvalues of XX+ZZ are {2, 0, 0, -2}.
+        let h = H::new(vec![
+            ("XX".parse::<PauliString>().unwrap(), 1.0),
+            ("ZZ".parse::<PauliString>().unwrap(), 1.0),
+        ]);
+        let mut eig = hermitian_eigenvalues(&dense_matrix(&h));
+        eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((eig[0] + 2.0).abs() < 1e-9, "{eig:?}");
+        assert!(eig[1].abs() < 1e-9);
+        assert!(eig[2].abs() < 1e-9);
+        assert!((eig[3] - 2.0).abs() < 1e-9);
+    }
+}

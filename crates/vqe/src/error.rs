@@ -1,0 +1,47 @@
+//! Error type of the VQE runner.
+
+use std::error::Error;
+use std::fmt;
+
+use qucp_core::CoreError;
+
+/// Errors produced while running a VQE experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VqeError {
+    /// The parallel-execution pipeline failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for VqeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqeError::Core(e) => write!(f, "parallel execution failed: {e}"),
+        }
+    }
+}
+
+impl Error for VqeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            VqeError::Core(e) => Some(e),
+        }
+    }
+}
+
+impl From<CoreError> for VqeError {
+    fn from(e: CoreError) -> Self {
+        VqeError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e: VqeError = CoreError::PartitionUnavailable { program: 0, size: 2 }.into();
+        assert!(e.to_string().contains("parallel execution failed"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,186 @@
+//! Simultaneous measurement of qubit-wise commuting Pauli groups:
+//! basis-rotation circuits and energy estimation from counts.
+
+use qucp_circuit::Circuit;
+use qucp_sim::Counts;
+
+use crate::hamiltonian::Hamiltonian;
+use crate::pauli::{PauliOp, PauliString};
+
+/// The measurement basis of one qubit within a commuting group.
+fn group_basis(strings: &[&PauliString], qubit: usize) -> PauliOp {
+    for s in strings {
+        match s.op(qubit) {
+            PauliOp::I => continue,
+            op => return op,
+        }
+    }
+    PauliOp::Z
+}
+
+/// Appends the basis rotations that map the group's common eigenbasis
+/// onto the computational basis: `H` for X, `S† H` for Y, nothing for
+/// Z/I. Returns the full measurement circuit.
+///
+/// # Panics
+///
+/// Panics if the strings do not share the ansatz register width.
+pub fn measurement_circuit(ansatz: &Circuit, strings: &[&PauliString]) -> Circuit {
+    let n = ansatz.width();
+    assert!(
+        strings.iter().all(|s| s.num_qubits() == n),
+        "Pauli strings must match the ansatz width"
+    );
+    let mut c = ansatz.clone();
+    for q in 0..n {
+        match group_basis(strings, q) {
+            PauliOp::X => {
+                c.h(q);
+            }
+            PauliOp::Y => {
+                c.sdg(q).h(q);
+            }
+            PauliOp::Z | PauliOp::I => {}
+        }
+    }
+    c
+}
+
+/// Expectation of a Pauli string from counts measured in the group's
+/// rotated basis: the Z-parity over the string's support.
+pub fn expectation_from_counts(counts: &Counts, string: &PauliString) -> f64 {
+    counts.expectation_z(string.support_mask())
+}
+
+/// Expectation from exact outcome probabilities (noiseless baseline).
+pub fn expectation_from_probabilities(probs: &[f64], string: &PauliString) -> f64 {
+    let mask = string.support_mask();
+    probs
+        .iter()
+        .enumerate()
+        .map(|(idx, &p)| {
+            let parity = (idx & mask).count_ones() % 2;
+            if parity == 0 {
+                p
+            } else {
+                -p
+            }
+        })
+        .sum()
+}
+
+/// The energy contribution of one commuting group from its measured
+/// counts: `Σ c_P ⟨P⟩`.
+pub fn group_energy(h: &Hamiltonian, group: &[usize], counts: &Counts) -> f64 {
+    group
+        .iter()
+        .map(|&i| {
+            let (p, c) = &h.terms()[i];
+            c * expectation_from_counts(counts, p)
+        })
+        .sum()
+}
+
+/// The energy contribution of one group from exact probabilities.
+pub fn group_energy_exact(h: &Hamiltonian, group: &[usize], probs: &[f64]) -> f64 {
+    group
+        .iter()
+        .map(|&i| {
+            let (p, c) = &h.terms()[i];
+            c * expectation_from_probabilities(probs, p)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::tied_ansatz;
+    use crate::hamiltonian::h2_hamiltonian;
+    use qucp_circuit::Gate;
+    use qucp_sim::noiseless_probabilities;
+
+    #[test]
+    fn z_group_needs_no_rotation() {
+        let ansatz = tied_ansatz(2, 2, 0.3);
+        let strings: Vec<PauliString> = ["II", "IZ", "ZI", "ZZ"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let refs: Vec<&PauliString> = strings.iter().collect();
+        let mc = measurement_circuit(&ansatz, &refs);
+        assert_eq!(mc.gate_count(), ansatz.gate_count());
+    }
+
+    #[test]
+    fn x_group_appends_hadamards() {
+        let ansatz = tied_ansatz(2, 2, 0.3);
+        let xx: PauliString = "XX".parse().unwrap();
+        let mc = measurement_circuit(&ansatz, &[&xx]);
+        assert_eq!(mc.gate_count(), ansatz.gate_count() + 2);
+        let tail = &mc.gates()[mc.gate_count() - 2..];
+        assert!(matches!(tail[0], Gate::H(_)));
+        assert!(matches!(tail[1], Gate::H(_)));
+    }
+
+    #[test]
+    fn y_basis_rotation() {
+        let ansatz = Circuit::new(1);
+        let y: PauliString = "Y".parse().unwrap();
+        let mc = measurement_circuit(&ansatz, &[&y]);
+        assert_eq!(mc.gates(), &[Gate::Sdg(0), Gate::H(0)]);
+    }
+
+    #[test]
+    fn expectation_of_plus_state_x() {
+        // |+⟩ measured in the X basis: rotated by H, outcome always 0,
+        // so ⟨X⟩ = +1.
+        let mut plus = Circuit::new(1);
+        plus.h(0);
+        let x: PauliString = "X".parse().unwrap();
+        let mc = measurement_circuit(&plus, &[&x]);
+        let probs = noiseless_probabilities(&mc);
+        assert!((expectation_from_probabilities(&probs, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expectation_of_zero_state_z() {
+        let c = Circuit::new(1);
+        let z: PauliString = "Z".parse().unwrap();
+        let probs = noiseless_probabilities(&c);
+        assert!((expectation_from_probabilities(&probs, &z) - 1.0).abs() < 1e-12);
+        // |1⟩ gives −1.
+        let mut c1 = Circuit::new(1);
+        c1.x(0);
+        let probs1 = noiseless_probabilities(&c1);
+        assert!((expectation_from_probabilities(&probs1, &z) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_term_contributes_its_coefficient() {
+        let h = h2_hamiltonian();
+        let mut counts = Counts::new(2);
+        counts.record(0);
+        // Group 0 contains II with coefficient −1.0523…; measuring |00⟩
+        // gives ⟨IZ⟩ = ⟨ZI⟩ = ⟨ZZ⟩ = +1.
+        let e = group_energy(&h, &[0, 1, 2, 3], &counts);
+        let expected = -1.052373245772859 + 0.39793742484318045 - 0.39793742484318045
+            - 0.01128010425623538;
+        assert!((e - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_and_probability_expectations_agree() {
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let mut counts = Counts::new(2);
+        for _ in 0..3 {
+            counts.record(0b00);
+        }
+        counts.record(0b01);
+        let from_counts = expectation_from_counts(&counts, &zz);
+        let probs = counts.distribution();
+        let from_probs = expectation_from_probabilities(&probs, &zz);
+        assert!((from_counts - from_probs).abs() < 1e-12);
+        assert!((from_counts - 0.5).abs() < 1e-12);
+    }
+}

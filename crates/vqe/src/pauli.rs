@@ -1,0 +1,255 @@
+//! Pauli strings and qubit-wise commutation.
+
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl PauliOp {
+    /// Whether two single-qubit operators are qubit-wise compatible
+    /// (equal, or at least one is the identity).
+    pub fn compatible(self, other: PauliOp) -> bool {
+        self == PauliOp::I || other == PauliOp::I || self == other
+    }
+}
+
+/// A tensor product of single-qubit Paulis, e.g. `ZI` or `XX`.
+///
+/// Internally `ops[q]` is the operator on qubit `q`. The textual form
+/// follows the physics convention: the **leftmost** character acts on
+/// the **highest** qubit, so `"ZI"` is Z on qubit 1 and I on qubit 0.
+///
+/// ```
+/// use qucp_vqe::{PauliOp, PauliString};
+/// let p: PauliString = "ZI".parse().unwrap();
+/// assert_eq!(p.op(0), PauliOp::I);
+/// assert_eq!(p.op(1), PauliOp::Z);
+/// assert_eq!(p.to_string(), "ZI");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    ops: Vec<PauliOp>,
+}
+
+/// Error parsing a Pauli string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePauliError {
+    /// The offending character.
+    pub found: char,
+}
+
+impl fmt::Display for ParsePauliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Pauli character `{}`", self.found)
+    }
+}
+
+impl std::error::Error for ParsePauliError {}
+
+impl PauliString {
+    /// Builds from per-qubit operators (`ops[q]` acts on qubit `q`).
+    pub fn new(ops: Vec<PauliOp>) -> Self {
+        PauliString { ops }
+    }
+
+    /// The identity string on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        PauliString {
+            ops: vec![PauliOp::I; n],
+        }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// The operator on qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn op(&self, q: usize) -> PauliOp {
+        self.ops[q]
+    }
+
+    /// Operators indexed by qubit.
+    pub fn ops(&self) -> &[PauliOp] {
+        &self.ops
+    }
+
+    /// Whether the string is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.ops.iter().all(|&o| o == PauliOp::I)
+    }
+
+    /// Bitmask of qubits with a non-identity operator.
+    pub fn support_mask(&self) -> usize {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o != PauliOp::I)
+            .fold(0usize, |m, (q, _)| m | 1 << q)
+    }
+
+    /// Qubit-wise commutation: every qubit's operators are compatible.
+    /// Strings in the same measurement group must satisfy this.
+    pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
+        self.ops.len() == other.ops.len()
+            && self
+                .ops
+                .iter()
+                .zip(&other.ops)
+                .all(|(&a, &b)| a.compatible(b))
+    }
+}
+
+impl std::str::FromStr for PauliString {
+    type Err = ParsePauliError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut ops = Vec::with_capacity(s.len());
+        // Leftmost char = highest qubit: reverse into qubit order.
+        for c in s.chars().rev() {
+            ops.push(match c {
+                'I' | 'i' => PauliOp::I,
+                'X' | 'x' => PauliOp::X,
+                'Y' | 'y' => PauliOp::Y,
+                'Z' | 'z' => PauliOp::Z,
+                found => return Err(ParsePauliError { found }),
+            });
+        }
+        Ok(PauliString { ops })
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &op in self.ops.iter().rev() {
+            let c = match op {
+                PauliOp::I => 'I',
+                PauliOp::X => 'X',
+                PauliOp::Y => 'Y',
+                PauliOp::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Greedily partitions Pauli strings into qubit-wise commuting groups —
+/// the simultaneous-measurement grouping of Gokhale et al. that the
+/// paper applies to the H2 Hamiltonian (two groups: {II, IZ, ZI, ZZ}
+/// and {XX}).
+pub fn group_commuting(strings: &[PauliString]) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, s) in strings.iter().enumerate() {
+        let slot = groups.iter_mut().find(|g| {
+            g.iter().all(|&j| strings[j].qubit_wise_commutes(s))
+        });
+        match slot {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["II", "IZ", "ZI", "ZZ", "XX", "XYZI"] {
+            let p: PauliString = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        let err = "ZQ".parse::<PauliString>().unwrap_err();
+        assert_eq!(err.found, 'Q');
+        assert!(err.to_string().contains('Q'));
+    }
+
+    #[test]
+    fn indexing_convention() {
+        let p: PauliString = "XZ".parse().unwrap();
+        assert_eq!(p.op(0), PauliOp::Z); // rightmost char = qubit 0
+        assert_eq!(p.op(1), PauliOp::X);
+        assert_eq!(p.num_qubits(), 2);
+    }
+
+    #[test]
+    fn support_mask() {
+        let p: PauliString = "IZ".parse().unwrap();
+        assert_eq!(p.support_mask(), 0b01);
+        let p: PauliString = "ZI".parse().unwrap();
+        assert_eq!(p.support_mask(), 0b10);
+        let p: PauliString = "XX".parse().unwrap();
+        assert_eq!(p.support_mask(), 0b11);
+        assert_eq!(PauliString::identity(3).support_mask(), 0);
+    }
+
+    #[test]
+    fn identity_detection() {
+        assert!(PauliString::identity(2).is_identity());
+        let p: PauliString = "IZ".parse().unwrap();
+        assert!(!p.is_identity());
+    }
+
+    #[test]
+    fn qwc_relation() {
+        let iz: PauliString = "IZ".parse().unwrap();
+        let zi: PauliString = "ZI".parse().unwrap();
+        let zz: PauliString = "ZZ".parse().unwrap();
+        let xx: PauliString = "XX".parse().unwrap();
+        assert!(iz.qubit_wise_commutes(&zi));
+        assert!(iz.qubit_wise_commutes(&zz));
+        assert!(zz.qubit_wise_commutes(&zi));
+        assert!(!zz.qubit_wise_commutes(&xx));
+        assert!(!iz.qubit_wise_commutes(&xx));
+        // Identity commutes with everything.
+        let ii = PauliString::identity(2);
+        assert!(ii.qubit_wise_commutes(&xx));
+        assert!(ii.qubit_wise_commutes(&zz));
+    }
+
+    #[test]
+    fn h2_grouping_gives_two_groups() {
+        let strings: Vec<PauliString> = ["II", "IZ", "ZI", "ZZ", "XX"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let groups = group_commuting(&strings);
+        assert_eq!(groups.len(), 2, "paper: two commuting groups");
+        // II joins the first group; XX stands alone.
+        assert_eq!(groups[0], vec![0, 1, 2, 3]);
+        assert_eq!(groups[1], vec![4]);
+    }
+
+    #[test]
+    fn grouping_of_disjoint_supports() {
+        let strings: Vec<PauliString> = ["XI", "IX", "ZZ"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        let groups = group_commuting(&strings);
+        // XI and IX commute qubit-wise; ZZ clashes with both.
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0], vec![0, 1]);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for Pauli algebra, the eigensolver, and energy
+//! estimation.
+
+use proptest::prelude::*;
+use qucp_circuit::Circuit;
+use qucp_sim::noiseless_probabilities;
+use qucp_vqe::{
+    dense_matrix, expectation_from_probabilities, group_commuting, hermitian_eigenvalues,
+    tied_ansatz, Hamiltonian, PauliOp, PauliString,
+};
+
+fn arb_pauli_string(n: usize) -> impl Strategy<Value = PauliString> {
+    proptest::collection::vec(0u8..4, n).prop_map(|ops| {
+        PauliString::new(
+            ops.into_iter()
+                .map(|o| match o {
+                    0 => PauliOp::I,
+                    1 => PauliOp::X,
+                    2 => PauliOp::Y,
+                    _ => PauliOp::Z,
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_display_round_trip(p in arb_pauli_string(4)) {
+        let round: PauliString = p.to_string().parse().unwrap();
+        prop_assert_eq!(round, p);
+    }
+
+    #[test]
+    fn qwc_is_symmetric_and_reflexive(a in arb_pauli_string(3), b in arb_pauli_string(3)) {
+        prop_assert!(a.qubit_wise_commutes(&a));
+        prop_assert_eq!(a.qubit_wise_commutes(&b), b.qubit_wise_commutes(&a));
+    }
+
+    #[test]
+    fn grouping_covers_all_and_is_internally_commuting(
+        strings in proptest::collection::vec(arb_pauli_string(3), 1..12)
+    ) {
+        let groups = group_commuting(&strings);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, strings.len());
+        for g in &groups {
+            for (i, &a) in g.iter().enumerate() {
+                for &b in &g[i + 1..] {
+                    prop_assert!(strings[a].qubit_wise_commutes(&strings[b]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_bound_pauli_expectations(
+        p in arb_pauli_string(2),
+        coeff in -3.0..3.0f64,
+    ) {
+        // A single-term Hamiltonian c·P has spectrum {−|c|, …, +|c|}
+        // (or exactly {c} when P = I).
+        let h = Hamiltonian::new(vec![(p.clone(), coeff)]);
+        let eig = hermitian_eigenvalues(&dense_matrix(&h));
+        for &e in &eig {
+            prop_assert!(e >= -coeff.abs() - 1e-9);
+            prop_assert!(e <= coeff.abs() + 1e-9);
+        }
+        if p.is_identity() {
+            for &e in &eig {
+                prop_assert!((e - coeff).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_of_non_identity_pauli_matrix_is_zero(p in arb_pauli_string(2)) {
+        prop_assume!(!p.is_identity());
+        let h = Hamiltonian::new(vec![(p, 1.0)]);
+        let m = dense_matrix(&h);
+        let mut tr = qucp_sim::math::Complex::zero();
+        for (i, row) in m.iter().enumerate() {
+            tr += row[i];
+        }
+        prop_assert!(tr.abs() < 1e-9);
+    }
+
+    #[test]
+    fn z_expectations_bounded(theta in -3.2..3.2f64, mask in 0usize..4) {
+        let ansatz: Circuit = tied_ansatz(2, 2, theta);
+        let probs = noiseless_probabilities(&ansatz);
+        let p = PauliString::new(
+            (0..2)
+                .map(|q| if mask >> q & 1 == 1 { PauliOp::Z } else { PauliOp::I })
+                .collect(),
+        );
+        let e = expectation_from_probabilities(&probs, &p);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&e));
+        if p.is_identity() {
+            prop_assert!((e - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn variational_energy_at_least_ground(theta in -3.2..3.2f64) {
+        // Noiseless ansatz energy must respect the variational principle.
+        use qucp_vqe::{ground_state_energy, h2_hamiltonian, measurement_circuit, group_energy_exact};
+        let h = h2_hamiltonian();
+        let groups = h.commuting_groups();
+        let ansatz = tied_ansatz(2, 2, theta);
+        let mut energy = 0.0;
+        for group in &groups {
+            let strings: Vec<&PauliString> = group.iter().map(|&i| &h.terms()[i].0).collect();
+            let mc = measurement_circuit(&ansatz, &strings);
+            let probs = noiseless_probabilities(&mc);
+            energy += group_energy_exact(&h, group, &probs);
+        }
+        let ground = ground_state_energy(&h);
+        prop_assert!(energy >= ground - 1e-9, "E(θ) = {energy} below ground {ground}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Digital noise scaling by unitary folding (Giurgica-Tiron et al.,
+//! QCE'20 — the method behind Mitiq's `fold_gates_at_random`).
+//!
+//! Folding replaces a gate `G` by `G G† G`: the unitary is unchanged but
+//! the circuit executes three noisy gates instead of one, scaling the
+//! effective noise level. A scale factor `λ ∈ [1, 3]` folds a random
+//! subset of ⌈(λ−1)/2 · n⌉ gates; λ > 3 folds the whole circuit
+//! repeatedly first.
+
+use qucp_circuit::Circuit;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Folds the entire circuit `k` times: `C (C† C)^k`.
+///
+/// The gate count becomes `(2k + 1) × n`; the unitary is unchanged.
+pub fn fold_global(circuit: &Circuit, k: usize) -> Circuit {
+    let mut out = circuit.clone();
+    out.set_name(format!("{}_gfold{k}", circuit.name()));
+    let inverse = circuit.inverse();
+    for _ in 0..k {
+        for &g in inverse.gates() {
+            out.push(g);
+        }
+        for &g in circuit.gates() {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Folds randomly selected gates to approximate the noise `scale`
+/// factor, reproducing Mitiq's `fold_gates_at_random`.
+///
+/// The result has approximately `scale × n` gates and the same unitary.
+/// `scale = 1` returns the circuit unchanged.
+///
+/// # Panics
+///
+/// Panics if `scale < 1`.
+pub fn fold_gates_at_random(circuit: &Circuit, scale: f64, seed: u64) -> Circuit {
+    assert!(scale >= 1.0, "scale factor must be ≥ 1, got {scale}");
+    let n = circuit.gate_count();
+    if n == 0 || scale == 1.0 {
+        let mut c = circuit.clone();
+        c.set_name(format!("{}_fold{scale:.2}", circuit.name()));
+        return c;
+    }
+    // Whole-circuit folds absorb the integer part beyond scale 3: after
+    // k global folds the count is (2k + 1)·n.
+    let k = ((scale - 1.0) / 2.0).floor() as usize;
+    let base = if k > 0 { fold_global(circuit, k) } else { circuit.clone() };
+    // Remaining partial scale achieved by folding single gates of the
+    // (possibly pre-folded) base; each adds 2 gates.
+    let target_gates = scale * n as f64;
+    let num_fold = ((target_gates - base.gate_count() as f64) / 2.0).round() as usize;
+    let num_fold = num_fold.min(base.gate_count());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..base.gate_count()).collect();
+    indices.shuffle(&mut rng);
+    let folded: std::collections::BTreeSet<usize> = indices.into_iter().take(num_fold).collect();
+
+    let mut out = Circuit::with_name(base.width(), format!("{}_fold{scale:.2}", circuit.name()));
+    for (i, &g) in base.gates().iter().enumerate() {
+        out.push(g);
+        if folded.contains(&i) {
+            out.push(g.inverse());
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// The gates added by folding relative to the original, as a ratio —
+/// the *achieved* scale factor.
+pub fn achieved_scale(original: &Circuit, folded: &Circuit) -> f64 {
+    folded.gate_count() as f64 / original.gate_count().max(1) as f64
+}
+
+/// A standard scale-factor ladder `1.0, 1.0 + step, …` of `count`
+/// entries (the paper uses 1 to 2.5 with step 0.5).
+pub fn scale_ladder(count: usize, step: f64) -> Vec<f64> {
+    (0..count).map(|i| 1.0 + i as f64 * step).collect()
+}
+
+/// A self-inverse gate pair cancels in `cancel_adjacent_inverses`; the
+/// noisy executor must **not** cancel folded gates, so folded circuits
+/// are executed with optimization disabled.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_circuit::library;
+    use qucp_sim::noiseless_probabilities;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).t(1).cx(1, 2).ry(2, 0.7).cz(0, 2);
+        c
+    }
+
+    #[test]
+    fn global_fold_triples_gate_count() {
+        let c = sample_circuit();
+        let f = fold_global(&c, 1);
+        assert_eq!(f.gate_count(), 3 * c.gate_count());
+        let f2 = fold_global(&c, 2);
+        assert_eq!(f2.gate_count(), 5 * c.gate_count());
+    }
+
+    #[test]
+    fn global_fold_preserves_unitary() {
+        let c = sample_circuit();
+        let f = fold_global(&c, 2);
+        let p0 = noiseless_probabilities(&c);
+        let p1 = noiseless_probabilities(&f);
+        for (a, b) in p0.iter().zip(&p1) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_fold_hits_target_count() {
+        let c = sample_circuit();
+        for scale in [1.0, 1.5, 2.0, 2.5, 3.0] {
+            let f = fold_gates_at_random(&c, scale, 7);
+            let achieved = achieved_scale(&c, &f);
+            assert!(
+                (achieved - scale).abs() <= 2.0 / c.gate_count() as f64 + 0.34,
+                "scale {scale} achieved {achieved}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_fold_preserves_unitary() {
+        for b in library::all().iter().take(4) {
+            let c = b.circuit();
+            let f = fold_gates_at_random(&c, 2.5, 13);
+            let p0 = noiseless_probabilities(&c);
+            let p1 = noiseless_probabilities(&f);
+            for (a, x) in p0.iter().zip(&p1) {
+                assert!((a - x).abs() < 1e-9, "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn scale_one_is_identity() {
+        let c = sample_circuit();
+        let f = fold_gates_at_random(&c, 1.0, 3);
+        assert_eq!(f.gate_count(), c.gate_count());
+        assert_eq!(f.gates(), c.gates());
+    }
+
+    #[test]
+    fn folding_is_deterministic_per_seed() {
+        let c = sample_circuit();
+        assert_eq!(
+            fold_gates_at_random(&c, 2.0, 5).gates(),
+            fold_gates_at_random(&c, 2.0, 5).gates()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≥ 1")]
+    fn sub_unit_scale_panics() {
+        fold_gates_at_random(&sample_circuit(), 0.5, 1);
+    }
+
+    #[test]
+    fn ladder_matches_paper() {
+        assert_eq!(scale_ladder(4, 0.5), vec![1.0, 1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn empty_circuit_folds_to_empty() {
+        let c = Circuit::new(2);
+        let f = fold_gates_at_random(&c, 2.0, 1);
+        assert!(f.is_empty());
+    }
+}

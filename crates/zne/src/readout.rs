@@ -1,0 +1,183 @@
+//! Measurement (readout) error mitigation — the tensored
+//! assignment-matrix method (Bravyi et al., PRA 103, 042605, cited by
+//! the paper as one of the standard QEM techniques alongside ZNE).
+//!
+//! Each qubit's readout is modelled by the symmetric confusion matrix
+//! `M = [[1−e, e], [e, 1−e]]`; the mitigated distribution applies
+//! `M⁻¹ = 1/(1−2e) · [[1−e, −e], [−e, 1−e]]` per qubit, then clips
+//! negative quasi-probabilities and renormalizes.
+
+use qucp_sim::Counts;
+
+/// Errors from readout mitigation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadoutError {
+    /// A qubit's readout error is ≥ 0.5: the confusion matrix is
+    /// singular (or inverting it flips meaning).
+    Unresolvable {
+        /// The offending qubit.
+        qubit: usize,
+        /// Its readout error.
+        error: f64,
+    },
+    /// Distribution length does not match the error vector.
+    SizeMismatch {
+        /// Length of the distribution.
+        distribution: usize,
+        /// Number of per-qubit errors supplied.
+        qubits: usize,
+    },
+}
+
+impl std::fmt::Display for ReadoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadoutError::Unresolvable { qubit, error } => {
+                write!(f, "readout error {error} on qubit {qubit} is not invertible")
+            }
+            ReadoutError::SizeMismatch { distribution, qubits } => {
+                write!(f, "distribution of {distribution} entries vs {qubits} qubit errors")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadoutError {}
+
+/// Applies the tensored inverse-confusion correction to a distribution.
+///
+/// Negative quasi-probabilities from the inversion are clipped to zero
+/// and the result renormalized (the standard least-effort projection).
+///
+/// # Errors
+///
+/// [`ReadoutError::SizeMismatch`] if `probs.len() != 2^errors.len()`;
+/// [`ReadoutError::Unresolvable`] if any per-qubit error is ≥ 0.5.
+pub fn mitigate_distribution(
+    probs: &[f64],
+    readout_error: &[f64],
+) -> Result<Vec<f64>, ReadoutError> {
+    let n = readout_error.len();
+    if probs.len() != 1usize << n {
+        return Err(ReadoutError::SizeMismatch {
+            distribution: probs.len(),
+            qubits: n,
+        });
+    }
+    for (q, &e) in readout_error.iter().enumerate() {
+        if e >= 0.5 {
+            return Err(ReadoutError::Unresolvable { qubit: q, error: e });
+        }
+    }
+    let mut out = probs.to_vec();
+    for (q, &e) in readout_error.iter().enumerate() {
+        let bit = 1usize << q;
+        let scale = 1.0 / (1.0 - 2.0 * e);
+        let mut next = vec![0.0; out.len()];
+        for (idx, &p) in out.iter().enumerate() {
+            // Row of M⁻¹ for this qubit's bit value.
+            next[idx] += p * (1.0 - e) * scale;
+            next[idx ^ bit] += p * (-e) * scale;
+        }
+        out = next;
+    }
+    // Project back onto the simplex: clip and renormalize.
+    for p in &mut out {
+        if *p < 0.0 {
+            *p = 0.0;
+        }
+    }
+    let total: f64 = out.iter().sum();
+    if total > 0.0 {
+        for p in &mut out {
+            *p /= total;
+        }
+    }
+    Ok(out)
+}
+
+/// Mitigates measured counts given per-qubit readout errors, returning
+/// the corrected distribution.
+///
+/// # Errors
+///
+/// Propagates [`mitigate_distribution`]'s errors.
+pub fn mitigate_counts(counts: &Counts, readout_error: &[f64]) -> Result<Vec<f64>, ReadoutError> {
+    mitigate_distribution(&counts.distribution(), readout_error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_sim::apply_readout_confusion;
+
+    #[test]
+    fn exact_inversion_of_confusion() {
+        // Confuse a known distribution, mitigate, recover it.
+        let ideal = vec![0.6, 0.1, 0.05, 0.25];
+        let errors = [0.08, 0.12];
+        let confused = apply_readout_confusion(&ideal, &errors);
+        let recovered = mitigate_distribution(&confused, &errors).unwrap();
+        for (a, b) in ideal.iter().zip(&recovered) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mitigation_is_identity_without_error() {
+        let probs = vec![0.3, 0.7];
+        let out = mitigate_distribution(&probs, &[0.0]).unwrap();
+        assert!((out[0] - 0.3).abs() < 1e-12);
+        assert!((out[1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_keeps_simplex() {
+        // A distribution that inversion pushes negative.
+        let probs = vec![0.02, 0.98];
+        let out = mitigate_distribution(&probs, &[0.3]).unwrap();
+        assert!(out.iter().all(|&p| p >= 0.0));
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Mass moves toward |1⟩.
+        assert!(out[1] > 0.98);
+    }
+
+    #[test]
+    fn unresolvable_error_rejected() {
+        let err = mitigate_distribution(&[0.5, 0.5], &[0.5]).unwrap_err();
+        assert!(matches!(err, ReadoutError::Unresolvable { qubit: 0, .. }));
+        assert!(err.to_string().contains("not invertible"));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let err = mitigate_distribution(&[0.5, 0.5, 0.0], &[0.1]).unwrap_err();
+        assert!(matches!(err, ReadoutError::SizeMismatch { .. }));
+    }
+
+    #[test]
+    fn counts_interface() {
+        let mut counts = Counts::new(1);
+        for _ in 0..90 {
+            counts.record(0);
+        }
+        for _ in 0..10 {
+            counts.record(1);
+        }
+        // True state |0⟩ with 10% readout error: mitigation should push
+        // probability of 0 toward 1.
+        let out = mitigate_counts(&counts, &[0.1]).unwrap();
+        assert!(out[0] > 0.95, "p0 = {}", out[0]);
+    }
+
+    #[test]
+    fn round_trip_three_qubits() {
+        let ideal = vec![0.4, 0.0, 0.1, 0.0, 0.25, 0.05, 0.0, 0.2];
+        let errors = [0.05, 0.1, 0.02];
+        let confused = apply_readout_confusion(&ideal, &errors);
+        let recovered = mitigate_distribution(&confused, &errors).unwrap();
+        for (a, b) in ideal.iter().zip(&recovered) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for folding, extrapolation, and readout
+//! mitigation.
+
+use proptest::prelude::*;
+use qucp_circuit::{Circuit, Gate};
+use qucp_sim::{apply_readout_confusion, noiseless_probabilities};
+use qucp_zne::{achieved_scale, fold_gates_at_random, mitigate_distribution, Factory};
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    let gate = prop_oneof![
+        (0usize..3).prop_map(Gate::H),
+        (0usize..3).prop_map(Gate::T),
+        (0usize..3, -3.0..3.0f64).prop_map(|(q, a)| Gate::Ry(q, a)),
+        ((0usize..3), (0usize..3))
+            .prop_filter("distinct", |(a, b)| a != b)
+            .prop_map(|(a, b)| Gate::Cx(a, b)),
+    ];
+    proptest::collection::vec(gate, 1..25).prop_map(|gates| {
+        let mut c = Circuit::new(3);
+        for g in gates {
+            c.push(g);
+        }
+        c
+    })
+}
+
+fn arb_distribution(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..1.0f64, 1 << n).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        if s == 0.0 {
+            v[0] = 1.0;
+        } else {
+            for x in &mut v {
+                *x /= s;
+            }
+        }
+        v
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn folding_preserves_semantics(c in arb_circuit(), scale in 1.0..3.0f64, seed in 0u64..100) {
+        let folded = fold_gates_at_random(&c, scale, seed);
+        let p0 = noiseless_probabilities(&c);
+        let p1 = noiseless_probabilities(&folded);
+        for (a, b) in p0.iter().zip(&p1) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn folding_reaches_target_scale(c in arb_circuit(), scale in 1.0..3.0f64, seed in 0u64..100) {
+        let folded = fold_gates_at_random(&c, scale, seed);
+        let achieved = achieved_scale(&c, &folded);
+        // Each fold adds 2 gates: quantization error ≤ 1 fold plus
+        // rounding of the target count.
+        let tol = 2.0 / c.gate_count() as f64 + 1e-9;
+        prop_assert!((achieved - scale).abs() <= tol + 0.5,
+            "scale {scale} achieved {achieved} (n = {})", c.gate_count());
+        prop_assert!(achieved >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn linear_extrapolation_exact_on_lines(intercept in -1.0..1.0f64, slope in -0.5..0.5f64) {
+        let samples: Vec<(f64, f64)> = [1.0, 1.5, 2.0, 2.5]
+            .iter()
+            .map(|&x| (x, intercept + slope * x))
+            .collect();
+        let v = Factory::Linear.extrapolate(&samples).unwrap();
+        prop_assert!((v - intercept).abs() < 1e-8);
+        // Richardson interpolates exactly through any polynomial data.
+        let r = Factory::Richardson.extrapolate(&samples).unwrap();
+        prop_assert!((r - intercept).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poly2_exact_on_quadratics(a in -1.0..1.0f64, b in -0.5..0.5f64, c in -0.2..0.2f64) {
+        let samples: Vec<(f64, f64)> = [1.0, 1.5, 2.0, 2.5]
+            .iter()
+            .map(|&x| (x, a + b * x + c * x * x))
+            .collect();
+        let v = Factory::Poly(2).extrapolate(&samples).unwrap();
+        prop_assert!((v - a).abs() < 1e-7);
+    }
+
+    #[test]
+    fn readout_mitigation_inverts_confusion(
+        ideal in arb_distribution(3),
+        e0 in 0.0..0.35f64,
+        e1 in 0.0..0.35f64,
+        e2 in 0.0..0.35f64,
+    ) {
+        let errors = [e0, e1, e2];
+        let confused = apply_readout_confusion(&ideal, &errors);
+        let recovered = mitigate_distribution(&confused, &errors).unwrap();
+        for (a, b) in ideal.iter().zip(&recovered) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mitigated_output_is_a_distribution(
+        measured in arb_distribution(2),
+        e0 in 0.0..0.45f64,
+        e1 in 0.0..0.45f64,
+    ) {
+        let out = mitigate_distribution(&measured, &[e0, e1]).unwrap();
+        prop_assert!(out.iter().all(|&p| p >= 0.0));
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

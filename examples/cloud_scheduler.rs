@@ -1,0 +1,64 @@
+//! Cloud-queue scenario: a burst of small jobs arrives at a shared
+//! 27-qubit device (the Sec. I motivation — "it takes several days to
+//! get the result on IBM public chips"). Compare dedicated service with
+//! multi-programmed service, then run one actual packed batch through
+//! the QuCP pipeline to show the fidelity price paid.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --example cloud_scheduler
+//! ```
+
+use qucp_circuit::library;
+use qucp_core::queue::{simulate_queue, synthetic_workload};
+use qucp_core::{execute_parallel, strategy, ParallelConfig};
+use qucp_device::ibm;
+use qucp_sim::ExecutionConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- queue-level view -------------------------------------------------
+    let jobs = synthetic_workload(100, 7);
+    println!("100 queued jobs (2-6 qubits each) on a 27-qubit device\n");
+    println!("{:<14} {:>12} {:>12} {:>12}", "mode", "mean wait", "makespan", "throughput");
+    for (label, k) in [("dedicated", 1usize), ("pack 2", 2), ("pack 4", 4)] {
+        let s = simulate_queue(&jobs, 27, k);
+        println!(
+            "{label:<14} {:>12.1} {:>12.1} {:>11.1}%",
+            s.mean_waiting,
+            s.makespan,
+            100.0 * s.mean_throughput
+        );
+    }
+
+    // --- circuit-level view: what one packed batch actually costs ---------
+    println!("\nOne packed batch of three users' circuits under QuCP:\n");
+    let device = ibm::toronto();
+    let programs = vec![
+        library::by_name("fredkin").unwrap().circuit(),
+        library::by_name("linearsolver").unwrap().circuit(),
+        library::by_name("bell").unwrap().circuit(),
+    ];
+    let batch = execute_parallel(
+        &device,
+        &programs,
+        &strategy::qucp(4.0),
+        &ParallelConfig {
+            execution: ExecutionConfig::default().with_shots(4096),
+            optimize: true,
+        },
+    )?;
+    for r in &batch.programs {
+        println!(
+            "  {:<14} JSD {:.3}{}",
+            r.name,
+            r.jsd,
+            r.pst.map_or(String::new(), |p| format!("  PST {p:.3}")),
+        );
+    }
+    println!(
+        "\nbatch throughput {:.1}%, runtime reduction {:.1}x, conflicts {}",
+        100.0 * batch.throughput,
+        batch.runtime_reduction(),
+        batch.conflict_count
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Error-mitigation scenario (paper Sec. IV-D): zero-noise extrapolation
+//! with the folded circuits executed in one parallel batch via QuCP,
+//! reducing the ZNE job overhead to a single execution.
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --example zne_mitigation
+//! ```
+
+use qucp_circuit::library;
+use qucp_core::strategy;
+use qucp_device::ibm;
+use qucp_zne::{fold_gates_at_random, run_zne_comparison, scale_ladder, ZneExperiment};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = ibm::manhattan();
+    let circuit = library::by_name("fredkin").unwrap().circuit();
+    println!("benchmark: {circuit}");
+
+    // Show the folded ladder.
+    for &s in &scale_ladder(4, 0.5) {
+        let folded = fold_gates_at_random(&circuit, s, 1);
+        println!(
+            "  scale {s:.1}: {} gates ({} CNOTs)",
+            folded.gate_count(),
+            folded.cx_count()
+        );
+    }
+
+    let exp = ZneExperiment {
+        shots: 8192,
+        seed: 3,
+        strategy: strategy::qucp(4.0),
+        ..ZneExperiment::default()
+    };
+    let out = run_zne_comparison(&device, &circuit, &exp)?;
+
+    println!();
+    println!("ideal <Z...Z>                 : {:+.4}", out.ideal);
+    println!("absolute error, no mitigation : {:.4}", out.baseline_error);
+    println!(
+        "absolute error, QuCP+ZNE      : {:.4}  (winner: {}, {} circuits in ONE job)",
+        out.parallel_error, out.parallel_factory, out.num_circuits
+    );
+    println!(
+        "absolute error, serial ZNE    : {:.4}  (winner: {}, {} separate jobs)",
+        out.independent_error, out.independent_factory, out.num_circuits
+    );
+    println!(
+        "\nQuCP+ZNE cuts the unmitigated error {:.1}x while keeping the job count at 1.",
+        out.baseline_error / out.parallel_error.max(1e-9)
+    );
+    Ok(())
+}
