@@ -15,7 +15,14 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
 
     group.bench_function("plan_only_qucp", |b| {
-        b.iter(|| black_box(plan_workload(&device, &programs, &strategy::qucp(4.0), true)))
+        b.iter(|| {
+            black_box(plan_workload(
+                &device,
+                &programs,
+                &strategy::qucp(4.0),
+                true,
+            ))
+        })
     });
 
     for (name, strat) in [("qucp", strategy::qucp(4.0)), ("cna", strategy::cna())] {

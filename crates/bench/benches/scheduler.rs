@@ -1,0 +1,55 @@
+//! Criterion benchmark: batch-scheduler throughput (jobs served per
+//! second of wall clock) at 1/2/4-way packing, plus the planning-only
+//! cost of batch formation.
+//!
+//! Dedicated (1-way) service is the baseline the paper argues against;
+//! the interesting read-out is how much wall-clock the *runtime itself*
+//! gains from co-scheduling, on top of the simulated-hardware gains the
+//! queue stats report.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qucp_core::strategy;
+use qucp_device::ibm;
+use qucp_runtime::{synthetic_jobs, BatchScheduler, ExecutionMode, RuntimeConfig};
+use std::hint::black_box;
+
+fn cfg(max_parallel: usize, mode: ExecutionMode) -> RuntimeConfig {
+    RuntimeConfig {
+        max_parallel,
+        fidelity_threshold: None,
+        seed: 0xBE7C,
+        optimize: true,
+        mode,
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let jobs = synthetic_jobs(12, 300.0, 256, 0xBE7C);
+    let mut group = c.benchmark_group("scheduler");
+    group.sample_size(10);
+
+    for k in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("throughput", k), &k, |b, &k| {
+            let scheduler = BatchScheduler::new(
+                ibm::toronto(),
+                strategy::qucp(4.0),
+                cfg(k, ExecutionMode::Concurrent),
+            );
+            b.iter(|| black_box(scheduler.run(&jobs).expect("run")))
+        });
+    }
+
+    // Concurrency gain at fixed packing: serial vs threaded batches.
+    group.bench_function("serial_4way", |b| {
+        let scheduler = BatchScheduler::new(
+            ibm::toronto(),
+            strategy::qucp(4.0),
+            cfg(4, ExecutionMode::Serial),
+        );
+        b.iter(|| black_box(scheduler.run(&jobs).expect("run")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -9,9 +9,7 @@
 use qucp_bench::EXPERIMENT_SEED;
 use qucp_circuit::library;
 use qucp_core::report::{fix, Table};
-use qucp_core::{
-    allocate_partitions, initial_mapping, route, CrosstalkTreatment, PartitionPolicy,
-};
+use qucp_core::{allocate_partitions, initial_mapping, route, CrosstalkTreatment, PartitionPolicy};
 use qucp_device::ibm;
 use qucp_sim::{
     ideal_outcome, metrics, noiseless_probabilities, run_noisy, ExecutionConfig, NoiseScaling,
@@ -19,7 +17,10 @@ use qucp_sim::{
 
 fn main() {
     let device = ibm::toronto();
-    println!("Ablation A2: noise-aware vs trivial initial mapping ({})\n", device.name());
+    println!(
+        "Ablation A2: noise-aware vs trivial initial mapping ({})\n",
+        device.name()
+    );
     let mut t = Table::new(&[
         "benchmark",
         "swaps (HA)",
@@ -57,7 +58,9 @@ fn main() {
             let logical = mp.to_logical_counts(&counts);
             match ideal_outcome(&circuit) {
                 Some(target) => logical.probability(target),
-                None => 1.0 - metrics::jsd(&logical.distribution(), &noiseless_probabilities(&circuit)),
+                None => {
+                    1.0 - metrics::jsd(&logical.distribution(), &noiseless_probabilities(&circuit))
+                }
             }
         };
         t.row_owned(vec![

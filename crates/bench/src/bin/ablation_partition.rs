@@ -30,7 +30,10 @@ fn main() {
         strategy::cna_serialized(),
     ];
 
-    println!("Ablation A1: strategy comparison on all 16 Fig. 3 workloads ({})\n", device.name());
+    println!(
+        "Ablation A1: strategy comparison on all 16 Fig. 3 workloads ({})\n",
+        device.name()
+    );
     let mut t = Table::new(&[
         "strategy",
         "mean EFS",

@@ -22,15 +22,18 @@ fn main() {
             .with_seed(EXPERIMENT_SEED),
         optimize: true,
     };
-    println!("Ablation A5: readout mitigation on top of QuCP ({})\n", device.name());
+    println!(
+        "Ablation A5: readout mitigation on top of QuCP ({})\n",
+        device.name()
+    );
     let mut t = Table::new(&["workload", "raw PST", "mitigated PST", "gain"]);
     let mut raw_sum = 0.0;
     let mut mit_sum = 0.0;
     let mut n = 0usize;
     for combo in &FIG3B_COMBOS[..6] {
         let programs = combo_circuits(combo);
-        let out = execute_parallel(&device, &programs, &strategy::qucp(4.0), &cfg)
-            .expect("parallel run");
+        let out =
+            execute_parallel(&device, &programs, &strategy::qucp(4.0), &cfg).expect("parallel run");
         let mut raw_pst = 0.0;
         let mut mit_pst = 0.0;
         for (result, program) in out.programs.iter().zip(&programs) {

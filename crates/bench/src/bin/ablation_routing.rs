@@ -11,15 +11,20 @@ use qucp_bench::EXPERIMENT_SEED;
 use qucp_circuit::library;
 use qucp_core::report::{fix, Table};
 use qucp_core::{
-    allocate_partitions, initial_mapping, route, route_sabre, CrosstalkTreatment,
-    MappedProgram, PartitionPolicy, SabreOptions,
+    allocate_partitions, initial_mapping, route, route_sabre, CrosstalkTreatment, MappedProgram,
+    PartitionPolicy, SabreOptions,
 };
 use qucp_device::ibm;
 use qucp_sim::{
     ideal_outcome, metrics, noiseless_probabilities, run_noisy, ExecutionConfig, NoiseScaling,
 };
 
-fn fidelity(device: &qucp_device::Device, original: &qucp_circuit::Circuit, mp: &MappedProgram, seed: u64) -> f64 {
+fn fidelity(
+    device: &qucp_device::Device,
+    original: &qucp_circuit::Circuit,
+    mp: &MappedProgram,
+    seed: u64,
+) -> f64 {
     let cfg = ExecutionConfig::default().with_shots(4096).with_seed(seed);
     let counts = run_noisy(
         &mp.circuit,
@@ -38,7 +43,10 @@ fn fidelity(device: &qucp_device::Device, original: &qucp_circuit::Circuit, mp: 
 
 fn main() {
     let device = ibm::toronto();
-    println!("Ablation A6: shortest-path vs SABRE-lookahead routing ({})\n", device.name());
+    println!(
+        "Ablation A6: shortest-path vs SABRE-lookahead routing ({})\n",
+        device.name()
+    );
     let mut t = Table::new(&[
         "benchmark",
         "swaps (greedy)",
@@ -59,7 +67,13 @@ fn main() {
         let partition = &allocs[0].qubits;
         let initial = initial_mapping(&device, partition, &circuit);
         let greedy = route(&device, partition, &circuit, &initial, |_| 0.0);
-        let sabre = route_sabre(&device, partition, &circuit, &initial, &SabreOptions::default());
+        let sabre = route_sabre(
+            &device,
+            partition,
+            &circuit,
+            &initial,
+            &SabreOptions::default(),
+        );
         greedy_swaps += greedy.swap_count;
         sabre_swaps += sabre.swap_count;
         let seed = EXPERIMENT_SEED ^ b.name.len() as u64;
@@ -72,8 +86,6 @@ fn main() {
         ]);
     }
     print!("{t}");
-    println!(
-        "\nTotal swaps: greedy {greedy_swaps} vs SABRE {sabre_swaps} — lookahead lets one",
-    );
+    println!("\nTotal swaps: greedy {greedy_swaps} vs SABRE {sabre_swaps} — lookahead lets one",);
     println!("SWAP serve several pending gates (fidelity = PST or 1 - JSD).");
 }

@@ -17,7 +17,10 @@ use qucp_srb::{run_campaign, RbConfig};
 
 fn main() {
     let device = ibm::toronto();
-    println!("Ablation A4: QuMC from a real SRB campaign ({})\n", device.name());
+    println!(
+        "Ablation A4: QuMC from a real SRB campaign ({})\n",
+        device.name()
+    );
 
     let rb_cfg = RbConfig {
         lengths: vec![2, 8, 16, 32, 48],
@@ -39,7 +42,10 @@ fn main() {
 
     let strategies = [
         ("QuMC (SRB-measured)", strategy::qumc(srb_map)),
-        ("QuMC (ground truth)", strategy::qumc_with_ground_truth(&device)),
+        (
+            "QuMC (ground truth)",
+            strategy::qumc_with_ground_truth(&device),
+        ),
         ("QuCP (sigma = 4)", strategy::qucp(4.0)),
     ];
     let cfg = ParallelConfig {

@@ -6,7 +6,9 @@
 //! cargo run --release -p qucp-bench --bin fig3
 //! ```
 
-use qucp_bench::{combo_circuits, combo_label, EXPERIMENT_SEED, FIG3A_COMBOS, FIG3B_COMBOS, PAPER_SHOTS};
+use qucp_bench::{
+    combo_circuits, combo_label, EXPERIMENT_SEED, FIG3A_COMBOS, FIG3B_COMBOS, PAPER_SHOTS,
+};
 use qucp_core::report::{fix, Table};
 use qucp_core::{execute_parallel, strategy, ParallelConfig};
 use qucp_device::ibm;
@@ -23,7 +25,10 @@ fn main() {
     let qucp = strategy::qucp(4.0);
     let cna = strategy::cna();
 
-    println!("Fig. 3a: JSD of three simultaneous circuits on {} (lower is better)\n", device.name());
+    println!(
+        "Fig. 3a: JSD of three simultaneous circuits on {} (lower is better)\n",
+        device.name()
+    );
     let mut ta = Table::new(&["benchmarks", "QuCP", "CNA"]);
     let mut qucp_jsd = Vec::new();
     let mut cna_jsd = Vec::new();
@@ -42,8 +47,12 @@ fn main() {
     print!("{ta}");
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let jsd_gain = 100.0 * (mean(&cna_jsd) - mean(&qucp_jsd)) / mean(&cna_jsd);
-    println!("\nMean JSD: QuCP {:.3} vs CNA {:.3} -> {:.1}% improvement (paper: 10.5%)\n",
-        mean(&qucp_jsd), mean(&cna_jsd), jsd_gain);
+    println!(
+        "\nMean JSD: QuCP {:.3} vs CNA {:.3} -> {:.1}% improvement (paper: 10.5%)\n",
+        mean(&qucp_jsd),
+        mean(&cna_jsd),
+        jsd_gain
+    );
 
     println!("Fig. 3b: PST of three simultaneous circuits (higher is better)\n");
     let mut tb = Table::new(&["benchmarks", "QuCP", "CNA"]);
@@ -63,6 +72,10 @@ fn main() {
     }
     print!("{tb}");
     let pst_gain = 100.0 * (mean(&qucp_pst) - mean(&cna_pst)) / mean(&cna_pst);
-    println!("\nMean PST: QuCP {:.3} vs CNA {:.3} -> {:.1}% improvement (paper: 89.9%)",
-        mean(&qucp_pst), mean(&cna_pst), pst_gain);
+    println!(
+        "\nMean PST: QuCP {:.3} vs CNA {:.3} -> {:.1}% improvement (paper: 89.9%)",
+        mean(&qucp_pst),
+        mean(&cna_pst),
+        pst_gain
+    );
 }

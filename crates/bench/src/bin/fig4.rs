@@ -38,7 +38,11 @@ fn main() {
         let mut thresholds = vec![0.0f64];
         for k in 1..6 {
             let lo = diffs[k];
-            let hi = if k + 1 < diffs.len() { diffs[k + 1] } else { lo + 1.0 };
+            let hi = if k + 1 < diffs.len() {
+                diffs[k + 1]
+            } else {
+                lo + 1.0
+            };
             thresholds.push(lo.midpoint(hi.max(lo + 1e-6)));
         }
         // Average the measured PST over three execution seeds to smooth
@@ -65,11 +69,7 @@ fn main() {
             "EFS difference",
         ]);
         for (i, p) in points.iter().enumerate() {
-            let pst = runs
-                .iter()
-                .filter_map(|r| r[i].mean_pst)
-                .sum::<f64>()
-                / runs.len() as f64;
+            let pst = runs.iter().filter_map(|r| r[i].mean_pst).sum::<f64>() / runs.len() as f64;
             t.row_owned(vec![
                 fix(p.threshold, 4),
                 p.parallel_count.to_string(),

@@ -12,13 +12,25 @@ use qucp_core::report::{fix, pct, Table};
 fn main() {
     println!("Fig. 1 motivation: one vs two 4-qubit circuits on IBM Q 16 Melbourne\n");
     let two_jobs: Vec<QueuedJob> = (0..2)
-        .map(|_| QueuedJob { arrival: 0.0, qubits: 4, duration: 1.0 })
+        .map(|_| QueuedJob {
+            arrival: 0.0,
+            qubits: 4,
+            duration: 1.0,
+        })
         .collect();
-    let solo = simulate_queue(&two_jobs, 15, 1);
-    let dual = simulate_queue(&two_jobs, 15, 2);
+    let solo = simulate_queue(&two_jobs, 15, 1).expect("queue");
+    let dual = simulate_queue(&two_jobs, 15, 2).expect("queue");
     let mut t = Table::new(&["mode", "throughput", "total runtime"]);
-    t.row_owned(vec!["one circuit".into(), pct(solo.mean_throughput), fix(solo.makespan, 1)]);
-    t.row_owned(vec!["two in parallel".into(), pct(dual.mean_throughput), fix(dual.makespan, 1)]);
+    t.row_owned(vec![
+        "one circuit".into(),
+        pct(solo.mean_throughput),
+        fix(solo.makespan, 1),
+    ]);
+    t.row_owned(vec![
+        "two in parallel".into(),
+        pct(dual.mean_throughput),
+        fix(dual.makespan, 1),
+    ]);
     print!("{t}");
     println!("\n(paper: 26.7% -> 53.3% utilization, total runtime halved)\n");
 
@@ -33,7 +45,7 @@ fn main() {
         "batches",
     ]);
     for k in [1usize, 2, 3, 4, 6] {
-        let s = simulate_queue(&jobs, 27, k);
+        let s = simulate_queue(&jobs, 27, k).expect("queue");
         t.row_owned(vec![
             k.to_string(),
             fix(s.mean_waiting, 1),

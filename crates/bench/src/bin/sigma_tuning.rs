@@ -78,8 +78,7 @@ fn main() {
         let mut agree = 0usize;
         let mut gap = 0.0;
         let mut xtalk_pairs = 0usize;
-        for ((w, reference_partitions), &qq) in
-            workloads.iter().zip(&reference).zip(&qumc_quality)
+        for ((w, reference_partitions), &qq) in workloads.iter().zip(&reference).zip(&qumc_quality)
         {
             let (_, allocs, _) = plan_workload(&device, w, &strat, true).expect("qucp plan");
             let partitions: Vec<Vec<usize>> = allocs.iter().map(|a| a.qubits.clone()).collect();

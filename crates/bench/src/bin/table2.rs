@@ -10,7 +10,14 @@ use qucp_sim::ideal_outcome;
 
 fn main() {
     println!("Table II: Information of benchmarks\n");
-    let mut t = Table::new(&["Benchmark", "Qubits", "Gates", "CX", "Result", "Ideal output"]);
+    let mut t = Table::new(&[
+        "Benchmark",
+        "Qubits",
+        "Gates",
+        "CX",
+        "Result",
+        "Ideal output",
+    ]);
     for b in library::all() {
         let c = b.circuit();
         let result = match b.result {

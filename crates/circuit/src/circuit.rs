@@ -513,10 +513,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).t(0).cx(0, 1);
         let inv = c.inverse();
-        assert_eq!(
-            inv.gates(),
-            &[Gate::Cx(0, 1), Gate::Tdg(0), Gate::H(0)]
-        );
+        assert_eq!(inv.gates(), &[Gate::Cx(0, 1), Gate::Tdg(0), Gate::H(0)]);
         assert_eq!(inv.name(), "circuit_dg");
     }
 

@@ -42,7 +42,10 @@ impl fmt::Display for CircuitError {
                 write!(f, "two-qubit gate uses qubit {qubit} twice")
             }
             CircuitError::WidthMismatch { expected, found } => {
-                write!(f, "circuit width mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "circuit width mismatch: expected {expected}, found {found}"
+                )
             }
             CircuitError::InvalidMapping { reason } => {
                 write!(f, "invalid qubit mapping: {reason}")
@@ -63,9 +66,14 @@ mod tests {
         assert_eq!(e.to_string(), "qubit index 5 out of range for width 3");
         let e = CircuitError::DuplicateQubit { qubit: 2 };
         assert_eq!(e.to_string(), "two-qubit gate uses qubit 2 twice");
-        let e = CircuitError::WidthMismatch { expected: 4, found: 6 };
+        let e = CircuitError::WidthMismatch {
+            expected: 4,
+            found: 6,
+        };
         assert!(e.to_string().contains("expected 4"));
-        let e = CircuitError::InvalidMapping { reason: "not injective".into() };
+        let e = CircuitError::InvalidMapping {
+            reason: "not injective".into(),
+        };
         assert!(e.to_string().contains("not injective"));
     }
 

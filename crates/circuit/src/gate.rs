@@ -30,12 +30,18 @@ pub struct Qubits {
 impl Qubits {
     /// Operand list of a one-qubit gate.
     pub fn one(q: usize) -> Self {
-        Qubits { buf: [q, 0], len: 1 }
+        Qubits {
+            buf: [q, 0],
+            len: 1,
+        }
     }
 
     /// Operand list of a two-qubit gate.
     pub fn two(a: usize, b: usize) -> Self {
-        Qubits { buf: [a, b], len: 2 }
+        Qubits {
+            buf: [a, b],
+            len: 2,
+        }
     }
 
     /// The operands as a slice, in gate-argument order.
@@ -192,7 +198,11 @@ impl Gate {
     /// Euler angles carried by the gate, if any.
     pub fn params(&self) -> Vec<f64> {
         match *self {
-            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) | Gate::P(_, t) | Gate::Cp(_, _, t) => {
+            Gate::Rx(_, t)
+            | Gate::Ry(_, t)
+            | Gate::Rz(_, t)
+            | Gate::P(_, t)
+            | Gate::Cp(_, _, t) => {
                 vec![t]
             }
             Gate::U(_, t, p, l) => vec![t, p, l],
@@ -237,9 +247,11 @@ impl Gate {
             | Gate::Cx(..)
             | Gate::Cz(..)
             | Gate::Swap(..) => true,
-            Gate::Rx(_, t) | Gate::Ry(_, t) | Gate::Rz(_, t) | Gate::P(_, t) | Gate::Cp(_, _, t) => {
-                t.abs() < ANGLE_EPS
-            }
+            Gate::Rx(_, t)
+            | Gate::Ry(_, t)
+            | Gate::Rz(_, t)
+            | Gate::P(_, t)
+            | Gate::Cp(_, _, t) => t.abs() < ANGLE_EPS,
             _ => false,
         }
     }
@@ -449,7 +461,10 @@ mod tests {
         assert_eq!(Gate::Cx(1, 2).to_string(), "cx q[1],q[2];");
         assert_eq!(Gate::Rz(0, PI / 2.0).to_string(), "rz(pi/2) q[0];");
         assert_eq!(Gate::Rz(0, -PI).to_string(), "rz(-pi) q[0];");
-        assert_eq!(Gate::U(0, PI, 0.0, PI).to_string(), "u3(pi,0.000000000000,pi) q[0];");
+        assert_eq!(
+            Gate::U(0, PI, 0.0, PI).to_string(),
+            "u3(pi,0.000000000000,pi) q[0];"
+        );
     }
 
     #[test]

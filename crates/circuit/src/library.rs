@@ -375,56 +375,88 @@ pub const TABLE2: [Benchmark; 8] = [
         name: "adder",
         short_name: "adder",
         result: ResultKind::Deterministic,
-        stats: BenchmarkStats { qubits: 4, gates: 23, cx: 10 },
+        stats: BenchmarkStats {
+            qubits: 4,
+            gates: 23,
+            cx: 10,
+        },
         qasm: ADDER_QASM,
     },
     Benchmark {
         name: "linearsolver",
         short_name: "lin",
         result: ResultKind::Distribution,
-        stats: BenchmarkStats { qubits: 3, gates: 19, cx: 4 },
+        stats: BenchmarkStats {
+            qubits: 3,
+            gates: 19,
+            cx: 4,
+        },
         qasm: LINEARSOLVER_QASM,
     },
     Benchmark {
         name: "4mod5-v1_22",
         short_name: "4mod",
         result: ResultKind::Deterministic,
-        stats: BenchmarkStats { qubits: 5, gates: 21, cx: 11 },
+        stats: BenchmarkStats {
+            qubits: 5,
+            gates: 21,
+            cx: 11,
+        },
         qasm: FOURMOD5_QASM,
     },
     Benchmark {
         name: "fredkin",
         short_name: "fred",
         result: ResultKind::Deterministic,
-        stats: BenchmarkStats { qubits: 3, gates: 19, cx: 8 },
+        stats: BenchmarkStats {
+            qubits: 3,
+            gates: 19,
+            cx: 8,
+        },
         qasm: FREDKIN_QASM,
     },
     Benchmark {
         name: "qec_en",
         short_name: "qec",
         result: ResultKind::Distribution,
-        stats: BenchmarkStats { qubits: 5, gates: 25, cx: 10 },
+        stats: BenchmarkStats {
+            qubits: 5,
+            gates: 25,
+            cx: 10,
+        },
         qasm: QEC_EN_QASM,
     },
     Benchmark {
         name: "alu-v0_27",
         short_name: "alu",
         result: ResultKind::Deterministic,
-        stats: BenchmarkStats { qubits: 5, gates: 36, cx: 17 },
+        stats: BenchmarkStats {
+            qubits: 5,
+            gates: 36,
+            cx: 17,
+        },
         qasm: ALU_QASM,
     },
     Benchmark {
         name: "bell",
         short_name: "bell",
         result: ResultKind::Distribution,
-        stats: BenchmarkStats { qubits: 4, gates: 33, cx: 7 },
+        stats: BenchmarkStats {
+            qubits: 4,
+            gates: 33,
+            cx: 7,
+        },
         qasm: BELL_QASM,
     },
     Benchmark {
         name: "variation",
         short_name: "var",
         result: ResultKind::Distribution,
-        stats: BenchmarkStats { qubits: 4, gates: 54, cx: 16 },
+        stats: BenchmarkStats {
+            qubits: 4,
+            gates: 54,
+            cx: 16,
+        },
         qasm: VARIATION_QASM,
     },
 ];
@@ -587,13 +619,28 @@ mod tests {
     #[test]
     fn result_kind_classification() {
         assert_eq!(by_name("adder").unwrap().result, ResultKind::Deterministic);
-        assert_eq!(by_name("fredkin").unwrap().result, ResultKind::Deterministic);
-        assert_eq!(by_name("4mod5-v1_22").unwrap().result, ResultKind::Deterministic);
-        assert_eq!(by_name("alu-v0_27").unwrap().result, ResultKind::Deterministic);
+        assert_eq!(
+            by_name("fredkin").unwrap().result,
+            ResultKind::Deterministic
+        );
+        assert_eq!(
+            by_name("4mod5-v1_22").unwrap().result,
+            ResultKind::Deterministic
+        );
+        assert_eq!(
+            by_name("alu-v0_27").unwrap().result,
+            ResultKind::Deterministic
+        );
         assert_eq!(by_name("bell").unwrap().result, ResultKind::Distribution);
-        assert_eq!(by_name("linearsolver").unwrap().result, ResultKind::Distribution);
+        assert_eq!(
+            by_name("linearsolver").unwrap().result,
+            ResultKind::Distribution
+        );
         assert_eq!(by_name("qec_en").unwrap().result, ResultKind::Distribution);
-        assert_eq!(by_name("variation").unwrap().result, ResultKind::Distribution);
+        assert_eq!(
+            by_name("variation").unwrap().result,
+            ResultKind::Distribution
+        );
     }
 
     #[test]

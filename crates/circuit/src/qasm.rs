@@ -48,8 +48,14 @@ impl fmt::Display for QasmError {
             QasmError::Syntax { statement, message } => {
                 write!(f, "syntax error in statement {statement}: {message}")
             }
-            QasmError::UnknownQubit { statement, reference } => {
-                write!(f, "unknown qubit reference {reference} in statement {statement}")
+            QasmError::UnknownQubit {
+                statement,
+                reference,
+            } => {
+                write!(
+                    f,
+                    "unknown qubit reference {reference} in statement {statement}"
+                )
             }
             QasmError::UnsupportedGate { statement, name } => {
                 write!(f, "unsupported gate `{name}` in statement {statement}")
@@ -143,11 +149,7 @@ pub fn parse_qasm(source: &str) -> Result<Circuit, QasmError> {
                 reference: format!("{}[{}]", reference.register, reference.index),
             })
         };
-        let qubits: Vec<usize> = g
-            .qubits
-            .iter()
-            .map(&resolve)
-            .collect::<Result<_, _>>()?;
+        let qubits: Vec<usize> = g.qubits.iter().map(&resolve).collect::<Result<_, _>>()?;
         emit_gate(&mut circuit, &g, &qubits)?;
     }
     Ok(circuit)
@@ -220,12 +222,12 @@ fn parse_gate_statement(stmt: &str, statement: usize) -> Result<PendingGate, Qas
                 })?;
                 (&stmt[..close + 1], &stmt[close + 1..])
             } else {
-                let pos = stmt
-                    .find(|c: char| c.is_whitespace())
-                    .ok_or_else(|| QasmError::Syntax {
-                        statement,
-                        message: "gate without operands".to_string(),
-                    })?;
+                let pos =
+                    stmt.find(|c: char| c.is_whitespace())
+                        .ok_or_else(|| QasmError::Syntax {
+                            statement,
+                            message: "gate without operands".to_string(),
+                        })?;
                 (&stmt[..pos], &stmt[pos..])
             }
         }
@@ -299,15 +301,15 @@ fn parse_qubit_ref(text: &str, statement: usize) -> Result<QubitRef, QasmError> 
     Ok(QubitRef { register, index })
 }
 
-fn emit_gate(
-    circuit: &mut Circuit,
-    g: &PendingGate,
-    q: &[usize],
-) -> Result<(), QasmError> {
+fn emit_gate(circuit: &mut Circuit, g: &PendingGate, q: &[usize]) -> Result<(), QasmError> {
     let statement = g.statement;
     let arity_err = |want: usize| QasmError::Syntax {
         statement,
-        message: format!("gate `{}` expects {want} qubit(s), found {}", g.name, q.len()),
+        message: format!(
+            "gate `{}` expects {want} qubit(s), found {}",
+            g.name,
+            q.len()
+        ),
     };
     let param_err = |want: usize| QasmError::Syntax {
         statement,

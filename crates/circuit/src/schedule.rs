@@ -330,9 +330,21 @@ mod tests {
 
     #[test]
     fn overlap_detection() {
-        let a = ScheduledGate { gate_index: 0, start: 0.0, duration: 10.0 };
-        let b = ScheduledGate { gate_index: 1, start: 5.0, duration: 10.0 };
-        let c = ScheduledGate { gate_index: 2, start: 10.0, duration: 5.0 };
+        let a = ScheduledGate {
+            gate_index: 0,
+            start: 0.0,
+            duration: 10.0,
+        };
+        let b = ScheduledGate {
+            gate_index: 1,
+            start: 5.0,
+            duration: 10.0,
+        };
+        let c = ScheduledGate {
+            gate_index: 2,
+            start: 10.0,
+            duration: 5.0,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

@@ -29,6 +29,10 @@ pub struct WorkloadContext {
     pub conflict_count: usize,
     /// Merged makespan (ns): the longest program's schedule.
     pub makespan: f64,
+    /// Each program's individual schedule makespan (ns) — what the job
+    /// would take running alone (used by the runtime's queue
+    /// accounting).
+    pub program_makespans: Vec<f64>,
     /// Sum of the programs' individual makespans (ns) — the serial
     /// runtime a non-parallel execution would need.
     pub serial_runtime: f64,
@@ -41,7 +45,11 @@ pub struct WorkloadContext {
 /// by the ground-truth γ. With `serialize = true` (CNA), the overlap is
 /// resolved by delaying the later program's gate; the delay is charged
 /// as trailing idle on every qubit of that program.
-pub fn build_context(device: &Device, programs: &[MappedProgram], serialize: bool) -> WorkloadContext {
+pub fn build_context(
+    device: &Device,
+    programs: &[MappedProgram],
+    serialize: bool,
+) -> WorkloadContext {
     // Per-program schedules, ALAP-aligned to the common end time.
     let mut schedules: Vec<Vec<ScheduledGate>> = Vec::with_capacity(programs.len());
     let mut makespans = Vec::with_capacity(programs.len());
@@ -124,6 +132,7 @@ pub fn build_context(device: &Device, programs: &[MappedProgram], serialize: boo
         conflict_count,
         makespan,
         serial_runtime: makespans.iter().sum(),
+        program_makespans: makespans,
     }
 }
 

@@ -163,7 +163,13 @@ mod tests {
         // Allocated link 3-4; candidate {0,1,2} has links 0-1, 1-2; link
         // 1-2 is one hop from 3-4 (via qubit 2-3 edge).
         let allocated = [Link::new(3, 4)];
-        let none = efs(&dev, &[0, 1, 2], &stats(), &allocated, &CrosstalkTreatment::None);
+        let none = efs(
+            &dev,
+            &[0, 1, 2],
+            &stats(),
+            &allocated,
+            &CrosstalkTreatment::None,
+        );
         let sigma = efs(
             &dev,
             &[0, 1, 2],

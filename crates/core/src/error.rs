@@ -25,6 +25,17 @@ pub enum CoreError {
         /// Device size.
         device: usize,
     },
+    /// A queued job requires more qubits than the device has.
+    OversizedJob {
+        /// Index of the offending job.
+        job: usize,
+        /// Qubits the job requires.
+        qubits: usize,
+        /// Device size.
+        device: usize,
+    },
+    /// A queue or batch was configured with `max_parallel == 0`.
+    ZeroParallel,
     /// The simulator rejected a mapped job (indicates a mapping bug).
     Sim(SimError),
     /// A circuit transformation failed.
@@ -35,11 +46,29 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::PartitionUnavailable { program, size } => {
-                write!(f, "no free connected partition of size {size} for program {program}")
+                write!(
+                    f,
+                    "no free connected partition of size {size} for program {program}"
+                )
             }
-            CoreError::ProgramTooWide { program, width, device } => {
-                write!(f, "program {program} needs {width} qubits but the device has {device}")
+            CoreError::ProgramTooWide {
+                program,
+                width,
+                device,
+            } => {
+                write!(
+                    f,
+                    "program {program} needs {width} qubits but the device has {device}"
+                )
             }
+            CoreError::OversizedJob {
+                job,
+                qubits,
+                device,
+            } => {
+                write!(f, "job {job} needs {qubits} qubits, device has {device}")
+            }
+            CoreError::ZeroParallel => write!(f, "max_parallel must be positive"),
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::Circuit(e) => write!(f, "circuit transformation failed: {e}"),
         }
@@ -74,17 +103,30 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = CoreError::PartitionUnavailable { program: 2, size: 5 };
+        let e = CoreError::PartitionUnavailable {
+            program: 2,
+            size: 5,
+        };
         assert!(e.to_string().contains("size 5"));
-        let e = CoreError::ProgramTooWide { program: 0, width: 70, device: 65 };
+        let e = CoreError::ProgramTooWide {
+            program: 0,
+            width: 70,
+            device: 65,
+        };
         assert!(e.to_string().contains("70 qubits"));
     }
 
     #[test]
     fn source_chain() {
-        let e = CoreError::Sim(SimError::LayoutMismatch { circuit: 2, layout: 1 });
+        let e = CoreError::Sim(SimError::LayoutMismatch {
+            circuit: 2,
+            layout: 1,
+        });
         assert!(e.source().is_some());
-        let e = CoreError::PartitionUnavailable { program: 0, size: 1 };
+        let e = CoreError::PartitionUnavailable {
+            program: 0,
+            size: 1,
+        };
         assert!(e.source().is_none());
     }
 

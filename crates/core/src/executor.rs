@@ -1,17 +1,20 @@
-//! The parallel workload executor: partition → map → schedule → execute
+//! The parallel workload driver: partition → map → schedule → execute
 //! → score, under a chosen [`Strategy`](crate::strategy::Strategy).
+//!
+//! Since the staged refactor this module is a thin façade over
+//! [`Pipeline`](crate::pipeline::Pipeline): [`execute_parallel`] and
+//! [`plan_workload`] assemble the stage combination matching the
+//! strategy and delegate, preserving the original signatures (and
+//! bit-for-bit outcomes) for every existing caller.
 
 use qucp_circuit::Circuit;
-use qucp_device::{Device, Link};
-use qucp_sim::{
-    ideal_outcome, metrics, noiseless_probabilities, run_noisy_with_idle, Counts,
-    ExecutionConfig,
-};
+use qucp_device::Device;
+use qucp_sim::{Counts, ExecutionConfig};
 
-use crate::context::build_context;
 use crate::error::CoreError;
-use crate::mapping::{initial_mapping, route, MappedProgram};
-use crate::partition::{allocate_partitions, Allocation};
+use crate::mapping::MappedProgram;
+use crate::partition::Allocation;
+use crate::pipeline::Pipeline;
 use crate::strategy::Strategy;
 
 /// Configuration of a parallel execution.
@@ -113,56 +116,14 @@ pub fn plan_workload(
     strategy: &Strategy,
     optimize: bool,
 ) -> Result<WorkloadPlan, CoreError> {
-    let mut optimized: Vec<Circuit> = programs.to_vec();
-    if optimize {
-        for c in &mut optimized {
-            c.cancel_adjacent_inverses();
-        }
-    }
-    let refs: Vec<&Circuit> = optimized.iter().collect();
-    let allocations = allocate_partitions(device, &refs, &strategy.partition)?;
-
-    // Gate-level crosstalk penalty (CNA): routing avoids links with
-    // strong γ partners inside *other* partitions.
-    let all_links: Vec<Vec<Link>> = allocations
-        .iter()
-        .map(|a| device.topology().links_within(&a.qubits))
-        .collect();
-
-    let mapped: Vec<MappedProgram> = allocations
-        .iter()
-        .enumerate()
-        .map(|(i, alloc)| {
-            let circuit = &optimized[alloc.program_index];
-            let initial = initial_mapping(device, &alloc.qubits, circuit);
-            if strategy.crosstalk_aware_routing {
-                let other_links: Vec<Link> = all_links
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .flat_map(|(_, ls)| ls.iter().copied())
-                    .collect();
-                let topo = device.topology();
-                let xtalk = device.crosstalk();
-                let cal = device.calibration();
-                route(device, &alloc.qubits, circuit, &initial, |l| {
-                    let mut worst = 1.0f64;
-                    for &ol in &other_links {
-                        if !l.shares_qubit(&ol) && topo.link_distance(l, ol) == 1 {
-                            worst = worst.max(xtalk.gamma(l, ol));
-                        }
-                    }
-                    (worst - 1.0) * cal.cx_error(l)
-                })
-            } else {
-                route(device, &alloc.qubits, circuit, &initial, |_| 0.0)
-            }
-        })
-        .collect();
-    Ok((optimized, allocations, mapped))
+    // Merge-free: plan-only callers (σ-tuning, ablations) would
+    // discard the workload context, so don't compute it.
+    Pipeline::from_strategy(strategy).plan_unmerged(device, programs, optimize)
 }
 
 /// Executes `programs` simultaneously on `device` under `strategy`.
+///
+/// Equivalent to `Pipeline::from_strategy(strategy).execute(..)`.
 ///
 /// # Errors
 ///
@@ -174,51 +135,7 @@ pub fn execute_parallel(
     strategy: &Strategy,
     cfg: &ParallelConfig,
 ) -> Result<ParallelOutcome, CoreError> {
-    let (optimized, allocations, mapped) =
-        plan_workload(device, programs, strategy, cfg.optimize)?;
-    let ctx = build_context(device, &mapped, strategy.serialize_conflicts);
-
-    let mut results = Vec::with_capacity(programs.len());
-    for (i, mp) in mapped.iter().enumerate() {
-        let exec = ExecutionConfig {
-            seed: cfg
-                .execution
-                .seed
-                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
-            ..cfg.execution
-        };
-        let raw = run_noisy_with_idle(
-            &mp.circuit,
-            &mp.layout,
-            device,
-            &ctx.scalings[i],
-            &ctx.tail_idle[i],
-            &exec,
-        )?;
-        let counts = mp.to_logical_counts(&raw);
-        let logical = &optimized[i];
-        let ideal = noiseless_probabilities(logical);
-        let jsd = metrics::jsd(&counts.distribution(), &ideal);
-        let pst = ideal_outcome(logical).map(|target| counts.probability(target));
-        results.push(ProgramResult {
-            name: logical.name().to_string(),
-            partition: allocations[i].qubits.clone(),
-            efs: allocations[i].efs.score,
-            swap_count: mp.swap_count,
-            counts,
-            pst,
-            jsd,
-        });
-    }
-
-    let used: usize = allocations.iter().map(|a| a.qubits.len()).sum();
-    Ok(ParallelOutcome {
-        programs: results,
-        throughput: device.throughput(used),
-        conflict_count: ctx.conflict_count,
-        makespan: ctx.makespan,
-        serial_runtime: ctx.serial_runtime,
-    })
+    Pipeline::from_strategy(strategy).execute(device, programs, cfg)
 }
 
 #[cfg(test)]

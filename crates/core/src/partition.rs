@@ -90,8 +90,12 @@ pub fn candidate_partitions(
                     let better = match best {
                         None => true,
                         Some((bi, be, bro, bnb)) => {
-                            (std::cmp::Reverse(into_region), link_err, cal.readout_error(nb), nb)
-                                < (std::cmp::Reverse(bi), be, bro, bnb)
+                            (
+                                std::cmp::Reverse(into_region),
+                                link_err,
+                                cal.readout_error(nb),
+                                nb,
+                            ) < (std::cmp::Reverse(bi), be, bro, bnb)
                         }
                     };
                     if better {
@@ -176,7 +180,13 @@ pub fn allocate_partitions(
                     .into_iter()
                     .min_by(|a, b| a.cmp(b))
                     .expect("candidates not empty");
-                let b = efs(device, &c, &stats, &allocated_links, &CrosstalkTreatment::None);
+                let b = efs(
+                    device,
+                    &c,
+                    &stats,
+                    &allocated_links,
+                    &CrosstalkTreatment::None,
+                );
                 (c, b)
             }
             PartitionPolicy::FidelityDegree => candidates
@@ -187,14 +197,16 @@ pub fn allocate_partitions(
                         .iter()
                         .map(|&l| 1.0 - device.calibration().cx_error(l))
                         .sum();
-                    let b = efs(device, &c, &stats, &allocated_links, &CrosstalkTreatment::None);
+                    let b = efs(
+                        device,
+                        &c,
+                        &stats,
+                        &allocated_links,
+                        &CrosstalkTreatment::None,
+                    );
                     (c, b, fidelity)
                 })
-                .max_by(|a, b| {
-                    a.2.partial_cmp(&b.2)
-                        .unwrap()
-                        .then_with(|| b.0.cmp(&a.0))
-                })
+                .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then_with(|| b.0.cmp(&a.0)))
                 .map(|(c, b, _)| (c, b))
                 .expect("candidates not empty"),
         };
@@ -358,8 +370,7 @@ mod tests {
         // Distance between the two regions should exceed one hop for the
         // links (no crosstalk pairs chosen).
         assert!(
-            allocs[1].efs.crosstalk_pairs.is_empty()
-                || allocs[0].efs.crosstalk_pairs.is_empty(),
+            allocs[1].efs.crosstalk_pairs.is_empty() || allocs[0].efs.crosstalk_pairs.is_empty(),
             "sigma treatment should find a crosstalk-free placement on an idle line"
         );
     }
@@ -368,8 +379,7 @@ mod tests {
     fn fidelity_degree_prefers_good_links() {
         let dev = line_device();
         let p = program(3, 8);
-        let allocs =
-            allocate_partitions(&dev, &[&p], &PartitionPolicy::FidelityDegree).unwrap();
+        let allocs = allocate_partitions(&dev, &[&p], &PartitionPolicy::FidelityDegree).unwrap();
         assert_eq!(allocs[0].qubits, vec![5, 6, 7]);
     }
 }

@@ -1,0 +1,464 @@
+//! The staged, trait-based execution pipeline.
+//!
+//! [`execute_parallel`](crate::execute_parallel) used to be a hard-coded
+//! monolith; this module decomposes it into four swappable stages, each
+//! behind a trait:
+//!
+//! 1. [`Partitioner`] — allocate a disjoint reliable region per program
+//!    ([`EfsPartitioner`] wraps the QuMC-style candidate growth of
+//!    [`crate::partition`] under any [`PartitionPolicy`]);
+//! 2. [`Router`] — place and route every program inside its region
+//!    ([`ReliabilityRouter`], optionally with CNA's gate-level
+//!    crosstalk-aware SWAP penalties);
+//! 3. [`ScheduleMerger`] — align the per-program schedules and charge
+//!    cross-program crosstalk or serialization delays
+//!    ([`AlapMerger`] wraps [`crate::context::build_context`]);
+//! 4. [`Backend`] — run one mapped program and score it
+//!    ([`SimulatorBackend`] wraps the `qucp-sim` trajectory simulator).
+//!
+//! A [`Pipeline`] owns one implementation of each stage;
+//! [`Pipeline::from_strategy`] assembles the combination matching a
+//! paper [`Strategy`] (QuCP, QuMC, CNA, MultiQC, QuCloud), and the
+//! original driver entry points are now thin wrappers over it. New
+//! allocation policies or execution backends plug in by implementing a
+//! stage trait — the driver and the `qucp-runtime` batch scheduler do
+//! not change.
+//!
+//! All stage traits require `Send + Sync` so a planned workload can be
+//! executed concurrently (one thread per program) by the runtime crate.
+
+use qucp_circuit::Circuit;
+use qucp_device::{Device, Link};
+use qucp_sim::{
+    ideal_outcome, metrics, noiseless_probabilities, run_noisy_with_idle, ExecutionConfig,
+};
+
+use crate::context::{build_context, WorkloadContext};
+use crate::error::CoreError;
+use crate::executor::{ParallelConfig, ParallelOutcome, ProgramResult, WorkloadPlan};
+use crate::mapping::{initial_mapping, route, MappedProgram};
+use crate::partition::{allocate_partitions, Allocation, PartitionPolicy};
+use crate::strategy::Strategy;
+
+/// Allocates disjoint device regions to programs.
+pub trait Partitioner: Send + Sync {
+    /// Chooses one [`Allocation`] per program, indexed by caller order.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::ProgramTooWide`] or
+    /// [`CoreError::PartitionUnavailable`] when the workload does not
+    /// fit.
+    fn partition(
+        &self,
+        device: &Device,
+        programs: &[&Circuit],
+    ) -> Result<Vec<Allocation>, CoreError>;
+}
+
+/// Places and routes each program inside its allocated region.
+pub trait Router: Send + Sync {
+    /// Maps `programs[allocations[i].program_index]` onto
+    /// `allocations[i].qubits`, returning mapped programs index-aligned
+    /// with `allocations`.
+    fn route_all(
+        &self,
+        device: &Device,
+        programs: &[Circuit],
+        allocations: &[Allocation],
+    ) -> Vec<MappedProgram>;
+}
+
+/// Merges per-program schedules into a workload noise context.
+pub trait ScheduleMerger: Send + Sync {
+    /// Aligns schedules and computes crosstalk scalings / serialization
+    /// delays for the whole workload.
+    fn merge(&self, device: &Device, mapped: &[MappedProgram]) -> WorkloadContext;
+}
+
+/// Executes one planned program and scores its output.
+pub trait Backend: Send + Sync {
+    /// Runs program `index` of `plan` and returns its scored result.
+    ///
+    /// Implementations must be deterministic given `exec.seed` and must
+    /// derive any per-program seed from `(exec.seed, index)` only, so
+    /// that concurrent and serial batch execution agree bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Sim`] if the simulator rejects the mapped job
+    /// (which would indicate a mapping bug).
+    fn run_program(
+        &self,
+        device: &Device,
+        plan: &PlannedWorkload,
+        index: usize,
+        exec: &ExecutionConfig,
+    ) -> Result<ProgramResult, CoreError>;
+}
+
+/// A fully planned (not yet executed) workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedWorkload {
+    /// The (optionally optimized) circuits, in caller order.
+    pub programs: Vec<Circuit>,
+    /// One allocation per program, index-aligned with `programs`.
+    pub allocations: Vec<Allocation>,
+    /// Routed programs, index-aligned with `programs`.
+    pub mapped: Vec<MappedProgram>,
+    /// Merged-schedule noise context of the whole workload.
+    pub context: WorkloadContext,
+}
+
+impl PlannedWorkload {
+    /// Total physical qubits claimed by the workload.
+    pub fn used_qubits(&self) -> usize {
+        self.allocations.iter().map(|a| a.qubits.len()).sum()
+    }
+}
+
+/// The QuMC-style EFS partitioner behind QuCP and every baseline
+/// (policies differ only in candidate scoring).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EfsPartitioner {
+    /// Candidate-scoring policy.
+    pub policy: PartitionPolicy,
+}
+
+impl Partitioner for EfsPartitioner {
+    fn partition(
+        &self,
+        device: &Device,
+        programs: &[&Circuit],
+    ) -> Result<Vec<Allocation>, CoreError> {
+        allocate_partitions(device, programs, &self.policy)
+    }
+}
+
+/// Reliability-weighted placement and SWAP routing, optionally with
+/// CNA's crosstalk-aware link penalty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReliabilityRouter {
+    /// Penalize SWAP links with strong crosstalk partners inside other
+    /// partitions (CNA's gate-level awareness).
+    pub crosstalk_aware: bool,
+}
+
+impl Router for ReliabilityRouter {
+    fn route_all(
+        &self,
+        device: &Device,
+        programs: &[Circuit],
+        allocations: &[Allocation],
+    ) -> Vec<MappedProgram> {
+        // Gate-level crosstalk penalty (CNA): routing avoids links with
+        // strong γ partners inside *other* partitions.
+        let all_links: Vec<Vec<Link>> = allocations
+            .iter()
+            .map(|a| device.topology().links_within(&a.qubits))
+            .collect();
+
+        allocations
+            .iter()
+            .enumerate()
+            .map(|(i, alloc)| {
+                let circuit = &programs[alloc.program_index];
+                let initial = initial_mapping(device, &alloc.qubits, circuit);
+                if self.crosstalk_aware {
+                    let other_links: Vec<Link> = all_links
+                        .iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .flat_map(|(_, ls)| ls.iter().copied())
+                        .collect();
+                    let topo = device.topology();
+                    let xtalk = device.crosstalk();
+                    let cal = device.calibration();
+                    route(device, &alloc.qubits, circuit, &initial, |l| {
+                        let mut worst = 1.0f64;
+                        for &ol in &other_links {
+                            if !l.shares_qubit(&ol) && topo.link_distance(l, ol) == 1 {
+                                worst = worst.max(xtalk.gamma(l, ol));
+                            }
+                        }
+                        (worst - 1.0) * cal.cx_error(l)
+                    })
+                } else {
+                    route(device, &alloc.qubits, circuit, &initial, |_| 0.0)
+                }
+            })
+            .collect()
+    }
+}
+
+/// End-aligned ALAP schedule merging (the paper's policy), charging
+/// either γ crosstalk amplification or CNA-style serialization delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlapMerger {
+    /// Serialize overlapping one-hop CNOTs instead of letting them
+    /// suffer crosstalk (CNA's scheduling behaviour).
+    pub serialize_conflicts: bool,
+}
+
+impl ScheduleMerger for AlapMerger {
+    fn merge(&self, device: &Device, mapped: &[MappedProgram]) -> WorkloadContext {
+        build_context(device, mapped, self.serialize_conflicts)
+    }
+}
+
+/// Per-program seed derivation shared by every backend: a golden-ratio
+/// stride keeps the trajectory streams of simultaneous programs
+/// independent of each other and of execution order.
+pub fn derive_program_seed(base: u64, index: usize) -> u64 {
+    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1))
+}
+
+/// The Monte-Carlo trajectory simulator backend (`qucp-sim`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimulatorBackend;
+
+impl Backend for SimulatorBackend {
+    fn run_program(
+        &self,
+        device: &Device,
+        plan: &PlannedWorkload,
+        index: usize,
+        exec: &ExecutionConfig,
+    ) -> Result<ProgramResult, CoreError> {
+        let mp = &plan.mapped[index];
+        let exec = ExecutionConfig {
+            seed: derive_program_seed(exec.seed, index),
+            ..*exec
+        };
+        let raw = run_noisy_with_idle(
+            &mp.circuit,
+            &mp.layout,
+            device,
+            &plan.context.scalings[index],
+            &plan.context.tail_idle[index],
+            &exec,
+        )?;
+        let counts = mp.to_logical_counts(&raw);
+        let logical = &plan.programs[index];
+        let ideal = noiseless_probabilities(logical);
+        let jsd = metrics::jsd(&counts.distribution(), &ideal);
+        let pst = ideal_outcome(logical).map(|target| counts.probability(target));
+        Ok(ProgramResult {
+            name: logical.name().to_string(),
+            partition: plan.allocations[index].qubits.clone(),
+            efs: plan.allocations[index].efs.score,
+            swap_count: mp.swap_count,
+            counts,
+            pst,
+            jsd,
+        })
+    }
+}
+
+/// A staged execution pipeline: one implementation per stage.
+pub struct Pipeline {
+    /// Stage 1: region allocation.
+    pub partitioner: Box<dyn Partitioner>,
+    /// Stage 2: placement and routing.
+    pub router: Box<dyn Router>,
+    /// Stage 3: schedule merging.
+    pub merger: Box<dyn ScheduleMerger>,
+    /// Stage 4: execution and scoring.
+    pub backend: Box<dyn Backend>,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline").finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Assembles the stage combination matching a paper [`Strategy`].
+    pub fn from_strategy(strategy: &Strategy) -> Pipeline {
+        Pipeline {
+            partitioner: Box::new(EfsPartitioner {
+                policy: strategy.partition.clone(),
+            }),
+            router: Box::new(ReliabilityRouter {
+                crosstalk_aware: strategy.crosstalk_aware_routing,
+            }),
+            merger: Box::new(AlapMerger {
+                serialize_conflicts: strategy.serialize_conflicts,
+            }),
+            backend: Box::new(SimulatorBackend),
+        }
+    }
+
+    /// Runs stages 1–2 only: optimize, partition and route, skipping
+    /// the schedule merge. Plan-only callers (threshold explorers,
+    /// ablation benches) use this to avoid paying the cross-program
+    /// overlap scan for a context they would discard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning failures
+    /// ([`CoreError::PartitionUnavailable`],
+    /// [`CoreError::ProgramTooWide`]).
+    pub fn plan_unmerged(
+        &self,
+        device: &Device,
+        programs: &[Circuit],
+        optimize: bool,
+    ) -> Result<WorkloadPlan, CoreError> {
+        let mut optimized: Vec<Circuit> = programs.to_vec();
+        if optimize {
+            for c in &mut optimized {
+                c.cancel_adjacent_inverses();
+            }
+        }
+        let refs: Vec<&Circuit> = optimized.iter().collect();
+        let allocations = self.partitioner.partition(device, &refs)?;
+        let mapped = self.router.route_all(device, &optimized, &allocations);
+        Ok((optimized, allocations, mapped))
+    }
+
+    /// Runs stages 1–3: optimize, partition, route and merge, without
+    /// executing anything.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partitioning failures
+    /// ([`CoreError::PartitionUnavailable`],
+    /// [`CoreError::ProgramTooWide`]).
+    pub fn plan(
+        &self,
+        device: &Device,
+        programs: &[Circuit],
+        optimize: bool,
+    ) -> Result<PlannedWorkload, CoreError> {
+        let (optimized, allocations, mapped) = self.plan_unmerged(device, programs, optimize)?;
+        let context = self.merger.merge(device, &mapped);
+        Ok(PlannedWorkload {
+            programs: optimized,
+            allocations,
+            mapped,
+            context,
+        })
+    }
+
+    /// Executes an already planned workload serially (program order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn execute_plan(
+        &self,
+        device: &Device,
+        plan: &PlannedWorkload,
+        cfg: &ParallelConfig,
+    ) -> Result<ParallelOutcome, CoreError> {
+        let results = (0..plan.programs.len())
+            .map(|i| self.backend.run_program(device, plan, i, &cfg.execution))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(assemble_outcome(device, plan, results))
+    }
+
+    /// Plans and executes `programs` end to end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning and backend failures.
+    pub fn execute(
+        &self,
+        device: &Device,
+        programs: &[Circuit],
+        cfg: &ParallelConfig,
+    ) -> Result<ParallelOutcome, CoreError> {
+        let plan = self.plan(device, programs, cfg.optimize)?;
+        self.execute_plan(device, &plan, cfg)
+    }
+}
+
+/// Builds the workload-level outcome from per-program results (shared
+/// by the serial driver and the concurrent runtime).
+pub fn assemble_outcome(
+    device: &Device,
+    plan: &PlannedWorkload,
+    results: Vec<ProgramResult>,
+) -> ParallelOutcome {
+    ParallelOutcome {
+        programs: results,
+        throughput: device.throughput(plan.used_qubits()),
+        conflict_count: plan.context.conflict_count,
+        makespan: plan.context.makespan,
+        serial_runtime: plan.context.serial_runtime,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy;
+    use qucp_circuit::library;
+    use qucp_device::ibm;
+
+    fn quick_cfg() -> ParallelConfig {
+        ParallelConfig {
+            execution: ExecutionConfig::default().with_shots(256).with_seed(7),
+            optimize: true,
+        }
+    }
+
+    #[test]
+    fn pipeline_stages_compose() {
+        let dev = ibm::toronto();
+        let progs = vec![
+            library::by_name("fredkin").unwrap().circuit(),
+            library::by_name("bell").unwrap().circuit(),
+        ];
+        let pipe = Pipeline::from_strategy(&strategy::qucp(4.0));
+        let plan = pipe.plan(&dev, &progs, true).unwrap();
+        assert_eq!(plan.programs.len(), 2);
+        assert_eq!(plan.allocations.len(), 2);
+        assert_eq!(plan.mapped.len(), 2);
+        let widths: usize = plan.programs.iter().map(Circuit::width).sum();
+        assert_eq!(plan.used_qubits(), widths);
+        let out = pipe.execute_plan(&dev, &plan, &quick_cfg()).unwrap();
+        assert_eq!(out.programs.len(), 2);
+        assert_eq!(out.programs[0].counts.shots(), 256);
+    }
+
+    #[test]
+    fn custom_stage_swaps_in() {
+        /// A partitioner that delegates but reverses nothing — proves a
+        /// foreign implementation satisfies the driver.
+        struct Recording(EfsPartitioner);
+        impl Partitioner for Recording {
+            fn partition(
+                &self,
+                device: &Device,
+                programs: &[&Circuit],
+            ) -> Result<Vec<Allocation>, CoreError> {
+                self.0.partition(device, programs)
+            }
+        }
+        let dev = ibm::toronto();
+        let progs = vec![library::by_name("fredkin").unwrap().circuit()];
+        let mut pipe = Pipeline::from_strategy(&strategy::qucp(4.0));
+        pipe.partitioner = Box::new(Recording(EfsPartitioner {
+            policy: strategy::qucp(4.0).partition,
+        }));
+        let out = pipe.execute(&dev, &progs, &quick_cfg()).unwrap();
+        assert_eq!(out.programs.len(), 1);
+    }
+
+    #[test]
+    fn derived_seeds_are_order_independent() {
+        assert_eq!(derive_program_seed(42, 0), derive_program_seed(42, 0));
+        assert_ne!(derive_program_seed(42, 0), derive_program_seed(42, 1));
+        assert_ne!(derive_program_seed(42, 1), derive_program_seed(43, 1));
+    }
+
+    #[test]
+    fn pipeline_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pipeline>();
+        assert_send_sync::<PlannedWorkload>();
+    }
+}

@@ -57,7 +57,11 @@ pub fn route_sabre(
     options: &SabreOptions,
 ) -> MappedProgram {
     let k = partition.len();
-    assert_eq!(circuit.width(), k, "partition size must equal program width");
+    assert_eq!(
+        circuit.width(),
+        k,
+        "partition size must equal program width"
+    );
     let topo = local_topology(device, partition);
     let cal = device.calibration();
     let gates = circuit.gates();
@@ -350,8 +354,20 @@ mod tests {
         let circuit = library::by_name("alu-v0_27").unwrap().circuit();
         let partition = vec![1, 2, 3, 4, 5];
         let initial = initial_mapping(&device, &partition, &circuit);
-        let a = route_sabre(&device, &partition, &circuit, &initial, &SabreOptions::default());
-        let b = route_sabre(&device, &partition, &circuit, &initial, &SabreOptions::default());
+        let a = route_sabre(
+            &device,
+            &partition,
+            &circuit,
+            &initial,
+            &SabreOptions::default(),
+        );
+        let b = route_sabre(
+            &device,
+            &partition,
+            &circuit,
+            &initial,
+            &SabreOptions::default(),
+        );
         assert_eq!(a, b);
     }
 }

@@ -26,7 +26,12 @@ use crate::strategy::Strategy;
 /// # Errors
 ///
 /// Propagates partition failures when even a single copy does not fit.
-pub fn efs_difference(device: &Device, circuit: &Circuit, k: usize, strategy: &Strategy) -> Result<f64, CoreError> {
+pub fn efs_difference(
+    device: &Device,
+    circuit: &Circuit,
+    k: usize,
+    strategy: &Strategy,
+) -> Result<f64, CoreError> {
     let single = allocate_partitions(device, &[circuit], &strategy.partition)?;
     let best = single[0].efs.score;
     let copies: Vec<&Circuit> = std::iter::repeat_n(circuit, k).collect();
@@ -146,8 +151,7 @@ mod tests {
     fn zero_threshold_admits_one() {
         let dev = ibm::manhattan();
         let c = library::by_name("4mod5-v1_22").unwrap().circuit();
-        let k =
-            parallel_count_for_threshold(&dev, &c, 0.0, 6, &strategy::qucp(4.0)).unwrap();
+        let k = parallel_count_for_threshold(&dev, &c, 0.0, 6, &strategy::qucp(4.0)).unwrap();
         assert_eq!(k, 1);
     }
 
@@ -180,15 +184,7 @@ mod tests {
             execution: ExecutionConfig::default().with_shots(256),
             optimize: true,
         };
-        let points = threshold_sweep(
-            &dev,
-            &c,
-            &[0.0, 1e9],
-            4,
-            &strategy::qucp(4.0),
-            &cfg,
-        )
-        .unwrap();
+        let points = threshold_sweep(&dev, &c, &[0.0, 1e9], 4, &strategy::qucp(4.0), &cfg).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].parallel_count, 1);
         assert_eq!(points[1].parallel_count, 4);

@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use qucp_circuit::Circuit;
 use qucp_core::{
-    allocate_partitions, candidate_partitions, context::build_context, local_topology,
-    map_program, CrosstalkTreatment, PartitionPolicy,
+    allocate_partitions, candidate_partitions, context::build_context, local_topology, map_program,
+    CrosstalkTreatment, PartitionPolicy,
 };
 use qucp_device::ibm;
 use qucp_sim::noiseless_probabilities;

@@ -80,10 +80,7 @@ impl CrosstalkModel {
     /// Amplification factor between two links (1.0 when uncharacterized or
     /// out of crosstalk range).
     pub fn gamma(&self, a: Link, b: Link) -> f64 {
-        self.gamma
-            .get(&LinkPair::new(a, b))
-            .copied()
-            .unwrap_or(1.0)
+        self.gamma.get(&LinkPair::new(a, b)).copied().unwrap_or(1.0)
     }
 
     /// All characterized pairs with their factors, canonically ordered.

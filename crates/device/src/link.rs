@@ -100,9 +100,15 @@ impl LinkPair {
     /// Creates a canonical unordered pair of links.
     pub fn new(a: Link, b: Link) -> Self {
         if a <= b {
-            LinkPair { first: a, second: b }
+            LinkPair {
+                first: a,
+                second: b,
+            }
         } else {
-            LinkPair { first: b, second: a }
+            LinkPair {
+                first: b,
+                second: a,
+            }
         }
     }
 

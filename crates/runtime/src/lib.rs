@@ -1,0 +1,76 @@
+//! # qucp-runtime
+//!
+//! A concurrent batch-scheduling runtime that turns the paper's
+//! analytical cloud-queue argument (Sec. I/II-A) into an executable
+//! system: instead of *modelling* multi-programmed service with
+//! abstract durations (`qucp_core::queue::simulate_queue`), it accepts
+//! a stream of [`Job`]s — circuit, shots, arrival time — plans every
+//! batch through the staged trait pipeline of `qucp-core`, executes the
+//! programs of each batch **concurrently** (one thread per program),
+//! and reports the same [`QueueStats`](qucp_core::queue::QueueStats)
+//! the analytical model emits, so model and runtime can be compared
+//! head-to-head.
+//!
+//! ## Batch lifecycle
+//!
+//! 1. **Admission** — jobs are served FIFO by arrival time (the IBM
+//!    fair-share semantics the paper describes; no reordering). When
+//!    the device frees up, the scheduler looks at the queue head.
+//! 2. **Sizing** — the co-schedule width for the next batch is the
+//!    smallest of: the configured `max_parallel`; the EFS
+//!    fidelity-threshold count of
+//!    [`parallel_count_for_threshold`](qucp_core::threshold::parallel_count_for_threshold)
+//!    (the Fig. 4 throughput/fidelity trade-off, evaluated on the
+//!    head-of-line circuit); and what fits the chip qubit-wise.
+//! 3. **Planning** — the batch is partitioned, routed, and
+//!    schedule-merged by the [`Pipeline`](qucp_core::pipeline::Pipeline)
+//!    assembled from the configured [`Strategy`]. If partitioning
+//!    cannot place the whole batch, the batch shrinks from the tail
+//!    until it fits (the head job alone failing is an error).
+//! 4. **Execution** — every program of the planned batch runs on the
+//!    pipeline's [`Backend`](qucp_core::pipeline::Backend) in its own
+//!    scoped thread ([`std::thread::scope`]). Per-program seeds are
+//!    derived from `(batch seed, program index)` only, so concurrent
+//!    and serial execution agree **bit-for-bit**
+//!    ([`ExecutionMode::Serial`] exists to assert exactly that).
+//! 5. **Accounting** — the simulated clock advances by the merged
+//!    schedule's makespan (ns); waiting/turnaround/throughput
+//!    accumulate exactly as in the analytical model.
+//!
+//! ```
+//! use qucp_circuit::library;
+//! use qucp_core::strategy;
+//! use qucp_device::ibm;
+//! use qucp_runtime::{BatchScheduler, Job, RuntimeConfig};
+//!
+//! # fn main() -> Result<(), qucp_runtime::RuntimeError> {
+//! let jobs: Vec<Job> = (0..4)
+//!     .map(|i| Job {
+//!         id: i,
+//!         circuit: library::by_name("bell").unwrap().circuit(),
+//!         shots: 256,
+//!         arrival: i as f64 * 100.0,
+//!     })
+//!     .collect();
+//! let scheduler = BatchScheduler::new(
+//!     ibm::toronto(),
+//!     strategy::qucp(4.0),
+//!     RuntimeConfig { max_parallel: 2, ..RuntimeConfig::default() },
+//! );
+//! let report = scheduler.run(&jobs)?;
+//! assert_eq!(report.job_results.len(), 4);
+//! assert!(report.stats.batches <= 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod job;
+mod scheduler;
+
+pub use job::{synthetic_jobs, Job, JobResult};
+pub use scheduler::{
+    BatchReport, BatchScheduler, ExecutionMode, RunReport, RuntimeConfig, RuntimeError,
+};

@@ -1,0 +1,535 @@
+//! The concurrent FIFO batch scheduler (see the crate docs for the
+//! batch lifecycle).
+
+use std::error::Error;
+use std::fmt;
+
+use qucp_circuit::Circuit;
+use qucp_core::pipeline::{Pipeline, PlannedWorkload};
+use qucp_core::queue::QueueStats;
+use qucp_core::threshold::parallel_count_for_threshold;
+use qucp_core::{CoreError, ParallelConfig, ProgramResult, Strategy};
+use qucp_device::Device;
+use qucp_sim::ExecutionConfig;
+
+use crate::job::{Job, JobResult};
+
+/// How the programs of a planned batch are executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// One scoped thread per program (the default).
+    #[default]
+    Concurrent,
+    /// In program order on the calling thread. Exists to assert that
+    /// concurrent execution is deterministic: both modes must produce
+    /// bit-for-bit identical reports.
+    Serial,
+}
+
+/// Batch-scheduler configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeConfig {
+    /// Hard cap on jobs per batch (1 = dedicated mode).
+    pub max_parallel: usize,
+    /// EFS fidelity-threshold gate (Fig. 4): when set, the co-schedule
+    /// width is additionally capped by
+    /// [`parallel_count_for_threshold`] evaluated on the head-of-line
+    /// circuit. `None` disables the gate.
+    pub fidelity_threshold: Option<f64>,
+    /// Base RNG seed; batch `b`, program `i` derive their trajectory
+    /// seeds from `(seed, b, i)` only.
+    pub seed: u64,
+    /// Run the cancellation peephole pass before mapping.
+    pub optimize: bool,
+    /// Concurrent or serial per-batch execution.
+    pub mode: ExecutionMode,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_parallel: 4,
+            fidelity_threshold: None,
+            seed: 0x5EED,
+            optimize: true,
+            mode: ExecutionMode::Concurrent,
+        }
+    }
+}
+
+/// Errors of the batch-scheduling runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// `max_parallel` was zero.
+    ZeroParallel,
+    /// A single job cannot be placed on the device even alone.
+    JobUnplaceable {
+        /// The job's identifier.
+        job_id: u64,
+        /// The planning error that rejected it.
+        source: CoreError,
+    },
+    /// A planning or execution stage failed.
+    Core(CoreError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ZeroParallel => write!(f, "max_parallel must be positive"),
+            RuntimeError::JobUnplaceable { job_id, source } => {
+                write!(f, "job {job_id} cannot be placed: {source}")
+            }
+            RuntimeError::Core(e) => write!(f, "pipeline failed: {e}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::JobUnplaceable { source, .. } => Some(source),
+            RuntimeError::Core(e) => Some(e),
+            RuntimeError::ZeroParallel => None,
+        }
+    }
+}
+
+impl From<CoreError> for RuntimeError {
+    fn from(e: CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+/// One dispatched batch of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Batch position in dispatch order.
+    pub batch_index: usize,
+    /// Ids of the jobs the batch carried, in program order.
+    pub job_ids: Vec<u64>,
+    /// Simulated start time (ns).
+    pub start: f64,
+    /// Simulated completion time (ns): start + merged makespan.
+    pub completion: f64,
+    /// Merged-schedule makespan of the batch (ns).
+    pub makespan: f64,
+    /// Physical qubits the batch occupied.
+    pub used_qubits: usize,
+    /// Cross-program one-hop CNOT overlaps in the merged schedule.
+    pub conflict_count: usize,
+}
+
+/// The complete outcome of serving a job stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Queue statistics, directly comparable with
+    /// [`simulate_queue`](qucp_core::queue::simulate_queue) (times in
+    /// ns).
+    pub stats: QueueStats,
+    /// Every dispatched batch, in order.
+    pub batches: Vec<BatchReport>,
+    /// Per-job results, in input order.
+    pub job_results: Vec<JobResult>,
+}
+
+/// A FIFO batch scheduler executing multi-programmed workloads on a
+/// device through the staged `qucp-core` pipeline.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    device: Device,
+    strategy: Strategy,
+    pipeline: Pipeline,
+    cfg: RuntimeConfig,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler for `device` running every batch under
+    /// `strategy`.
+    pub fn new(device: Device, strategy: Strategy, cfg: RuntimeConfig) -> Self {
+        let pipeline = Pipeline::from_strategy(&strategy);
+        BatchScheduler {
+            device,
+            strategy,
+            pipeline,
+            cfg,
+        }
+    }
+
+    /// The device this scheduler dispatches to.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Serves `jobs` to completion and reports queue statistics plus
+    /// per-job results.
+    ///
+    /// Deterministic: the report depends only on the jobs and the
+    /// configuration (including seed), never on thread timing.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::ZeroParallel`] on a zero batch cap;
+    /// [`RuntimeError::JobUnplaceable`] when a job cannot run even in a
+    /// dedicated batch; [`RuntimeError::Core`] on backend failures.
+    pub fn run(&self, jobs: &[Job]) -> Result<RunReport, RuntimeError> {
+        if self.cfg.max_parallel == 0 {
+            return Err(RuntimeError::ZeroParallel);
+        }
+        let mut order: Vec<usize> = (0..jobs.len()).collect();
+        order.sort_by(|&a, &b| jobs[a].arrival.total_cmp(&jobs[b].arrival).then(a.cmp(&b)));
+
+        let mut clock = 0.0f64;
+        let mut next = 0usize;
+        let mut batches: Vec<BatchReport> = Vec::new();
+        let mut job_results: Vec<Option<JobResult>> = vec![None; jobs.len()];
+        let mut total_wait = 0.0;
+        let mut total_turnaround = 0.0;
+        let mut busy_qubit_time = 0.0;
+        let mut busy_time = 0.0;
+
+        while next < order.len() {
+            let head = &jobs[order[next]];
+            if clock < head.arrival {
+                clock = head.arrival;
+            }
+            let cap = self.batch_cap(head)?;
+
+            // Pack the FIFO prefix of arrived jobs that fits the chip.
+            let mut members: Vec<usize> = Vec::new();
+            let mut used = 0usize;
+            let mut i = next;
+            while i < order.len() && members.len() < cap {
+                let j = &jobs[order[i]];
+                if j.arrival > clock || used + j.circuit.width() > self.device.num_qubits() {
+                    break;
+                }
+                used += j.circuit.width();
+                members.push(order[i]);
+                i += 1;
+            }
+            if members.is_empty() {
+                // Head job wider than the chip: planning it alone
+                // surfaces the precise error (ProgramTooWide).
+                members.push(order[next]);
+            }
+
+            // Plan the batch; on partition failure shrink from the tail
+            // (the allocator can run out of *connected* regions before
+            // it runs out of qubits).
+            let (members, plan) = self.plan_batch(jobs, members)?;
+            next += members.len();
+
+            let batch_index = batches.len();
+            let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
+            let results = self.execute_batch(jobs, &members, &plan, batch_seed)?;
+
+            let makespan = plan.context.makespan;
+            let start = clock;
+            let completion = clock + makespan;
+            for (pos, (&ji, result)) in members.iter().zip(results).enumerate() {
+                let job = &jobs[ji];
+                let waiting = start - job.arrival;
+                let turnaround = completion - job.arrival;
+                total_wait += waiting;
+                total_turnaround += turnaround;
+                busy_qubit_time += job.circuit.width() as f64 * plan.context.program_makespans[pos];
+                job_results[ji] = Some(JobResult {
+                    job_id: job.id,
+                    batch_index,
+                    start,
+                    completion,
+                    waiting,
+                    turnaround,
+                    result,
+                });
+            }
+            batches.push(BatchReport {
+                batch_index,
+                job_ids: members.iter().map(|&ji| jobs[ji].id).collect(),
+                start,
+                completion,
+                makespan,
+                used_qubits: plan.used_qubits(),
+                conflict_count: plan.context.conflict_count,
+            });
+            busy_time += makespan;
+            clock = completion;
+        }
+
+        let n = jobs.len().max(1) as f64;
+        Ok(RunReport {
+            stats: QueueStats {
+                mean_waiting: total_wait / n,
+                mean_turnaround: total_turnaround / n,
+                makespan: clock,
+                mean_throughput: if busy_time > 0.0 {
+                    busy_qubit_time / (busy_time * self.device.num_qubits() as f64)
+                } else {
+                    0.0
+                },
+                batches: batches.len(),
+            },
+            batches,
+            job_results: job_results.into_iter().map(Option::unwrap).collect(),
+        })
+    }
+
+    /// The co-schedule cap for a batch led by `head`: `max_parallel`,
+    /// further limited by the EFS fidelity threshold when configured.
+    ///
+    /// A head that cannot be placed even alone surfaces here as
+    /// [`RuntimeError::JobUnplaceable`] (the threshold probe allocates
+    /// a single copy first), keeping `run`'s error contract identical
+    /// with and without the threshold gate.
+    fn batch_cap(&self, head: &Job) -> Result<usize, RuntimeError> {
+        let Some(threshold) = self.cfg.fidelity_threshold else {
+            return Ok(self.cfg.max_parallel);
+        };
+        let k = parallel_count_for_threshold(
+            &self.device,
+            &head.circuit,
+            threshold,
+            self.cfg.max_parallel,
+            &self.strategy,
+        )
+        .map_err(|e| match e {
+            e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }) => {
+                RuntimeError::JobUnplaceable {
+                    job_id: head.id,
+                    source: e,
+                }
+            }
+            e => RuntimeError::Core(e),
+        })?;
+        Ok(k.max(1))
+    }
+
+    /// Plans `members`, shrinking the batch from the tail while the
+    /// partitioner cannot place it.
+    fn plan_batch(
+        &self,
+        jobs: &[Job],
+        mut members: Vec<usize>,
+    ) -> Result<(Vec<usize>, PlannedWorkload), RuntimeError> {
+        loop {
+            let circuits: Vec<Circuit> =
+                members.iter().map(|&ji| jobs[ji].circuit.clone()).collect();
+            match self
+                .pipeline
+                .plan(&self.device, &circuits, self.cfg.optimize)
+            {
+                Ok(plan) => return Ok((members, plan)),
+                Err(
+                    e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
+                ) => {
+                    if members.len() == 1 {
+                        return Err(RuntimeError::JobUnplaceable {
+                            job_id: jobs[members[0]].id,
+                            source: e,
+                        });
+                    }
+                    members.pop();
+                }
+                Err(e) => return Err(RuntimeError::Core(e)),
+            }
+        }
+    }
+
+    /// Executes every program of a planned batch, one scoped thread per
+    /// program (or serially under [`ExecutionMode::Serial`]). Results
+    /// come back in program order regardless of thread scheduling.
+    fn execute_batch(
+        &self,
+        jobs: &[Job],
+        members: &[usize],
+        plan: &PlannedWorkload,
+        batch_seed: u64,
+    ) -> Result<Vec<ProgramResult>, RuntimeError> {
+        let exec_for = |pos: usize| ExecutionConfig {
+            shots: jobs[members[pos]].shots,
+            seed: batch_seed,
+            ..ParallelConfig::default().execution
+        };
+        match self.cfg.mode {
+            ExecutionMode::Serial => (0..members.len())
+                .map(|pos| {
+                    self.pipeline
+                        .backend
+                        .run_program(&self.device, plan, pos, &exec_for(pos))
+                        .map_err(RuntimeError::Core)
+                })
+                .collect(),
+            ExecutionMode::Concurrent => {
+                let backend = &self.pipeline.backend;
+                let device = &self.device;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..members.len())
+                        .map(|pos| {
+                            let exec = exec_for(pos);
+                            scope.spawn(move || backend.run_program(device, plan, pos, &exec))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join()
+                                .unwrap_or_else(|p| std::panic::resume_unwind(p))
+                                .map_err(RuntimeError::Core)
+                        })
+                        .collect()
+                })
+            }
+        }
+    }
+}
+
+/// Per-batch seed derivation: a distinct odd stride keeps batch streams
+/// disjoint from the per-program golden-ratio stride used inside the
+/// backend.
+fn derive_batch_seed(base: u64, batch_index: usize) -> u64 {
+    base.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(batch_index as u64 + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::synthetic_jobs;
+    use qucp_core::strategy;
+    use qucp_device::ibm;
+
+    fn quick_cfg(max_parallel: usize, mode: ExecutionMode) -> RuntimeConfig {
+        RuntimeConfig {
+            max_parallel,
+            fidelity_threshold: None,
+            seed: 42,
+            optimize: true,
+            mode,
+        }
+    }
+
+    fn sched(max_parallel: usize, mode: ExecutionMode) -> BatchScheduler {
+        BatchScheduler::new(
+            ibm::toronto(),
+            strategy::qucp(4.0),
+            quick_cfg(max_parallel, mode),
+        )
+    }
+
+    fn small_jobs(n: usize) -> Vec<Job> {
+        synthetic_jobs(n, 200.0, 128, 7)
+    }
+
+    #[test]
+    fn serves_every_job_exactly_once() {
+        let jobs = small_jobs(8);
+        let report = sched(3, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        assert_eq!(report.job_results.len(), 8);
+        for (i, r) in report.job_results.iter().enumerate() {
+            assert_eq!(r.job_id, i as u64);
+            assert_eq!(r.result.counts.shots(), 128);
+            assert!(r.waiting >= 0.0);
+            assert!(r.turnaround >= r.waiting);
+        }
+        let batched: usize = report.batches.iter().map(|b| b.job_ids.len()).sum();
+        assert_eq!(batched, 8);
+    }
+
+    #[test]
+    fn dedicated_mode_runs_one_job_per_batch() {
+        let jobs = small_jobs(5);
+        let report = sched(1, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        assert_eq!(report.stats.batches, 5);
+        assert!(report.batches.iter().all(|b| b.job_ids.len() == 1));
+    }
+
+    #[test]
+    fn concurrent_equals_serial_bit_for_bit() {
+        let jobs = small_jobs(9);
+        let conc = sched(4, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        let serial = sched(4, ExecutionMode::Serial).run(&jobs).unwrap();
+        assert_eq!(conc, serial);
+    }
+
+    #[test]
+    fn concurrent_run_is_reproducible() {
+        let jobs = small_jobs(10);
+        let a = sched(4, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        let b = sched(4, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn packing_beats_dedicated_turnaround() {
+        let jobs = small_jobs(12);
+        let solo = sched(1, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        let packed = sched(4, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        assert!(
+            packed.stats.mean_turnaround < solo.stats.mean_turnaround,
+            "packed {} !< dedicated {}",
+            packed.stats.mean_turnaround,
+            solo.stats.mean_turnaround
+        );
+        assert!(packed.stats.batches < solo.stats.batches);
+        assert!(packed.stats.mean_throughput > solo.stats.mean_throughput);
+    }
+
+    #[test]
+    fn zero_parallel_is_rejected() {
+        let jobs = small_jobs(2);
+        let err = sched(0, ExecutionMode::Concurrent).run(&jobs).unwrap_err();
+        assert!(matches!(err, RuntimeError::ZeroParallel));
+    }
+
+    #[test]
+    fn oversized_job_is_unplaceable() {
+        let mut jobs = small_jobs(1);
+        jobs[0].circuit = qucp_circuit::Circuit::new(64);
+        let err = sched(2, ExecutionMode::Concurrent).run(&jobs).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::JobUnplaceable { job_id: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_job_is_unplaceable_with_threshold_gate_too() {
+        // The threshold probe runs before packing; the error contract
+        // must not change when the gate is on.
+        let mut cfg = quick_cfg(4, ExecutionMode::Concurrent);
+        cfg.fidelity_threshold = Some(0.1);
+        let mut jobs = small_jobs(1);
+        jobs[0].circuit = qucp_circuit::Circuit::new(64);
+        let err = BatchScheduler::new(ibm::toronto(), strategy::qucp(4.0), cfg)
+            .run(&jobs)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::JobUnplaceable { job_id: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn fidelity_threshold_zero_degenerates_to_dedicated() {
+        let mut cfg = quick_cfg(4, ExecutionMode::Concurrent);
+        cfg.fidelity_threshold = Some(0.0);
+        let s = BatchScheduler::new(ibm::toronto(), strategy::qucp(4.0), cfg);
+        // A homogeneous burst: every batch head admits exactly one copy
+        // under a zero threshold (paper: "when the fidelity threshold is
+        // zero … only one circuit is executed each time").
+        let jobs = small_jobs(4);
+        let report = s.run(&jobs).unwrap();
+        assert_eq!(report.stats.batches, 4);
+    }
+
+    #[test]
+    fn late_arrivals_wait_for_their_turn() {
+        let mut jobs = small_jobs(2);
+        // Second job arrives long after the first batch would finish.
+        jobs[1].arrival = 1e9;
+        let report = sched(4, ExecutionMode::Concurrent).run(&jobs).unwrap();
+        assert_eq!(report.stats.batches, 2);
+        assert_eq!(report.job_results[1].waiting, 0.0);
+        assert!(report.batches[1].start >= 1e9);
+    }
+}

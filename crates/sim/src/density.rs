@@ -58,7 +58,9 @@ impl DensityMatrix {
 
     /// Trace (should be 1).
     pub fn trace(&self) -> Complex {
-        (0..self.dim).map(|i| self.entry(i, i)).fold(Complex::zero(), |a, b| a + b)
+        (0..self.dim)
+            .map(|i| self.entry(i, i))
+            .fold(Complex::zero(), |a, b| a + b)
     }
 
     /// Purity `Tr(ρ²)` — 1 for pure states, `1/dim` when fully mixed.
@@ -74,7 +76,9 @@ impl DensityMatrix {
 
     /// Measurement probabilities (the diagonal).
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.dim).map(|i| self.entry(i, i).re.max(0.0)).collect()
+        (0..self.dim)
+            .map(|i| self.entry(i, i).re.max(0.0))
+            .collect()
     }
 
     /// Applies a gate unitarily: `ρ ← UρU†`.
@@ -276,7 +280,11 @@ pub fn exact_probabilities(
                 rho.apply(gate);
                 rho.gate_error_channel(gate, plan.error_p[index]);
             }
-            Event::Idle { q, relax_p, dephase_p } => {
+            Event::Idle {
+                q,
+                relax_p,
+                dephase_p,
+            } => {
                 rho.pauli_channel(q, relax_p / 4.0, relax_p / 4.0, dephase_p / 2.0);
             }
         }
@@ -305,7 +313,14 @@ mod tests {
     #[test]
     fn pure_evolution_matches_statevector() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).t(1).cx(1, 2).ry(2, 0.7).cz(0, 2).swap(0, 2).cp(1, 2, 0.3);
+        c.h(0)
+            .cx(0, 1)
+            .t(1)
+            .cx(1, 2)
+            .ry(2, 0.7)
+            .cz(0, 2)
+            .swap(0, 2)
+            .cp(1, 2, 0.3);
         let sv = Statevector::from_circuit(&c);
         let mut dm = DensityMatrix::zero_state(3);
         for g in c.gates() {
@@ -324,7 +339,7 @@ mod tests {
     fn depolarizing_mixes_state() {
         let mut dm = DensityMatrix::zero_state(1);
         dm.gate_error_channel(&Gate::X(0), 0.75); // maximal 1q depolarizing
-        // Fully mixed: diag(1/2, 1/2).
+                                                  // Fully mixed: diag(1/2, 1/2).
         let p = dm.probabilities();
         assert!((p[0] - 0.5).abs() < 1e-10);
         assert!((p[1] - 0.5).abs() < 1e-10);

@@ -163,7 +163,10 @@ impl fmt::Display for SimError {
                 write!(f, "layout maps two qubits onto physical qubit {physical}")
             }
             SimError::PhysicalOutOfRange { physical, device } => {
-                write!(f, "physical qubit {physical} out of range for device of {device}")
+                write!(
+                    f,
+                    "physical qubit {physical} out of range for device of {device}"
+                )
             }
             SimError::NotCoupled { gate_index, a, b } => write!(
                 f,
@@ -307,7 +310,13 @@ pub(crate) fn build_plan(
 
     let mut events: Vec<(f64, u8, Event)> = Vec::new();
     for e in sched.entries() {
-        events.push((e.start, 1, Event::Gate { index: e.gate_index }));
+        events.push((
+            e.start,
+            1,
+            Event::Gate {
+                index: e.gate_index,
+            },
+        ));
     }
     if cfg.idle_noise {
         for (q, windows) in sched.idle_windows(circuit).into_iter().enumerate() {
@@ -318,7 +327,15 @@ pub(crate) fn build_plan(
                 let tau = b - a;
                 let relax_p = 1.0 - (-tau / t1).exp();
                 let dephase_p = 1.0 - (-tau / t2).exp();
-                events.push((b, 0, Event::Idle { q, relax_p, dephase_p }));
+                events.push((
+                    b,
+                    0,
+                    Event::Idle {
+                        q,
+                        relax_p,
+                        dephase_p,
+                    },
+                ));
             }
         }
         for (q, &tau) in tail_idle.iter().enumerate() {
@@ -326,7 +343,15 @@ pub(crate) fn build_plan(
                 let phys = layout[q];
                 let relax_p = 1.0 - (-tau / cal.t1(phys)).exp();
                 let dephase_p = 1.0 - (-tau / cal.t2(phys)).exp();
-                events.push((sched.makespan() + tau, 0, Event::Idle { q, relax_p, dephase_p }));
+                events.push((
+                    sched.makespan() + tau,
+                    0,
+                    Event::Idle {
+                        q,
+                        relax_p,
+                        dephase_p,
+                    },
+                ));
             }
         }
     }
@@ -407,7 +432,9 @@ pub fn run_noisy_with_idle(
                         gate_errors.push(pos);
                     }
                 }
-                Event::Idle { relax_p, dephase_p, .. } => {
+                Event::Idle {
+                    relax_p, dephase_p, ..
+                } => {
                     // Pauli-twirled thermal noise: X/Y each with
                     // p_relax/4, Z with p_dephase/2.
                     let px = relax_p / 4.0;
@@ -477,7 +504,10 @@ fn validate_layout(circuit: &Circuit, layout: &[usize], device: &Device) -> Resu
     let mut seen = vec![false; n];
     for &p in layout {
         if p >= n {
-            return Err(SimError::PhysicalOutOfRange { physical: p, device: n });
+            return Err(SimError::PhysicalOutOfRange {
+                physical: p,
+                device: n,
+            });
         }
         if seen[p] {
             return Err(SimError::LayoutNotInjective { physical: p });
@@ -490,7 +520,11 @@ fn validate_layout(circuit: &Circuit, layout: &[usize], device: &Device) -> Resu
             let qs = qs.as_slice();
             let (a, b) = (layout[qs[0]], layout[qs[1]]);
             if !device.topology().has_link(a, b) {
-                return Err(SimError::NotCoupled { gate_index: i, a, b });
+                return Err(SimError::NotCoupled {
+                    gate_index: i,
+                    a,
+                    b,
+                });
             }
         }
     }
@@ -659,9 +693,15 @@ mod tests {
             c.cx(0, 1);
             c
         };
-        let plain = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(c.gate_count()), &cfg)
-            .unwrap()
-            .probability(0b11);
+        let plain = run_noisy(
+            &c,
+            &[0, 1],
+            &dev,
+            &NoiseScaling::uniform(c.gate_count()),
+            &cfg,
+        )
+        .unwrap()
+        .probability(0b11);
         let mut scaled = NoiseScaling::uniform(c.gate_count());
         for i in 0..c.gate_count() {
             scaled.amplify(i, 4.0);
@@ -669,7 +709,10 @@ mod tests {
         let worse = run_noisy(&c, &[0, 1], &dev, &scaled, &cfg)
             .unwrap()
             .probability(0b11);
-        assert!(worse < plain, "scaled {worse} should be below plain {plain}");
+        assert!(
+            worse < plain,
+            "scaled {worse} should be below plain {plain}"
+        );
     }
 
     #[test]
@@ -698,12 +741,24 @@ mod tests {
             idle_noise: false,
             ..with_idle
         };
-        let a = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(c.gate_count()), &with_idle)
-            .unwrap()
-            .probability(0b01);
-        let b = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(c.gate_count()), &without_idle)
-            .unwrap()
-            .probability(0b01);
+        let a = run_noisy(
+            &c,
+            &[0, 1],
+            &dev,
+            &NoiseScaling::uniform(c.gate_count()),
+            &with_idle,
+        )
+        .unwrap()
+        .probability(0b01);
+        let b = run_noisy(
+            &c,
+            &[0, 1],
+            &dev,
+            &NoiseScaling::uniform(c.gate_count()),
+            &without_idle,
+        )
+        .unwrap()
+        .probability(0b01);
         // The target state is |01⟩ (x then two cx cancel); idle noise can
         // only reduce its probability.
         assert!(a <= b + 1e-9, "idle {a} vs no idle {b}");
@@ -749,10 +804,33 @@ mod tests {
     }
 
     #[test]
+    fn execution_inputs_and_outputs_are_send_sync() {
+        // The qucp-runtime batch scheduler executes batch programs on
+        // scoped threads; everything crossing those threads must stay
+        // Send + Sync. A compile-time pin, so a refactor introducing
+        // Rc/RefCell into these types fails here rather than in the
+        // runtime crate.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecutionConfig>();
+        assert_send_sync::<NoiseScaling>();
+        assert_send_sync::<Counts>();
+        assert_send_sync::<SimError>();
+        assert_send_sync::<Circuit>();
+        assert_send_sync::<Device>();
+    }
+
+    #[test]
     fn sim_error_display() {
-        let e = SimError::NotCoupled { gate_index: 4, a: 1, b: 5 };
+        let e = SimError::NotCoupled {
+            gate_index: 4,
+            a: 1,
+            b: 5,
+        };
         assert!(e.to_string().contains("uncoupled"));
-        let e = SimError::LayoutMismatch { circuit: 2, layout: 3 };
+        let e = SimError::LayoutMismatch {
+            circuit: 2,
+            layout: 3,
+        };
         assert!(e.to_string().contains("does not match"));
     }
 }

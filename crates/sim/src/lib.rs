@@ -15,6 +15,17 @@
 //! simulated on its own small register, which keeps 65-qubit parallel
 //! workloads tractable.
 //!
+//! ## Thread safety
+//!
+//! Every execution entry point ([`run_noisy`], [`run_noisy_with_idle`],
+//! [`run_ideal`], …) is a free function over `Send + Sync` inputs
+//! ([`ExecutionConfig`] is `Copy`; circuits, devices and
+//! [`NoiseScaling`] are plain data) with no interior mutability or
+//! global state — each call owns its RNG, seeded from the config. The
+//! `qucp-runtime` batch scheduler relies on this to execute the
+//! programs of a batch concurrently, one thread per program; a
+//! compile-time assertion in this crate's tests pins the guarantee.
+//!
 //! ```
 //! use qucp_circuit::Circuit;
 //! use qucp_device::ibm;

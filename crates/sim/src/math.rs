@@ -189,7 +189,10 @@ pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
 
 /// Conjugate transpose of a 2×2 matrix.
 pub fn mat2_dagger(a: &Mat2) -> Mat2 {
-    [[a[0][0].conj(), a[1][0].conj()], [a[0][1].conj(), a[1][1].conj()]]
+    [
+        [a[0][0].conj(), a[1][0].conj()],
+        [a[0][1].conj(), a[1][1].conj()],
+    ]
 }
 
 /// Kronecker product `a ⊗ b` of two 2×2 matrices (a acts on the

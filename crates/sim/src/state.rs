@@ -280,7 +280,13 @@ mod tests {
     #[test]
     fn circuit_inverse_returns_to_zero() {
         let mut c = Circuit::new(3);
-        c.h(0).cx(0, 1).t(1).cx(1, 2).ry(2, 0.7).cz(0, 2).rz(1, -0.3);
+        c.h(0)
+            .cx(0, 1)
+            .t(1)
+            .cx(1, 2)
+            .ry(2, 0.7)
+            .cz(0, 2)
+            .rz(1, -0.3);
         let composed = c.compose(&c.inverse()).unwrap();
         let sv = Statevector::from_circuit(&composed);
         assert!((sv.probabilities()[0] - 1.0).abs() < 1e-10);

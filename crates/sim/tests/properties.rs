@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use qucp_circuit::{Circuit, Gate};
 use qucp_device::{Calibration, CrosstalkModel, Device, Topology};
 use qucp_sim::{
-    metrics, noiseless_probabilities, run_noisy, Counts, ExecutionConfig, NoiseScaling,
-    Statevector,
+    metrics, noiseless_probabilities, run_noisy, Counts, ExecutionConfig, NoiseScaling, Statevector,
 };
 
 fn arb_gate(width: usize) -> impl Strategy<Value = Gate> {

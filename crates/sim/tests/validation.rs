@@ -13,9 +13,17 @@ fn device(n: usize, cx: f64, ro: f64) -> Device {
 }
 
 fn tvd_between(circuit: &Circuit, dev: &Device, scaling: &NoiseScaling, shots: usize) -> f64 {
-    let cfg = ExecutionConfig::default().with_shots(shots).with_seed(0xA11CE);
-    let counts = run_noisy(circuit, &(0..circuit.width()).collect::<Vec<_>>(), dev, scaling, &cfg)
-        .expect("sampler");
+    let cfg = ExecutionConfig::default()
+        .with_shots(shots)
+        .with_seed(0xA11CE);
+    let counts = run_noisy(
+        circuit,
+        &(0..circuit.width()).collect::<Vec<_>>(),
+        dev,
+        scaling,
+        &cfg,
+    )
+    .expect("sampler");
     let exact = exact_probabilities(
         circuit,
         &(0..circuit.width()).collect::<Vec<_>>(),
@@ -72,7 +80,7 @@ fn exact_pst_matches_sampled_pst_on_deterministic_circuit() {
     // PST.
     let mut c = Circuit::new(3);
     c.x(0).x(1).ccx(0, 1, 2); // deterministic output |111⟩
-    // The CCX decomposition needs all three pairings: use a triangle.
+                              // The CCX decomposition needs all three pairings: use a triangle.
     let t = Topology::ring(3);
     let cal = Calibration::uniform(&t, 0.03, 5e-4, 0.02);
     let dev = Device::new("tri", t, cal, CrosstalkModel::none());

@@ -41,7 +41,13 @@ impl fmt::Display for SrbOverhead {
         write!(
             f,
             "{}: {} qubits, {} links, {} one-hop pairs, {} groups, {} seeds, {} jobs",
-            self.device, self.qubits, self.links, self.one_hop_pairs, self.groups, self.seeds, self.jobs
+            self.device,
+            self.qubits,
+            self.links,
+            self.one_hop_pairs,
+            self.groups,
+            self.seeds,
+            self.jobs
         )
     }
 }

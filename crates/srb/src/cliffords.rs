@@ -34,10 +34,7 @@ pub fn all() -> &'static [Vec<Gate>] {
 ///
 /// Panics if `i >= 24`.
 pub fn on_qubit(i: usize, q: usize) -> Vec<Gate> {
-    all()[i]
-        .iter()
-        .map(|g| g.map_qubits(|_| q))
-        .collect()
+    all()[i].iter().map(|g| g.map_qubits(|_| q)).collect()
 }
 
 /// A canonical key for a 2×2 unitary up to global phase.
@@ -76,7 +73,8 @@ fn sequence_matrix(seq: &[Gate]) -> Mat2 {
 
 fn enumerate() -> Vec<Vec<Gate>> {
     let generators = [Gate::H(0), Gate::S(0)];
-    let mut found: Vec<(Vec<Gate>, [i64; 8])> = vec![(Vec::new(), phase_invariant_key(&mat2_identity()))];
+    let mut found: Vec<(Vec<Gate>, [i64; 8])> =
+        vec![(Vec::new(), phase_invariant_key(&mat2_identity()))];
     let mut frontier: Vec<Vec<Gate>> = vec![Vec::new()];
     while found.len() < CLIFFORD_COUNT {
         let mut next_frontier = Vec::new();

@@ -28,7 +28,11 @@ pub fn dense_matrix(h: &Hamiltonian) -> Vec<Vec<Complex>> {
                     PauliOp::Y => {
                         row ^= 1 << q;
                         // Y|0⟩ = i|1⟩, Y|1⟩ = −i|0⟩.
-                        phase *= if bit == 0 { Complex::i() } else { -Complex::i() };
+                        phase *= if bit == 0 {
+                            Complex::i()
+                        } else {
+                            -Complex::i()
+                        };
                     }
                     PauliOp::Z => {
                         if bit == 1 {

@@ -40,7 +40,11 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e: VqeError = CoreError::PartitionUnavailable { program: 0, size: 2 }.into();
+        let e: VqeError = CoreError::PartitionUnavailable {
+            program: 0,
+            size: 2,
+        }
+        .into();
         assert!(e.to_string().contains("parallel execution failed"));
         assert!(e.source().is_some());
     }

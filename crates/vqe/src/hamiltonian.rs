@@ -74,7 +74,7 @@ pub fn h2_exact_ground_energy() -> f64 {
     let g2 = -0.39793742484318045; // ZI (Z on qubit 1)
     let g3 = -0.01128010425623538; // ZZ
     let g4 = 0.18093119978423156; // XX
-    // Basis order |q1 q0⟩: z0 = ±1 for q0, z1 for q1.
+                                  // Basis order |q1 q0⟩: z0 = ±1 for q0, z1 for q1.
     let diag = |z0: f64, z1: f64| g0 + g1 * z0 + g2 * z1 + g3 * z0 * z1;
     let d00 = diag(1.0, 1.0);
     let d01 = diag(-1.0, 1.0); // q0 = 1

@@ -164,8 +164,8 @@ mod tests {
         // Group 0 contains II with coefficient −1.0523…; measuring |00⟩
         // gives ⟨IZ⟩ = ⟨ZI⟩ = ⟨ZZ⟩ = +1.
         let e = group_energy(&h, &[0, 1, 2, 3], &counts);
-        let expected = -1.052373245772859 + 0.39793742484318045 - 0.39793742484318045
-            - 0.01128010425623538;
+        let expected =
+            -1.052373245772859 + 0.39793742484318045 - 0.39793742484318045 - 0.01128010425623538;
         assert!((e - expected).abs() < 1e-12);
     }
 

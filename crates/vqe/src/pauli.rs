@@ -155,9 +155,9 @@ impl fmt::Display for PauliString {
 pub fn group_commuting(strings: &[PauliString]) -> Vec<Vec<usize>> {
     let mut groups: Vec<Vec<usize>> = Vec::new();
     for (i, s) in strings.iter().enumerate() {
-        let slot = groups.iter_mut().find(|g| {
-            g.iter().all(|&j| strings[j].qubit_wise_commutes(s))
-        });
+        let slot = groups
+            .iter_mut()
+            .find(|g| g.iter().all(|&j| strings[j].qubit_wise_commutes(s)));
         match slot {
             Some(g) => g.push(i),
             None => groups.push(vec![i]),

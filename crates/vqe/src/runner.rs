@@ -111,8 +111,7 @@ fn circuits_for_theta(
         .iter()
         .enumerate()
         .map(|(gi, group)| {
-            let strings: Vec<&PauliString> =
-                group.iter().map(|&i| &h.terms()[i].0).collect();
+            let strings: Vec<&PauliString> = group.iter().map(|&i| &h.terms()[i].0).collect();
             let mut c = measurement_circuit(&ansatz, &strings);
             c.set_name(format!("vqe_t{label}_g{gi}"));
             c
@@ -131,7 +130,10 @@ pub fn run_h2_experiment(device: &Device, exp: &VqeExperiment) -> Result<VqeRepo
     let groups = h.commuting_groups();
     let n_groups = groups.len();
     let thetas: Vec<f64> = (0..exp.theta_points)
-        .map(|i| -std::f64::consts::PI + 2.0 * std::f64::consts::PI * (i as f64 + 0.5) / exp.theta_points as f64)
+        .map(|i| {
+            -std::f64::consts::PI
+                + 2.0 * std::f64::consts::PI * (i as f64 + 0.5) / exp.theta_points as f64
+        })
         .collect();
 
     // Build every measurement circuit.
@@ -165,10 +167,17 @@ pub fn run_h2_experiment(device: &Device, exp: &VqeExperiment) -> Result<VqeRepo
     let mut pg_energy = vec![0.0f64; exp.theta_points];
     for (ci, circuit) in all_circuits.iter().enumerate() {
         let single_cfg = ParallelConfig {
-            execution: cfg.execution.with_seed(exp.seed.wrapping_add(ci as u64 * 101)),
+            execution: cfg
+                .execution
+                .with_seed(exp.seed.wrapping_add(ci as u64 * 101)),
             ..cfg
         };
-        let out = execute_parallel(device, std::slice::from_ref(circuit), &exp.strategy, &single_cfg)?;
+        let out = execute_parallel(
+            device,
+            std::slice::from_ref(circuit),
+            &exp.strategy,
+            &single_cfg,
+        )?;
         let (ti, gi) = (ci / n_groups, ci % n_groups);
         pg_energy[ti] += group_energy(&h, &groups[gi], &out.programs[0].counts);
     }

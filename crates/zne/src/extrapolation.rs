@@ -238,8 +238,13 @@ mod tests {
 
     #[test]
     fn not_enough_samples_rejected() {
-        let e = Factory::Poly(2).extrapolate(&[(1.0, 0.5), (2.0, 0.4)]).unwrap_err();
-        assert!(matches!(e, ExtrapolationError::NotEnoughSamples { needed: 3, got: 2 }));
+        let e = Factory::Poly(2)
+            .extrapolate(&[(1.0, 0.5), (2.0, 0.4)])
+            .unwrap_err();
+        assert!(matches!(
+            e,
+            ExtrapolationError::NotEnoughSamples { needed: 3, got: 2 }
+        ));
         let e = Factory::Richardson.extrapolate(&[(1.0, 0.5)]).unwrap_err();
         assert!(matches!(e, ExtrapolationError::NotEnoughSamples { .. }));
     }

@@ -50,7 +50,11 @@ pub fn fold_gates_at_random(circuit: &Circuit, scale: f64, seed: u64) -> Circuit
     // Whole-circuit folds absorb the integer part beyond scale 3: after
     // k global folds the count is (2k + 1)·n.
     let k = ((scale - 1.0) / 2.0).floor() as usize;
-    let base = if k > 0 { fold_global(circuit, k) } else { circuit.clone() };
+    let base = if k > 0 {
+        fold_global(circuit, k)
+    } else {
+        circuit.clone()
+    };
     // Remaining partial scale achieved by folding single gates of the
     // (possibly pre-folded) base; each adds 2 gates.
     let target_gates = scale * n as f64;

@@ -29,6 +29,4 @@ mod runner;
 pub use extrapolation::{standard_factories, ExtrapolationError, Factory};
 pub use folding::{achieved_scale, fold_gates_at_random, fold_global, scale_ladder};
 pub use readout::{mitigate_counts, mitigate_distribution, ReadoutError};
-pub use runner::{
-    run_zne_comparison, z_observable, z_observable_exact, ZneExperiment, ZneOutcome,
-};
+pub use runner::{run_zne_comparison, z_observable, z_observable_exact, ZneExperiment, ZneOutcome};

@@ -33,10 +33,19 @@ impl std::fmt::Display for ReadoutError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReadoutError::Unresolvable { qubit, error } => {
-                write!(f, "readout error {error} on qubit {qubit} is not invertible")
+                write!(
+                    f,
+                    "readout error {error} on qubit {qubit} is not invertible"
+                )
             }
-            ReadoutError::SizeMismatch { distribution, qubits } => {
-                write!(f, "distribution of {distribution} entries vs {qubits} qubit errors")
+            ReadoutError::SizeMismatch {
+                distribution,
+                qubits,
+            } => {
+                write!(
+                    f,
+                    "distribution of {distribution} entries vs {qubits} qubit errors"
+                )
             }
         }
     }

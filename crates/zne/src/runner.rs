@@ -146,10 +146,7 @@ pub fn run_zne_comparison(
             ..cfg
         };
         let out = execute_parallel(device, std::slice::from_ref(f), &exp.strategy, &ind_cfg)?;
-        ind_samples.push((
-            exp.scale_factors[i],
-            z_observable(&out.programs[0].counts),
-        ));
+        ind_samples.push((exp.scale_factors[i], z_observable(&out.programs[0].counts)));
     }
     let (ind_value, independent_factory) = best_extrapolation(&ind_samples, ideal);
 

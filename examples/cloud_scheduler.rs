@@ -1,26 +1,30 @@
-//! Cloud-queue scenario: a burst of small jobs arrives at a shared
-//! 27-qubit device (the Sec. I motivation — "it takes several days to
-//! get the result on IBM public chips"). Compare dedicated service with
-//! multi-programmed service, then run one actual packed batch through
-//! the QuCP pipeline to show the fidelity price paid.
+//! Cloud-queue scenario, twice over: first the *analytical* model of
+//! Sec. I/II-A (abstract durations), then the **real** `qucp-runtime`
+//! batch scheduler serving the same kind of burst — planning every
+//! batch through the staged QuCP pipeline, executing batch members
+//! concurrently, and reporting the same `QueueStats` for a head-to-head
+//! comparison of dedicated vs. multi-programmed service, plus the
+//! fidelity price each job actually paid.
 //!
 //! ```text
 //! cargo run --release -p qucp-bench --example cloud_scheduler
 //! ```
 
-use qucp_circuit::library;
 use qucp_core::queue::{simulate_queue, synthetic_workload};
-use qucp_core::{execute_parallel, strategy, ParallelConfig};
+use qucp_core::strategy;
 use qucp_device::ibm;
-use qucp_sim::ExecutionConfig;
+use qucp_runtime::{synthetic_jobs, BatchScheduler, ExecutionMode, RuntimeConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // --- queue-level view -------------------------------------------------
+    // --- analytical queue model -------------------------------------------
     let jobs = synthetic_workload(100, 7);
-    println!("100 queued jobs (2-6 qubits each) on a 27-qubit device\n");
-    println!("{:<14} {:>12} {:>12} {:>12}", "mode", "mean wait", "makespan", "throughput");
+    println!("Analytical model: 100 queued jobs (2-6 qubits) on a 27-qubit device\n");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "mode", "mean wait", "makespan", "throughput"
+    );
     for (label, k) in [("dedicated", 1usize), ("pack 2", 2), ("pack 4", 4)] {
-        let s = simulate_queue(&jobs, 27, k);
+        let s = simulate_queue(&jobs, 27, k)?;
         println!(
             "{label:<14} {:>12.1} {:>12.1} {:>11.1}%",
             s.mean_waiting,
@@ -29,36 +33,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // --- circuit-level view: what one packed batch actually costs ---------
-    println!("\nOne packed batch of three users' circuits under QuCP:\n");
+    // --- the real runtime: same story, actually executed -------------------
+    println!("\nBatch-scheduler runtime: 18 library circuits on ibm::toronto()\n");
     let device = ibm::toronto();
-    let programs = vec![
-        library::by_name("fredkin").unwrap().circuit(),
-        library::by_name("linearsolver").unwrap().circuit(),
-        library::by_name("bell").unwrap().circuit(),
-    ];
-    let batch = execute_parallel(
-        &device,
-        &programs,
-        &strategy::qucp(4.0),
-        &ParallelConfig {
-            execution: ExecutionConfig::default().with_shots(4096),
-            optimize: true,
-        },
-    )?;
-    for r in &batch.programs {
+    let stream = synthetic_jobs(18, 400.0, 1024, 0xC10D);
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>11} {:>10}",
+        "mode", "batches", "mean wait ns", "turnaround ns", "throughput", "mean JSD"
+    );
+    let mut reports = Vec::new();
+    for (label, k) in [("dedicated", 1usize), ("pack 2", 2), ("pack 4", 4)] {
+        let scheduler = BatchScheduler::new(
+            device.clone(),
+            strategy::qucp(4.0),
+            RuntimeConfig {
+                max_parallel: k,
+                fidelity_threshold: None,
+                seed: 0x5EED,
+                optimize: true,
+                mode: ExecutionMode::Concurrent,
+            },
+        );
+        let report = scheduler.run(&stream)?;
+        let mean_jsd: f64 = report.job_results.iter().map(|r| r.result.jsd).sum::<f64>()
+            / report.job_results.len() as f64;
         println!(
-            "  {:<14} JSD {:.3}{}",
-            r.name,
-            r.jsd,
-            r.pst.map_or(String::new(), |p| format!("  PST {p:.3}")),
+            "{label:<14} {:>8} {:>14.0} {:>14.0} {:>10.1}% {:>10.3}",
+            report.stats.batches,
+            report.stats.mean_waiting,
+            report.stats.mean_turnaround,
+            100.0 * report.stats.mean_throughput,
+            mean_jsd
+        );
+        reports.push((label, report));
+    }
+
+    // --- what one packed batch actually cost -------------------------------
+    let (_, packed) = &reports[2];
+    let widest = packed
+        .batches
+        .iter()
+        .max_by_key(|b| b.job_ids.len())
+        .expect("at least one batch");
+    println!(
+        "\nWidest batch under 4-way packing: jobs {:?} on {} qubits, {} conflicts",
+        widest.job_ids, widest.used_qubits, widest.conflict_count
+    );
+    for r in packed
+        .job_results
+        .iter()
+        .filter(|r| r.batch_index == widest.batch_index)
+    {
+        println!(
+            "  {:<18} JSD {:.3}{}  (waited {:.0} ns)",
+            r.result.name,
+            r.result.jsd,
+            r.result
+                .pst
+                .map_or(String::new(), |p| format!("  PST {p:.3}")),
+            r.waiting,
         );
     }
+
+    let (_, dedicated) = &reports[0];
     println!(
-        "\nbatch throughput {:.1}%, runtime reduction {:.1}x, conflicts {}",
-        100.0 * batch.throughput,
-        batch.runtime_reduction(),
-        batch.conflict_count
+        "\nRuntime turnaround reduction, 4-way over dedicated: {:.2}x",
+        dedicated.stats.mean_turnaround / packed.stats.mean_turnaround
     );
     Ok(())
 }

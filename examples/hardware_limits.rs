@@ -16,7 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = library::by_name("4mod5-v1_22").unwrap().circuit();
     let strat = strategy::qucp(4.0);
     println!("circuit: {circuit}");
-    println!("device : {} ({} qubits)\n", device.name(), device.num_qubits());
+    println!(
+        "device : {} ({} qubits)\n",
+        device.name(),
+        device.num_qubits()
+    );
 
     // EFS-estimated fidelity cost of each parallelism level.
     println!("copies  estimated fidelity difference (EFS)");

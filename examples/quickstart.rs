@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
     println!("hardware throughput : {:.1}%", 100.0 * outcome.throughput);
-    println!("cross-program CNOT conflicts suffered: {}", outcome.conflict_count);
+    println!(
+        "cross-program CNOT conflicts suffered: {}",
+        outcome.conflict_count
+    );
     println!(
         "runtime: {:.0} ns merged vs {:.0} ns serial ({:.1}x reduction)",
         outcome.makespan,

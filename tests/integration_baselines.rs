@@ -47,8 +47,7 @@ fn noise_aware_partitions_have_lower_efs_than_topology_greedy() {
     let device = ibm::toronto();
     for combo in &FIG3B_COMBOS[..4] {
         let programs = combo_circuits(combo);
-        let (_, aware, _) =
-            plan_workload(&device, &programs, &strategy::multiqc(), true).unwrap();
+        let (_, aware, _) = plan_workload(&device, &programs, &strategy::multiqc(), true).unwrap();
         let (_, blind, _) = plan_workload(&device, &programs, &strategy::cna(), true).unwrap();
         let aware_total: f64 = aware.iter().map(|a| a.efs.score).sum();
         let blind_total: f64 = blind.iter().map(|a| a.efs.score).sum();
@@ -65,7 +64,10 @@ fn crosstalk_aware_strategies_accept_no_strong_adjacency() {
     // strongly coupled links; crosstalk-blind policies may not.
     let device = ibm::toronto();
     let programs = combo_circuits(&["qec", "var", "bell"]);
-    for strat in [strategy::qucp(4.0), strategy::qumc_with_ground_truth(&device)] {
+    for strat in [
+        strategy::qucp(4.0),
+        strategy::qumc_with_ground_truth(&device),
+    ] {
         let (_, allocs, mapped) = plan_workload(&device, &programs, &strat, true).unwrap();
         let ctx = qucp_core::context::build_context(&device, &mapped, false);
         // Any surviving conflicts must involve only weak ground-truth
@@ -105,11 +107,17 @@ fn single_program_equivalence_across_crosstalk_policies() {
     // With one program there is no cross-program crosstalk: QuCP, QuMC
     // and MultiQC (all EFS-based) must choose the same best partition.
     let device = ibm::toronto();
-    let program = vec![qucp_circuit::library::by_name("alu-v0_27").unwrap().circuit()];
+    let program = vec![qucp_circuit::library::by_name("alu-v0_27")
+        .unwrap()
+        .circuit()];
     let (_, a, _) = plan_workload(&device, &program, &strategy::qucp(4.0), true).unwrap();
-    let (_, b, _) =
-        plan_workload(&device, &program, &strategy::qumc_with_ground_truth(&device), true)
-            .unwrap();
+    let (_, b, _) = plan_workload(
+        &device,
+        &program,
+        &strategy::qumc_with_ground_truth(&device),
+        true,
+    )
+    .unwrap();
     let (_, c, _) = plan_workload(&device, &program, &strategy::multiqc(), true).unwrap();
     assert_eq!(a[0].qubits, b[0].qubits);
     assert_eq!(a[0].qubits, c[0].qubits);

@@ -50,7 +50,9 @@ fn fig3_shape_qucp_beats_cna_on_aggregate() {
     // beat CNA on aggregate (the paper's headline result).
     let device = ibm::toronto();
     let cfg = ParallelConfig {
-        execution: ExecutionConfig::default().with_shots(2048).with_seed(20220314),
+        execution: ExecutionConfig::default()
+            .with_shots(2048)
+            .with_seed(20220314),
         optimize: true,
     };
     let combos = [["adder", "4mod", "alu"], ["4mod", "fred", "alu"]];
@@ -105,10 +107,13 @@ fn fig4_shape_threshold_monotone() {
         execution: ExecutionConfig::default().with_shots(256),
         optimize: true,
     };
-    let points =
-        threshold_sweep(&device, &circuit, &[0.0, 0.05, 1e9], 6, &strat, &cfg).unwrap();
-    assert!(points.windows(2).all(|w| w[0].parallel_count <= w[1].parallel_count));
-    assert!(points.windows(2).all(|w| w[0].throughput <= w[1].throughput + 1e-12));
+    let points = threshold_sweep(&device, &circuit, &[0.0, 0.05, 1e9], 6, &strat, &cfg).unwrap();
+    assert!(points
+        .windows(2)
+        .all(|w| w[0].parallel_count <= w[1].parallel_count));
+    assert!(points
+        .windows(2)
+        .all(|w| w[0].throughput <= w[1].throughput + 1e-12));
 }
 
 #[test]
@@ -169,8 +174,8 @@ fn fig6_shape_zne() {
 fn queue_motivation_shape() {
     use qucp_core::queue::{simulate_queue, synthetic_workload};
     let jobs = synthetic_workload(60, 3);
-    let solo = simulate_queue(&jobs, 27, 1);
-    let packed = simulate_queue(&jobs, 27, 4);
+    let solo = simulate_queue(&jobs, 27, 1).unwrap();
+    let packed = simulate_queue(&jobs, 27, 4).unwrap();
     assert!(packed.mean_waiting < solo.mean_waiting);
     assert!(packed.makespan < solo.makespan);
     assert!(packed.mean_throughput > solo.mean_throughput);

@@ -22,7 +22,11 @@ fn full_pipeline_on_toronto() {
         .expect("pipeline");
     assert_eq!(out.programs.len(), 3);
     // Disjoint partitions covering 4+3+5 qubits.
-    let mut qubits: Vec<usize> = out.programs.iter().flat_map(|p| p.partition.clone()).collect();
+    let mut qubits: Vec<usize> = out
+        .programs
+        .iter()
+        .flat_map(|p| p.partition.clone())
+        .collect();
     let n = qubits.len();
     qubits.sort_unstable();
     qubits.dedup();
@@ -69,8 +73,7 @@ fn planning_produces_executable_mappings() {
         strategy::multiqc(),
         strategy::qucloud(),
     ] {
-        let (_, allocs, mapped) =
-            plan_workload(&device, &programs, &strat, true).expect("plan");
+        let (_, allocs, mapped) = plan_workload(&device, &programs, &strat, true).expect("plan");
         for (alloc, mp) in allocs.iter().zip(&mapped) {
             // Every routed 2q gate sits on a physical link.
             for g in mp.circuit.gates() {
@@ -120,8 +123,8 @@ fn conflict_free_plans_have_unit_scalings() {
     // QuCP with a huge sigma refuses any one-hop adjacency: no conflicts.
     let device = ibm::toronto();
     let programs = combo_circuits(&FIG3B_COMBOS[7]);
-    let out = execute_parallel(&device, &programs, &strategy::qucp(100.0), &quick_cfg(128))
-        .expect("run");
+    let out =
+        execute_parallel(&device, &programs, &strategy::qucp(100.0), &quick_cfg(128)).expect("run");
     assert_eq!(out.conflict_count, 0);
 }
 

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests for the staged-pipeline refactor and
+//! the `qucp-runtime` batch scheduler.
+//!
+//! The equivalence suite pins the refactor contract: the trait-based
+//! pipeline must reproduce the original `execute_parallel` outcomes
+//! **bit-for-bit** at a fixed seed, for every paper strategy. The
+//! runtime suite pins the acceptance criteria: a ≥ 12-job workload on
+//! `ibm::toronto()` executes end-to-end with concurrent batches,
+//! deterministically, and beats dedicated (1-way) turnaround.
+
+use qucp_bench::combo_circuits;
+use qucp_circuit::library;
+use qucp_core::{execute_parallel, plan_workload, strategy, ParallelConfig, Pipeline, Strategy};
+use qucp_device::ibm;
+use qucp_runtime::{synthetic_jobs, BatchScheduler, ExecutionMode, Job, RuntimeConfig};
+use qucp_sim::ExecutionConfig;
+
+fn all_strategies(device: &qucp_device::Device) -> Vec<Strategy> {
+    vec![
+        strategy::qucp(4.0),
+        strategy::qumc_with_ground_truth(device),
+        strategy::cna(),
+        strategy::multiqc(),
+        strategy::qucloud(),
+    ]
+}
+
+fn fixed_cfg() -> ParallelConfig {
+    ParallelConfig {
+        execution: ExecutionConfig::default().with_shots(512).with_seed(1234),
+        optimize: true,
+    }
+}
+
+/// The trait pipeline, composed explicitly stage by stage, reproduces
+/// the driver entry point bit-for-bit for all five strategies.
+#[test]
+fn pipeline_matches_driver_for_all_strategies() {
+    let device = ibm::toronto();
+    let programs = combo_circuits(&["adder", "fred", "alu"]);
+    for strat in all_strategies(&device) {
+        let driver = execute_parallel(&device, &programs, &strat, &fixed_cfg())
+            .unwrap_or_else(|e| panic!("{} driver failed: {e}", strat.name));
+        let pipeline = Pipeline::from_strategy(&strat)
+            .execute(&device, &programs, &fixed_cfg())
+            .unwrap_or_else(|e| panic!("{} pipeline failed: {e}", strat.name));
+        assert_eq!(driver, pipeline, "{} outcomes diverged", strat.name);
+    }
+}
+
+/// Planning through the explicit pipeline matches `plan_workload`.
+#[test]
+fn pipeline_plan_matches_plan_workload() {
+    let device = ibm::toronto();
+    let programs = combo_circuits(&["adder", "fred", "alu"]);
+    for strat in all_strategies(&device) {
+        let (opt, allocs, mapped) = plan_workload(&device, &programs, &strat, true).unwrap();
+        let plan = Pipeline::from_strategy(&strat)
+            .plan(&device, &programs, true)
+            .unwrap();
+        assert_eq!(opt, plan.programs, "{}", strat.name);
+        assert_eq!(allocs, plan.allocations, "{}", strat.name);
+        assert_eq!(mapped, plan.mapped, "{}", strat.name);
+    }
+}
+
+/// Driver outcomes are reproducible run-to-run (the refactor must not
+/// have introduced any order- or time-dependence).
+#[test]
+fn driver_outcome_still_reproducible() {
+    let device = ibm::toronto();
+    let programs = vec![
+        library::by_name("fredkin").unwrap().circuit(),
+        library::by_name("linearsolver").unwrap().circuit(),
+    ];
+    let a = execute_parallel(&device, &programs, &strategy::qucp(4.0), &fixed_cfg()).unwrap();
+    let b = execute_parallel(&device, &programs, &strategy::qucp(4.0), &fixed_cfg()).unwrap();
+    assert_eq!(a, b);
+}
+
+fn runtime_cfg(max_parallel: usize, mode: ExecutionMode) -> RuntimeConfig {
+    RuntimeConfig {
+        max_parallel,
+        fidelity_threshold: None,
+        seed: 77,
+        optimize: true,
+        mode,
+    }
+}
+
+fn acceptance_workload() -> Vec<Job> {
+    synthetic_jobs(12, 300.0, 256, 0xACCE)
+}
+
+/// Acceptance: a 12-job workload on `ibm::toronto()` runs end-to-end
+/// with concurrent per-batch execution and beats dedicated turnaround.
+#[test]
+fn batch_scheduler_beats_dedicated_on_toronto() {
+    let jobs = acceptance_workload();
+    let dedicated = BatchScheduler::new(
+        ibm::toronto(),
+        strategy::qucp(4.0),
+        runtime_cfg(1, ExecutionMode::Concurrent),
+    )
+    .run(&jobs)
+    .expect("dedicated run");
+    let packed = BatchScheduler::new(
+        ibm::toronto(),
+        strategy::qucp(4.0),
+        runtime_cfg(4, ExecutionMode::Concurrent),
+    )
+    .run(&jobs)
+    .expect("packed run");
+
+    assert_eq!(dedicated.job_results.len(), 12);
+    assert_eq!(packed.job_results.len(), 12);
+    assert_eq!(dedicated.stats.batches, 12);
+    assert!(packed.stats.batches < 12, "packing never happened");
+    assert!(
+        packed.stats.mean_turnaround < dedicated.stats.mean_turnaround,
+        "packed turnaround {} should beat dedicated {}",
+        packed.stats.mean_turnaround,
+        dedicated.stats.mean_turnaround
+    );
+    assert!(packed.stats.mean_throughput > dedicated.stats.mean_throughput);
+}
+
+/// Concurrent batch execution is deterministic: it equals the serial
+/// mode bit-for-bit and is reproducible run-to-run.
+#[test]
+fn concurrent_batches_are_deterministic() {
+    let jobs = acceptance_workload();
+    let make = |mode| {
+        BatchScheduler::new(ibm::toronto(), strategy::qucp(4.0), runtime_cfg(4, mode))
+            .run(&jobs)
+            .expect("run")
+    };
+    let conc_a = make(ExecutionMode::Concurrent);
+    let conc_b = make(ExecutionMode::Concurrent);
+    let serial = make(ExecutionMode::Serial);
+    assert_eq!(conc_a, conc_b, "concurrent run not reproducible");
+    assert_eq!(conc_a, serial, "concurrent diverges from serial");
+}
+
+/// The runtime works under every paper strategy, not just QuCP.
+#[test]
+fn runtime_serves_all_strategies() {
+    let device = ibm::toronto();
+    let jobs = synthetic_jobs(6, 300.0, 128, 5);
+    for strat in all_strategies(&device) {
+        let name = strat.name.clone();
+        let report = BatchScheduler::new(
+            device.clone(),
+            strat,
+            runtime_cfg(3, ExecutionMode::Concurrent),
+        )
+        .run(&jobs)
+        .unwrap_or_else(|e| panic!("{name} runtime failed: {e}"));
+        assert_eq!(report.job_results.len(), 6, "{name}");
+    }
+}
+
+/// The EFS fidelity-threshold gate (Fig. 4) throttles batch width: a
+/// zero threshold degenerates to dedicated service, a huge one packs.
+#[test]
+fn fidelity_threshold_controls_packing() {
+    let jobs = acceptance_workload();
+    let run = |threshold| {
+        let mut cfg = runtime_cfg(4, ExecutionMode::Concurrent);
+        cfg.fidelity_threshold = Some(threshold);
+        BatchScheduler::new(ibm::toronto(), strategy::qucp(4.0), cfg)
+            .run(&jobs)
+            .expect("run")
+    };
+    let strict = run(0.0);
+    let loose = run(1e9);
+    assert_eq!(strict.stats.batches, 12, "zero threshold must serialize");
+    assert!(loose.stats.batches < strict.stats.batches);
+    assert!(loose.stats.mean_turnaround < strict.stats.mean_turnaround);
+}

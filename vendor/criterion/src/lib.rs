@@ -1,0 +1,212 @@
+//! Offline in-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! implements the subset the workspace benches use: [`Criterion`] with
+//! `bench_function` / `benchmark_group`, groups with `sample_size`,
+//! `bench_function`, `bench_with_input` and `finish`, [`BenchmarkId`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Instead of criterion's statistical analysis it runs a fixed warm-up
+//! plus `sample_size` timed iterations and prints mean/min wall-clock
+//! time per iteration — enough to compare configurations by eye and to
+//! keep `cargo bench` runnable offline.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// An identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, running one warm-up iteration plus `samples` timed
+    /// iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.durations.push(t0.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, durations: &[Duration]) {
+    if durations.is_empty() {
+        println!("{id:<40} (no samples — Bencher::iter never called)");
+        return;
+    }
+    let mean = durations.iter().sum::<Duration>() / durations.len() as u32;
+    let min = durations.iter().min().copied().unwrap_or_default();
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{id:<40} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+        durations.len()
+    );
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time (accepted, ignored by the stub).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b.durations);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b.durations);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Upstream parses CLI flags here; the stub just returns defaults.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.samples,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.id, &b.durations);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,531 @@
+//! Offline in-tree stand-in for the `rand` crate, **bit-exact** with
+//! `rand 0.8.5` for the API subset this workspace uses.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! reimplements the exact algorithms of the upstream stack:
+//!
+//! * [`StdRng`] is the ChaCha12 generator of `rand_chacha 0.3` with the
+//!   same 4-block (64-word) output buffering as `rand_core`'s
+//!   `BlockRng`, including its word-straddling `next_u64` rule;
+//! * [`SeedableRng::seed_from_u64`] is `rand_core 0.6`'s PCG32-based
+//!   seed expansion;
+//! * [`Rng::gen_range`] is `rand 0.8.5`'s `UniformInt`
+//!   (widening-multiply with zone rejection) and `UniformFloat`
+//!   (`[1, 2)` mantissa trick) single-sample paths;
+//! * [`Rng::gen_bool`] is the 64-bit fixed-point `Bernoulli`;
+//! * [`seq::SliceRandom`] uses upstream's `gen_index` (u32 sampling for
+//!   small bounds).
+//!
+//! Bit-exactness matters because the device calibration and crosstalk
+//! models synthesize their data from seeded `StdRng` streams, and many
+//! test thresholds were tuned against those exact streams.
+
+/// Core trait: a source of pseudo-random words (subset of
+/// `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next pseudo-random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next pseudo-random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators (subset: `seed_from_u64`).
+pub trait SeedableRng: Sized {
+    /// Deterministically creates a generator from a 64-bit seed using
+    /// `rand_core 0.6`'s PCG32 expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// The standard generator: ChaCha with 12 rounds, matching
+/// `rand 0.8`'s `StdRng` stream exactly.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    /// ChaCha key (state words 4..12).
+    key: [u32; 8],
+    /// 64-bit block counter (state words 12..14; stream id words are 0).
+    counter: u64,
+    /// Four ChaCha blocks of buffered output, as `rand_core::BlockRng`
+    /// keeps them.
+    results: [u32; 64],
+    /// Next unread index into `results`; 64 means "buffer exhausted".
+    index: usize,
+}
+
+impl StdRng {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, k) in key.iter_mut().enumerate() {
+            *k = u32::from_le_bytes([
+                seed[4 * i],
+                seed[4 * i + 1],
+                seed[4 * i + 2],
+                seed[4 * i + 3],
+            ]);
+        }
+        StdRng {
+            key,
+            counter: 0,
+            results: [0; 64],
+            index: 64,
+        }
+    }
+
+    /// One 12-round ChaCha block for block counter `n`.
+    fn block(&self, n: u64, out: &mut [u32]) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = n as u32;
+        state[13] = (n >> 32) as u32;
+        // state[14], state[15]: stream id, zero for seed_from_u64.
+
+        let mut w = state;
+        #[inline(always)]
+        fn quarter(w: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+            w[a] = w[a].wrapping_add(w[b]);
+            w[d] = (w[d] ^ w[a]).rotate_left(16);
+            w[c] = w[c].wrapping_add(w[d]);
+            w[b] = (w[b] ^ w[c]).rotate_left(12);
+            w[a] = w[a].wrapping_add(w[b]);
+            w[d] = (w[d] ^ w[a]).rotate_left(8);
+            w[c] = w[c].wrapping_add(w[d]);
+            w[b] = (w[b] ^ w[c]).rotate_left(7);
+        }
+        for _ in 0..6 {
+            // One double round (column + diagonal) per iteration.
+            quarter(&mut w, 0, 4, 8, 12);
+            quarter(&mut w, 1, 5, 9, 13);
+            quarter(&mut w, 2, 6, 10, 14);
+            quarter(&mut w, 3, 7, 11, 15);
+            quarter(&mut w, 0, 5, 10, 15);
+            quarter(&mut w, 1, 6, 11, 12);
+            quarter(&mut w, 2, 7, 8, 13);
+            quarter(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = w[i].wrapping_add(state[i]);
+        }
+    }
+
+    /// Refills the 4-block buffer, as `rand_chacha` generates batches of
+    /// four consecutive blocks.
+    fn generate(&mut self) {
+        for b in 0..4u64 {
+            let mut out = [0u32; 16];
+            self.block(self.counter.wrapping_add(b), &mut out);
+            self.results[16 * b as usize..16 * (b as usize + 1)].copy_from_slice(&out);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6: PCG32 expansion of the u64 seed.
+        const MUL: u64 = 6_364_136_223_846_793_005;
+        const INC: u64 = 11_634_580_027_462_260_723;
+        let mut seed = [0u8; 32];
+        for chunk in seed.chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes());
+        }
+        StdRng::from_seed(seed)
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 64 {
+            self.generate();
+        }
+        let v = self.results[self.index];
+        self.index += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // rand_core::BlockRng::next_u64, including the buffer-straddling
+        // case.
+        let index = self.index;
+        if index < 63 {
+            self.index += 2;
+            (u64::from(self.results[index + 1]) << 32) | u64::from(self.results[index])
+        } else if index >= 64 {
+            self.generate();
+            self.index = 2;
+            (u64::from(self.results[1]) << 32) | u64::from(self.results[0])
+        } else {
+            let x = u64::from(self.results[63]);
+            self.generate();
+            self.index = 1;
+            (u64::from(self.results[0]) << 32) | x
+        }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (`rand`'s `Standard` distribution,
+/// subset).
+pub trait Standard: Sized {
+    /// Draws a uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53-bit precision multiply-based conversion.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Standard for $t {
+            fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$m() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64
+);
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// Uniform single-sampling of a type (see [`Rng::gen_range`]), matching
+/// `rand 0.8.5`'s `UniformSampler::sample_single{,_inclusive}`.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty => ($unsigned:ty, $u_large:ty, $wide:ty)),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_closed(rng, low, high - 1)
+            }
+
+            fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "UniformSampler::sample_single_inclusive: low > high");
+                let range = (high.wrapping_sub(low) as $unsigned as $u_large).wrapping_add(1);
+                if range == 0 {
+                    // The whole domain: any value is uniform.
+                    return <$t as Standard>::draw(rng);
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= u16::MAX as u64 {
+                    // Small types use an exact modulus.
+                    let unsigned_max = <$u_large>::MAX;
+                    let ints_to_reject = (unsigned_max - range + 1) % range;
+                    unsigned_max - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v = <$u_large as Standard>::draw(rng);
+                    let prod = (v as $wide) * (range as $wide);
+                    let hi = (prod >> (<$u_large>::BITS)) as $u_large;
+                    let lo = prod as $u_large;
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(
+    u8 => (u8, u32, u64),
+    u16 => (u16, u32, u64),
+    u32 => (u32, u32, u64),
+    u64 => (u64, u64, u128),
+    usize => (usize, usize, u128),
+    i8 => (u8, u32, u64),
+    i16 => (u16, u32, u64),
+    i32 => (u32, u32, u64),
+    i64 => (u64, u64, u128),
+    isize => (usize, usize, u128)
+);
+
+impl SampleUniform for f64 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(low < high, "UniformSampler::sample_single: low >= high");
+        let mut scale = high - low;
+        loop {
+            // A value in [1, 2) from 52 mantissa bits, minus 1.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+            // Upstream's edge-case handling shrinks the scale.
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(
+            low <= high,
+            "UniformSampler::sample_single_inclusive: low > high"
+        );
+        // Matches rand 0.8.5: inclusive float sampling widens the scale
+        // by one ULP-equivalent via the [1, 2) trick over high - low.
+        let scale = high - low;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        let res = (value1_2 - 1.0) * scale + low;
+        if res > high {
+            high
+        } else {
+            res
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(low < high, "UniformSampler::sample_single: low >= high");
+        let mut scale = high - low;
+        loop {
+            // A value in [1, 2) from 23 mantissa bits, minus 1.
+            let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+            let res = (value1_2 - 1.0) * scale + low;
+            if res < high {
+                return res;
+            }
+            scale = f32::from_bits(scale.to_bits() - 1);
+        }
+    }
+
+    fn sample_closed<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        debug_assert!(
+            low <= high,
+            "UniformSampler::sample_single_inclusive: low > high"
+        );
+        let scale = high - low;
+        let value1_2 = f32::from_bits((rng.next_u32() >> 9) | (127u32 << 23));
+        let res = (value1_2 - 1.0) * scale + low;
+        if res > high {
+            high
+        } else {
+            res
+        }
+    }
+}
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_closed(rng, *self.start(), *self.end())
+    }
+}
+
+/// Extension methods over any [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::draw(self)
+    }
+
+    /// `true` with probability `p`, via `rand 0.8`'s 64-bit fixed-point
+    /// Bernoulli.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if !(0.0..1.0).contains(&p) {
+            assert!(p == 1.0, "p={p} is outside range [0.0, 1.0]");
+            return true;
+        }
+        // SCALE = 2^64 as f64.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.gen::<u64>() < p_int
+    }
+
+    /// A uniform sample from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Namespaced re-exports matching `rand::rngs`.
+pub mod rngs {
+    pub use super::StdRng;
+}
+
+/// Sequence utilities (mirrors `rand::seq`, subset).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Uniform index below `ubound`, using u32 sampling when possible
+    /// (exactly `rand 0.8`'s `gen_index`).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    /// Slice shuffling and selection.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+        /// A uniformly chosen element (`None` if empty).
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(gen_index(rng, self.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn mixed_u32_u64_reads_stay_deterministic() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        // Drive `a` across several buffer refills with mixed reads.
+        let mut va = Vec::new();
+        let mut vb = Vec::new();
+        for i in 0..300 {
+            if i % 3 == 0 {
+                va.push(a.next_u32() as u64);
+                vb.push(b.next_u32() as u64);
+            } else {
+                va.push(a.next_u64());
+                vb.push(b.next_u64());
+            }
+        }
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let k = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&k));
+            let k = rng.gen_range(2usize..=6);
+            assert!((2..=6).contains(&k));
+            let x = rng.gen_range(0.5f64..1.5);
+            assert!((0.5..1.5).contains(&x));
+            let k: i32 = rng.gen_range(0..3);
+            assert!((0..3).contains(&k));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 20_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert!(v.choose(&mut rng).is_some());
+        let empty: [usize; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}
