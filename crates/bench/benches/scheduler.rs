@@ -1,26 +1,45 @@
-//! Criterion benchmark: batch-scheduler throughput (jobs served per
-//! second of wall clock) at 1/2/4-way packing, plus the planning-only
-//! cost of batch formation.
+//! Criterion benchmark: service-runtime throughput (jobs served per
+//! second of wall clock) at 1/2/4-way packing, the concurrency gain of
+//! threaded batch execution, and an admission-policy comparison on a
+//! skewed-arrival workload (wide GHZ jobs blocking the FIFO head of
+//! line).
 //!
-//! Dedicated (1-way) service is the baseline the paper argues against;
-//! the interesting read-out is how much wall-clock the *runtime itself*
-//! gains from co-scheduling, on top of the simulated-hardware gains the
-//! queue stats report.
+//! Dedicated (1-way) service is the baseline the paper argues against.
+//! Besides wall-clock numbers, the skewed group prints the *simulated*
+//! mean turnaround per policy once at start-up, so the scheduling win
+//! (Backfill/SJF over FIFO) is visible next to the runtime cost of the
+//! smarter policies; the win itself is pinned by
+//! `tests/integration_service.rs`, not asserted here.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qucp_core::strategy;
 use qucp_device::ibm;
-use qucp_runtime::{synthetic_jobs, BatchScheduler, ExecutionMode, RuntimeConfig};
+use qucp_runtime::{
+    skewed_jobs, synthetic_jobs, AdmissionPolicy, Backfill, ExecutionMode, Fifo, Job, JobRequest,
+    Service, ServiceReport, ShortestJobFirst,
+};
 use std::hint::black_box;
 
-fn cfg(max_parallel: usize, mode: ExecutionMode) -> RuntimeConfig {
-    RuntimeConfig {
-        max_parallel,
-        fidelity_threshold: None,
-        seed: 0xBE7C,
-        optimize: true,
-        mode,
+fn serve(
+    jobs: &[Job],
+    policy: impl AdmissionPolicy + 'static,
+    device: qucp_device::Device,
+    max_parallel: usize,
+    mode: ExecutionMode,
+) -> ServiceReport {
+    let mut service = Service::builder()
+        .device(device)
+        .strategy(strategy::qucp(4.0))
+        .policy(policy)
+        .max_parallel(max_parallel)
+        .seed(0xBE7C)
+        .mode(mode)
+        .build()
+        .expect("build");
+    for job in jobs {
+        service.submit(JobRequest::from_job(job)).expect("submit");
     }
+    service.run_until_drained().expect("drain")
 }
 
 fn bench_scheduler(c: &mut Criterion) {
@@ -30,25 +49,93 @@ fn bench_scheduler(c: &mut Criterion) {
 
     for k in [1usize, 2, 4] {
         group.bench_with_input(BenchmarkId::new("throughput", k), &k, |b, &k| {
-            let scheduler = BatchScheduler::new(
-                ibm::toronto(),
-                strategy::qucp(4.0),
-                cfg(k, ExecutionMode::Concurrent),
-            );
-            b.iter(|| black_box(scheduler.run(&jobs).expect("run")))
+            b.iter(|| {
+                black_box(serve(
+                    &jobs,
+                    Fifo,
+                    ibm::toronto(),
+                    k,
+                    ExecutionMode::Concurrent,
+                ))
+            })
         });
     }
 
     // Concurrency gain at fixed packing: serial vs threaded batches.
     group.bench_function("serial_4way", |b| {
-        let scheduler = BatchScheduler::new(
-            ibm::toronto(),
-            strategy::qucp(4.0),
-            cfg(4, ExecutionMode::Serial),
-        );
-        b.iter(|| black_box(scheduler.run(&jobs).expect("run")))
+        b.iter(|| black_box(serve(&jobs, Fifo, ibm::toronto(), 4, ExecutionMode::Serial)))
     });
     group.finish();
+
+    // Admission policies on a skewed burst: every third job a
+    // 13-qubit GHZ chain that monopolises the 15-qubit Melbourne chip.
+    let skewed = skewed_jobs(12, 13, 50.0, 128, 7);
+    let fifo = serve(
+        &skewed,
+        Fifo,
+        ibm::melbourne(),
+        3,
+        ExecutionMode::Concurrent,
+    );
+    let backfill = serve(
+        &skewed,
+        Backfill { max_overtakes: 2 },
+        ibm::melbourne(),
+        3,
+        ExecutionMode::Concurrent,
+    );
+    let sjf = serve(
+        &skewed,
+        ShortestJobFirst,
+        ibm::melbourne(),
+        3,
+        ExecutionMode::Concurrent,
+    );
+    eprintln!(
+        "skewed-arrival simulated mean turnaround (ns): \
+         FIFO {:.0} | Backfill {:.0} ({:.2}x) | SJF {:.0} ({:.2}x)",
+        fifo.stats.mean_turnaround,
+        backfill.stats.mean_turnaround,
+        fifo.stats.mean_turnaround / backfill.stats.mean_turnaround,
+        sjf.stats.mean_turnaround,
+        fifo.stats.mean_turnaround / sjf.stats.mean_turnaround,
+    );
+    let mut skew_group = c.benchmark_group("scheduler_skewed");
+    skew_group.sample_size(10);
+    skew_group.bench_function("fifo_3way", |b| {
+        b.iter(|| {
+            black_box(serve(
+                &skewed,
+                Fifo,
+                ibm::melbourne(),
+                3,
+                ExecutionMode::Concurrent,
+            ))
+        })
+    });
+    skew_group.bench_function("backfill_3way", |b| {
+        b.iter(|| {
+            black_box(serve(
+                &skewed,
+                Backfill { max_overtakes: 2 },
+                ibm::melbourne(),
+                3,
+                ExecutionMode::Concurrent,
+            ))
+        })
+    });
+    skew_group.bench_function("sjf_3way", |b| {
+        b.iter(|| {
+            black_box(serve(
+                &skewed,
+                ShortestJobFirst,
+                ibm::melbourne(),
+                3,
+                ExecutionMode::Concurrent,
+            ))
+        })
+    });
+    skew_group.finish();
 }
 
 criterion_group!(benches, bench_scheduler);

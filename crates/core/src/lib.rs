@@ -27,7 +27,7 @@
 //! objects.
 //!
 //! Supporting modules: [`partition`] grows and scores candidate regions
-//! ([`efs`], Eq. 1 of the paper), with crosstalk entering either through
+//! ([`efs()`], Eq. 1 of the paper), with crosstalk entering either through
 //! QuCP's σ parameter or QuMC's measured pair ratios; [`mapping`] places
 //! and routes each program inside its region; [`context`] merges the
 //! ALAP-aligned schedules and determines which cross-program CNOTs
@@ -89,5 +89,6 @@ pub use pipeline::{
 pub use sabre::{route_sabre, SabreOptions};
 pub use strategy::{Strategy, DEFAULT_SIGMA};
 pub use threshold::{
-    efs_difference, parallel_count_for_threshold, threshold_sweep, ThresholdPoint,
+    batch_efs_difference, batch_efs_excesses, efs_difference, parallel_count_for_threshold,
+    solo_efs_scores, threshold_sweep, ThresholdPoint,
 };

@@ -1,5 +1,5 @@
 //! Noise-aware qubit mapping inside an allocated partition: initial
-//! placement (HA-style heuristic, Niu et al. [18] of the paper) and
+//! placement (HA-style heuristic, Niu et al. \[18\] of the paper) and
 //! reliability-weighted SWAP routing.
 //!
 //! The mapped program stays in *partition-local* coordinates: local wire

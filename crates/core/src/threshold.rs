@@ -67,6 +67,95 @@ pub fn parallel_count_for_threshold(
     Ok(best_k)
 }
 
+/// Per-member EFS excess of running a **heterogeneous** batch together
+/// versus each member alone on its best partition.
+///
+/// Entry `i` is `Eᵢ(batch) − Eᵢ(solo)`, clamped at zero: how much worse
+/// member `i`'s allocated partition scores when it has to share the
+/// chip with the rest of the batch. Unlike [`efs_difference`], which
+/// replicates a single circuit `k` times (the paper's homogeneous
+/// Fig. 4 experiment), this evaluates the *actual* batch members, so a
+/// runtime admission gate can enforce each job's own fidelity
+/// tolerance.
+///
+/// # Errors
+///
+/// Propagates partition failures when the batch (or any member alone)
+/// does not fit.
+pub fn batch_efs_excesses(
+    device: &Device,
+    circuits: &[&Circuit],
+    strategy: &Strategy,
+) -> Result<Vec<f64>, CoreError> {
+    let joint = allocate_partitions(device, circuits, &strategy.partition)?;
+    let solo = solo_efs_scores(device, circuits, strategy)?;
+    let mut excesses = vec![0.0; circuits.len()];
+    for alloc in &joint {
+        excesses[alloc.program_index] = (alloc.efs.score - solo[alloc.program_index]).max(0.0);
+    }
+    Ok(excesses)
+}
+
+/// The solo-best EFS score of every circuit: what each would pay on its
+/// preferred partition with the chip to itself. Replicated copies (same
+/// gates on the same width, whatever their names) share one allocation
+/// probe, so a homogeneous batch costs a single probe. Callers that
+/// already hold a joint allocation (e.g. the runtime's batch fidelity
+/// gate) combine these with its per-member scores instead of paying
+/// [`batch_efs_excesses`]'s second joint allocation.
+///
+/// # Errors
+///
+/// Propagates partition failures when a member does not fit alone.
+pub fn solo_efs_scores(
+    device: &Device,
+    circuits: &[&Circuit],
+    strategy: &Strategy,
+) -> Result<Vec<f64>, CoreError> {
+    let mut scores: Vec<Option<f64>> = vec![None; circuits.len()];
+    for i in 0..circuits.len() {
+        if scores[i].is_some() {
+            continue;
+        }
+        let solo = allocate_partitions(device, &[circuits[i]], &strategy.partition)?;
+        let score = solo[0].efs.score;
+        for (j, c) in circuits.iter().enumerate().skip(i) {
+            if scores[j].is_none()
+                && c.width() == circuits[i].width()
+                && c.gates() == circuits[i].gates()
+            {
+                scores[j] = Some(score);
+            }
+        }
+    }
+    Ok(scores
+        .into_iter()
+        .map(|s| s.expect("score filled"))
+        .collect())
+}
+
+/// The mean EFS excess of a heterogeneous batch (the batch-level
+/// analogue of [`efs_difference`]): the average of
+/// [`batch_efs_excesses`]. Zero when every member still gets a
+/// partition as good as its solo best — which, unlike the homogeneous
+/// case, can happen even for multi-member batches whose members prefer
+/// disjoint chip regions.
+///
+/// # Errors
+///
+/// Propagates partition failures.
+pub fn batch_efs_difference(
+    device: &Device,
+    circuits: &[&Circuit],
+    strategy: &Strategy,
+) -> Result<f64, CoreError> {
+    if circuits.is_empty() {
+        return Ok(0.0);
+    }
+    let excesses = batch_efs_excesses(device, circuits, strategy)?;
+    Ok(excesses.iter().sum::<f64>() / circuits.len() as f64)
+}
+
 /// One point of the Fig. 4 sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThresholdPoint {
@@ -174,6 +263,39 @@ mod tests {
             assert!(k >= last, "k not monotone at threshold {t}");
             last = k;
         }
+    }
+
+    #[test]
+    fn batch_excess_is_zero_for_singleton_and_grows_with_pressure() {
+        let dev = ibm::toronto();
+        let a = library::by_name("fredkin").unwrap().circuit();
+        let b = library::by_name("alu-v0_27").unwrap().circuit();
+        let s = strategy::qucp(4.0);
+        let solo = batch_efs_excesses(&dev, &[&a], &s).unwrap();
+        assert_eq!(solo, vec![0.0]);
+        // Four copies of the same circuit compete for the same best
+        // region, so at least one member must pay an excess.
+        let crowded = batch_efs_excesses(&dev, &[&a, &a, &a, &a], &s).unwrap();
+        assert_eq!(crowded.len(), 4);
+        assert!(crowded.iter().all(|&e| e >= 0.0));
+        assert!(crowded.iter().sum::<f64>() > 0.0);
+        // Heterogeneous pair: mean tracks the per-member excesses.
+        let pair = batch_efs_excesses(&dev, &[&a, &b], &s).unwrap();
+        let mean = batch_efs_difference(&dev, &[&a, &b], &s).unwrap();
+        assert!((mean - pair.iter().sum::<f64>() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_difference_matches_homogeneous_difference() {
+        // On a homogeneous batch the per-member mean equals the
+        // replicated-copy estimate of `efs_difference`.
+        let dev = ibm::manhattan();
+        let c = library::by_name("4mod5-v1_22").unwrap().circuit();
+        let s = strategy::qucp(4.0);
+        let copies = [&c, &c, &c];
+        let batch = batch_efs_difference(&dev, &copies, &s).unwrap();
+        let homog = efs_difference(&dev, &c, 3, &s).unwrap();
+        assert!((batch - homog).abs() < 1e-12, "batch {batch} vs {homog}");
     }
 
     #[test]

@@ -77,6 +77,25 @@ impl Device {
         self.topology.num_qubits()
     }
 
+    /// Whether the chip can in principle host a program of `width`
+    /// logical qubits — the cheap topology-level admission check a
+    /// multi-device dispatcher runs before committing to the expensive
+    /// partition probe (which also consults calibration quality).
+    ///
+    /// Zero-width programs are rejected: they claim no qubits and a
+    /// scheduler has nothing to place.
+    ///
+    /// ```
+    /// use qucp_device::ibm;
+    /// let dev = ibm::toronto();
+    /// assert!(dev.admits(27));
+    /// assert!(!dev.admits(28));
+    /// assert!(!dev.admits(0));
+    /// ```
+    pub fn admits(&self, width: usize) -> bool {
+        width >= 1 && width <= self.num_qubits()
+    }
+
     /// Hardware throughput (paper Sec. II-A): used qubits over total.
     pub fn throughput(&self, used_qubits: usize) -> f64 {
         used_qubits as f64 / self.num_qubits() as f64

@@ -1,0 +1,232 @@
+//! Telemetry events of the service lifecycle and the observer hook.
+//!
+//! Every state transition of a [`Service`](crate::Service) — a job
+//! entering the queue, a batch being planned or shrunk, a job
+//! completing — is recorded as an [`Event`] in the service's
+//! [`EventLog`] and fanned out to every registered [`EventObserver`].
+//! Timestamps are simulated nanoseconds on the owning device's clock,
+//! so a log can be replayed to reconstruct the exact admission
+//! decisions (the property tests use this to check the backfill
+//! starvation bound).
+
+/// Why a planned batch lost its tail member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShrinkReason {
+    /// The partitioner ran out of connected regions for the full batch.
+    PartitionFailure,
+    /// The heterogeneous EFS gate found a member exceeding its
+    /// fidelity-threshold tolerance.
+    FidelityGate,
+}
+
+/// One service lifecycle transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A job entered the pending queue.
+    JobSubmitted {
+        /// Effective job id (caller-assigned or service-assigned).
+        job_id: u64,
+        /// Service-assigned submission index (unique even when job ids
+        /// collide).
+        seq: usize,
+        /// Arrival time (ns).
+        arrival: f64,
+        /// Logical width of the submitted circuit.
+        width: usize,
+        /// Effective shot budget.
+        shots: usize,
+    },
+    /// A batch was planned and dispatched to a device.
+    BatchPlanned {
+        /// Batch position in global dispatch order.
+        batch_index: usize,
+        /// Name of the device the batch was routed to.
+        device: String,
+        /// Ids of the members, in program order.
+        job_ids: Vec<u64>,
+        /// Simulated start time (ns).
+        start: f64,
+        /// Merged-schedule makespan (ns).
+        makespan: f64,
+    },
+    /// A batch lost its tail member during planning or gating.
+    BatchShrunk {
+        /// Batch position in global dispatch order.
+        batch_index: usize,
+        /// Name of the device the batch was being planned for.
+        device: String,
+        /// Id of the member dropped back into the queue consideration.
+        dropped_job_id: u64,
+        /// Members remaining after the drop.
+        remaining: usize,
+        /// What forced the shrink.
+        reason: ShrinkReason,
+    },
+    /// A job's batch finished executing.
+    JobCompleted {
+        /// Effective job id.
+        job_id: u64,
+        /// Service-assigned submission index.
+        seq: usize,
+        /// Batch that carried the job.
+        batch_index: usize,
+        /// Completion time (ns).
+        completion: f64,
+        /// Turnaround: completion − arrival (ns).
+        turnaround: f64,
+    },
+}
+
+/// Receives every [`Event`] as it is recorded.
+///
+/// Closures implement the trait, so wiring telemetry is one line:
+///
+/// ```
+/// use qucp_runtime::{Event, EventObserver};
+/// let mut seen = 0usize;
+/// let mut counter = |_e: &Event| seen += 1;
+/// // `&mut closure` satisfies the bound taken by ServiceBuilder::observer.
+/// fn takes_observer(_o: &mut dyn EventObserver) {}
+/// takes_observer(&mut counter);
+/// ```
+pub trait EventObserver: Send {
+    /// Called once per event, in dispatch order.
+    fn on_event(&mut self, event: &Event);
+}
+
+impl<F: FnMut(&Event) + Send> EventObserver for F {
+    fn on_event(&mut self, event: &Event) {
+        self(event)
+    }
+}
+
+/// An append-only record of every [`Event`] a service emitted.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ids of all submitted jobs, in submission order.
+    pub fn submitted_ids(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::JobSubmitted { job_id, .. } => Some(*job_id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Ids of all completed jobs, in completion order.
+    pub fn completed_ids(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::JobCompleted { job_id, .. } => Some(*job_id),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The planned batches as `(device, member ids)` pairs, in dispatch
+    /// order.
+    pub fn planned_batches(&self) -> Vec<(&str, &[u64])> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::BatchPlanned {
+                    device, job_ids, ..
+                } => Some((device.as_str(), job_ids.as_slice())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// How many shrink events were recorded for `reason`.
+    pub fn shrink_count(&self, reason: ShrinkReason) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::BatchShrunk { reason: r, .. } if *r == reason))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_accumulates_and_queries() {
+        let mut log = EventLog::new();
+        assert!(log.is_empty());
+        log.push(Event::JobSubmitted {
+            job_id: 3,
+            seq: 0,
+            arrival: 0.0,
+            width: 2,
+            shots: 64,
+        });
+        log.push(Event::BatchPlanned {
+            batch_index: 0,
+            device: "d".into(),
+            job_ids: vec![3],
+            start: 0.0,
+            makespan: 10.0,
+        });
+        log.push(Event::JobCompleted {
+            job_id: 3,
+            seq: 0,
+            batch_index: 0,
+            completion: 10.0,
+            turnaround: 10.0,
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.submitted_ids(), vec![3]);
+        assert_eq!(log.completed_ids(), vec![3]);
+        assert_eq!(log.planned_batches(), vec![("d", &[3u64][..])]);
+        assert_eq!(log.shrink_count(ShrinkReason::PartitionFailure), 0);
+    }
+
+    #[test]
+    fn closures_observe() {
+        let mut count = 0usize;
+        {
+            let mut obs = |_: &Event| count += 1;
+            let o: &mut dyn EventObserver = &mut obs;
+            o.on_event(&Event::JobCompleted {
+                job_id: 0,
+                seq: 0,
+                batch_index: 0,
+                completion: 1.0,
+                turnaround: 1.0,
+            });
+        }
+        assert_eq!(count, 1);
+    }
+}

@@ -73,6 +73,51 @@ pub fn synthetic_jobs(n: usize, gap_ns: f64, shots: usize, seed: u64) -> Vec<Job
         .collect()
 }
 
+/// Generates a deterministic **skewed** job stream for policy
+/// comparisons: mostly small library circuits with every third job a
+/// wide GHZ chain of `heavy_width` qubits.
+///
+/// On a chip where `heavy_width + smallest_small > num_qubits`, the
+/// heavy jobs cannot ride along with anything — under FIFO they block
+/// the queue head (nothing behind them packs), which is exactly the
+/// head-of-line pattern `Backfill` and `ShortestJobFirst` exist to
+/// exploit.
+pub fn skewed_jobs(n: usize, heavy_width: usize, gap_ns: f64, shots: usize, seed: u64) -> Vec<Job> {
+    const SMALL: [&str; 3] = ["bell", "fredkin", "linearsolver"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    // Small jobs rotate on their own counter: indexing by `i` would
+    // collide with the heavy-slot modulus and skip SMALL[1] forever.
+    let mut small_count = 0usize;
+    (0..n)
+        .map(|i| {
+            t += rng.gen_range(0.0..gap_ns.max(f64::MIN_POSITIVE));
+            let circuit = if i % 3 == 1 {
+                let mut c = Circuit::with_name(heavy_width, format!("ghz{heavy_width}#{i}"));
+                c.h(0);
+                for q in 1..heavy_width {
+                    c.cx(q - 1, q);
+                }
+                c
+            } else {
+                let name = SMALL[small_count % SMALL.len()];
+                small_count += 1;
+                let mut c = library::by_name(name)
+                    .unwrap_or_else(|| panic!("library benchmark {name} missing"))
+                    .circuit();
+                c.set_name(format!("{name}#{i}"));
+                c
+            };
+            Job {
+                id: i as u64,
+                circuit,
+                shots,
+                arrival: t,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +133,22 @@ mod tests {
         // Ids are unique and sequential.
         for (i, j) in a.iter().enumerate() {
             assert_eq!(j.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn skewed_jobs_mix_heavy_and_small() {
+        let a = skewed_jobs(8, 13, 100.0, 64, 3);
+        let b = skewed_jobs(8, 13, 100.0, 64, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        for (i, j) in a.iter().enumerate() {
+            if i % 3 == 1 {
+                assert_eq!(j.circuit.width(), 13);
+                assert!(j.circuit.name().starts_with("ghz13"));
+            } else {
+                assert!(j.circuit.width() <= 5);
+            }
         }
     }
 }

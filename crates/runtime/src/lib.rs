@@ -1,65 +1,77 @@
 //! # qucp-runtime
 //!
-//! A concurrent batch-scheduling runtime that turns the paper's
+//! An **event-driven scheduling service** that turns the paper's
 //! analytical cloud-queue argument (Sec. I/II-A) into an executable
-//! system: instead of *modelling* multi-programmed service with
-//! abstract durations (`qucp_core::queue::simulate_queue`), it accepts
-//! a stream of [`Job`]s — circuit, shots, arrival time — plans every
-//! batch through the staged trait pipeline of `qucp-core`, executes the
-//! programs of each batch **concurrently** (one thread per program),
-//! and reports the same [`QueueStats`](qucp_core::queue::QueueStats)
-//! the analytical model emits, so model and runtime can be compared
-//! head-to-head.
+//! online system. Where the analytical model
+//! (`qucp_core::queue::simulate_queue`) abstracts jobs into durations
+//! and the seed runtime served a pre-collected slice FIFO, the
+//! [`Service`] accepts **streaming submissions**, delegates admission
+//! to a pluggable policy, dispatches across a **fleet of devices**, and
+//! reports the same [`QueueStats`](qucp_core::queue::QueueStats) as the
+//! model, so all three layers compare head-to-head.
 //!
-//! ## Batch lifecycle
+//! ## Service lifecycle: submit → admit → plan → execute → observe
 //!
-//! 1. **Admission** — jobs are served FIFO by arrival time (the IBM
-//!    fair-share semantics the paper describes; no reordering). When
-//!    the device frees up, the scheduler looks at the queue head.
-//! 2. **Sizing** — the co-schedule width for the next batch is the
-//!    smallest of: the configured `max_parallel`; the EFS
-//!    fidelity-threshold count of
-//!    [`parallel_count_for_threshold`](qucp_core::threshold::parallel_count_for_threshold)
-//!    (the Fig. 4 throughput/fidelity trade-off, evaluated on the
-//!    head-of-line circuit); and what fits the chip qubit-wise.
-//! 3. **Planning** — the batch is partitioned, routed, and
-//!    schedule-merged by the [`Pipeline`](qucp_core::pipeline::Pipeline)
-//!    assembled from the configured [`Strategy`]. If partitioning
-//!    cannot place the whole batch, the batch shrinks from the tail
-//!    until it fits (the head job alone failing is an error).
-//! 4. **Execution** — every program of the planned batch runs on the
-//!    pipeline's [`Backend`](qucp_core::pipeline::Backend) in its own
-//!    scoped thread ([`std::thread::scope`]). Per-program seeds are
-//!    derived from `(batch seed, program index)` only, so concurrent
-//!    and serial execution agree **bit-for-bit**
-//!    ([`ExecutionMode::Serial`] exists to assert exactly that).
-//! 5. **Accounting** — the simulated clock advances by the merged
-//!    schedule's makespan (ns); waiting/turnaround/throughput
-//!    accumulate exactly as in the analytical model.
+//! 1. **Submit** — [`Service::submit`] validates a [`JobRequest`]
+//!    (finite arrival, positive shots, non-empty circuit, sane
+//!    threshold) and returns a [`JobTicket`]. Each request may override
+//!    the service defaults per job: execution
+//!    [`Strategy`](qucp_core::Strategy), shot budget, EFS fidelity
+//!    threshold.
+//! 2. **Admit** — whenever a device frees up ([`Service::tick`] in
+//!    online use, [`Service::run_until_drained`] for batch drains), the
+//!    configured [`AdmissionPolicy`] picks the head-of-line job among
+//!    the arrived ones and packs riders around it: [`Fifo`] (strict
+//!    arrival order, the seed behaviour), [`Backfill`] (smaller jobs
+//!    jump a head that does not fit the remaining qubit budget, with a
+//!    bounded-starvation guarantee), or [`ShortestJobFirst`]. The EFS
+//!    fidelity gate sizes the batch: [`EfsGate::HeadOnly`] replays the
+//!    paper's Fig. 4 copy-count probe, [`EfsGate::Batch`] evaluates the
+//!    *actual heterogeneous members* against each job's own threshold.
+//! 3. **Plan** — the batch routes to the earliest-free
+//!    [`DeviceRegistry`] entry whose topology admits it, then runs
+//!    through the staged [`Pipeline`](qucp_core::pipeline::Pipeline) of
+//!    the head's effective strategy; partition pressure shrinks the
+//!    batch from the tail.
+//! 4. **Execute** — every program of the planned batch runs on the
+//!    pipeline backend in its own scoped thread (or serially under
+//!    [`ExecutionMode::Serial`]); per-program seeds derive from
+//!    `(seed, batch index, program index)` only, so concurrent and
+//!    serial execution agree **bit-for-bit**.
+//! 5. **Observe** — every transition ([`Event::JobSubmitted`],
+//!    [`Event::BatchPlanned`], [`Event::BatchShrunk`],
+//!    [`Event::JobCompleted`]) lands in the service [`EventLog`] and in
+//!    every registered [`EventObserver`]; per-device clocks and
+//!    statistics accumulate into the drained [`ServiceReport`].
+//!
+//! The legacy one-shot [`BatchScheduler::run`] survives as a deprecated
+//! veneer over `Service` + [`Fifo`] + a single device and reproduces
+//! the seed scheduler's output bit-for-bit — the PR-1 equivalence tests
+//! pin the redesign.
 //!
 //! ```
 //! use qucp_circuit::library;
 //! use qucp_core::strategy;
 //! use qucp_device::ibm;
-//! use qucp_runtime::{BatchScheduler, Job, RuntimeConfig};
+//! use qucp_runtime::{Backfill, JobRequest, Service};
 //!
 //! # fn main() -> Result<(), qucp_runtime::RuntimeError> {
-//! let jobs: Vec<Job> = (0..4)
-//!     .map(|i| Job {
-//!         id: i,
-//!         circuit: library::by_name("bell").unwrap().circuit(),
-//!         shots: 256,
-//!         arrival: i as f64 * 100.0,
-//!     })
-//!     .collect();
-//! let scheduler = BatchScheduler::new(
-//!     ibm::toronto(),
-//!     strategy::qucp(4.0),
-//!     RuntimeConfig { max_parallel: 2, ..RuntimeConfig::default() },
-//! );
-//! let report = scheduler.run(&jobs)?;
+//! let mut service = Service::builder()
+//!     .device(ibm::melbourne())
+//!     .device(ibm::toronto())
+//!     .strategy(strategy::qucp(4.0))
+//!     .policy(Backfill::default())
+//!     .max_parallel(2)
+//!     .default_shots(256)
+//!     .build()?;
+//! for i in 0..4 {
+//!     let circuit = library::by_name("bell").unwrap().circuit();
+//!     let ticket = service.submit(JobRequest::new(circuit, i as f64 * 100.0))?;
+//!     assert_eq!(ticket.seq, i);
+//! }
+//! let report = service.run_until_drained()?;
 //! assert_eq!(report.job_results.len(), 4);
-//! assert!(report.stats.batches <= 4);
+//! assert_eq!(report.per_device.len(), 2);
 //! # Ok(())
 //! # }
 //! ```
@@ -67,10 +79,20 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod event;
 mod job;
+mod policy;
+mod registry;
 mod scheduler;
+mod service;
 
-pub use job::{synthetic_jobs, Job, JobResult};
+pub use event::{Event, EventLog, EventObserver, ShrinkReason};
+pub use job::{skewed_jobs, synthetic_jobs, Job, JobResult};
+pub use policy::{AdmissionPolicy, Backfill, BatchBudget, Fifo, JobView, ShortestJobFirst};
+pub use registry::{DeviceId, DeviceRegistry};
 pub use scheduler::{
     BatchReport, BatchScheduler, ExecutionMode, RunReport, RuntimeConfig, RuntimeError,
+};
+pub use service::{
+    DeviceReport, EfsGate, JobRequest, JobTicket, Service, ServiceBuilder, ServiceReport,
 };

@@ -1,0 +1,145 @@
+//! The device registry: the set of chips one service dispatches across.
+//!
+//! The paper's queue argument is told for a single device; a cloud
+//! provider runs many. A [`DeviceRegistry`] holds the static fleet —
+//! per-device *runtime* state (clocks, busy accounting,
+//! [`QueueStats`](qucp_core::queue::QueueStats)) lives inside the
+//! [`Service`](crate::Service), which routes every batch to the
+//! earliest-free device whose topology admits the batch head
+//! (registration order breaks ties, so routing is deterministic).
+
+use qucp_device::Device;
+
+/// Opaque handle of a registered device (its registration index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(usize);
+
+impl DeviceId {
+    /// The registration index the id wraps.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An ordered fleet of devices.
+///
+/// ```
+/// use qucp_device::ibm;
+/// use qucp_runtime::DeviceRegistry;
+///
+/// let mut fleet = DeviceRegistry::new();
+/// let toronto = fleet.register(ibm::toronto());
+/// let melbourne = fleet.register(ibm::melbourne());
+/// assert_eq!(fleet.len(), 2);
+/// assert_eq!(fleet.get(toronto).num_qubits(), 27);
+/// // A 20-qubit program only fits Toronto.
+/// let admitting: Vec<_> = fleet.admitting(20).collect();
+/// assert_eq!(admitting, vec![toronto]);
+/// assert_ne!(toronto, melbourne);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceRegistry {
+    devices: Vec<Device>,
+}
+
+impl DeviceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DeviceRegistry::default()
+    }
+
+    /// A registry holding a single device (the legacy wrapper's case).
+    pub fn single(device: Device) -> Self {
+        DeviceRegistry {
+            devices: vec![device],
+        }
+    }
+
+    /// Adds a device; later registrations lose routing ties.
+    pub fn register(&mut self, device: Device) -> DeviceId {
+        self.devices.push(device);
+        DeviceId(self.devices.len() - 1)
+    }
+
+    /// Internal positional access for the service dispatch loop, which
+    /// keys per-device runtime state by registration index.
+    pub(crate) fn device_at(&self, index: usize) -> &Device {
+        &self.devices[index]
+    }
+
+    /// The device behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry and is out of
+    /// range.
+    pub fn get(&self, id: DeviceId) -> &Device {
+        &self.devices[id.0]
+    }
+
+    /// Number of registered devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Ids and devices in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &Device)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// Ids of the devices whose topology admits a `width`-qubit
+    /// program, in registration order.
+    pub fn admitting(&self, width: usize) -> impl Iterator<Item = DeviceId> + '_ {
+        self.iter()
+            .filter(move |(_, d)| d.admits(width))
+            .map(|(id, _)| id)
+    }
+
+    /// The registered device with the most qubits (`None` when empty) —
+    /// the honest place to surface a "does not fit anywhere" planning
+    /// error.
+    pub fn widest(&self) -> Option<DeviceId> {
+        let mut best: Option<usize> = None;
+        for (i, d) in self.devices.iter().enumerate() {
+            // Strict comparison: the earliest registration wins ties,
+            // consistent with the routing rule.
+            if best.is_none_or(|b| d.num_qubits() > self.devices[b].num_qubits()) {
+                best = Some(i);
+            }
+        }
+        best.map(DeviceId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_device::ibm;
+
+    #[test]
+    fn routing_queries_are_deterministic() {
+        let mut fleet = DeviceRegistry::new();
+        assert!(fleet.is_empty());
+        assert_eq!(fleet.widest(), None);
+        let mel = fleet.register(ibm::melbourne());
+        let tor = fleet.register(ibm::toronto());
+        let man = fleet.register(ibm::manhattan());
+        assert_eq!(fleet.len(), 3);
+        assert_eq!(fleet.widest(), Some(man));
+        // A 14-qubit job fits everything, in registration order.
+        assert_eq!(fleet.admitting(14).collect::<Vec<_>>(), vec![mel, tor, man]);
+        // A 40-qubit job only fits Manhattan (65q).
+        assert_eq!(fleet.admitting(40).collect::<Vec<_>>(), vec![man]);
+        assert_eq!(fleet.admitting(99).count(), 0);
+        assert_eq!(fleet.get(tor).name(), ibm::toronto().name());
+        assert_eq!(fleet.iter().count(), 3);
+    }
+}

@@ -1,18 +1,16 @@
-//! The concurrent FIFO batch scheduler (see the crate docs for the
-//! batch lifecycle).
+//! Shared runtime configuration and error types, plus the legacy
+//! one-shot [`BatchScheduler`] — now a thin deprecated wrapper over the
+//! event-driven [`Service`](crate::Service).
 
 use std::error::Error;
 use std::fmt;
 
-use qucp_circuit::Circuit;
-use qucp_core::pipeline::{Pipeline, PlannedWorkload};
 use qucp_core::queue::QueueStats;
-use qucp_core::threshold::parallel_count_for_threshold;
-use qucp_core::{CoreError, ParallelConfig, ProgramResult, Strategy};
+use qucp_core::{CoreError, Strategy};
 use qucp_device::Device;
-use qucp_sim::ExecutionConfig;
 
 use crate::job::{Job, JobResult};
+use crate::service::{JobRequest, Service};
 
 /// How the programs of a planned batch are executed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -26,15 +24,14 @@ pub enum ExecutionMode {
     Serial,
 }
 
-/// Batch-scheduler configuration.
+/// Base runtime configuration shared by the [`Service`] (as builder
+/// defaults) and the legacy [`BatchScheduler`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeConfig {
     /// Hard cap on jobs per batch (1 = dedicated mode).
     pub max_parallel: usize,
-    /// EFS fidelity-threshold gate (Fig. 4): when set, the co-schedule
-    /// width is additionally capped by
-    /// [`parallel_count_for_threshold`] evaluated on the head-of-line
-    /// circuit. `None` disables the gate.
+    /// Default EFS fidelity-threshold gate (Fig. 4). `None` disables
+    /// the gate for jobs without a per-job override.
     pub fidelity_threshold: Option<f64>,
     /// Base RNG seed; batch `b`, program `i` derive their trajectory
     /// seeds from `(seed, b, i)` only.
@@ -57,12 +54,30 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Errors of the batch-scheduling runtime.
+/// Errors of the scheduling runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// `max_parallel` was zero.
     ZeroParallel,
-    /// A single job cannot be placed on the device even alone.
+    /// The service was built without any registered device.
+    NoDevices,
+    /// A job (or the service default) requested zero measurement shots.
+    ZeroShots,
+    /// A submitted circuit had zero width — nothing to place.
+    EmptyCircuit,
+    /// A time input (job arrival, tick horizon) was NaN or infinite
+    /// where a finite value is required.
+    NonFiniteTime {
+        /// The offending value.
+        value: f64,
+    },
+    /// A fidelity threshold was NaN, infinite or negative.
+    InvalidThreshold {
+        /// The offending value.
+        value: f64,
+    },
+    /// A single job cannot be placed on any registered device even
+    /// alone.
     JobUnplaceable {
         /// The job's identifier.
         job_id: u64,
@@ -77,6 +92,15 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::ZeroParallel => write!(f, "max_parallel must be positive"),
+            RuntimeError::NoDevices => write!(f, "at least one device must be registered"),
+            RuntimeError::ZeroShots => write!(f, "shot budget must be positive"),
+            RuntimeError::EmptyCircuit => write!(f, "cannot schedule a zero-width circuit"),
+            RuntimeError::NonFiniteTime { value } => {
+                write!(f, "time must be finite, got {value}")
+            }
+            RuntimeError::InvalidThreshold { value } => {
+                write!(f, "fidelity threshold must be finite and >= 0, got {value}")
+            }
             RuntimeError::JobUnplaceable { job_id, source } => {
                 write!(f, "job {job_id} cannot be placed: {source}")
             }
@@ -90,7 +114,7 @@ impl Error for RuntimeError {
         match self {
             RuntimeError::JobUnplaceable { source, .. } => Some(source),
             RuntimeError::Core(e) => Some(e),
-            RuntimeError::ZeroParallel => None,
+            _ => None,
         }
     }
 }
@@ -106,6 +130,8 @@ impl From<CoreError> for RuntimeError {
 pub struct BatchReport {
     /// Batch position in dispatch order.
     pub batch_index: usize,
+    /// Name of the device that executed the batch.
+    pub device: String,
     /// Ids of the jobs the batch carried, in program order.
     pub job_ids: Vec<u64>,
     /// Simulated start time (ns).
@@ -120,7 +146,9 @@ pub struct BatchReport {
     pub conflict_count: usize,
 }
 
-/// The complete outcome of serving a job stream.
+/// The complete outcome of serving a job stream (legacy shape; the
+/// [`ServiceReport`](crate::ServiceReport) adds per-device stats and
+/// the event log).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunReport {
     /// Queue statistics, directly comparable with
@@ -133,13 +161,17 @@ pub struct RunReport {
     pub job_results: Vec<JobResult>,
 }
 
-/// A FIFO batch scheduler executing multi-programmed workloads on a
-/// device through the staged `qucp-core` pipeline.
+/// The legacy one-shot entry point: FIFO service of a pre-collected job
+/// slice on a single device.
+///
+/// Since the service redesign this is a compatibility veneer: it pins
+/// the refactor by reproducing the seed scheduler's output bit-for-bit
+/// through `Service` + `Fifo` + a single registered device. New code
+/// should build a [`Service`](crate::Service) directly.
 #[derive(Debug)]
 pub struct BatchScheduler {
     device: Device,
     strategy: Strategy,
-    pipeline: Pipeline,
     cfg: RuntimeConfig,
 }
 
@@ -147,11 +179,9 @@ impl BatchScheduler {
     /// Creates a scheduler for `device` running every batch under
     /// `strategy`.
     pub fn new(device: Device, strategy: Strategy, cfg: RuntimeConfig) -> Self {
-        let pipeline = Pipeline::from_strategy(&strategy);
         BatchScheduler {
             device,
             strategy,
-            pipeline,
             cfg,
         }
     }
@@ -162,7 +192,8 @@ impl BatchScheduler {
     }
 
     /// Serves `jobs` to completion and reports queue statistics plus
-    /// per-job results.
+    /// per-job results, exactly as the pre-service scheduler did:
+    /// strict FIFO admission, head-only EFS gate, one device.
     ///
     /// Deterministic: the report depends only on the jobs and the
     /// configuration (including seed), never on thread timing.
@@ -171,227 +202,35 @@ impl BatchScheduler {
     ///
     /// [`RuntimeError::ZeroParallel`] on a zero batch cap;
     /// [`RuntimeError::JobUnplaceable`] when a job cannot run even in a
-    /// dedicated batch; [`RuntimeError::Core`] on backend failures.
+    /// dedicated batch; [`RuntimeError::Core`] on backend failures. The
+    /// service-era validations also apply: zero-shot jobs and
+    /// non-finite arrivals are rejected with typed errors instead of
+    /// misbehaving downstream.
+    #[deprecated(
+        since = "0.1.0",
+        note = "build a qucp_runtime::Service (ServiceBuilder) instead; this wrapper only covers \
+                FIFO admission on a single device"
+    )]
     pub fn run(&self, jobs: &[Job]) -> Result<RunReport, RuntimeError> {
-        if self.cfg.max_parallel == 0 {
-            return Err(RuntimeError::ZeroParallel);
+        let mut service = Service::builder()
+            .device(self.device.clone())
+            .strategy(self.strategy.clone())
+            .config(self.cfg.clone())
+            .build()?;
+        for job in jobs {
+            service.submit(JobRequest::from_job(job))?;
         }
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by(|&a, &b| jobs[a].arrival.total_cmp(&jobs[b].arrival).then(a.cmp(&b)));
-
-        let mut clock = 0.0f64;
-        let mut next = 0usize;
-        let mut batches: Vec<BatchReport> = Vec::new();
-        let mut job_results: Vec<Option<JobResult>> = vec![None; jobs.len()];
-        let mut total_wait = 0.0;
-        let mut total_turnaround = 0.0;
-        let mut busy_qubit_time = 0.0;
-        let mut busy_time = 0.0;
-
-        while next < order.len() {
-            let head = &jobs[order[next]];
-            if clock < head.arrival {
-                clock = head.arrival;
-            }
-            let cap = self.batch_cap(head)?;
-
-            // Pack the FIFO prefix of arrived jobs that fits the chip.
-            let mut members: Vec<usize> = Vec::new();
-            let mut used = 0usize;
-            let mut i = next;
-            while i < order.len() && members.len() < cap {
-                let j = &jobs[order[i]];
-                if j.arrival > clock || used + j.circuit.width() > self.device.num_qubits() {
-                    break;
-                }
-                used += j.circuit.width();
-                members.push(order[i]);
-                i += 1;
-            }
-            if members.is_empty() {
-                // Head job wider than the chip: planning it alone
-                // surfaces the precise error (ProgramTooWide).
-                members.push(order[next]);
-            }
-
-            // Plan the batch; on partition failure shrink from the tail
-            // (the allocator can run out of *connected* regions before
-            // it runs out of qubits).
-            let (members, plan) = self.plan_batch(jobs, members)?;
-            next += members.len();
-
-            let batch_index = batches.len();
-            let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
-            let results = self.execute_batch(jobs, &members, &plan, batch_seed)?;
-
-            let makespan = plan.context.makespan;
-            let start = clock;
-            let completion = clock + makespan;
-            for (pos, (&ji, result)) in members.iter().zip(results).enumerate() {
-                let job = &jobs[ji];
-                let waiting = start - job.arrival;
-                let turnaround = completion - job.arrival;
-                total_wait += waiting;
-                total_turnaround += turnaround;
-                busy_qubit_time += job.circuit.width() as f64 * plan.context.program_makespans[pos];
-                job_results[ji] = Some(JobResult {
-                    job_id: job.id,
-                    batch_index,
-                    start,
-                    completion,
-                    waiting,
-                    turnaround,
-                    result,
-                });
-            }
-            batches.push(BatchReport {
-                batch_index,
-                job_ids: members.iter().map(|&ji| jobs[ji].id).collect(),
-                start,
-                completion,
-                makespan,
-                used_qubits: plan.used_qubits(),
-                conflict_count: plan.context.conflict_count,
-            });
-            busy_time += makespan;
-            clock = completion;
-        }
-
-        let n = jobs.len().max(1) as f64;
+        let report = service.run_until_drained()?;
         Ok(RunReport {
-            stats: QueueStats {
-                mean_waiting: total_wait / n,
-                mean_turnaround: total_turnaround / n,
-                makespan: clock,
-                mean_throughput: if busy_time > 0.0 {
-                    busy_qubit_time / (busy_time * self.device.num_qubits() as f64)
-                } else {
-                    0.0
-                },
-                batches: batches.len(),
-            },
-            batches,
-            job_results: job_results.into_iter().map(Option::unwrap).collect(),
+            stats: report.stats,
+            batches: report.batches,
+            job_results: report.job_results,
         })
     }
-
-    /// The co-schedule cap for a batch led by `head`: `max_parallel`,
-    /// further limited by the EFS fidelity threshold when configured.
-    ///
-    /// A head that cannot be placed even alone surfaces here as
-    /// [`RuntimeError::JobUnplaceable`] (the threshold probe allocates
-    /// a single copy first), keeping `run`'s error contract identical
-    /// with and without the threshold gate.
-    fn batch_cap(&self, head: &Job) -> Result<usize, RuntimeError> {
-        let Some(threshold) = self.cfg.fidelity_threshold else {
-            return Ok(self.cfg.max_parallel);
-        };
-        let k = parallel_count_for_threshold(
-            &self.device,
-            &head.circuit,
-            threshold,
-            self.cfg.max_parallel,
-            &self.strategy,
-        )
-        .map_err(|e| match e {
-            e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }) => {
-                RuntimeError::JobUnplaceable {
-                    job_id: head.id,
-                    source: e,
-                }
-            }
-            e => RuntimeError::Core(e),
-        })?;
-        Ok(k.max(1))
-    }
-
-    /// Plans `members`, shrinking the batch from the tail while the
-    /// partitioner cannot place it.
-    fn plan_batch(
-        &self,
-        jobs: &[Job],
-        mut members: Vec<usize>,
-    ) -> Result<(Vec<usize>, PlannedWorkload), RuntimeError> {
-        loop {
-            let circuits: Vec<Circuit> =
-                members.iter().map(|&ji| jobs[ji].circuit.clone()).collect();
-            match self
-                .pipeline
-                .plan(&self.device, &circuits, self.cfg.optimize)
-            {
-                Ok(plan) => return Ok((members, plan)),
-                Err(
-                    e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
-                ) => {
-                    if members.len() == 1 {
-                        return Err(RuntimeError::JobUnplaceable {
-                            job_id: jobs[members[0]].id,
-                            source: e,
-                        });
-                    }
-                    members.pop();
-                }
-                Err(e) => return Err(RuntimeError::Core(e)),
-            }
-        }
-    }
-
-    /// Executes every program of a planned batch, one scoped thread per
-    /// program (or serially under [`ExecutionMode::Serial`]). Results
-    /// come back in program order regardless of thread scheduling.
-    fn execute_batch(
-        &self,
-        jobs: &[Job],
-        members: &[usize],
-        plan: &PlannedWorkload,
-        batch_seed: u64,
-    ) -> Result<Vec<ProgramResult>, RuntimeError> {
-        let exec_for = |pos: usize| ExecutionConfig {
-            shots: jobs[members[pos]].shots,
-            seed: batch_seed,
-            ..ParallelConfig::default().execution
-        };
-        match self.cfg.mode {
-            ExecutionMode::Serial => (0..members.len())
-                .map(|pos| {
-                    self.pipeline
-                        .backend
-                        .run_program(&self.device, plan, pos, &exec_for(pos))
-                        .map_err(RuntimeError::Core)
-                })
-                .collect(),
-            ExecutionMode::Concurrent => {
-                let backend = &self.pipeline.backend;
-                let device = &self.device;
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = (0..members.len())
-                        .map(|pos| {
-                            let exec = exec_for(pos);
-                            scope.spawn(move || backend.run_program(device, plan, pos, &exec))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| {
-                            h.join()
-                                .unwrap_or_else(|p| std::panic::resume_unwind(p))
-                                .map_err(RuntimeError::Core)
-                        })
-                        .collect()
-                })
-            }
-        }
-    }
-}
-
-/// Per-batch seed derivation: a distinct odd stride keeps batch streams
-/// disjoint from the per-program golden-ratio stride used inside the
-/// backend.
-fn derive_batch_seed(base: u64, batch_index: usize) -> u64 {
-    base.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(batch_index as u64 + 1))
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::job::synthetic_jobs;
@@ -531,5 +370,21 @@ mod tests {
         assert_eq!(report.stats.batches, 2);
         assert_eq!(report.job_results[1].waiting, 0.0);
         assert!(report.batches[1].start >= 1e9);
+    }
+
+    #[test]
+    fn zero_shot_jobs_are_rejected_with_typed_error() {
+        let mut jobs = small_jobs(1);
+        jobs[0].shots = 0;
+        let err = sched(2, ExecutionMode::Concurrent).run(&jobs).unwrap_err();
+        assert!(matches!(err, RuntimeError::ZeroShots));
+    }
+
+    #[test]
+    fn non_finite_arrivals_are_rejected_with_typed_error() {
+        let mut jobs = small_jobs(1);
+        jobs[0].arrival = f64::NAN;
+        let err = sched(2, ExecutionMode::Concurrent).run(&jobs).unwrap_err();
+        assert!(matches!(err, RuntimeError::NonFiniteTime { .. }));
     }
 }

@@ -1,0 +1,1357 @@
+//! The event-driven scheduling service: streaming submissions, online
+//! admission, multi-device dispatch.
+//!
+//! See the crate docs for the lifecycle
+//! (submit → admit → plan → execute → observe). This module owns the
+//! [`Service`] state machine, its [`ServiceBuilder`], the per-job
+//! [`JobRequest`]/[`JobTicket`] types, and the drained
+//! [`ServiceReport`].
+
+use qucp_circuit::Circuit;
+use qucp_core::pipeline::{Pipeline, PlannedWorkload};
+use qucp_core::queue::QueueStats;
+use qucp_core::threshold::{parallel_count_for_threshold, solo_efs_scores};
+use qucp_core::{strategy, CoreError, ParallelConfig, ProgramResult, Strategy};
+use qucp_device::Device;
+use qucp_sim::ExecutionConfig;
+
+use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
+use crate::job::{Job, JobResult};
+use crate::policy::{AdmissionPolicy, BatchBudget, Fifo, JobView};
+use crate::registry::DeviceRegistry;
+use crate::scheduler::{BatchReport, ExecutionMode, RuntimeConfig, RuntimeError};
+
+/// How the EFS fidelity-threshold gate sizes a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EfsGate {
+    /// The seed scheduler's behaviour (and the paper's Fig. 4
+    /// experiment): before packing, probe how many *copies of the
+    /// head-of-line circuit* stay within the threshold and cap the
+    /// batch width at that count. Kept as the default for bit-for-bit
+    /// parity with `BatchScheduler::run`.
+    #[default]
+    HeadOnly,
+    /// Evaluate the *actual heterogeneous batch*: after packing, every
+    /// member's EFS excess over its solo-best partition is compared
+    /// against that member's own effective threshold, and the batch
+    /// shrinks from the tail until all members tolerate it. Closes the
+    /// ROADMAP fidelity item.
+    Batch,
+}
+
+/// A streaming job submission: the circuit plus optional per-job
+/// overrides of the service defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// The logical circuit to run.
+    pub circuit: Circuit,
+    /// Arrival time in nanoseconds (must be finite).
+    pub arrival: f64,
+    /// Caller-assigned id; defaults to the submission index.
+    pub id: Option<u64>,
+    /// Shot budget; defaults to the service's `default_shots`.
+    pub shots: Option<usize>,
+    /// Per-job strategy override. Jobs only share a batch with jobs of
+    /// the same effective strategy, and the batch is planned through a
+    /// pipeline assembled from it.
+    pub strategy: Option<Strategy>,
+    /// Per-job EFS fidelity-threshold override (must be finite and
+    /// non-negative); defaults to the service's configured threshold.
+    pub fidelity_threshold: Option<f64>,
+}
+
+impl JobRequest {
+    /// A request with no overrides.
+    pub fn new(circuit: Circuit, arrival: f64) -> Self {
+        JobRequest {
+            circuit,
+            arrival,
+            id: None,
+            shots: None,
+            strategy: None,
+            fidelity_threshold: None,
+        }
+    }
+
+    /// Sets the caller-assigned id.
+    #[must_use]
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = Some(id);
+        self
+    }
+
+    /// Overrides the shot budget.
+    #[must_use]
+    pub fn with_shots(mut self, shots: usize) -> Self {
+        self.shots = Some(shots);
+        self
+    }
+
+    /// Overrides the execution strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Overrides the EFS fidelity threshold.
+    #[must_use]
+    pub fn with_fidelity_threshold(mut self, threshold: f64) -> Self {
+        self.fidelity_threshold = Some(threshold);
+        self
+    }
+
+    /// The legacy [`Job`] as a request (caller id and shots pinned).
+    pub fn from_job(job: &Job) -> Self {
+        JobRequest::new(job.circuit.clone(), job.arrival)
+            .with_id(job.id)
+            .with_shots(job.shots)
+    }
+}
+
+/// Receipt of an accepted submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobTicket {
+    /// Service-assigned submission index (unique per service).
+    pub seq: usize,
+    /// Effective job id (caller-assigned or `seq as u64`).
+    pub id: u64,
+}
+
+/// Per-device queue statistics of a drained service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Device name.
+    pub device: String,
+    /// Jobs the device served.
+    pub jobs: usize,
+    /// Queue statistics over those jobs (waiting/turnaround means,
+    /// device-clock makespan, utilization-weighted throughput).
+    pub stats: QueueStats,
+}
+
+/// The complete outcome of a drained service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Fleet-wide queue statistics, comparable with the analytical
+    /// model and the legacy `RunReport`.
+    pub stats: QueueStats,
+    /// Per-device breakdown, in registration order.
+    pub per_device: Vec<DeviceReport>,
+    /// Every dispatched batch, in dispatch order.
+    pub batches: Vec<BatchReport>,
+    /// Per-job results, in submission order.
+    pub job_results: Vec<JobResult>,
+    /// The full telemetry log.
+    pub events: Vec<Event>,
+}
+
+/// A pending (admitted but not yet dispatched) job.
+#[derive(Debug, Clone)]
+struct Pending {
+    seq: usize,
+    id: u64,
+    circuit: Circuit,
+    /// Cached `circuit.width()` — immutable once submitted.
+    width: usize,
+    /// Cached `circuit.gate_count()`.
+    gates: usize,
+    /// Cached `circuit.depth()` (O(gates) to recompute).
+    depth: usize,
+    shots: usize,
+    arrival: f64,
+    strategy: Option<Strategy>,
+    fidelity_threshold: Option<f64>,
+    skips: usize,
+}
+
+/// Per-device runtime state (the registry holds only the static fleet).
+#[derive(Debug, Clone, Default)]
+struct DeviceState {
+    clock: f64,
+    busy_time: f64,
+    busy_qubit_time: f64,
+    batches: usize,
+    jobs: usize,
+    total_wait: f64,
+    total_turnaround: f64,
+}
+
+/// Builds a [`Service`]; validation happens in [`ServiceBuilder::build`].
+pub struct ServiceBuilder {
+    registry: DeviceRegistry,
+    strategy: Strategy,
+    policy: Box<dyn AdmissionPolicy>,
+    cfg: RuntimeConfig,
+    efs_gate: EfsGate,
+    default_shots: usize,
+    observers: Vec<Box<dyn EventObserver>>,
+}
+
+impl std::fmt::Debug for ServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceBuilder")
+            .field("devices", &self.registry.len())
+            .field("strategy", &self.strategy.name)
+            .field("policy", &self.policy)
+            .field("cfg", &self.cfg)
+            .field("efs_gate", &self.efs_gate)
+            .field("default_shots", &self.default_shots)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ServiceBuilder {
+    fn default() -> Self {
+        ServiceBuilder::new()
+    }
+}
+
+impl ServiceBuilder {
+    /// A builder with an empty fleet, QuCP strategy, FIFO admission,
+    /// the default [`RuntimeConfig`], the head-only EFS gate, and 1024
+    /// default shots.
+    pub fn new() -> Self {
+        ServiceBuilder {
+            registry: DeviceRegistry::new(),
+            strategy: strategy::qucp(strategy::DEFAULT_SIGMA),
+            policy: Box::new(Fifo),
+            cfg: RuntimeConfig::default(),
+            efs_gate: EfsGate::default(),
+            default_shots: 1024,
+            observers: Vec::new(),
+        }
+    }
+
+    /// Registers a device (repeatable; registration order breaks
+    /// routing ties).
+    #[must_use]
+    pub fn device(mut self, device: Device) -> Self {
+        self.registry.register(device);
+        self
+    }
+
+    /// Replaces the whole fleet at once.
+    #[must_use]
+    pub fn registry(mut self, registry: DeviceRegistry) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Sets the default execution strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the admission policy.
+    #[must_use]
+    pub fn policy(mut self, policy: impl AdmissionPolicy + 'static) -> Self {
+        self.policy = Box::new(policy);
+        self
+    }
+
+    /// Replaces the base runtime configuration wholesale.
+    #[must_use]
+    pub fn config(mut self, cfg: RuntimeConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Caps the co-schedule width.
+    #[must_use]
+    pub fn max_parallel(mut self, max_parallel: usize) -> Self {
+        self.cfg.max_parallel = max_parallel;
+        self
+    }
+
+    /// Sets the default EFS fidelity threshold (`None` disables the
+    /// gate for jobs without their own override).
+    #[must_use]
+    pub fn fidelity_threshold(mut self, threshold: Option<f64>) -> Self {
+        self.cfg.fidelity_threshold = threshold;
+        self
+    }
+
+    /// Chooses how the threshold gate evaluates a batch.
+    #[must_use]
+    pub fn efs_gate(mut self, gate: EfsGate) -> Self {
+        self.efs_gate = gate;
+        self
+    }
+
+    /// Sets the base RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Enables or disables the cancellation peephole pass.
+    #[must_use]
+    pub fn optimize(mut self, optimize: bool) -> Self {
+        self.cfg.optimize = optimize;
+        self
+    }
+
+    /// Concurrent or serial per-batch execution.
+    #[must_use]
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Default shot budget for requests without an override.
+    #[must_use]
+    pub fn default_shots(mut self, shots: usize) -> Self {
+        self.default_shots = shots;
+        self
+    }
+
+    /// Registers a telemetry observer (repeatable); observers see every
+    /// [`Event`] in emission order.
+    #[must_use]
+    pub fn observer(mut self, observer: impl EventObserver + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Validates the configuration and builds the service.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NoDevices`] on an empty fleet,
+    /// [`RuntimeError::ZeroParallel`] on a zero batch cap,
+    /// [`RuntimeError::ZeroShots`] on a zero default shot budget,
+    /// [`RuntimeError::InvalidThreshold`] on a NaN, infinite or
+    /// negative default threshold.
+    pub fn build(self) -> Result<Service, RuntimeError> {
+        if self.registry.is_empty() {
+            return Err(RuntimeError::NoDevices);
+        }
+        if self.cfg.max_parallel == 0 {
+            return Err(RuntimeError::ZeroParallel);
+        }
+        if self.default_shots == 0 {
+            return Err(RuntimeError::ZeroShots);
+        }
+        if let Some(t) = self.cfg.fidelity_threshold {
+            if !t.is_finite() || t < 0.0 {
+                return Err(RuntimeError::InvalidThreshold { value: t });
+            }
+        }
+        let states = vec![DeviceState::default(); self.registry.len()];
+        Ok(Service {
+            strategy: self.strategy,
+            policy: self.policy,
+            cfg: self.cfg,
+            efs_gate: self.efs_gate,
+            default_shots: self.default_shots,
+            registry: self.registry,
+            states,
+            pending: Vec::new(),
+            next_seq: 0,
+            batches: Vec::new(),
+            results: Vec::new(),
+            unreported: Vec::new(),
+            log: EventLog::new(),
+            observers: self.observers,
+        })
+    }
+}
+
+/// The event-driven scheduling service (see the crate docs for the
+/// lifecycle).
+///
+/// ```
+/// use qucp_circuit::library;
+/// use qucp_device::ibm;
+/// use qucp_runtime::{JobRequest, Service};
+///
+/// # fn main() -> Result<(), qucp_runtime::RuntimeError> {
+/// let mut service = Service::builder()
+///     .device(ibm::toronto())
+///     .max_parallel(2)
+///     .default_shots(256)
+///     .build()?;
+/// for i in 0..4 {
+///     let circuit = library::by_name("bell").unwrap().circuit();
+///     service.submit(JobRequest::new(circuit, i as f64 * 100.0))?;
+/// }
+/// let report = service.run_until_drained()?;
+/// assert_eq!(report.job_results.len(), 4);
+/// assert!(report.stats.batches <= 4);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Service {
+    strategy: Strategy,
+    policy: Box<dyn AdmissionPolicy>,
+    cfg: RuntimeConfig,
+    efs_gate: EfsGate,
+    default_shots: usize,
+    registry: DeviceRegistry,
+    states: Vec<DeviceState>,
+    /// FIFO-sorted (arrival, seq) queue of admitted jobs.
+    pending: Vec<Pending>,
+    next_seq: usize,
+    batches: Vec<BatchReport>,
+    /// Results by submission index; `None` until the job's batch ran.
+    results: Vec<Option<JobResult>>,
+    /// Completed tickets not yet handed out by [`Service::tick`].
+    unreported: Vec<(f64, JobTicket)>,
+    log: EventLog,
+    observers: Vec<Box<dyn EventObserver>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("devices", &self.registry.len())
+            .field("strategy", &self.strategy.name)
+            .field("policy", &self.policy)
+            .field("cfg", &self.cfg)
+            .field("efs_gate", &self.efs_gate)
+            .field("pending", &self.pending.len())
+            .field("batches", &self.batches.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Service {
+    /// Starts building a service.
+    pub fn builder() -> ServiceBuilder {
+        ServiceBuilder::new()
+    }
+
+    /// The device fleet.
+    pub fn registry(&self) -> &DeviceRegistry {
+        &self.registry
+    }
+
+    /// The admission policy's display name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// Jobs admitted but not yet dispatched.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The telemetry log accumulated so far.
+    pub fn events(&self) -> &[Event] {
+        self.log.events()
+    }
+
+    /// The full event log (query helpers included).
+    pub fn event_log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// The result of a ticket's job, once its batch has run.
+    pub fn result(&self, ticket: JobTicket) -> Option<&JobResult> {
+        self.results.get(ticket.seq).and_then(Option::as_ref)
+    }
+
+    /// Admits a job into the pending queue.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NonFiniteTime`] on a NaN or infinite arrival,
+    /// [`RuntimeError::EmptyCircuit`] on a zero-width circuit,
+    /// [`RuntimeError::ZeroShots`] on a zero effective shot budget,
+    /// [`RuntimeError::InvalidThreshold`] on a NaN, infinite or
+    /// negative per-job threshold.
+    pub fn submit(&mut self, request: JobRequest) -> Result<JobTicket, RuntimeError> {
+        if !request.arrival.is_finite() {
+            return Err(RuntimeError::NonFiniteTime {
+                value: request.arrival,
+            });
+        }
+        if request.circuit.width() == 0 {
+            return Err(RuntimeError::EmptyCircuit);
+        }
+        let shots = request.shots.unwrap_or(self.default_shots);
+        if shots == 0 {
+            return Err(RuntimeError::ZeroShots);
+        }
+        if let Some(t) = request.fidelity_threshold {
+            if !t.is_finite() || t < 0.0 {
+                return Err(RuntimeError::InvalidThreshold { value: t });
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let id = request.id.unwrap_or(seq as u64);
+        self.emit(Event::JobSubmitted {
+            job_id: id,
+            seq,
+            arrival: request.arrival,
+            width: request.circuit.width(),
+            shots,
+        });
+        // Ties on arrival keep submission order: every existing job
+        // with the same arrival has a smaller seq and stays in front.
+        let pos = self.pending.partition_point(|p| {
+            p.arrival.total_cmp(&request.arrival) != std::cmp::Ordering::Greater
+        });
+        let width = request.circuit.width();
+        let gates = request.circuit.gate_count();
+        let depth = request.circuit.depth();
+        self.pending.insert(
+            pos,
+            Pending {
+                seq,
+                id,
+                circuit: request.circuit,
+                width,
+                gates,
+                depth,
+                shots,
+                arrival: request.arrival,
+                strategy: request.strategy,
+                fidelity_threshold: request.fidelity_threshold,
+                skips: 0,
+            },
+        );
+        self.results.push(None);
+        Ok(JobTicket { seq, id })
+    }
+
+    /// Advances simulated time to `now`: dispatches batches **in
+    /// admission order** while the next batch can start at or before
+    /// `now`, and returns the tickets of jobs whose batches *completed*
+    /// by `now` (each reported exactly once, ordered by completion
+    /// time).
+    ///
+    /// Head-of-line semantics: the admission policy decides the next
+    /// batch; when that batch must start after `now` (e.g. its only
+    /// admitting device is still busy), later batches wait for a later
+    /// tick even if a device is free for them — ticking never reorders
+    /// dispatches. Every tick sequence therefore produces a prefix of
+    /// [`Service::run_until_drained`]'s dispatch sequence, and the
+    /// final schedule is identical; only notification timing differs.
+    ///
+    /// `now = f64::INFINITY` drains everything pending.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NonFiniteTime`] if `now` is NaN; otherwise the
+    /// dispatch errors of [`Service::run_until_drained`].
+    pub fn tick(&mut self, now: f64) -> Result<Vec<JobTicket>, RuntimeError> {
+        if now.is_nan() {
+            return Err(RuntimeError::NonFiniteTime { value: now });
+        }
+        while self.dispatch_one(now)? {}
+        let mut done: Vec<(f64, JobTicket)> = Vec::new();
+        self.unreported.retain(|&(completion, ticket)| {
+            if completion <= now {
+                done.push((completion, ticket));
+                false
+            } else {
+                true
+            }
+        });
+        done.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.seq.cmp(&b.1.seq)));
+        Ok(done.into_iter().map(|(_, t)| t).collect())
+    }
+
+    /// Serves every pending job to completion and reports fleet-wide
+    /// and per-device statistics, batches, per-job results and the
+    /// telemetry log.
+    ///
+    /// Deterministic: the report depends only on the submissions and
+    /// the configuration (including seed), never on thread timing. More
+    /// jobs may be submitted and drained afterwards; statistics keep
+    /// accumulating.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::JobUnplaceable`] when a job cannot run alone on
+    /// any registered device; [`RuntimeError::Core`] on backend
+    /// failures.
+    pub fn run_until_drained(&mut self) -> Result<ServiceReport, RuntimeError> {
+        while self.dispatch_one(f64::INFINITY)? {}
+        self.unreported.clear();
+        Ok(self.drained_report())
+    }
+
+    /// Emits an event to every observer and the log.
+    fn emit(&mut self, event: Event) {
+        for observer in &mut self.observers {
+            observer.on_event(&event);
+        }
+        self.log.push(event);
+    }
+
+    /// The policy-facing views of all pending jobs arrived by `now`, in
+    /// FIFO order. When `head_strategy` is given, `joinable` marks the
+    /// jobs whose effective strategy matches it.
+    fn views(&self, now: f64, head_strategy: Option<&Strategy>) -> Vec<JobView> {
+        self.pending
+            .iter()
+            .take_while(|p| p.arrival <= now)
+            .map(|p| JobView {
+                id: p.id,
+                seq: p.seq,
+                arrival: p.arrival,
+                width: p.width,
+                gates: p.gates,
+                depth: p.depth,
+                shots: p.shots,
+                skips: p.skips,
+                joinable: head_strategy
+                    .is_none_or(|s| p.strategy.as_ref().unwrap_or(&self.strategy) == s),
+            })
+            .collect()
+    }
+
+    fn pending_by_seq(&self, seq: usize) -> &Pending {
+        self.pending
+            .iter()
+            .find(|p| p.seq == seq)
+            .expect("pending job vanished")
+    }
+
+    /// Dispatches the next batch if one can start at or before `limit`.
+    /// Returns whether a batch was dispatched.
+    fn dispatch_one(&mut self, limit: f64) -> Result<bool, RuntimeError> {
+        if self.pending.is_empty() {
+            return Ok(false);
+        }
+        let t_min = self.pending[0].arrival;
+
+        // Devices by (free time, registration order): deterministic
+        // earliest-free routing.
+        let mut dev_order: Vec<usize> = (0..self.registry.len()).collect();
+        dev_order.sort_by(|&a, &b| {
+            self.states[a]
+                .clock
+                .total_cmp(&self.states[b].clock)
+                .then(a.cmp(&b))
+        });
+
+        // Head selection happens at the earliest-free device's horizon.
+        let d0 = dev_order[0];
+        let now0 = self.states[d0].clock.max(t_min);
+        let arrived0 = self.views(now0, None);
+        let head_pos0 = self.policy.choose_head(&arrived0);
+        let head_seq = arrived0[head_pos0].seq;
+        let head = self.pending_by_seq(head_seq);
+        let head_arrival = head.arrival;
+        let head_width = head.width;
+        let head_circuit = head.circuit.clone();
+        let head_id = head.id;
+        let head_strategy = head
+            .strategy
+            .clone()
+            .unwrap_or_else(|| self.strategy.clone());
+        let head_threshold = head.fidelity_threshold.or(self.cfg.fidelity_threshold);
+
+        // Route to the earliest-free device whose topology admits the
+        // head; if none does, probe the widest chip so the precise
+        // placement error surfaces (matching the seed scheduler).
+        let candidates: Vec<usize> = dev_order
+            .iter()
+            .copied()
+            .filter(|&d| self.registry.device_at(d).admits(head_width))
+            .collect();
+        let probe_widest = candidates.is_empty();
+        let candidates = if probe_widest {
+            vec![self.registry.widest().expect("fleet is non-empty").index()]
+        } else {
+            candidates
+        };
+
+        // Assembling a pipeline is cheap (it boxes four stage objects),
+        // so each dispatch builds one for the head's effective strategy
+        // rather than fighting the borrow checker over a cached copy.
+        let pipeline = Pipeline::from_strategy(&head_strategy);
+
+        let mut last_unplaceable: Option<RuntimeError> = None;
+        for &d in &candidates {
+            let start = self.states[d].clock.max(head_arrival);
+            if start > limit {
+                // Candidates are ordered by free time, so every later
+                // one starts no earlier: defer the whole dispatch.
+                return Ok(false);
+            }
+            // Cloned so the loop below can take `&mut self`; one clone
+            // per dispatch, dwarfed by the batch's trajectory runs.
+            let device = self.registry.device_at(d).clone();
+
+            // Head-only EFS gate (legacy Fig. 4 behaviour): probe the
+            // admissible copy count of the head circuit before packing.
+            let cap = match (self.efs_gate, head_threshold) {
+                (EfsGate::HeadOnly, Some(threshold)) if !probe_widest => {
+                    match parallel_count_for_threshold(
+                        &device,
+                        &head_circuit,
+                        threshold,
+                        self.cfg.max_parallel,
+                        &head_strategy,
+                    ) {
+                        Ok(k) => k.max(1),
+                        Err(
+                            e @ (CoreError::PartitionUnavailable { .. }
+                            | CoreError::ProgramTooWide { .. }),
+                        ) => {
+                            last_unplaceable = Some(RuntimeError::JobUnplaceable {
+                                job_id: head_id,
+                                source: e,
+                            });
+                            continue;
+                        }
+                        Err(e) => return Err(RuntimeError::Core(e)),
+                    }
+                }
+                _ => self.cfg.max_parallel,
+            };
+
+            // Pack the batch (policy decision) against this device.
+            let arrived = self.views(start, Some(&head_strategy));
+            let head_pos = arrived
+                .iter()
+                .position(|v| v.seq == head_seq)
+                .expect("head stays arrived");
+            let budget = BatchBudget {
+                qubits: device.num_qubits(),
+                max_members: cap,
+            };
+            let picks = if probe_widest {
+                vec![head_pos]
+            } else {
+                self.policy.pack(&arrived, head_pos, &budget)
+            };
+            debug_assert_eq!(picks.first(), Some(&head_pos), "head must lead the batch");
+            let batch_index = self.batches.len();
+
+            // Plan with tail-shrink (partition pressure) and, in Batch
+            // gate mode, the per-member heterogeneous fidelity check.
+            // Shrink events are buffered and only recorded if the batch
+            // commits on this device — a failed candidate must leave no
+            // trace, or log replays would see phantom shrinks for a
+            // batch that was eventually planned elsewhere.
+            let mut member_seqs: Vec<usize> = picks.iter().map(|&i| arrived[i].seq).collect();
+            let mut shrinks: Vec<Event> = Vec::new();
+            let plan = match self.plan_gated(
+                &pipeline,
+                &device,
+                batch_index,
+                &mut member_seqs,
+                &mut shrinks,
+            ) {
+                Ok(plan) => plan,
+                Err(e @ RuntimeError::JobUnplaceable { .. }) => {
+                    last_unplaceable = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            for event in shrinks {
+                self.emit(event);
+            }
+
+            // Execute and commit.
+            self.commit_batch(
+                &pipeline,
+                &device,
+                d,
+                batch_index,
+                start,
+                &member_seqs,
+                &plan,
+            )?;
+
+            // Starvation accounting: every arrived candidate that an
+            // admitted later candidate jumped over was overtaken once.
+            // Jobs wider than this whole chip are exempt — they could
+            // never have run here, their service is governed by a
+            // device that admits them, and turning them into barriers
+            // on chips they cannot use would cost throughput for no
+            // fairness gain.
+            let admitted: Vec<usize> = picks
+                .iter()
+                .map(|&i| arrived[i].seq)
+                .filter(|s| member_seqs.contains(s))
+                .collect();
+            let last_admitted_pos = picks
+                .iter()
+                .copied()
+                .filter(|&i| admitted.contains(&arrived[i].seq))
+                .max()
+                .unwrap_or(head_pos);
+            for (i, view) in arrived.iter().enumerate() {
+                if i < last_admitted_pos
+                    && view.width <= device.num_qubits()
+                    && !admitted.contains(&view.seq)
+                {
+                    if let Some(p) = self.pending.iter_mut().find(|p| p.seq == view.seq) {
+                        p.skips += 1;
+                    }
+                }
+            }
+            return Ok(true);
+        }
+        Err(last_unplaceable.expect("every candidate device failed with an unplaceable error"))
+    }
+
+    /// Plans `member_seqs` on `device`, shrinking from the tail while
+    /// the partitioner cannot place the batch and — in
+    /// [`EfsGate::Batch`] mode — while any member's EFS excess exceeds
+    /// its own effective threshold.
+    ///
+    /// Shrink events are appended to `shrinks`, not emitted: the caller
+    /// records them only if the batch actually commits on `device`.
+    fn plan_gated(
+        &self,
+        pipeline: &Pipeline,
+        device: &Device,
+        batch_index: usize,
+        member_seqs: &mut Vec<usize>,
+        shrinks: &mut Vec<Event>,
+    ) -> Result<PlannedWorkload, RuntimeError> {
+        let device_name = device.name().to_string();
+        // Solo-best EFS scores for the gate, probed once per batch on
+        // the first successful plan: shrinking only pops the tail, so
+        // the prefix of a cached score vector stays valid.
+        let mut solo_cache: Option<Vec<f64>> = None;
+        loop {
+            let circuits: Vec<Circuit> = member_seqs
+                .iter()
+                .map(|&s| self.pending_by_seq(s).circuit.clone())
+                .collect();
+            match pipeline.plan(device, &circuits, self.cfg.optimize) {
+                Ok(plan) => {
+                    if self.efs_gate == EfsGate::Batch && member_seqs.len() > 1 {
+                        let thresholds: Vec<Option<f64>> = member_seqs
+                            .iter()
+                            .map(|&s| {
+                                self.pending_by_seq(s)
+                                    .fidelity_threshold
+                                    .or(self.cfg.fidelity_threshold)
+                            })
+                            .collect();
+                        if thresholds.iter().any(Option::is_some) {
+                            // The plan already allocated the joint
+                            // partitions; only the solo baselines need
+                            // probing (deduplicated, cached across
+                            // shrink iterations).
+                            if solo_cache.is_none() {
+                                let refs: Vec<&Circuit> = plan.programs.iter().collect();
+                                solo_cache = Some(
+                                    solo_efs_scores(
+                                        device,
+                                        &refs,
+                                        &self.strategy_of(member_seqs[0]),
+                                    )
+                                    .map_err(RuntimeError::Core)?,
+                                );
+                            }
+                            let solo = solo_cache.as_ref().expect("just filled");
+                            let mut excesses = vec![0.0; member_seqs.len()];
+                            for alloc in &plan.allocations {
+                                excesses[alloc.program_index] =
+                                    (alloc.efs.score - solo[alloc.program_index]).max(0.0);
+                            }
+                            let violated = thresholds
+                                .iter()
+                                .zip(&excesses)
+                                .any(|(t, &e)| t.is_some_and(|t| e > t));
+                            if violated {
+                                let dropped = member_seqs.pop().expect("len > 1");
+                                let dropped_id = self.pending_by_seq(dropped).id;
+                                shrinks.push(Event::BatchShrunk {
+                                    batch_index,
+                                    device: device_name.clone(),
+                                    dropped_job_id: dropped_id,
+                                    remaining: member_seqs.len(),
+                                    reason: ShrinkReason::FidelityGate,
+                                });
+                                continue;
+                            }
+                        }
+                    }
+                    return Ok(plan);
+                }
+                Err(
+                    e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
+                ) => {
+                    if member_seqs.len() == 1 {
+                        return Err(RuntimeError::JobUnplaceable {
+                            job_id: self.pending_by_seq(member_seqs[0]).id,
+                            source: e,
+                        });
+                    }
+                    let dropped = member_seqs.pop().expect("len > 1");
+                    let dropped_id = self.pending_by_seq(dropped).id;
+                    shrinks.push(Event::BatchShrunk {
+                        batch_index,
+                        device: device_name.clone(),
+                        dropped_job_id: dropped_id,
+                        remaining: member_seqs.len(),
+                        reason: ShrinkReason::PartitionFailure,
+                    });
+                }
+                Err(e) => return Err(RuntimeError::Core(e)),
+            }
+        }
+    }
+
+    /// The effective strategy of a pending job.
+    fn strategy_of(&self, seq: usize) -> Strategy {
+        self.pending_by_seq(seq)
+            .strategy
+            .clone()
+            .unwrap_or_else(|| self.strategy.clone())
+    }
+
+    /// Executes a planned batch on its device and folds the outcome
+    /// into clocks, statistics, results, events and the batch list.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_batch(
+        &mut self,
+        pipeline: &Pipeline,
+        device: &Device,
+        device_index: usize,
+        batch_index: usize,
+        start: f64,
+        member_seqs: &[usize],
+        plan: &PlannedWorkload,
+    ) -> Result<(), RuntimeError> {
+        let shots: Vec<usize> = member_seqs
+            .iter()
+            .map(|&s| self.pending_by_seq(s).shots)
+            .collect();
+        let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
+        let results = execute_members(pipeline, device, plan, &shots, batch_seed, self.cfg.mode)?;
+
+        let makespan = plan.context.makespan;
+        let completion = start + makespan;
+        let job_ids: Vec<u64> = member_seqs
+            .iter()
+            .map(|&s| self.pending_by_seq(s).id)
+            .collect();
+        self.emit(Event::BatchPlanned {
+            batch_index,
+            device: device.name().to_string(),
+            job_ids: job_ids.clone(),
+            start,
+            makespan,
+        });
+
+        let mut completions: Vec<Event> = Vec::with_capacity(member_seqs.len());
+        for (pos, (&seq, result)) in member_seqs.iter().zip(results).enumerate() {
+            let job = self.pending_by_seq(seq);
+            let (job_id, job_arrival, job_width) = (job.id, job.arrival, job.width);
+            let waiting = start - job_arrival;
+            let turnaround = completion - job_arrival;
+            let state = &mut self.states[device_index];
+            state.jobs += 1;
+            state.total_wait += waiting;
+            state.total_turnaround += turnaround;
+            state.busy_qubit_time += job_width as f64 * plan.context.program_makespans[pos];
+            self.results[seq] = Some(JobResult {
+                job_id,
+                batch_index,
+                start,
+                completion,
+                waiting,
+                turnaround,
+                result,
+            });
+            self.unreported
+                .push((completion, JobTicket { seq, id: job_id }));
+            completions.push(Event::JobCompleted {
+                job_id,
+                seq,
+                batch_index,
+                completion,
+                turnaround,
+            });
+        }
+        for event in completions {
+            self.emit(event);
+        }
+        self.batches.push(BatchReport {
+            batch_index,
+            device: device.name().to_string(),
+            job_ids,
+            start,
+            completion,
+            makespan,
+            used_qubits: plan.used_qubits(),
+            conflict_count: plan.context.conflict_count,
+        });
+        let state = &mut self.states[device_index];
+        state.busy_time += makespan;
+        state.batches += 1;
+        state.clock = completion;
+        self.pending.retain(|p| !member_seqs.contains(&p.seq));
+        Ok(())
+    }
+
+    /// The report of a drained service (all results present).
+    fn drained_report(&self) -> ServiceReport {
+        debug_assert!(self.pending.is_empty());
+        let n = self.next_seq.max(1) as f64;
+        let total_wait: f64 = self.states.iter().map(|s| s.total_wait).sum();
+        let total_turnaround: f64 = self.states.iter().map(|s| s.total_turnaround).sum();
+        let busy_qubit_time: f64 = self.states.iter().map(|s| s.busy_qubit_time).sum();
+        let weighted_busy: f64 = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.busy_time * self.registry.device_at(i).num_qubits() as f64)
+            .sum();
+        let makespan = self
+            .states
+            .iter()
+            .map(|s| s.clock)
+            .fold(0.0f64, |a, b| a.max(b));
+        let stats = QueueStats {
+            mean_waiting: total_wait / n,
+            mean_turnaround: total_turnaround / n,
+            makespan,
+            mean_throughput: if weighted_busy > 0.0 {
+                busy_qubit_time / weighted_busy
+            } else {
+                0.0
+            },
+            batches: self.batches.len(),
+        };
+        let per_device = self
+            .states
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let device = self.registry.device_at(i);
+                DeviceReport {
+                    device: device.name().to_string(),
+                    jobs: s.jobs,
+                    stats: QueueStats {
+                        mean_waiting: s.total_wait / (s.jobs.max(1) as f64),
+                        mean_turnaround: s.total_turnaround / (s.jobs.max(1) as f64),
+                        makespan: s.clock,
+                        mean_throughput: if s.busy_time > 0.0 {
+                            s.busy_qubit_time / (s.busy_time * device.num_qubits() as f64)
+                        } else {
+                            0.0
+                        },
+                        batches: s.batches,
+                    },
+                }
+            })
+            .collect();
+        ServiceReport {
+            stats,
+            per_device,
+            batches: self.batches.clone(),
+            job_results: self
+                .results
+                .iter()
+                .map(|r| r.clone().expect("drained service has every result"))
+                .collect(),
+            events: self.log.events().to_vec(),
+        }
+    }
+}
+
+/// Per-batch seed derivation: a distinct odd stride keeps batch streams
+/// disjoint from the per-program golden-ratio stride used inside the
+/// backend.
+pub(crate) fn derive_batch_seed(base: u64, batch_index: usize) -> u64 {
+    base.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(batch_index as u64 + 1))
+}
+
+/// Executes every program of a planned batch, one scoped thread per
+/// program (or serially under [`ExecutionMode::Serial`]). Results come
+/// back in program order regardless of thread scheduling.
+fn execute_members(
+    pipeline: &Pipeline,
+    device: &Device,
+    plan: &PlannedWorkload,
+    shots: &[usize],
+    batch_seed: u64,
+    mode: ExecutionMode,
+) -> Result<Vec<ProgramResult>, RuntimeError> {
+    let exec_for = |pos: usize| ExecutionConfig {
+        shots: shots[pos],
+        seed: batch_seed,
+        ..ParallelConfig::default().execution
+    };
+    match mode {
+        ExecutionMode::Serial => (0..shots.len())
+            .map(|pos| {
+                pipeline
+                    .backend
+                    .run_program(device, plan, pos, &exec_for(pos))
+                    .map_err(RuntimeError::Core)
+            })
+            .collect(),
+        ExecutionMode::Concurrent => {
+            let backend = &pipeline.backend;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shots.len())
+                    .map(|pos| {
+                        let exec = exec_for(pos);
+                        scope.spawn(move || backend.run_program(device, plan, pos, &exec))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|p| std::panic::resume_unwind(p))
+                            .map_err(RuntimeError::Core)
+                    })
+                    .collect()
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::synthetic_jobs;
+    use crate::policy::{Backfill, ShortestJobFirst};
+    use qucp_device::ibm;
+
+    fn fifo_service(max_parallel: usize) -> Service {
+        Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(max_parallel)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    fn submit_all(service: &mut Service, n: usize) -> Vec<JobTicket> {
+        synthetic_jobs(n, 200.0, 128, 7)
+            .iter()
+            .map(|j| service.submit(JobRequest::from_job(j)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn drained_service_serves_every_job() {
+        let mut service = fifo_service(3);
+        let tickets = submit_all(&mut service, 8);
+        let report = service.run_until_drained().unwrap();
+        assert_eq!(report.job_results.len(), 8);
+        for (ticket, r) in tickets.iter().zip(&report.job_results) {
+            assert_eq!(r.job_id, ticket.id);
+            assert_eq!(service.result(*ticket).unwrap(), r);
+        }
+        assert_eq!(service.event_log().completed_ids().len(), 8);
+        assert_eq!(report.per_device.len(), 1);
+        assert_eq!(report.per_device[0].jobs, 8);
+    }
+
+    #[test]
+    fn tick_reports_completions_incrementally() {
+        let mut service = fifo_service(2);
+        let tickets = submit_all(&mut service, 4);
+        // Nothing can have completed before the first arrival.
+        assert!(service.tick(0.0).unwrap().len() <= tickets.len());
+        let mut seen: Vec<JobTicket> = Vec::new();
+        let mut t = 0.0;
+        while seen.len() < 4 {
+            t += 50_000.0;
+            seen.extend(service.tick(t).unwrap());
+            assert!(t < 1e12, "tick never drained");
+        }
+        assert_eq!(seen.len(), 4);
+        // Every ticket reported exactly once.
+        let mut ids: Vec<usize> = seen.iter().map(|t| t.seq).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        // Draining afterwards reports nothing new.
+        assert!(service.tick(f64::INFINITY).unwrap().is_empty());
+    }
+
+    #[test]
+    fn incremental_ticks_match_one_shot_drain() {
+        let jobs = synthetic_jobs(6, 300.0, 128, 11);
+        let run = |ticked: bool| {
+            let mut service = fifo_service(3);
+            for j in &jobs {
+                service.submit(JobRequest::from_job(j)).unwrap();
+            }
+            if ticked {
+                let mut t = 0.0;
+                for _ in 0..200 {
+                    t += 10_000.0;
+                    service.tick(t).unwrap();
+                }
+            }
+            service.run_until_drained().unwrap()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn builder_validation_rejects_bad_configs() {
+        assert!(matches!(
+            Service::builder().build().unwrap_err(),
+            RuntimeError::NoDevices
+        ));
+        assert!(matches!(
+            Service::builder()
+                .device(ibm::toronto())
+                .max_parallel(0)
+                .build()
+                .unwrap_err(),
+            RuntimeError::ZeroParallel
+        ));
+        assert!(matches!(
+            Service::builder()
+                .device(ibm::toronto())
+                .default_shots(0)
+                .build()
+                .unwrap_err(),
+            RuntimeError::ZeroShots
+        ));
+        assert!(matches!(
+            Service::builder()
+                .device(ibm::toronto())
+                .fidelity_threshold(Some(f64::NAN))
+                .build()
+                .unwrap_err(),
+            RuntimeError::InvalidThreshold { .. }
+        ));
+        assert!(matches!(
+            Service::builder()
+                .device(ibm::toronto())
+                .fidelity_threshold(Some(-0.5))
+                .build()
+                .unwrap_err(),
+            RuntimeError::InvalidThreshold { .. }
+        ));
+    }
+
+    #[test]
+    fn submit_validation_rejects_bad_requests() {
+        let mut service = fifo_service(2);
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        assert!(matches!(
+            service
+                .submit(JobRequest::new(bell.clone(), f64::NAN))
+                .unwrap_err(),
+            RuntimeError::NonFiniteTime { .. }
+        ));
+        assert!(matches!(
+            service
+                .submit(JobRequest::new(bell.clone(), f64::INFINITY))
+                .unwrap_err(),
+            RuntimeError::NonFiniteTime { .. }
+        ));
+        assert!(matches!(
+            service
+                .submit(JobRequest::new(bell.clone(), 0.0).with_shots(0))
+                .unwrap_err(),
+            RuntimeError::ZeroShots
+        ));
+        assert!(matches!(
+            service
+                .submit(JobRequest::new(bell.clone(), 0.0).with_fidelity_threshold(-1.0))
+                .unwrap_err(),
+            RuntimeError::InvalidThreshold { .. }
+        ));
+        assert!(matches!(
+            service
+                .submit(JobRequest::new(qucp_circuit::Circuit::new(0), 0.0))
+                .unwrap_err(),
+            RuntimeError::EmptyCircuit
+        ));
+        // A rejected submission leaves no trace.
+        assert_eq!(service.pending_len(), 0);
+        assert!(service.event_log().is_empty());
+    }
+
+    #[test]
+    fn per_job_shots_override_applies() {
+        let mut service = fifo_service(2);
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        service
+            .submit(JobRequest::new(bell.clone(), 0.0).with_shots(64))
+            .unwrap();
+        service.submit(JobRequest::new(bell, 0.0)).unwrap();
+        let report = service.run_until_drained().unwrap();
+        assert_eq!(report.job_results[0].result.counts.shots(), 64);
+        assert_eq!(report.job_results[1].result.counts.shots(), 1024);
+    }
+
+    #[test]
+    fn per_job_strategy_split_batches() {
+        let mut service = fifo_service(4);
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        // Four simultaneous arrivals, the second under a different
+        // strategy: it cannot share the head's batch.
+        for i in 0..4 {
+            let mut req = JobRequest::new(bell.clone(), 0.0).with_id(i);
+            if i == 1 {
+                req = req.with_strategy(strategy::multiqc());
+            }
+            service.submit(req).unwrap();
+        }
+        let report = service.run_until_drained().unwrap();
+        assert_eq!(report.job_results.len(), 4);
+        for batch in &report.batches {
+            assert!(
+                batch.job_ids == vec![1] || !batch.job_ids.contains(&1),
+                "strategy-override job shared batch {:?}",
+                batch.job_ids
+            );
+        }
+        assert!(report.stats.batches >= 2);
+    }
+
+    #[test]
+    fn backfill_and_sjf_conserve_jobs() {
+        for policy in ["backfill", "sjf"] {
+            let mut builder = Service::builder()
+                .device(ibm::toronto())
+                .max_parallel(3)
+                .seed(9);
+            builder = match policy {
+                "backfill" => builder.policy(Backfill::default()),
+                _ => builder.policy(ShortestJobFirst),
+            };
+            let mut service = builder.build().unwrap();
+            let tickets = submit_all(&mut service, 9);
+            let report = service.run_until_drained().unwrap();
+            assert_eq!(report.job_results.len(), 9, "{policy}");
+            let mut served: Vec<u64> = report
+                .batches
+                .iter()
+                .flat_map(|b| b.job_ids.iter().copied())
+                .collect();
+            served.sort_unstable();
+            let mut expected: Vec<u64> = tickets.iter().map(|t| t.id).collect();
+            expected.sort_unstable();
+            assert_eq!(served, expected, "{policy}");
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_logged_event() {
+        use std::sync::{Arc, Mutex};
+        let seen = Arc::new(Mutex::new(0usize));
+        let seen_in = Arc::clone(&seen);
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .max_parallel(2)
+            .observer(move |_: &Event| *seen_in.lock().unwrap() += 1)
+            .build()
+            .unwrap();
+        submit_all(&mut service, 4);
+        service.run_until_drained().unwrap();
+        assert_eq!(*seen.lock().unwrap(), service.events().len());
+        assert!(service.events().len() >= 4 + 4); // submissions + completions
+    }
+}

@@ -1,10 +1,10 @@
-//! Cloud-queue scenario, twice over: first the *analytical* model of
-//! Sec. I/II-A (abstract durations), then the **real** `qucp-runtime`
-//! batch scheduler serving the same kind of burst — planning every
-//! batch through the staged QuCP pipeline, executing batch members
-//! concurrently, and reporting the same `QueueStats` for a head-to-head
-//! comparison of dedicated vs. multi-programmed service, plus the
-//! fidelity price each job actually paid.
+//! Cloud-queue scenario, three times over: the *analytical* model of
+//! Sec. I/II-A (abstract durations), the **event-driven service**
+//! runtime serving the same kind of burst through the staged QuCP
+//! pipeline (dedicated vs. multi-programmed, same `QueueStats`
+//! head-to-head), and finally an **admission-policy shoot-out** on a
+//! skewed workload where wide GHZ jobs block the FIFO head of line —
+//! the situation `Backfill` and `ShortestJobFirst` exist for.
 //!
 //! ```text
 //! cargo run --release -p qucp-bench --example cloud_scheduler
@@ -13,7 +13,29 @@
 use qucp_core::queue::{simulate_queue, synthetic_workload};
 use qucp_core::strategy;
 use qucp_device::ibm;
-use qucp_runtime::{synthetic_jobs, BatchScheduler, ExecutionMode, RuntimeConfig};
+use qucp_runtime::{
+    skewed_jobs, synthetic_jobs, AdmissionPolicy, Backfill, Fifo, Job, JobRequest, Service,
+    ServiceReport, ShortestJobFirst,
+};
+
+fn serve(
+    jobs: &[Job],
+    policy: impl AdmissionPolicy + 'static,
+    device: qucp_device::Device,
+    max_parallel: usize,
+) -> Result<ServiceReport, qucp_runtime::RuntimeError> {
+    let mut service = Service::builder()
+        .device(device)
+        .strategy(strategy::qucp(4.0))
+        .policy(policy)
+        .max_parallel(max_parallel)
+        .seed(0x5EED)
+        .build()?;
+    for job in jobs {
+        service.submit(JobRequest::from_job(job))?;
+    }
+    service.run_until_drained()
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- analytical queue model -------------------------------------------
@@ -34,8 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // --- the real runtime: same story, actually executed -------------------
-    println!("\nBatch-scheduler runtime: 18 library circuits on ibm::toronto()\n");
-    let device = ibm::toronto();
+    println!("\nService runtime (FIFO): 18 library circuits on ibm::toronto()\n");
     let stream = synthetic_jobs(18, 400.0, 1024, 0xC10D);
     println!(
         "{:<14} {:>8} {:>14} {:>14} {:>11} {:>10}",
@@ -43,18 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut reports = Vec::new();
     for (label, k) in [("dedicated", 1usize), ("pack 2", 2), ("pack 4", 4)] {
-        let scheduler = BatchScheduler::new(
-            device.clone(),
-            strategy::qucp(4.0),
-            RuntimeConfig {
-                max_parallel: k,
-                fidelity_threshold: None,
-                seed: 0x5EED,
-                optimize: true,
-                mode: ExecutionMode::Concurrent,
-            },
-        );
-        let report = scheduler.run(&stream)?;
+        let report = serve(&stream, Fifo, ibm::toronto(), k)?;
         let mean_jsd: f64 = report.job_results.iter().map(|r| r.result.jsd).sum::<f64>()
             / report.job_results.len() as f64;
         println!(
@@ -99,6 +109,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nRuntime turnaround reduction, 4-way over dedicated: {:.2}x",
         dedicated.stats.mean_turnaround / packed.stats.mean_turnaround
+    );
+
+    // --- admission-policy comparison on a skewed workload ------------------
+    //
+    // Every third job is a 13-qubit GHZ chain: on the 15-qubit
+    // Melbourne chip it cannot share the device with anything, so under
+    // FIFO it stalls every small job queued behind it. Backfill lets
+    // the small jobs jump (bounded overtaking); SJF serves them first
+    // outright.
+    println!("\nAdmission policies, skewed burst (12 jobs, 13q GHZ every 3rd) on melbourne:\n");
+    println!(
+        "{:<14} {:>8} {:>14} {:>14} {:>11}",
+        "policy", "batches", "mean wait ns", "turnaround ns", "throughput"
+    );
+    let skewed = skewed_jobs(12, 13, 50.0, 512, 7);
+    let fifo = serve(&skewed, Fifo, ibm::melbourne(), 3)?;
+    let backfill = serve(&skewed, Backfill { max_overtakes: 2 }, ibm::melbourne(), 3)?;
+    let sjf = serve(&skewed, ShortestJobFirst, ibm::melbourne(), 3)?;
+    for (label, report) in [("FIFO", &fifo), ("Backfill", &backfill), ("SJF", &sjf)] {
+        println!(
+            "{label:<14} {:>8} {:>14.0} {:>14.0} {:>10.1}%",
+            report.stats.batches,
+            report.stats.mean_waiting,
+            report.stats.mean_turnaround,
+            100.0 * report.stats.mean_throughput,
+        );
+    }
+    println!(
+        "\nBackfill turnaround gain over FIFO: {:.2}x (SJF: {:.2}x)",
+        fifo.stats.mean_turnaround / backfill.stats.mean_turnaround,
+        fifo.stats.mean_turnaround / sjf.stats.mean_turnaround,
     );
     Ok(())
 }

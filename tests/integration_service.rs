@@ -1,0 +1,324 @@
+//! Integration tests for the event-driven `qucp-runtime` service API:
+//! the bit-for-bit Fifo equivalence contract against the legacy
+//! `BatchScheduler::run`, job-conservation properties for every
+//! admission policy, the backfill starvation bound (reconstructed from
+//! the telemetry event log), multi-device dispatch, and the
+//! heterogeneous-batch EFS gate.
+
+// The equivalence suite intentionally exercises the deprecated wrapper.
+#![allow(deprecated)]
+
+use proptest::prelude::*;
+use qucp_core::strategy;
+use qucp_device::ibm;
+use qucp_runtime::{
+    skewed_jobs, synthetic_jobs, Backfill, BatchScheduler, EfsGate, ExecutionMode, Fifo, Job,
+    JobRequest, RuntimeConfig, Service, ServiceReport, ShortestJobFirst, ShrinkReason,
+};
+
+fn runtime_cfg(max_parallel: usize, fidelity_threshold: Option<f64>) -> RuntimeConfig {
+    RuntimeConfig {
+        max_parallel,
+        fidelity_threshold,
+        seed: 77,
+        optimize: true,
+        mode: ExecutionMode::Concurrent,
+    }
+}
+
+/// Drains `jobs` through a Service built from the given parts.
+fn drain(
+    jobs: &[Job],
+    cfg: RuntimeConfig,
+    policy_name: &str,
+    device: qucp_device::Device,
+) -> ServiceReport {
+    let builder = Service::builder()
+        .device(device)
+        .strategy(strategy::qucp(4.0))
+        .config(cfg);
+    let builder = match policy_name {
+        "fifo" => builder.policy(Fifo),
+        "backfill" => builder.policy(Backfill { max_overtakes: 2 }),
+        "sjf" => builder.policy(ShortestJobFirst),
+        other => panic!("unknown policy {other}"),
+    };
+    let mut service = builder.build().expect("build");
+    for job in jobs {
+        service.submit(JobRequest::from_job(job)).expect("submit");
+    }
+    service.run_until_drained().expect("drain")
+}
+
+/// Acceptance: `Service` + `Fifo` + a single device reproduces the
+/// legacy `BatchScheduler::run` output bit-for-bit on the PR-1
+/// equivalence workloads, with and without the head-only EFS gate.
+#[test]
+fn service_fifo_single_device_matches_batch_scheduler_bit_for_bit() {
+    let jobs = synthetic_jobs(12, 300.0, 256, 0xACCE);
+    for max_parallel in [1usize, 4] {
+        for threshold in [None, Some(0.0), Some(1e9)] {
+            let cfg = runtime_cfg(max_parallel, threshold);
+            let legacy = BatchScheduler::new(ibm::toronto(), strategy::qucp(4.0), cfg.clone())
+                .run(&jobs)
+                .expect("legacy run");
+            let report = drain(&jobs, cfg, "fifo", ibm::toronto());
+            assert_eq!(
+                report.stats, legacy.stats,
+                "k={max_parallel} t={threshold:?}"
+            );
+            assert_eq!(
+                report.batches, legacy.batches,
+                "k={max_parallel} t={threshold:?}"
+            );
+            assert_eq!(
+                report.job_results, legacy.job_results,
+                "k={max_parallel} t={threshold:?}"
+            );
+        }
+    }
+}
+
+/// Golden snapshot of the seed scheduler's FIFO decisions, frozen at
+/// the service redesign. `BatchScheduler::run` is now a wrapper over
+/// `Service`, so the bit-for-bit test above pins the two *entry points*
+/// against each other but cannot by itself detect a drift common to
+/// both; this test freezes the absolute behaviour — exact batch
+/// memberships (pure integer scheduling decisions) and queue statistics
+/// (tight tolerance, the runtime is deterministic) — so any change to
+/// the FIFO path is loud.
+#[test]
+fn fifo_scheduling_decisions_match_golden_snapshot() {
+    let jobs = synthetic_jobs(12, 300.0, 256, 0xACCE);
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-6 * b.abs().max(1.0);
+
+    let dedicated = drain(&jobs, runtime_cfg(1, None), "fifo", ibm::toronto());
+    let memberships: Vec<Vec<u64>> = dedicated
+        .batches
+        .iter()
+        .map(|b| b.job_ids.clone())
+        .collect();
+    let expected: Vec<Vec<u64>> = (0..12u64).map(|i| vec![i]).collect();
+    assert_eq!(memberships, expected);
+    assert!(close(dedicated.stats.mean_waiting, 48067.625360));
+    assert!(close(dedicated.stats.mean_turnaround, 58205.290525));
+    assert!(close(dedicated.stats.makespan, 121657.746283));
+    assert!(close(dedicated.stats.mean_throughput, 0.162435));
+
+    let packed = drain(&jobs, runtime_cfg(4, None), "fifo", ibm::toronto());
+    let memberships: Vec<Vec<u64>> = packed.batches.iter().map(|b| b.job_ids.clone()).collect();
+    assert_eq!(
+        memberships,
+        vec![vec![0], vec![1, 2, 3, 4], vec![5, 6, 7, 8], vec![9, 10, 11]]
+    );
+    assert!(close(packed.stats.mean_waiting, 19042.832443));
+    assert!(close(packed.stats.mean_turnaround, 34692.747438));
+    assert!(close(packed.stats.makespan, 56569.286641));
+    assert!(close(packed.stats.mean_throughput, 0.360557));
+}
+
+/// Acceptance: on a skewed-arrival workload whose heavy jobs block the
+/// FIFO head of line, both `Backfill` and `ShortestJobFirst` beat
+/// `Fifo` mean turnaround.
+#[test]
+fn backfill_and_sjf_beat_fifo_on_skewed_arrivals() {
+    let jobs = skewed_jobs(12, 13, 50.0, 32, 7);
+    let fifo = drain(&jobs, runtime_cfg(3, None), "fifo", ibm::melbourne());
+    let backfill = drain(&jobs, runtime_cfg(3, None), "backfill", ibm::melbourne());
+    let sjf = drain(&jobs, runtime_cfg(3, None), "sjf", ibm::melbourne());
+    assert!(
+        backfill.stats.mean_turnaround < fifo.stats.mean_turnaround,
+        "backfill {} !< fifo {}",
+        backfill.stats.mean_turnaround,
+        fifo.stats.mean_turnaround
+    );
+    assert!(
+        sjf.stats.mean_turnaround < fifo.stats.mean_turnaround,
+        "sjf {} !< fifo {}",
+        sjf.stats.mean_turnaround,
+        fifo.stats.mean_turnaround
+    );
+}
+
+/// Counts, for every job, how many batches overtook it: batches that
+/// started while the job was pending (arrived, not yet served) and
+/// carried some job submitted after it.
+fn overtake_counts(jobs: &[Job], report: &ServiceReport) -> Vec<usize> {
+    jobs.iter()
+        .map(|job| {
+            let own_batch = report
+                .job_results
+                .iter()
+                .find(|r| r.job_id == job.id)
+                .expect("job served")
+                .batch_index;
+            report
+                .batches
+                .iter()
+                .filter(|b| {
+                    b.batch_index < own_batch
+                        && job.arrival <= b.start
+                        && b.job_ids.iter().all(|&id| id != job.id)
+                        && b.job_ids.iter().any(|&id| id > job.id)
+                })
+                .count()
+        })
+        .collect()
+}
+
+/// The backfill starvation bound holds: heavy jobs are overtaken, but
+/// never by more than `max_overtakes` batches. FIFO never overtakes at
+/// all.
+#[test]
+fn backfill_overtakes_are_bounded_and_fifo_never_overtakes() {
+    let jobs = skewed_jobs(10, 13, 50.0, 32, 3);
+    let backfill = drain(&jobs, runtime_cfg(3, None), "backfill", ibm::melbourne());
+    let counts = overtake_counts(&jobs, &backfill);
+    assert!(
+        counts.iter().any(|&c| c > 0),
+        "backfill never backfilled: {counts:?}"
+    );
+    assert!(
+        counts.iter().all(|&c| c <= 2),
+        "starvation bound violated: {counts:?}"
+    );
+    let fifo = drain(&jobs, runtime_cfg(3, None), "fifo", ibm::melbourne());
+    assert!(overtake_counts(&jobs, &fifo).iter().all(|&c| c == 0));
+}
+
+/// One service dispatches across two chips: wide jobs route to the only
+/// device that admits them, the fleet splits the load, and the
+/// per-device statistics reconcile with the fleet totals.
+#[test]
+fn multi_device_dispatch_routes_by_topology() {
+    let mut service = Service::builder()
+        .device(ibm::melbourne())
+        .device(ibm::toronto())
+        .strategy(strategy::qucp(4.0))
+        .max_parallel(3)
+        .seed(5)
+        .build()
+        .expect("build");
+    let mut tickets = Vec::new();
+    for job in synthetic_jobs(8, 100.0, 32, 0xD15)
+        .iter()
+        .chain(skewed_jobs(2, 18, 100.0, 8, 1).iter().skip(1).take(1))
+    {
+        tickets.push(service.submit(JobRequest::from_job(job)).expect("submit"));
+    }
+    let report = service.run_until_drained().expect("drain");
+    assert_eq!(report.job_results.len(), 9);
+    assert_eq!(report.per_device.len(), 2);
+    // The 18-qubit GHZ job can only run on Toronto (27q).
+    let toronto = ibm::toronto();
+    let wide_batch = report
+        .batches
+        .iter()
+        .find(|b| b.used_qubits >= 18)
+        .expect("wide batch dispatched");
+    assert_eq!(wide_batch.device, toronto.name());
+    // Both chips served load, and the breakdown reconciles.
+    assert!(report.per_device.iter().all(|d| d.jobs > 0));
+    assert_eq!(
+        report.per_device.iter().map(|d| d.jobs).sum::<usize>(),
+        report.job_results.len()
+    );
+    assert_eq!(
+        report
+            .per_device
+            .iter()
+            .map(|d| d.stats.batches)
+            .sum::<usize>(),
+        report.stats.batches
+    );
+    let fleet_makespan = report
+        .per_device
+        .iter()
+        .map(|d| d.stats.makespan)
+        .fold(0.0f64, f64::max);
+    assert_eq!(report.stats.makespan, fleet_makespan);
+}
+
+/// The heterogeneous-batch EFS gate enforces per-member thresholds: a
+/// zero threshold on competing copies forces shrinks (visible in the
+/// event log), while a generous threshold packs the same submissions
+/// into one batch.
+#[test]
+fn batch_efs_gate_shrinks_by_member_tolerance() {
+    let run = |threshold: f64| {
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(3)
+            .fidelity_threshold(Some(threshold))
+            .efs_gate(EfsGate::Batch)
+            .default_shots(32)
+            .seed(13)
+            .build()
+            .expect("build");
+        let fredkin = qucp_circuit::library::by_name("fredkin").unwrap().circuit();
+        for i in 0..3 {
+            let mut c = fredkin.clone();
+            c.set_name(format!("fredkin#{i}"));
+            service
+                .submit(JobRequest::new(c, 0.0).with_id(i))
+                .expect("submit");
+        }
+        let report = service.run_until_drained().expect("drain");
+        let log = service.event_log().clone();
+        (report, log)
+    };
+    let (strict, strict_log) = run(0.0);
+    let (loose, loose_log) = run(1e9);
+    assert!(
+        strict.stats.batches > loose.stats.batches,
+        "strict {} !> loose {}",
+        strict.stats.batches,
+        loose.stats.batches
+    );
+    assert!(strict_log.shrink_count(ShrinkReason::FidelityGate) >= 1);
+    assert_eq!(loose_log.shrink_count(ShrinkReason::FidelityGate), 0);
+    assert_eq!(loose.stats.batches, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Every admission policy conserves jobs on random bursts: each
+    /// submitted job is served exactly once, batches partition the job
+    /// set, and waiting times respect arrivals.
+    #[test]
+    fn policies_conserve_jobs(
+        n in 3usize..9,
+        gap in 50.0f64..500.0,
+        seed in 0u64..1000,
+        policy in 0usize..3,
+    ) {
+        let jobs = synthetic_jobs(n, gap, 16, seed);
+        let policy = ["fifo", "backfill", "sjf"][policy];
+        let report = drain(&jobs, runtime_cfg(3, None), policy, ibm::toronto());
+        prop_assert_eq!(report.job_results.len(), n);
+        let mut served: Vec<u64> = report
+            .batches
+            .iter()
+            .flat_map(|b| b.job_ids.iter().copied())
+            .collect();
+        served.sort_unstable();
+        let expected: Vec<u64> = (0..n as u64).collect();
+        prop_assert_eq!(served, expected);
+        for r in &report.job_results {
+            prop_assert!(r.waiting >= 0.0);
+            prop_assert!(r.turnaround >= r.waiting);
+            prop_assert_eq!(r.result.counts.shots(), 16);
+        }
+        // The event log tells the same story.
+        let submitted = report.events.iter().filter(|e| {
+            matches!(e, qucp_runtime::Event::JobSubmitted { .. })
+        }).count();
+        let completed = report.events.iter().filter(|e| {
+            matches!(e, qucp_runtime::Event::JobCompleted { .. })
+        }).count();
+        prop_assert_eq!(submitted, n);
+        prop_assert_eq!(completed, n);
+    }
+}
