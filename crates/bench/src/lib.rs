@@ -75,6 +75,53 @@ pub const PAPER_SHOTS: usize = 8192;
 /// The workspace-wide experiment seed.
 pub const EXPERIMENT_SEED: u64 = 20220314;
 
+/// The trajectory-engine benchmark job: an 8-qubit GHZ chain planned
+/// solo on IBM Q Toronto by the QuCP pipeline. Shared between the
+/// Criterion `trajectory` bench and the `trajectory` bin so both
+/// measure exactly the same mapped job.
+///
+/// # Panics
+///
+/// Panics if the GHZ chain cannot be planned on Toronto (which would
+/// be a pipeline regression).
+pub fn trajectory_job() -> (qucp_device::Device, qucp_core::pipeline::PlannedWorkload) {
+    use qucp_core::pipeline::Pipeline;
+    use qucp_core::strategy;
+    let device = qucp_device::ibm::toronto();
+    let ghz = library::ghz(8);
+    let plan = Pipeline::from_strategy(&strategy::qucp(4.0))
+        .plan(&device, &[ghz], true)
+        .expect("GHZ-8 must plan on Toronto");
+    (device, plan)
+}
+
+/// Runs program 0 of a [`trajectory_job`] plan under `parallelism`
+/// with [`PAPER_SHOTS`] shots.
+///
+/// # Panics
+///
+/// Panics if the mapped job is rejected by the simulator.
+pub fn run_trajectory_job(
+    device: &qucp_device::Device,
+    plan: &qucp_core::pipeline::PlannedWorkload,
+    parallelism: qucp_sim::ShotParallelism,
+) -> qucp_sim::Counts {
+    let exec = qucp_sim::ExecutionConfig::default()
+        .with_shots(PAPER_SHOTS)
+        .with_seed(EXPERIMENT_SEED)
+        .with_parallelism(parallelism);
+    let mapped = &plan.mapped[0];
+    qucp_sim::run_noisy_with_idle(
+        &mapped.circuit,
+        &mapped.layout,
+        device,
+        &plan.context.scalings[0],
+        &plan.context.tail_idle[0],
+        &exec,
+    )
+    .expect("mapped GHZ job must simulate")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -83,6 +83,10 @@ pub trait Backend: Send + Sync {
     /// Implementations must be deterministic given `exec.seed` and must
     /// derive any per-program seed from `(exec.seed, index)` only, so
     /// that concurrent and serial batch execution agree bit-for-bit.
+    /// The same holds one level down: when `exec.parallelism` shards
+    /// the shot loop ([`qucp_sim::ShotParallelism`]), the result must
+    /// depend on the shard count only, never on how many worker
+    /// threads execute the shards.
     ///
     /// # Errors
     ///
@@ -453,6 +457,27 @@ mod tests {
         assert_eq!(derive_program_seed(42, 0), derive_program_seed(42, 0));
         assert_ne!(derive_program_seed(42, 0), derive_program_seed(42, 1));
         assert_ne!(derive_program_seed(42, 1), derive_program_seed(43, 1));
+    }
+
+    #[test]
+    fn sharded_streams_of_coscheduled_programs_stay_disjoint() {
+        // Program seeds are golden-ratio strides of the batch seed; the
+        // shard derivation mixes the base seed before applying its own
+        // stride, so program i's shard s must never collide with
+        // program i+1's shard s-1 (or any other (i', s') with
+        // i + s == i' + s'). A linear shard stride over the raw seed
+        // would make every such pair share a bit-identical RNG stream.
+        use qucp_sim::derive_shard_seed;
+        let base = 0x5EED;
+        let mut seen = std::collections::HashSet::new();
+        for program in 0..4 {
+            for shard in 0..8 {
+                assert!(
+                    seen.insert(derive_shard_seed(derive_program_seed(base, program), shard)),
+                    "shard stream collision at program {program}, shard {shard}"
+                );
+            }
+        }
     }
 
     #[test]

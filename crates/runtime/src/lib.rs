@@ -27,7 +27,9 @@
 //!    bounded-starvation guarantee), or [`ShortestJobFirst`]. The EFS
 //!    fidelity gate sizes the batch: [`EfsGate::HeadOnly`] replays the
 //!    paper's Fig. 4 copy-count probe, [`EfsGate::Batch`] evaluates the
-//!    *actual heterogeneous members* against each job's own threshold.
+//!    *actual heterogeneous members* against each job's own threshold
+//!    (tail shrink), and [`EfsGate::BatchWorstExcess`] evicts the
+//!    worst-excess member instead.
 //! 3. **Plan** — the batch routes to the earliest-free
 //!    [`DeviceRegistry`] entry whose topology admits it, then runs
 //!    through the staged [`Pipeline`](qucp_core::pipeline::Pipeline) of
@@ -37,7 +39,12 @@
 //!    pipeline backend in its own scoped thread (or serially under
 //!    [`ExecutionMode::Serial`]); per-program seeds derive from
 //!    `(seed, batch index, program index)` only, so concurrent and
-//!    serial execution agree **bit-for-bit**.
+//!    serial execution agree **bit-for-bit**. Large jobs additionally
+//!    get *intra-program* shot sharding
+//!    ([`ServiceBuilder::shot_parallelism`], [`ShotParallelism`]):
+//!    each program's trajectory loop splits its shots over worker
+//!    threads, deterministic in the shard count and independent of the
+//!    thread count.
 //! 5. **Observe** — every transition ([`Event::JobSubmitted`],
 //!    [`Event::BatchPlanned`], [`Event::BatchShrunk`],
 //!    [`Event::JobCompleted`]) lands in the service [`EventLog`] and in
@@ -96,3 +103,7 @@ pub use scheduler::{
 pub use service::{
     DeviceReport, EfsGate, JobRequest, JobTicket, Service, ServiceBuilder, ServiceReport,
 };
+
+// The shot-parallelism mode travels with the runtime config; re-export
+// it so service callers need not depend on `qucp-sim` directly.
+pub use qucp_sim::ShotParallelism;

@@ -8,6 +8,7 @@ use std::fmt;
 use qucp_core::queue::QueueStats;
 use qucp_core::{CoreError, Strategy};
 use qucp_device::Device;
+use qucp_sim::ShotParallelism;
 
 use crate::job::{Job, JobResult};
 use crate::service::{JobRequest, Service};
@@ -40,6 +41,13 @@ pub struct RuntimeConfig {
     pub optimize: bool,
     /// Concurrent or serial per-batch execution.
     pub mode: ExecutionMode,
+    /// Intra-program shot parallelism: how each program's trajectory
+    /// loop spreads its shots over worker threads, layered *under* the
+    /// per-batch concurrency of [`ExecutionMode`]. Sharded counts are
+    /// deterministic in the shard count, never the thread count; the
+    /// serial default keeps every report bit-for-bit identical to the
+    /// pre-sharding runtime.
+    pub shot_parallelism: ShotParallelism,
 }
 
 impl Default for RuntimeConfig {
@@ -50,6 +58,7 @@ impl Default for RuntimeConfig {
             seed: 0x5EED,
             optimize: true,
             mode: ExecutionMode::Concurrent,
+            shot_parallelism: ShotParallelism::Serial,
         }
     }
 }
@@ -244,6 +253,7 @@ mod tests {
             seed: 42,
             optimize: true,
             mode,
+            ..RuntimeConfig::default()
         }
     }
 

@@ -13,7 +13,7 @@ use qucp_core::queue::QueueStats;
 use qucp_core::threshold::{parallel_count_for_threshold, solo_efs_scores};
 use qucp_core::{strategy, CoreError, ParallelConfig, ProgramResult, Strategy};
 use qucp_device::Device;
-use qucp_sim::ExecutionConfig;
+use qucp_sim::{ExecutionConfig, ShotParallelism};
 
 use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
 use crate::job::{Job, JobResult};
@@ -37,6 +37,15 @@ pub enum EfsGate {
     /// shrinks from the tail until all members tolerate it. Closes the
     /// ROADMAP fidelity item.
     Batch,
+    /// [`EfsGate::Batch`]'s evaluation with *worst-excess eviction*:
+    /// instead of dropping the tail member, each shrink step evicts the
+    /// member with the largest EFS excess — the one whose partition
+    /// degraded most under contention — so a well-placed tail member
+    /// survives a badly-placed middle one. The head is exempt (it
+    /// anchors the batch); ties evict the member closest to the tail,
+    /// matching tail-shrink when excesses are uniform. Partition
+    /// failures still shrink from the tail in every mode.
+    BatchWorstExcess,
 }
 
 /// A streaming job submission: the circuit plus optional per-job
@@ -299,6 +308,16 @@ impl ServiceBuilder {
     #[must_use]
     pub fn mode(mut self, mode: ExecutionMode) -> Self {
         self.cfg.mode = mode;
+        self
+    }
+
+    /// Intra-program shot parallelism for every executed program (see
+    /// [`ShotParallelism`]); layered under the per-batch concurrency of
+    /// [`ServiceBuilder::mode`]. The serial default keeps reports
+    /// bit-for-bit identical to the pre-sharding runtime.
+    #[must_use]
+    pub fn shot_parallelism(mut self, parallelism: ShotParallelism) -> Self {
+        self.cfg.shot_parallelism = parallelism;
         self
     }
 
@@ -798,10 +817,19 @@ impl Service {
         Err(last_unplaceable.expect("every candidate device failed with an unplaceable error"))
     }
 
-    /// Plans `member_seqs` on `device`, shrinking from the tail while
-    /// the partitioner cannot place the batch and — in
-    /// [`EfsGate::Batch`] mode — while any member's EFS excess exceeds
-    /// its own effective threshold.
+    /// Plans `member_seqs` on `device`, shrinking while the partitioner
+    /// cannot place the batch (tail eviction) and — in
+    /// [`EfsGate::Batch`] / [`EfsGate::BatchWorstExcess`] mode — while
+    /// any member's EFS excess exceeds its own effective threshold
+    /// (tail or worst-excess eviction respectively).
+    ///
+    /// The shrink loop re-plans from cached per-member state: the
+    /// circuits are cloned and peephole-optimized **once**, the
+    /// per-member thresholds are resolved once, and the solo-best EFS
+    /// baselines are probed once on the first successful plan; each
+    /// shrink step merely removes the evicted member's entry from every
+    /// cache (a standing ROADMAP "Scale" item — the loop previously
+    /// re-cloned and re-optimized the whole batch per step).
     ///
     /// Shrink events are appended to `shrinks`, not emitted: the caller
     /// records them only if the batch actually commits on `device`.
@@ -814,64 +842,78 @@ impl Service {
         shrinks: &mut Vec<Event>,
     ) -> Result<PlannedWorkload, RuntimeError> {
         let device_name = device.name().to_string();
-        // Solo-best EFS scores for the gate, probed once per batch on
-        // the first successful plan: shrinking only pops the tail, so
-        // the prefix of a cached score vector stays valid.
+        let mut circuits: Vec<Circuit> = member_seqs
+            .iter()
+            .map(|&s| self.pending_by_seq(s).circuit.clone())
+            .collect();
+        if self.cfg.optimize {
+            // Pre-optimized here exactly once; the pipeline is then
+            // asked not to optimize again, which is equivalent to the
+            // per-iteration pass it used to run on fresh clones.
+            for c in &mut circuits {
+                c.cancel_adjacent_inverses();
+            }
+        }
+        let gated = matches!(self.efs_gate, EfsGate::Batch | EfsGate::BatchWorstExcess);
+        let mut thresholds: Vec<Option<f64>> = if gated {
+            member_seqs
+                .iter()
+                .map(|&s| {
+                    self.pending_by_seq(s)
+                        .fidelity_threshold
+                        .or(self.cfg.fidelity_threshold)
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
         let mut solo_cache: Option<Vec<f64>> = None;
         loop {
-            let circuits: Vec<Circuit> = member_seqs
-                .iter()
-                .map(|&s| self.pending_by_seq(s).circuit.clone())
-                .collect();
-            match pipeline.plan(device, &circuits, self.cfg.optimize) {
+            match pipeline.plan(device, &circuits, false) {
                 Ok(plan) => {
-                    if self.efs_gate == EfsGate::Batch && member_seqs.len() > 1 {
-                        let thresholds: Vec<Option<f64>> = member_seqs
-                            .iter()
-                            .map(|&s| {
-                                self.pending_by_seq(s)
-                                    .fidelity_threshold
-                                    .or(self.cfg.fidelity_threshold)
-                            })
-                            .collect();
-                        if thresholds.iter().any(Option::is_some) {
-                            // The plan already allocated the joint
-                            // partitions; only the solo baselines need
-                            // probing (deduplicated, cached across
-                            // shrink iterations).
-                            if solo_cache.is_none() {
-                                let refs: Vec<&Circuit> = plan.programs.iter().collect();
-                                solo_cache = Some(
-                                    solo_efs_scores(
-                                        device,
-                                        &refs,
-                                        &self.strategy_of(member_seqs[0]),
-                                    )
+                    if gated && member_seqs.len() > 1 && thresholds.iter().any(Option::is_some) {
+                        // The plan already allocated the joint
+                        // partitions; only the solo baselines need
+                        // probing (deduplicated, cached across shrink
+                        // iterations — evictions remove the matching
+                        // cache entry, so indices stay aligned).
+                        if solo_cache.is_none() {
+                            let refs: Vec<&Circuit> = plan.programs.iter().collect();
+                            solo_cache = Some(
+                                solo_efs_scores(device, &refs, &self.strategy_of(member_seqs[0]))
                                     .map_err(RuntimeError::Core)?,
-                                );
+                            );
+                        }
+                        let solo = solo_cache.as_ref().expect("just filled");
+                        let mut excesses = vec![0.0; member_seqs.len()];
+                        for alloc in &plan.allocations {
+                            excesses[alloc.program_index] =
+                                (alloc.efs.score - solo[alloc.program_index]).max(0.0);
+                        }
+                        let violated = thresholds
+                            .iter()
+                            .zip(&excesses)
+                            .any(|(t, &e)| t.is_some_and(|t| e > t));
+                        if violated {
+                            let evict = match self.efs_gate {
+                                EfsGate::BatchWorstExcess => worst_excess_position(&excesses),
+                                _ => member_seqs.len() - 1,
+                            };
+                            let dropped = member_seqs.remove(evict);
+                            circuits.remove(evict);
+                            thresholds.remove(evict);
+                            if let Some(cache) = solo_cache.as_mut() {
+                                cache.remove(evict);
                             }
-                            let solo = solo_cache.as_ref().expect("just filled");
-                            let mut excesses = vec![0.0; member_seqs.len()];
-                            for alloc in &plan.allocations {
-                                excesses[alloc.program_index] =
-                                    (alloc.efs.score - solo[alloc.program_index]).max(0.0);
-                            }
-                            let violated = thresholds
-                                .iter()
-                                .zip(&excesses)
-                                .any(|(t, &e)| t.is_some_and(|t| e > t));
-                            if violated {
-                                let dropped = member_seqs.pop().expect("len > 1");
-                                let dropped_id = self.pending_by_seq(dropped).id;
-                                shrinks.push(Event::BatchShrunk {
-                                    batch_index,
-                                    device: device_name.clone(),
-                                    dropped_job_id: dropped_id,
-                                    remaining: member_seqs.len(),
-                                    reason: ShrinkReason::FidelityGate,
-                                });
-                                continue;
-                            }
+                            let dropped_id = self.pending_by_seq(dropped).id;
+                            shrinks.push(Event::BatchShrunk {
+                                batch_index,
+                                device: device_name.clone(),
+                                dropped_job_id: dropped_id,
+                                remaining: member_seqs.len(),
+                                reason: ShrinkReason::FidelityGate,
+                            });
+                            continue;
                         }
                     }
                     return Ok(plan);
@@ -886,6 +928,13 @@ impl Service {
                         });
                     }
                     let dropped = member_seqs.pop().expect("len > 1");
+                    circuits.pop();
+                    if gated {
+                        thresholds.pop();
+                    }
+                    if let Some(cache) = solo_cache.as_mut() {
+                        cache.pop();
+                    }
                     let dropped_id = self.pending_by_seq(dropped).id;
                     shrinks.push(Event::BatchShrunk {
                         batch_index,
@@ -926,7 +975,15 @@ impl Service {
             .map(|&s| self.pending_by_seq(s).shots)
             .collect();
         let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
-        let results = execute_members(pipeline, device, plan, &shots, batch_seed, self.cfg.mode)?;
+        let results = execute_members(
+            pipeline,
+            device,
+            plan,
+            &shots,
+            batch_seed,
+            self.cfg.mode,
+            self.cfg.shot_parallelism,
+        )?;
 
         let makespan = plan.context.makespan;
         let completion = start + makespan;
@@ -1066,9 +1123,26 @@ pub(crate) fn derive_batch_seed(base: u64, batch_index: usize) -> u64 {
     base.wrapping_add(0xD1B5_4A32_D192_ED03u64.wrapping_mul(batch_index as u64 + 1))
 }
 
+/// The position the worst-excess gate evicts: the member with the
+/// largest EFS excess among the non-head members (the head anchors the
+/// batch), ties resolved toward the tail.
+fn worst_excess_position(excesses: &[f64]) -> usize {
+    let mut pos = excesses.len() - 1;
+    let mut best = f64::NEG_INFINITY;
+    for (i, &e) in excesses.iter().enumerate().skip(1) {
+        if e >= best {
+            best = e;
+            pos = i;
+        }
+    }
+    pos
+}
+
 /// Executes every program of a planned batch, one scoped thread per
-/// program (or serially under [`ExecutionMode::Serial`]). Results come
-/// back in program order regardless of thread scheduling.
+/// program (or serially under [`ExecutionMode::Serial`]), each
+/// program's shot budget spread per `parallelism`. Results come back in
+/// program order regardless of thread scheduling.
+#[allow(clippy::too_many_arguments)]
 fn execute_members(
     pipeline: &Pipeline,
     device: &Device,
@@ -1076,10 +1150,12 @@ fn execute_members(
     shots: &[usize],
     batch_seed: u64,
     mode: ExecutionMode,
+    parallelism: ShotParallelism,
 ) -> Result<Vec<ProgramResult>, RuntimeError> {
     let exec_for = |pos: usize| ExecutionConfig {
         shots: shots[pos],
         seed: batch_seed,
+        parallelism,
         ..ParallelConfig::default().execution
     };
     match mode {
@@ -1336,6 +1412,17 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(served, expected, "{policy}");
         }
+    }
+
+    #[test]
+    fn worst_excess_position_skips_head_and_ties_to_tail() {
+        // The head's excess never makes it evictable.
+        assert_eq!(worst_excess_position(&[9.0, 1.0, 5.0]), 2);
+        assert_eq!(worst_excess_position(&[0.0, 5.0, 1.0]), 1);
+        // Ties resolve toward the tail (tail-shrink parity on uniform
+        // excesses).
+        assert_eq!(worst_excess_position(&[0.0, 2.0, 2.0]), 2);
+        assert_eq!(worst_excess_position(&[3.0, 0.0]), 1);
     }
 
     #[test]

@@ -19,12 +19,89 @@ use std::error::Error;
 use std::fmt;
 
 use qucp_circuit::{schedule, Circuit, Gate};
-use qucp_device::{Device, Link};
+use qucp_device::{Calibration, Device, Link};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::counts::Counts;
 use crate::state::Statevector;
+
+/// How the trajectory loop spreads a job's shots over worker threads.
+///
+/// ## Determinism contract
+///
+/// Sharded counts depend only on `(seed, shards)` and the job itself —
+/// **never** on `threads`: shard `s` draws every trajectory from its
+/// own `StdRng` seeded with [`derive_shard_seed`]`(seed, s)`, and the
+/// per-shard counts are merged in shard order after all workers join.
+/// Running the same job with 1, 2 or 8 workers is bit-for-bit
+/// identical; only wall-clock time changes.
+///
+/// [`ShotParallelism::Serial`] (the default) is the historical
+/// single-stream path and stays bit-for-bit identical to every release
+/// before sharding existed. A sharded run — even with one shard — uses
+/// the derived shard seeds and therefore samples a *different* (equally
+/// valid) set of trajectories than the serial path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShotParallelism {
+    /// One sequential RNG stream on the calling thread (the default,
+    /// bit-for-bit the pre-sharding behaviour).
+    #[default]
+    Serial,
+    /// Split the shot budget into `shards` deterministic RNG streams
+    /// executed by up to `threads` scoped workers.
+    Sharded {
+        /// Number of independent shard streams (0 is treated as 1).
+        /// Fixing `shards` fixes the counts; choose it once per
+        /// workload, not per machine.
+        shards: usize,
+        /// Worker-thread cap (0 = all available cores). Affects only
+        /// wall-clock time, never the counts.
+        threads: usize,
+    },
+}
+
+impl ShotParallelism {
+    /// Sharded execution over `shards` streams on all available cores.
+    pub fn sharded(shards: usize) -> Self {
+        ShotParallelism::Sharded { shards, threads: 0 }
+    }
+
+    /// The same shard split with an explicit worker cap.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        match self {
+            ShotParallelism::Serial => ShotParallelism::Serial,
+            ShotParallelism::Sharded { shards, .. } => ShotParallelism::Sharded { shards, threads },
+        }
+    }
+}
+
+/// The SplitMix64 output mixing function (Steele, Lea & Flood 2014).
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed of shard `shard` for a job seeded with `seed`: the
+/// `shard + 1`-th output of a SplitMix64 generator whose state starts
+/// at `splitmix64(seed)`. Each shard feeds it to
+/// `StdRng::seed_from_u64`, giving every shard a statistically
+/// independent trajectory stream while keeping the whole job a pure
+/// function of `(seed, shards)`.
+///
+/// The base seed passes through the mix *before* the shard stride is
+/// added: callers hand this function seeds that are themselves
+/// golden-ratio strides of a common base (the per-program seeds of a
+/// batch, `qucp_core::pipeline::derive_program_seed`), and a linear
+/// stride over the raw seed would make program `i`'s shard `s` collide
+/// with program `i + 1`'s shard `s - 1`. The extra mix breaks that
+/// linearity, so co-scheduled sharded programs never share a stream.
+pub fn derive_shard_seed(seed: u64, shard: usize) -> u64 {
+    splitmix64(splitmix64(seed).wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64)))
+}
 
 /// Execution parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,10 +116,14 @@ pub struct ExecutionConfig {
     pub readout_noise: bool,
     /// Enable idle decoherence from schedule gaps.
     pub idle_noise: bool,
+    /// Shot-level parallelism (see [`ShotParallelism`] for the
+    /// determinism contract). Defaults to the serial path.
+    pub parallelism: ShotParallelism,
 }
 
 impl Default for ExecutionConfig {
-    /// 8192 shots (the paper's job size), all noise channels enabled.
+    /// 8192 shots (the paper's job size), all noise channels enabled,
+    /// serial trajectory execution.
     fn default() -> Self {
         ExecutionConfig {
             shots: 8192,
@@ -50,6 +131,7 @@ impl Default for ExecutionConfig {
             gate_noise: true,
             readout_noise: true,
             idle_noise: true,
+            parallelism: ShotParallelism::Serial,
         }
     }
 }
@@ -64,6 +146,12 @@ impl ExecutionConfig {
     /// A config with a different shot count.
     pub fn with_shots(mut self, shots: usize) -> Self {
         self.shots = shots;
+        self
+    }
+
+    /// A config with a different shot-parallelism mode.
+    pub fn with_parallelism(mut self, parallelism: ShotParallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -355,7 +443,7 @@ pub(crate) fn build_plan(
             }
         }
     }
-    events.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap().then(x.1.cmp(&y.1)));
+    events.sort_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
 
     // Effective per-gate error probabilities with crosstalk scaling.
     let error_p: Vec<f64> = base_error
@@ -413,23 +501,67 @@ pub fn run_noisy_with_idle(
     cfg: &ExecutionConfig,
 ) -> Result<Counts, SimError> {
     let plan = build_plan(circuit, layout, device, scaling, tail_idle, cfg)?;
-    let TrajectoryPlan { events, error_p } = plan;
-    let cal = device.calibration();
-
     let ideal = Statevector::from_circuit(circuit);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut counts = Counts::new(circuit.width());
+    let job = TrajectoryJob {
+        circuit,
+        layout,
+        cal: device.calibration(),
+        plan: &plan,
+        ideal: &ideal,
+        cfg,
+    };
+    Ok(match cfg.parallelism {
+        ShotParallelism::Serial => job.run_stream(cfg.shots, cfg.seed),
+        ShotParallelism::Sharded { shards, threads } => job.run_sharded(shards, threads),
+    })
+}
 
-    for _ in 0..cfg.shots {
-        // Pre-draw the error pattern; error-free shots sample the cached
-        // ideal state directly (the dominant fast path).
-        let mut gate_errors: Vec<usize> = Vec::new();
-        let mut idle_errors: Vec<(usize, Pauli)> = Vec::new();
+/// Everything a trajectory stream shares with every other stream of the
+/// same job: the mapped circuit, the pre-built [`TrajectoryPlan`], the
+/// cached ideal state and the calibration. Plain shared references —
+/// the plan is built **once** per job and read concurrently by every
+/// shard worker.
+#[derive(Clone, Copy)]
+struct TrajectoryJob<'a> {
+    circuit: &'a Circuit,
+    layout: &'a [usize],
+    cal: &'a Calibration,
+    plan: &'a TrajectoryPlan,
+    ideal: &'a Statevector,
+    cfg: &'a ExecutionConfig,
+}
+
+impl TrajectoryJob<'_> {
+    /// Runs one sequential stream of `shots` trajectories from `seed`.
+    ///
+    /// This is the hot loop. All per-shot scratch (the error-pattern
+    /// buffers and the replay statevector) lives in a [`ShotScratch`]
+    /// allocated once per stream and reused across shots, so steady
+    /// state allocates nothing.
+    fn run_stream(&self, shots: usize, seed: u64) -> Counts {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = Counts::new(self.circuit.width());
+        let mut scratch = ShotScratch::new(self.circuit.width());
+        for _ in 0..shots {
+            counts.record(self.run_shot(&mut rng, &mut scratch));
+        }
+        counts
+    }
+
+    /// One trajectory: pre-draw the error pattern, sample the cached
+    /// ideal state when it is empty (the dominant fast path), otherwise
+    /// replay the event stream on the scratch state, then flip readout
+    /// bits.
+    fn run_shot(&self, rng: &mut StdRng, scratch: &mut ShotScratch) -> usize {
+        let TrajectoryPlan { events, error_p } = self.plan;
+        let cfg = self.cfg;
+        scratch.gate_errors.clear();
+        scratch.idle_errors.clear();
         for (pos, &(_, _, ev)) in events.iter().enumerate() {
             match ev {
                 Event::Gate { index } => {
                     if cfg.gate_noise && error_p[index] > 0.0 && rng.gen_bool(error_p[index]) {
-                        gate_errors.push(pos);
+                        scratch.gate_errors.push(pos);
                     }
                 }
                 Event::Idle {
@@ -442,55 +574,141 @@ pub fn run_noisy_with_idle(
                     let pz = dephase_p / 2.0;
                     let u: f64 = rng.gen();
                     if u < px {
-                        idle_errors.push((pos, Pauli::X));
+                        scratch.idle_errors.push((pos, Pauli::X));
                     } else if u < px + py {
-                        idle_errors.push((pos, Pauli::Y));
+                        scratch.idle_errors.push((pos, Pauli::Y));
                     } else if u < px + py + pz {
-                        idle_errors.push((pos, Pauli::Z));
+                        scratch.idle_errors.push((pos, Pauli::Z));
                     }
                 }
             }
         }
 
-        let outcome = if gate_errors.is_empty() && idle_errors.is_empty() {
-            ideal.sample(&mut rng)
+        let outcome = if scratch.gate_errors.is_empty() && scratch.idle_errors.is_empty() {
+            self.ideal.sample(rng)
         } else {
-            let mut sv = Statevector::zero_state(circuit.width());
-            let mut gate_err = gate_errors.iter().peekable();
-            let mut idle_err = idle_errors.iter().peekable();
+            let sv = &mut scratch.state;
+            sv.reset_zero();
+            let mut gate_err = scratch.gate_errors.iter().peekable();
+            let mut idle_err = scratch.idle_errors.iter().peekable();
             for (pos, &(_, _, ev)) in events.iter().enumerate() {
                 match ev {
                     Event::Gate { index } => {
-                        sv.apply(&circuit.gates()[index]);
+                        sv.apply(&self.circuit.gates()[index]);
                         if gate_err.peek() == Some(&&pos) {
                             gate_err.next();
-                            apply_gate_error(&mut sv, &circuit.gates()[index], &mut rng);
+                            apply_gate_error(sv, &self.circuit.gates()[index], rng);
                         }
                     }
                     Event::Idle { q, .. } => {
                         if let Some(&&(epos, pauli)) = idle_err.peek() {
                             if epos == pos {
                                 idle_err.next();
-                                apply_pauli(&mut sv, q, pauli);
+                                apply_pauli(sv, q, pauli);
                             }
                         }
                     }
                 }
             }
-            sv.sample(&mut rng)
+            sv.sample(rng)
         };
 
         let mut measured = outcome;
         if cfg.readout_noise {
-            for (q, &phys) in layout.iter().enumerate() {
-                if rng.gen_bool(cal.readout_error(phys)) {
+            for (q, &phys) in self.layout.iter().enumerate() {
+                if rng.gen_bool(self.cal.readout_error(phys)) {
                     measured ^= 1 << q;
                 }
             }
         }
-        counts.record(measured);
+        measured
     }
-    Ok(counts)
+
+    /// Sharded execution: the shot budget splits into `shards` streams
+    /// (as even as possible, earlier shards take the remainder), shard
+    /// `s` is seeded with [`derive_shard_seed`]`(seed, s)`, workers
+    /// claim shards off a shared counter, and the per-shard counts
+    /// merge **in shard order** — so the result is a pure function of
+    /// `(seed, shards)`, independent of `threads` and of scheduling.
+    fn run_sharded(&self, shards: usize, threads: usize) -> Counts {
+        let shards = shards.max(1);
+        let shots = self.cfg.shots;
+        let (base, rem) = (shots / shards, shots % shards);
+        let shard_shots = |s: usize| base + usize::from(s < rem);
+
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        let threads = threads.min(shards).max(1);
+
+        let mut partials: Vec<(usize, Counts)> = if threads == 1 {
+            (0..shards)
+                .map(|s| {
+                    (
+                        s,
+                        self.run_stream(shard_shots(s), derive_shard_seed(self.cfg.seed, s)),
+                    )
+                })
+                .collect()
+        } else {
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        let next = &next;
+                        scope.spawn(move || {
+                            let mut done: Vec<(usize, Counts)> = Vec::new();
+                            loop {
+                                let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if s >= shards {
+                                    break done;
+                                }
+                                done.push((
+                                    s,
+                                    self.run_stream(
+                                        shard_shots(s),
+                                        derive_shard_seed(self.cfg.seed, s),
+                                    ),
+                                ));
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                    .collect()
+            })
+        };
+        partials.sort_unstable_by_key(|&(s, _)| s);
+        let mut counts = Counts::new(self.circuit.width());
+        for (_, partial) in &partials {
+            counts.merge(partial);
+        }
+        counts
+    }
+}
+
+/// Reusable per-stream scratch of the trajectory hot loop.
+struct ShotScratch {
+    /// Event positions whose gate draws an error this shot.
+    gate_errors: Vec<usize>,
+    /// Event positions whose idle window draws a Pauli this shot.
+    idle_errors: Vec<(usize, Pauli)>,
+    /// Replay statevector for shots that drew at least one error.
+    state: Statevector,
+}
+
+impl ShotScratch {
+    fn new(width: usize) -> Self {
+        ShotScratch {
+            gate_errors: Vec::new(),
+            idle_errors: Vec::new(),
+            state: Statevector::zero_state(width),
+        }
+    }
 }
 
 fn validate_layout(circuit: &Circuit, layout: &[usize], device: &Device) -> Result<(), SimError> {
@@ -646,6 +864,7 @@ mod tests {
             gate_noise: true,
             readout_noise: false,
             idle_noise: false,
+            ..ExecutionConfig::default()
         };
         let c = {
             let mut c = Circuit::new(2);
@@ -667,6 +886,7 @@ mod tests {
             gate_noise: false,
             readout_noise: true,
             idle_noise: false,
+            ..ExecutionConfig::default()
         };
         let c = Circuit::new(1); // |0>
         let counts = run_noisy(&c, &[0], &dev, &NoiseScaling::uniform(0), &cfg).unwrap();
@@ -683,6 +903,7 @@ mod tests {
             gate_noise: true,
             readout_noise: false,
             idle_noise: false,
+            ..ExecutionConfig::default()
         };
         let c = {
             let mut c = Circuit::new(2);
@@ -736,6 +957,7 @@ mod tests {
             gate_noise: false,
             readout_noise: false,
             idle_noise: true,
+            ..ExecutionConfig::default()
         };
         let without_idle = ExecutionConfig {
             idle_noise: false,
@@ -783,6 +1005,130 @@ mod tests {
         assert!(matches!(e, SimError::NotCoupled { gate_index: 1, .. }));
     }
 
+    #[test]
+    fn shard_seeds_are_deterministic_and_distinct() {
+        assert_eq!(derive_shard_seed(42, 3), derive_shard_seed(42, 3));
+        let seeds: Vec<u64> = (0..64).map(|s| derive_shard_seed(0x5EED, s)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "shard seeds must not collide");
+        // Adjacent base seeds decorrelate through the SplitMix64 mix.
+        assert_ne!(derive_shard_seed(1, 0), derive_shard_seed(2, 0));
+    }
+
+    #[test]
+    fn sharded_counts_independent_of_thread_count() {
+        let dev = line_device(3, 0.04, 0.02);
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 1).cx(1, 2);
+        let base = ExecutionConfig::default().with_shots(1500).with_seed(31);
+        let run_with = |threads: usize| {
+            let cfg = base.with_parallelism(ShotParallelism::Sharded { shards: 8, threads });
+            run_noisy(&c, &[0, 1, 2], &dev, &NoiseScaling::uniform(3), &cfg).unwrap()
+        };
+        let reference = run_with(1);
+        assert_eq!(reference.shots(), 1500);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_with(threads), reference, "threads = {threads}");
+        }
+        // threads = 0 (auto) must obey the same contract.
+        assert_eq!(run_with(0), reference);
+    }
+
+    #[test]
+    fn sharded_counts_depend_on_shard_count_only() {
+        let dev = line_device(2, 0.05, 0.02);
+        let base = ExecutionConfig::default().with_shots(800).with_seed(5);
+        let run_with = |shards: usize, threads: usize| {
+            let cfg = base.with_parallelism(ShotParallelism::Sharded { shards, threads });
+            run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap()
+        };
+        assert_eq!(run_with(4, 2), run_with(4, 3));
+        // A different shard split is a different (equally valid) sample.
+        assert_ne!(run_with(4, 2), run_with(5, 2));
+    }
+
+    #[test]
+    fn sharded_edge_cases_conserve_shots() {
+        let dev = line_device(2, 0.05, 0.02);
+        // More shards than shots, zero shards (normalized to one), and
+        // an uneven split must all conserve the budget exactly.
+        for (shots, shards) in [(10, 64), (5, 0), (1000, 7), (0, 3)] {
+            let cfg = ExecutionConfig::default()
+                .with_shots(shots)
+                .with_seed(2)
+                .with_parallelism(ShotParallelism::sharded(shards));
+            let counts =
+                run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+            assert_eq!(counts.shots(), shots, "shards = {shards}");
+            assert_eq!(counts.width(), 2);
+        }
+    }
+
+    #[test]
+    fn sharded_noiseless_run_is_exact() {
+        // With every noise channel off the sharded engine must still
+        // reproduce the deterministic outcome on every shard. (The
+        // line-device helper keeps a 1e-4 single-qubit error, so gate
+        // noise is switched off wholesale here.)
+        let dev = line_device(2, 0.0, 0.0);
+        let mut cfg = ExecutionConfig::default()
+            .with_shots(999)
+            .with_seed(13)
+            .with_parallelism(ShotParallelism::Sharded {
+                shards: 6,
+                threads: 3,
+            });
+        cfg.idle_noise = false;
+        cfg.gate_noise = false;
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let counts = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        assert_eq!(counts.count(0b11), 999);
+    }
+
+    #[test]
+    fn shot_parallelism_builders() {
+        assert_eq!(
+            ShotParallelism::sharded(8),
+            ShotParallelism::Sharded {
+                shards: 8,
+                threads: 0
+            }
+        );
+        assert_eq!(
+            ShotParallelism::sharded(8).with_threads(4),
+            ShotParallelism::Sharded {
+                shards: 8,
+                threads: 4
+            }
+        );
+        assert_eq!(
+            ShotParallelism::Serial.with_threads(4),
+            ShotParallelism::Serial
+        );
+        assert_eq!(ShotParallelism::default(), ShotParallelism::Serial);
+        assert_eq!(
+            ExecutionConfig::default().parallelism,
+            ShotParallelism::Serial
+        );
+    }
+
+    #[test]
+    fn serial_counts_pinned_bit_for_bit() {
+        // Regression pin of the default serial trajectory stream: these
+        // exact counts were produced by the pre-sharding loop, and the
+        // allocation-free refactor must preserve every RNG draw. If
+        // this fails, the serial path's bit-for-bit contract broke.
+        let dev = line_device(2, 0.05, 0.02);
+        let cfg = ExecutionConfig::default()
+            .with_shots(300)
+            .with_seed(0xC0FFEE);
+        let counts = run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        let pairs: Vec<(usize, usize)> = counts.iter().collect();
+        assert_eq!(pairs, vec![(0, 128), (1, 8), (2, 11), (3, 153)]);
+    }
     #[test]
     fn runs_are_reproducible() {
         let dev = line_device(2, 0.05, 0.02);

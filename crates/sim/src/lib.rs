@@ -26,6 +26,31 @@
 //! programs of a batch concurrently, one thread per program; a
 //! compile-time assertion in this crate's tests pins the guarantee.
 //!
+//! ## Shot-sharded parallelism
+//!
+//! A single job's Monte-Carlo trajectories are embarrassingly parallel,
+//! and [`ExecutionConfig::parallelism`] exploits that:
+//! [`ShotParallelism::Sharded`] splits the shot budget into a fixed
+//! number of *shards*, each an independent sequential RNG stream,
+//! executed by scoped worker threads.
+//!
+//! **Shard-RNG derivation.** Shard `s` of a job seeded with `seed`
+//! seeds its `StdRng` with [`derive_shard_seed`]`(seed, s)` — the
+//! `s + 1`-th output of a SplitMix64 generator started at the *mixed*
+//! base seed `splitmix64(seed)`. Mixing the base seed first keeps the
+//! shard streams of co-scheduled programs disjoint even though their
+//! per-program seeds are golden-ratio strides of one batch seed; the
+//! SplitMix64 finalizer then decorrelates the per-shard ChaCha12
+//! streams, all without touching the vendored `rand` internals that
+//! the tuned calibration thresholds depend on.
+//!
+//! **Determinism contract.** The merged counts are a pure function of
+//! `(seed, shards)` and the job: shards are merged in shard order after
+//! all workers join, so the worker-thread count (and any scheduling
+//! interleaving) can change only wall-clock time, never a single count.
+//! The default [`ShotParallelism::Serial`] path is bit-for-bit the
+//! pre-sharding single-stream loop, which the tuned-seed tests pin.
+//!
 //! ```
 //! use qucp_circuit::Circuit;
 //! use qucp_device::ibm;
@@ -56,8 +81,9 @@ mod unitaries;
 pub use counts::Counts;
 pub use density::{apply_readout_confusion, exact_probabilities, DensityMatrix};
 pub use executor::{
-    gate_durations, ideal_outcome, noiseless_probabilities, run_ideal, run_noisy,
-    run_noisy_with_idle, trivial_layout, ExecutionConfig, NoiseScaling, SimError,
+    derive_shard_seed, gate_durations, ideal_outcome, noiseless_probabilities, run_ideal,
+    run_noisy, run_noisy_with_idle, trivial_layout, ExecutionConfig, NoiseScaling, ShotParallelism,
+    SimError,
 };
 pub use state::Statevector;
 pub use unitaries::single_qubit_matrix;

@@ -43,6 +43,18 @@ impl Statevector {
         Statevector { n, amps }
     }
 
+    /// Resets the state to `|0…0⟩` in place, keeping the allocation.
+    ///
+    /// The trajectory hot loop re-simulates error shots from scratch;
+    /// resetting a scratch state instead of allocating a fresh one keeps
+    /// that loop allocation-free.
+    pub fn reset_zero(&mut self) {
+        for a in &mut self.amps {
+            *a = Complex::zero();
+        }
+        self.amps[0] = Complex::one();
+    }
+
     /// Runs `circuit` from `|0…0⟩` and returns the final state.
     pub fn from_circuit(circuit: &Circuit) -> Self {
         let mut sv = Statevector::zero_state(circuit.width());
@@ -210,6 +222,15 @@ mod tests {
         assert_eq!(sv.amplitudes().len(), 8);
         assert!((sv.probabilities()[0] - 1.0).abs() < 1e-15);
         assert!((sv.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_zero_restores_initial_state() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(2, 0.4);
+        let mut sv = Statevector::from_circuit(&c);
+        sv.reset_zero();
+        assert_eq!(sv, Statevector::zero_state(3));
     }
 
     #[test]

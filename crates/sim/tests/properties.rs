@@ -4,7 +4,8 @@ use proptest::prelude::*;
 use qucp_circuit::{Circuit, Gate};
 use qucp_device::{Calibration, CrosstalkModel, Device, Topology};
 use qucp_sim::{
-    metrics, noiseless_probabilities, run_noisy, Counts, ExecutionConfig, NoiseScaling, Statevector,
+    metrics, noiseless_probabilities, run_noisy, Counts, ExecutionConfig, NoiseScaling,
+    ShotParallelism, Statevector,
 };
 
 fn arb_gate(width: usize) -> impl Strategy<Value = Gate> {
@@ -34,6 +35,17 @@ fn arb_circuit() -> impl Strategy<Value = Circuit> {
             c
         })
     })
+}
+
+/// An all-to-all coupled device, so any random circuit is executable
+/// on the trivial layout.
+fn complete_device(n: usize) -> Device {
+    let edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|a| (a + 1..n).map(move |b| (a, b)))
+        .collect();
+    let t = Topology::new(n, &edges);
+    let cal = Calibration::uniform(&t, 0.02, 3e-4, 0.01);
+    Device::new("complete", t, cal, CrosstalkModel::none())
 }
 
 /// Distribution strategy: a normalized vector of length 4.
@@ -126,6 +138,38 @@ proptest! {
     }
 
     #[test]
+    fn sharded_and_serial_agree_statistically(c in arb_circuit(), seed in 0u64..20) {
+        // Serial and sharded execution sample the *same* noisy output
+        // distribution through different trajectory streams: the
+        // empirical probability of the ideal modal outcome (the PST
+        // numerator) and the full distributions must agree within
+        // sampling tolerance.
+        let dev = complete_device(c.width());
+        let scaling = NoiseScaling::uniform(c.gate_count());
+        let layout: Vec<usize> = (0..c.width()).collect();
+        let base = ExecutionConfig::default().with_shots(1024).with_seed(seed);
+        let serial = run_noisy(&c, &layout, &dev, &scaling, &base).unwrap();
+        let sharded = run_noisy(
+            &c,
+            &layout,
+            &dev,
+            &scaling,
+            &base.with_parallelism(ShotParallelism::Sharded { shards: 4, threads: 2 }),
+        )
+        .unwrap();
+        prop_assert_eq!(sharded.shots(), 1024);
+        let ideal = noiseless_probabilities(&c);
+        let target = (0..ideal.len())
+            .max_by(|&a, &b| ideal[a].total_cmp(&ideal[b]))
+            .unwrap();
+        let ps = serial.probability(target);
+        let ph = sharded.probability(target);
+        prop_assert!((ps - ph).abs() < 0.1, "serial {ps} vs sharded {ph}");
+        let tvd = metrics::tvd(&serial.distribution(), &sharded.distribution());
+        prop_assert!(tvd < 0.15, "tvd {tvd}");
+    }
+
+    #[test]
     fn noisy_run_records_all_shots(seed in 0u64..50) {
         let t = Topology::line(3);
         let cal = Calibration::uniform(&t, 0.03, 3e-4, 0.02);
@@ -151,6 +195,7 @@ proptest! {
             gate_noise: true,
             readout_noise: false,
             idle_noise: false,
+            ..ExecutionConfig::default()
         };
         let base = run_noisy(&c, &[0, 1, 2], &dev, &NoiseScaling::uniform(3), &cfg)
             .unwrap()

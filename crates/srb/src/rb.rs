@@ -121,6 +121,7 @@ pub fn rb_on_link(device: &Device, link: Link, gamma_scale: f64, cfg: &RbConfig)
                 gate_noise: true,
                 readout_noise: true,
                 idle_noise: false,
+                ..ExecutionConfig::default()
             };
             let counts = run_noisy(&circuit, &layout, device, &scaling, &exec)
                 .expect("RB circuit must be executable on its own link");

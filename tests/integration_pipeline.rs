@@ -108,6 +108,7 @@ fn logical_counts_match_ideal_distribution_when_noise_free() {
             gate_noise: false,
             readout_noise: false,
             idle_noise: false,
+            ..ExecutionConfig::default()
         },
         optimize: true,
     };

@@ -93,6 +93,7 @@ fn runtime_cfg(max_parallel: usize, mode: ExecutionMode) -> RuntimeConfig {
         seed: 77,
         optimize: true,
         mode,
+        ..RuntimeConfig::default()
     }
 }
 

@@ -13,7 +13,8 @@ use qucp_core::strategy;
 use qucp_device::ibm;
 use qucp_runtime::{
     skewed_jobs, synthetic_jobs, Backfill, BatchScheduler, EfsGate, ExecutionMode, Fifo, Job,
-    JobRequest, RuntimeConfig, Service, ServiceReport, ShortestJobFirst, ShrinkReason,
+    JobRequest, RuntimeConfig, Service, ServiceReport, ShortestJobFirst, ShotParallelism,
+    ShrinkReason,
 };
 
 fn runtime_cfg(max_parallel: usize, fidelity_threshold: Option<f64>) -> RuntimeConfig {
@@ -23,6 +24,7 @@ fn runtime_cfg(max_parallel: usize, fidelity_threshold: Option<f64>) -> RuntimeC
         seed: 77,
         optimize: true,
         mode: ExecutionMode::Concurrent,
+        ..RuntimeConfig::default()
     }
 }
 
@@ -279,6 +281,143 @@ fn batch_efs_gate_shrinks_by_member_tolerance() {
     assert!(strict_log.shrink_count(ShrinkReason::FidelityGate) >= 1);
     assert_eq!(loose_log.shrink_count(ShrinkReason::FidelityGate), 0);
     assert_eq!(loose.stats.batches, 1);
+}
+
+/// Worst-excess eviction drops the member whose partition degraded
+/// most — here the *middle* member, which tail-shrink would never pick
+/// first — and the evicted id matches the independently computed
+/// `batch_efs_excesses` argmax (head exempt).
+#[test]
+fn worst_excess_gate_evicts_the_worst_member_not_the_tail() {
+    let dev = ibm::toronto();
+    let strat = strategy::qucp(4.0);
+    let members = ["adder", "fredkin", "linearsolver"];
+    let circuits: Vec<qucp_circuit::Circuit> = members
+        .iter()
+        .map(|n| qucp_circuit::library::by_name(n).unwrap().circuit())
+        .collect();
+    // Independent ground truth for the first eviction.
+    let refs: Vec<&qucp_circuit::Circuit> = circuits.iter().collect();
+    let excesses = qucp_core::threshold::batch_efs_excesses(&dev, &refs, &strat).expect("excesses");
+    let expected_evict = (1..excesses.len())
+        .max_by(|&a, &b| excesses[a].total_cmp(&excesses[b]).then(a.cmp(&b)))
+        .unwrap() as u64;
+    assert_eq!(expected_evict, 1, "combo chosen so the worst is mid-batch");
+    assert!(excesses[1] > 0.08, "threshold must actually trip");
+
+    let first_fidelity_drop = |gate: EfsGate| {
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(3)
+            .fidelity_threshold(Some(0.08))
+            .efs_gate(gate)
+            .default_shots(32)
+            .seed(13)
+            .build()
+            .expect("build");
+        for (i, c) in circuits.iter().enumerate() {
+            service
+                .submit(JobRequest::new(c.clone(), 0.0).with_id(i as u64))
+                .expect("submit");
+        }
+        let report = service.run_until_drained().expect("drain");
+        assert_eq!(report.job_results.len(), 3, "jobs conserved under {gate:?}");
+        report
+            .events
+            .iter()
+            .find_map(|e| match e {
+                qucp_runtime::Event::BatchShrunk {
+                    dropped_job_id,
+                    reason: ShrinkReason::FidelityGate,
+                    ..
+                } => Some(*dropped_job_id),
+                _ => None,
+            })
+            .expect("gate must shrink at least once")
+    };
+    assert_eq!(
+        first_fidelity_drop(EfsGate::BatchWorstExcess),
+        expected_evict
+    );
+    // Tail-shrink on the same workload drops the tail member first.
+    assert_eq!(first_fidelity_drop(EfsGate::Batch), 2);
+}
+
+/// With a threshold no member trips, the worst-excess gate is
+/// indistinguishable from the tail gate (and from no gate at all).
+#[test]
+fn worst_excess_gate_matches_batch_gate_when_threshold_is_loose() {
+    let run = |gate: EfsGate| {
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(3)
+            .fidelity_threshold(Some(1e9))
+            .efs_gate(gate)
+            .default_shots(32)
+            .seed(13)
+            .build()
+            .expect("build");
+        for (i, name) in ["adder", "fredkin", "linearsolver"].iter().enumerate() {
+            let c = qucp_circuit::library::by_name(name).unwrap().circuit();
+            service
+                .submit(JobRequest::new(c, 0.0).with_id(i as u64))
+                .expect("submit");
+        }
+        service.run_until_drained().expect("drain")
+    };
+    let worst = run(EfsGate::BatchWorstExcess);
+    let tail = run(EfsGate::Batch);
+    assert_eq!(worst.stats, tail.stats);
+    assert_eq!(worst.job_results, tail.job_results);
+    assert_eq!(worst.stats.batches, 1);
+}
+
+/// Intra-program shot sharding at the service level: the drained
+/// report is bit-for-bit identical whatever the worker-thread count,
+/// and whatever the per-batch execution mode — determinism stacks.
+#[test]
+fn sharded_service_reports_are_thread_count_invariant() {
+    let jobs = synthetic_jobs(6, 250.0, 512, 0x51AD);
+    let run = |threads: usize, mode: ExecutionMode| {
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(3)
+            .seed(9)
+            .mode(mode)
+            .shot_parallelism(ShotParallelism::Sharded { shards: 4, threads })
+            .build()
+            .expect("build");
+        for job in &jobs {
+            service.submit(JobRequest::from_job(job)).expect("submit");
+        }
+        service.run_until_drained().expect("drain")
+    };
+    let reference = run(1, ExecutionMode::Concurrent);
+    for threads in [2, 4] {
+        assert_eq!(run(threads, ExecutionMode::Concurrent), reference);
+    }
+    assert_eq!(run(4, ExecutionMode::Serial), reference);
+    // Sharded execution actually changes the sampled trajectories
+    // relative to the serial stream (different, equally valid sample).
+    let serial = drain(
+        &jobs,
+        RuntimeConfig {
+            max_parallel: 3,
+            fidelity_threshold: None,
+            seed: 9,
+            optimize: true,
+            mode: ExecutionMode::Concurrent,
+            ..RuntimeConfig::default()
+        },
+        "fifo",
+        ibm::toronto(),
+    );
+    assert_ne!(serial.job_results, reference.job_results);
+    // But the schedule itself (which ignores counts) is unchanged.
+    assert_eq!(serial.stats, reference.stats);
 }
 
 proptest! {
