@@ -122,9 +122,136 @@ pub fn run_trajectory_job(
     .expect("mapped GHZ job must simulate")
 }
 
+/// Calibration seed of the [`noisy_toronto_twin`].
+pub const NOISY_TWIN_SEED: u64 = 2700;
+
+/// A chip with IBM Q Toronto's topology but a calibration degraded
+/// roughly 3× across the board (CNOT error, readout error, and a hotter
+/// crosstalk landscape) — the "bad day" twin of [`qucp_device::ibm::toronto`].
+/// Together they form the skewed fleet of [`skewed_fleet`], the fixture
+/// on which calibration-aware routing must beat earliest-free on
+/// delivered fidelity.
+pub fn noisy_toronto_twin() -> qucp_device::Device {
+    use qucp_device::{Calibration, CrosstalkModel, CrosstalkProfile, NoiseProfile};
+    let topo = qucp_device::ibm::toronto_topology();
+    let base = NoiseProfile::default();
+    let profile = NoiseProfile {
+        cx_error: (base.cx_error.0 * 3.0, base.cx_error.1 * 3.0),
+        readout_error: (base.readout_error.0 * 3.0, base.readout_error.1 * 3.0),
+        sq_error: (base.sq_error.0 * 3.0, base.sq_error.1 * 3.0),
+        ..base
+    };
+    let cal = Calibration::synthesize(&topo, NOISY_TWIN_SEED, &profile);
+    let xtalk = CrosstalkModel::synthesize(
+        &topo,
+        NOISY_TWIN_SEED + qucp_device::ibm::CROSSTALK_SEED_OFFSET,
+        &CrosstalkProfile {
+            strong_fraction: 0.4,
+            ..CrosstalkProfile::default()
+        },
+    );
+    qucp_device::Device::new("ibmq_toronto_noisy", topo, cal, xtalk)
+}
+
+/// The two-chip skewed fleet of the routing shoot-out: the **noisy**
+/// twin registered first (so the earliest-free tie-break favours it —
+/// calibration-aware routing has to *overcome* registration order, not
+/// ride it), the well-calibrated Toronto second.
+pub fn skewed_fleet() -> qucp_runtime::DeviceRegistry {
+    let mut fleet = qucp_runtime::DeviceRegistry::new();
+    fleet.register(noisy_toronto_twin());
+    fleet.register(qucp_device::ibm::toronto());
+    fleet
+}
+
+/// Outcome of one routing shoot-out run on the skewed fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShootoutOutcome {
+    /// Routing policy display name.
+    pub policy: String,
+    /// Mean EFS score over all delivered jobs (lower is better — the
+    /// deterministic, execution-free fidelity estimate).
+    pub mean_efs: f64,
+    /// Mean JSD of the delivered counts against the ideal distribution
+    /// (lower is better).
+    pub mean_jsd: f64,
+    /// Mean turnaround (ns).
+    pub mean_turnaround: f64,
+    /// Jobs served per device, in registration order
+    /// `(device name, jobs)`.
+    pub per_device_jobs: Vec<(String, usize)>,
+    /// Planning-cache statistics after the drain.
+    pub cache: qucp_runtime::RouteCacheStats,
+}
+
+/// Runs the routing shoot-out burst (18 small library jobs, 1024 shots)
+/// on the [`skewed_fleet`] under `routing` and `mode`, and reduces the
+/// drained report to the delivered-fidelity metrics. Deterministic:
+/// serial and concurrent execution produce identical outcomes.
+///
+/// # Panics
+///
+/// Panics if the service rejects the fixture workload (a runtime
+/// regression).
+pub fn routing_shootout(
+    routing: impl qucp_runtime::RoutingPolicy + 'static,
+    mode: qucp_runtime::ExecutionMode,
+) -> ShootoutOutcome {
+    use qucp_runtime::{JobRequest, Service};
+    let mut service = Service::builder()
+        .registry(skewed_fleet())
+        .strategy(qucp_core::strategy::qucp(4.0))
+        .routing(routing)
+        .max_parallel(3)
+        .mode(mode)
+        .seed(EXPERIMENT_SEED)
+        .build()
+        .expect("shoot-out service must build");
+    for job in qucp_runtime::synthetic_jobs(18, 400.0, 1024, 0xF1EE7) {
+        service
+            .submit(JobRequest::from_job(&job))
+            .expect("fixture job must submit");
+    }
+    let report = service
+        .run_until_drained()
+        .expect("shoot-out burst must drain");
+    let n = report.job_results.len() as f64;
+    ShootoutOutcome {
+        policy: service.routing_name().to_string(),
+        mean_efs: report.job_results.iter().map(|r| r.result.efs).sum::<f64>() / n,
+        mean_jsd: report.job_results.iter().map(|r| r.result.jsd).sum::<f64>() / n,
+        mean_turnaround: report.stats.mean_turnaround,
+        per_device_jobs: report
+            .per_device
+            .iter()
+            .map(|d| (d.device.clone(), d.jobs))
+            .collect(),
+        cache: service.route_cache_stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn skewed_fleet_is_actually_skewed() {
+        let good = qucp_device::ibm::toronto();
+        let noisy = noisy_toronto_twin();
+        assert_eq!(good.topology(), noisy.topology());
+        assert!(
+            noisy.calibration().mean_cx_error() > 2.0 * good.calibration().mean_cx_error(),
+            "noisy twin must be clearly worse"
+        );
+        assert!(
+            noisy.calibration().mean_readout_error()
+                > 2.0 * good.calibration().mean_readout_error()
+        );
+        let fleet = skewed_fleet();
+        assert_eq!(fleet.len(), 2);
+        // Noisy first: the earliest-free tie-break must favour it.
+        assert_eq!(fleet.iter().next().unwrap().1.name(), "ibmq_toronto_noisy");
+    }
 
     #[test]
     fn combos_reference_known_benchmarks() {

@@ -72,7 +72,7 @@ impl Schedule {
             }
         }
         for (q, spans) in busy.iter_mut().enumerate() {
-            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
             if spans.is_empty() {
                 continue;
             }

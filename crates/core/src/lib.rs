@@ -81,7 +81,9 @@ pub use executor::{
     execute_parallel, plan_workload, ParallelConfig, ParallelOutcome, ProgramResult,
 };
 pub use mapping::{initial_mapping, local_topology, map_program, route, MappedProgram};
-pub use partition::{allocate_partitions, candidate_partitions, Allocation, PartitionPolicy};
+pub use partition::{
+    allocate_partitions, best_partition, candidate_partitions, Allocation, PartitionPolicy,
+};
 pub use pipeline::{
     AlapMerger, Backend, EfsPartitioner, Partitioner, Pipeline, PlannedWorkload, ReliabilityRouter,
     Router, ScheduleMerger, SimulatorBackend,

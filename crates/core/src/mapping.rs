@@ -143,7 +143,7 @@ pub fn initial_mapping(device: &Device, partition: &[usize], circuit: &Circuit) 
                             })
                             .sum()
                     };
-                    cost(a).partial_cmp(&cost(b)).unwrap().then(a.cmp(&b))
+                    cost(a).total_cmp(&cost(b)).then(a.cmp(&b))
                 })
                 .expect("free wire")
         };

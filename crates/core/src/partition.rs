@@ -167,12 +167,10 @@ pub fn allocate_partitions(
                     let b = efs(device, &c, &stats, &allocated_links, treatment);
                     (c, b)
                 })
-                .min_by(|a, b| {
-                    a.1.score
-                        .partial_cmp(&b.1.score)
-                        .unwrap()
-                        .then_with(|| a.0.cmp(&b.0))
-                })
+                // `total_cmp` sorts NaN scores last, so a candidate
+                // poisoned by a NaN calibration reading loses to every
+                // finite-scored one instead of panicking the allocator.
+                .min_by(|a, b| a.1.score.total_cmp(&b.1.score).then_with(|| a.0.cmp(&b.0)))
                 .expect("candidates not empty"),
             PartitionPolicy::TopologyGreedy => {
                 // First region in qubit-index order, calibration-blind.
@@ -197,6 +195,16 @@ pub fn allocate_partitions(
                         .iter()
                         .map(|&l| 1.0 - device.calibration().cx_error(l))
                         .sum();
+                    // `total_cmp` orders NaN *above* +∞, which would
+                    // make a NaN-poisoned region win this maximization;
+                    // demote it to −∞ so it loses to every finite
+                    // candidate, mirroring the NaN-loses behaviour of
+                    // the NoiseAware minimization above.
+                    let fidelity = if fidelity.is_nan() {
+                        f64::NEG_INFINITY
+                    } else {
+                        fidelity
+                    };
                     let b = efs(
                         device,
                         &c,
@@ -206,7 +214,7 @@ pub fn allocate_partitions(
                     );
                     (c, b, fidelity)
                 })
-                .max_by(|a, b| a.2.partial_cmp(&b.2).unwrap().then_with(|| b.0.cmp(&a.0)))
+                .max_by(|a, b| a.2.total_cmp(&b.2).then_with(|| b.0.cmp(&a.0)))
                 .map(|(c, b, _)| (c, b))
                 .expect("candidates not empty"),
         };
@@ -222,6 +230,31 @@ pub fn allocate_partitions(
         });
     }
     Ok(result.into_iter().map(Option::unwrap).collect())
+}
+
+/// The solo-best partition of a single program on an idle chip: the
+/// allocation (and its EFS score) the program would get with the device
+/// to itself.
+///
+/// This exposes partition *scoring* without replanning: callers that
+/// only need the calibration-quality estimate of a circuit on a device
+/// — the multi-device router, threshold explorers — get the stage-1
+/// candidate growth and EFS evaluation alone, skipping the routing and
+/// schedule-merge stages a full
+/// [`Pipeline::plan`](crate::pipeline::Pipeline::plan) would pay for a
+/// plan they discard.
+///
+/// # Errors
+///
+/// [`CoreError::ProgramTooWide`] if the program exceeds the device;
+/// [`CoreError::PartitionUnavailable`] if no connected region fits.
+pub fn best_partition(
+    device: &Device,
+    circuit: &Circuit,
+    policy: &PartitionPolicy,
+) -> Result<Allocation, CoreError> {
+    let allocs = allocate_partitions(device, &[circuit], policy)?;
+    Ok(allocs.into_iter().next().expect("one program allocated"))
 }
 
 #[cfg(test)]
@@ -373,6 +406,62 @@ mod tests {
             allocs[1].efs.crosstalk_pairs.is_empty() || allocs[0].efs.crosstalk_pairs.is_empty(),
             "sigma treatment should find a crosstalk-free placement on an idle line"
         );
+    }
+
+    #[test]
+    fn best_partition_matches_singleton_allocation() {
+        let dev = line_device();
+        let p = program(3, 8);
+        let policy = PartitionPolicy::NoiseAware(CrosstalkTreatment::None);
+        let alloc = best_partition(&dev, &p, &policy).unwrap();
+        let full = allocate_partitions(&dev, &[&p], &policy).unwrap();
+        assert_eq!(alloc, full[0]);
+        assert!(best_partition(&dev, &program(9, 4), &policy).is_err());
+    }
+
+    #[test]
+    fn nan_calibration_entry_does_not_panic_partition_scoring() {
+        // A NaN reading in the daily snapshot (a real failure mode of
+        // IBM's properties feed) must degrade gracefully: candidates
+        // whose EFS turns NaN sort last under `total_cmp`, so the
+        // noise-aware allocator deterministically avoids the poisoned
+        // region instead of panicking in its comparator.
+        let mut dev = line_device();
+        dev.calibration_mut()
+            .set_cx_error(Link::new(0, 1), f64::NAN);
+        dev.calibration_mut().set_readout_error(1, f64::NAN);
+        let p = program(3, 8);
+        for policy in [
+            PartitionPolicy::NoiseAware(CrosstalkTreatment::Sigma(4.0)),
+            PartitionPolicy::NoiseAware(CrosstalkTreatment::None),
+            PartitionPolicy::TopologyGreedy,
+            PartitionPolicy::FidelityDegree,
+        ] {
+            let allocs = allocate_partitions(&dev, &[&p], &policy).unwrap();
+            assert_eq!(allocs[0].qubits.len(), 3, "{policy:?}");
+            // Determinism: the same poisoned snapshot always yields the
+            // same placement and bit-identical score (a NaN score would
+            // fail `==`, so compare the bits).
+            let again = allocate_partitions(&dev, &[&p], &policy).unwrap();
+            assert_eq!(allocs[0].qubits, again[0].qubits, "{policy:?}");
+            assert_eq!(
+                allocs[0].efs.score.to_bits(),
+                again[0].efs.score.to_bits(),
+                "{policy:?}"
+            );
+        }
+        // The calibration-consulting policies must place on
+        // finite-scored regions (the reliable right end of the line is
+        // untouched); only the calibration-blind TopologyGreedy may
+        // still sit on the poisoned link.
+        for policy in [
+            PartitionPolicy::NoiseAware(CrosstalkTreatment::None),
+            PartitionPolicy::FidelityDegree,
+        ] {
+            let allocs = allocate_partitions(&dev, &[&p], &policy).unwrap();
+            assert!(allocs[0].efs.score.is_finite(), "{policy:?}");
+            assert!(!allocs[0].qubits.contains(&0), "{policy:?}");
+        }
     }
 
     #[test]

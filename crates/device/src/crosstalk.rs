@@ -102,8 +102,18 @@ impl CrosstalkModel {
             .filter(|(_, &g)| g >= threshold)
             .map(|(&p, &g)| (p, g))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v
+    }
+
+    /// Mean amplification over all characterized pairs (1.0 for a
+    /// crosstalk-free model) — the chip-level crosstalk penalty a fleet
+    /// router folds into its calibration-quality prior.
+    pub fn mean_gamma(&self) -> f64 {
+        if self.gamma.is_empty() {
+            return 1.0;
+        }
+        self.gamma.values().sum::<f64>() / self.gamma.len() as f64
     }
 
     /// The maximum amplification of any pair involving `link`.
@@ -176,6 +186,15 @@ mod tests {
         assert_eq!(sig.len(), 2);
         assert_eq!(sig[0].1, 6.0);
         assert!(m.significant_pairs(10.0).is_empty());
+    }
+
+    #[test]
+    fn mean_gamma_aggregates() {
+        let a = LinkPair::new(Link::new(0, 1), Link::new(2, 3));
+        let b = LinkPair::new(Link::new(1, 2), Link::new(3, 4));
+        let m = CrosstalkModel::from_pairs([(a, 2.0), (b, 6.0)]);
+        assert!((m.mean_gamma() - 4.0).abs() < 1e-12);
+        assert_eq!(CrosstalkModel::none().mean_gamma(), 1.0);
     }
 
     #[test]

@@ -36,6 +36,25 @@ pub enum Event {
         /// Effective shot budget.
         shots: usize,
     },
+    /// The routing policy chose an admitting device for a batch (the
+    /// decision precedes planning; the event is recorded only when the
+    /// batch actually commits on that device).
+    BatchRouted {
+        /// Batch position in global dispatch order.
+        batch_index: usize,
+        /// Name of the winning device.
+        device: String,
+        /// Display name of the routing policy that decided.
+        policy: String,
+        /// The winning candidate's routing score (lower is better: the
+        /// device clock under `EarliestFree`, blended
+        /// quality-plus-pressure under `CalibrationAware`).
+        score: f64,
+        /// When the batch can start on the winning device (ns).
+        start: f64,
+        /// How many admitting candidates competed.
+        candidates: usize,
+    },
     /// A batch was planned and dispatched to a device.
     BatchPlanned {
         /// Batch position in global dispatch order.
@@ -168,6 +187,18 @@ impl EventLog {
             .collect()
     }
 
+    /// The routing decisions as `(device, winning score)` pairs, in
+    /// dispatch order.
+    pub fn routed(&self) -> Vec<(&str, f64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::BatchRouted { device, score, .. } => Some((device.as_str(), *score)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// How many shrink events were recorded for `reason`.
     pub fn shrink_count(&self, reason: ShrinkReason) -> usize {
         self.events
@@ -192,6 +223,14 @@ mod tests {
             width: 2,
             shots: 64,
         });
+        log.push(Event::BatchRouted {
+            batch_index: 0,
+            device: "d".into(),
+            policy: "EarliestFree".into(),
+            score: 0.0,
+            start: 0.0,
+            candidates: 1,
+        });
         log.push(Event::BatchPlanned {
             batch_index: 0,
             device: "d".into(),
@@ -206,10 +245,11 @@ mod tests {
             completion: 10.0,
             turnaround: 10.0,
         });
-        assert_eq!(log.len(), 3);
+        assert_eq!(log.len(), 4);
         assert_eq!(log.submitted_ids(), vec![3]);
         assert_eq!(log.completed_ids(), vec![3]);
         assert_eq!(log.planned_batches(), vec![("d", &[3u64][..])]);
+        assert_eq!(log.routed(), vec![("d", 0.0)]);
         assert_eq!(log.shrink_count(ShrinkReason::PartitionFailure), 0);
     }
 

@@ -30,11 +30,23 @@
 //!    *actual heterogeneous members* against each job's own threshold
 //!    (tail shrink), and [`EfsGate::BatchWorstExcess`] evicts the
 //!    worst-excess member instead.
-//! 3. **Plan** — the batch routes to the earliest-free
-//!    [`DeviceRegistry`] entry whose topology admits it, then runs
-//!    through the staged [`Pipeline`](qucp_core::pipeline::Pipeline) of
-//!    the head's effective strategy; partition pressure shrinks the
-//!    batch from the tail.
+//! 3. **Plan** — a pluggable [`RoutingPolicy`] ranks the
+//!    [`DeviceRegistry`] entries whose topology admits the batch head:
+//!    [`EarliestFree`] (the default) reproduces the pre-seam
+//!    earliest-free rule bit-for-bit, while [`CalibrationAware`] scores
+//!    each candidate chip by the head's solo-best EFS partition score
+//!    (the paper's Eq.-1 metric) blended with queue pressure, so a
+//!    well-calibrated chip wins until its backlog outweighs its quality
+//!    edge. The expensive partition/candidate probes behind routing and
+//!    the head-only EFS gate are **memoized across batches** per
+//!    *(device, circuit shape, partition policy)* — a stream of
+//!    similar jobs pays the candidate growth once per chip; the fleet
+//!    is frozen at build time, so cache entries never invalidate (see
+//!    [`Service::route_cache_stats`]). The batch then runs through the
+//!    staged [`Pipeline`](qucp_core::pipeline::Pipeline) of the head's
+//!    effective strategy; partition pressure shrinks the batch from
+//!    the tail. Every committed decision is recorded as an
+//!    [`Event::BatchRouted`] carrying the winning score.
 //! 4. **Execute** — every program of the planned batch runs on the
 //!    pipeline backend in its own scoped thread (or serially under
 //!    [`ExecutionMode::Serial`]); per-program seeds derive from
@@ -96,12 +108,15 @@ mod service;
 pub use event::{Event, EventLog, EventObserver, ShrinkReason};
 pub use job::{skewed_jobs, synthetic_jobs, Job, JobResult};
 pub use policy::{AdmissionPolicy, Backfill, BatchBudget, Fifo, JobView, ShortestJobFirst};
-pub use registry::{DeviceId, DeviceRegistry};
+pub use registry::{
+    CalibrationAware, DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy,
+};
 pub use scheduler::{
     BatchReport, BatchScheduler, ExecutionMode, RunReport, RuntimeConfig, RuntimeError,
 };
 pub use service::{
-    DeviceReport, EfsGate, JobRequest, JobTicket, Service, ServiceBuilder, ServiceReport,
+    DeviceReport, EfsGate, JobRequest, JobTicket, RouteCacheStats, Service, ServiceBuilder,
+    ServiceReport,
 };
 
 // The shot-parallelism mode travels with the runtime config; re-export

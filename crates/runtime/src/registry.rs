@@ -1,12 +1,51 @@
-//! The device registry: the set of chips one service dispatches across.
+//! The device registry and the routing-policy seam: which chip of the
+//! fleet a batch is dispatched to.
 //!
 //! The paper's queue argument is told for a single device; a cloud
-//! provider runs many. A [`DeviceRegistry`] holds the static fleet —
+//! provider runs many — and their calibrations differ by integer
+//! factors day to day. A [`DeviceRegistry`] holds the static fleet;
 //! per-device *runtime* state (clocks, busy accounting,
 //! [`QueueStats`](qucp_core::queue::QueueStats)) lives inside the
-//! [`Service`](crate::Service), which routes every batch to the
-//! earliest-free device whose topology admits the batch head
-//! (registration order breaks ties, so routing is deterministic).
+//! [`Service`](crate::Service), which asks a pluggable
+//! [`RoutingPolicy`] to rank the admitting candidates for every batch:
+//!
+//! - [`EarliestFree`] (the default) scores a candidate by its clock —
+//!   bit-for-bit the pre-seam dispatch rule (earliest-free device,
+//!   registration order breaks ties), pinned by the service
+//!   equivalence suite.
+//! - [`CalibrationAware`] scores a candidate by the head circuit's
+//!   solo-best EFS partition score on that chip (probed through the
+//!   service's cross-batch cache; a chip with no placement for the
+//!   head ranks last), blended with queue pressure: each nanosecond of
+//!   extra wait over the earliest-free choice costs
+//!   [`CalibrationAware::pressure_per_ns`] EFS units. A well-calibrated
+//!   chip therefore wins until its backlog outweighs its quality edge.
+//!   Probe-free custom policies can rank chips with the cheap
+//!   [`Calibration::error_mass`](qucp_device::Calibration::error_mass)
+//!   × mean-crosstalk aggregates instead.
+//!
+//! Scores are compared with `total_cmp` and ties always fall back to
+//! the earliest-free order (free time, then registration index), so
+//! routing stays deterministic for any policy — even one that returns
+//! NaN: the comparison stays total (positive NaN sorts after `+∞`,
+//! negative before `−∞`) and never panics.
+//!
+//! ## Cross-batch probe caching
+//!
+//! The partition probes behind [`CalibrationAware`] (and the head-only
+//! EFS gate) are pure functions of *(device, circuit shape, partition
+//! policy[, threshold])*; the service memoizes them across batches, so
+//! a stream of same-shape jobs pays the candidate growth once per chip
+//! instead of once per batch. **Invalidation rules:** a registry is
+//! frozen once the service is built — devices cannot be added and
+//! calibrations cannot be edited through the service — so cached
+//! entries never go stale and are kept for the service's lifetime. Any
+//! future recalibration API must drop the service's cache when it
+//! mutates a device (see
+//! [`Service::route_cache_stats`](crate::Service::route_cache_stats)
+//! for observing the cache).
+
+use std::fmt;
 
 use qucp_device::Device;
 
@@ -119,6 +158,146 @@ impl DeviceRegistry {
     }
 }
 
+/// What a routing policy may know about one admitting candidate when a
+/// batch is dispatched.
+#[derive(Debug, Clone, Copy)]
+pub struct RouteQuery<'a> {
+    /// The candidate device.
+    pub device: &'a Device,
+    /// Registration index (the deterministic final tie-breaker).
+    pub device_index: usize,
+    /// When the candidate frees up (its clock, ns).
+    pub free_at: f64,
+    /// Earliest start of the batch head on this candidate:
+    /// `max(free_at, head arrival)`.
+    pub start: f64,
+    /// The earliest `start` among all admitting candidates — the
+    /// queue-pressure baseline: `start - best_start` is the extra wait
+    /// this candidate costs over the earliest-free choice.
+    pub best_start: f64,
+    /// Logical width of the head circuit.
+    pub head_width: usize,
+    /// CNOT count of the head circuit.
+    pub head_cx_count: usize,
+    /// Solo-best EFS partition score of the head circuit on this
+    /// candidate (lower is better), served from the service's
+    /// cross-batch cache. `None` when the policy did not request it
+    /// ([`RoutingPolicy::wants_partition_score`]) or when the probe
+    /// found no placement on this chip.
+    pub partition_score: Option<f64>,
+}
+
+/// Ranks the admitting devices of the fleet for one batch dispatch.
+///
+/// Implementations must be deterministic pure functions of the query —
+/// the service's bit-for-bit reproducibility guarantee rests on it.
+/// Scores are compared with `total_cmp`; ties (and NaN, which sorts
+/// last) fall back to earliest-free order.
+pub trait RoutingPolicy: Send + Sync + fmt::Debug {
+    /// Display name (reports, telemetry events, benches).
+    fn name(&self) -> &str;
+
+    /// Whether the service should probe (and cache) the head circuit's
+    /// solo-best partition score on every candidate before scoring.
+    /// Defaults to `false`: the probe costs a candidate growth per
+    /// (device, circuit shape) on first sight.
+    fn wants_partition_score(&self) -> bool {
+        false
+    }
+
+    /// Scores one admitting candidate; **lower is better**.
+    fn score(&self, query: &RouteQuery<'_>) -> f64;
+}
+
+/// The pre-seam dispatch rule: route to the earliest-free admitting
+/// device, registration order breaking ties. Calibration-blind; kept as
+/// the default and pinned bit-for-bit by the service equivalence suite.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EarliestFree;
+
+impl RoutingPolicy for EarliestFree {
+    fn name(&self) -> &str {
+        "EarliestFree"
+    }
+
+    fn score(&self, query: &RouteQuery<'_>) -> f64 {
+        query.free_at
+    }
+}
+
+/// Calibration-quality routing: prefer the chip where the head circuit
+/// keeps the most fidelity, unless the backlog there outweighs the
+/// quality edge.
+///
+/// The score is `quality + pressure_per_ns · (start − best_start)`,
+/// where `quality` is the head's solo-best EFS partition score on the
+/// candidate (the same Eq.-1 metric that drives partitioning, probed
+/// through the service's cross-batch cache) and the pressure term
+/// converts extra waiting into EFS units. A candidate whose probe found
+/// **no placement** for the head scores `f64::INFINITY`: a planning
+/// attempt there can only refail with the same `PartitionUnavailable`
+/// the probe saw, so every placeable chip is tried first (the
+/// unplaceable ones stay last-resort, preserving the precise
+/// error-surfacing when *nothing* can place the job). Probe-free
+/// custom policies can rank chips with the cheap
+/// [`Calibration::error_mass`](qucp_device::Calibration::error_mass) ×
+/// [`CrosstalkModel::mean_gamma`](qucp_device::CrosstalkModel::mean_gamma)
+/// aggregates instead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationAware {
+    /// EFS units one nanosecond of extra wait costs (relative to the
+    /// earliest-free candidate). `0.0` routes purely by quality;
+    /// `f64::INFINITY` restricts the choice to the earliest-starting
+    /// candidates, quality (then the earliest-free tie-break) deciding
+    /// among them.
+    pub pressure_per_ns: f64,
+}
+
+impl CalibrationAware {
+    /// Default queue-pressure weight: 2×10⁻⁶ EFS per ns, i.e. a chip
+    /// must be ~0.1 EFS better to justify ~50 µs of extra queueing —
+    /// the right order for the few-hundred-ns gate times and 10⁴–10⁵ ns
+    /// batch makespans of the modeled IBM chips.
+    pub const DEFAULT_PRESSURE_PER_NS: f64 = 2e-6;
+}
+
+impl Default for CalibrationAware {
+    fn default() -> Self {
+        CalibrationAware {
+            pressure_per_ns: Self::DEFAULT_PRESSURE_PER_NS,
+        }
+    }
+}
+
+impl RoutingPolicy for CalibrationAware {
+    fn name(&self) -> &str {
+        "CalibrationAware"
+    }
+
+    fn wants_partition_score(&self) -> bool {
+        true
+    }
+
+    fn score(&self, query: &RouteQuery<'_>) -> f64 {
+        // This policy always requests probes, so an absent score means
+        // the probe found no placement for the head on this chip —
+        // rank it behind every placeable candidate (planning there
+        // could only refail with the probe's PartitionUnavailable).
+        let Some(quality) = query.partition_score else {
+            return f64::INFINITY;
+        };
+        let wait = query.start - query.best_start;
+        // Charged only for a strictly positive wait: `pressure_per_ns *
+        // 0.0` would turn an infinite weight into NaN for the very
+        // candidate the degenerate mode is meant to prefer.
+        if wait > 0.0 {
+            quality + self.pressure_per_ns * wait
+        } else {
+            quality
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +320,70 @@ mod tests {
         assert_eq!(fleet.admitting(99).count(), 0);
         assert_eq!(fleet.get(tor).name(), ibm::toronto().name());
         assert_eq!(fleet.iter().count(), 3);
+    }
+
+    fn query(device: &Device, free_at: f64, start: f64, score: Option<f64>) -> RouteQuery<'_> {
+        RouteQuery {
+            device,
+            device_index: 0,
+            free_at,
+            start,
+            best_start: 100.0,
+            head_width: 3,
+            head_cx_count: 10,
+            partition_score: score,
+        }
+    }
+
+    #[test]
+    fn earliest_free_scores_by_clock_only() {
+        let dev = ibm::toronto();
+        let policy = EarliestFree;
+        assert!(!policy.wants_partition_score());
+        assert_eq!(policy.score(&query(&dev, 7.0, 100.0, Some(0.9))), 7.0);
+        assert_eq!(policy.score(&query(&dev, 0.0, 500.0, None)), 0.0);
+    }
+
+    #[test]
+    fn calibration_aware_blends_quality_and_pressure() {
+        let dev = ibm::toronto();
+        let policy = CalibrationAware {
+            pressure_per_ns: 1e-3,
+        };
+        assert!(policy.wants_partition_score());
+        // At the earliest-free start, the score is pure quality.
+        let base = policy.score(&query(&dev, 0.0, 100.0, Some(0.25)));
+        assert!((base - 0.25).abs() < 1e-12);
+        // Every ns past the best start costs pressure_per_ns.
+        let pressured = policy.score(&query(&dev, 0.0, 300.0, Some(0.25)));
+        assert!((pressured - (0.25 + 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_pressure_degenerates_to_earliest_start() {
+        // INF · 0 would be NaN: the earliest-start candidate must keep
+        // its finite quality score while every later start scores +∞.
+        let dev = ibm::toronto();
+        let policy = CalibrationAware {
+            pressure_per_ns: f64::INFINITY,
+        };
+        let at_best_start = policy.score(&query(&dev, 0.0, 100.0, Some(0.3)));
+        assert_eq!(at_best_start, 0.3);
+        assert_eq!(
+            policy.score(&query(&dev, 0.0, 100.5, Some(0.3))),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn calibration_aware_ranks_unplaceable_chips_last() {
+        // An absent partition score means "probed, no placement": the
+        // chip must lose to any placeable candidate, however bad its
+        // calibration — planning there could only refail.
+        let dev = ibm::toronto();
+        let policy = CalibrationAware::default();
+        assert_eq!(policy.score(&query(&dev, 0.0, 100.0, None)), f64::INFINITY);
+        let terrible_but_placeable = policy.score(&query(&dev, 0.0, 100.0, Some(1e6)));
+        assert!(terrible_but_placeable < f64::INFINITY);
     }
 }

@@ -74,8 +74,13 @@ pub enum RuntimeError {
     ZeroShots,
     /// A submitted circuit had zero width — nothing to place.
     EmptyCircuit,
-    /// A time input (job arrival, tick horizon) was NaN or infinite
-    /// where a finite value is required.
+    /// A time input failed its context's finiteness contract. The
+    /// contract is deliberately asymmetric: **job arrivals must be
+    /// finite** (an arrival is a timestamp that enters waiting-time
+    /// arithmetic), while **tick horizons only reject NaN** — a horizon
+    /// is a comparison bound, so `+∞` means "drain everything pending"
+    /// and `−∞` is a valid no-op (see
+    /// [`Service::tick`](crate::Service::tick)).
     NonFiniteTime {
         /// The offending value.
         value: f64,
@@ -105,7 +110,11 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ZeroShots => write!(f, "shot budget must be positive"),
             RuntimeError::EmptyCircuit => write!(f, "cannot schedule a zero-width circuit"),
             RuntimeError::NonFiniteTime { value } => {
-                write!(f, "time must be finite, got {value}")
+                write!(
+                    f,
+                    "invalid time {value}: arrivals must be finite; tick horizons may be \
+                     +inf (drain) or -inf (no-op) but never NaN"
+                )
             }
             RuntimeError::InvalidThreshold { value } => {
                 write!(f, "fidelity threshold must be finite and >= 0, got {value}")

@@ -7,18 +7,21 @@
 //! [`JobRequest`]/[`JobTicket`] types, and the drained
 //! [`ServiceReport`].
 
+use std::collections::HashMap;
+
 use qucp_circuit::Circuit;
 use qucp_core::pipeline::{Pipeline, PlannedWorkload};
 use qucp_core::queue::QueueStats;
 use qucp_core::threshold::{parallel_count_for_threshold, solo_efs_scores};
-use qucp_core::{strategy, CoreError, ParallelConfig, ProgramResult, Strategy};
+use qucp_core::{best_partition, strategy, CoreError, ParallelConfig, PartitionPolicy};
+use qucp_core::{ProgramResult, Strategy};
 use qucp_device::Device;
 use qucp_sim::{ExecutionConfig, ShotParallelism};
 
 use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
 use crate::job::{Job, JobResult};
 use crate::policy::{AdmissionPolicy, BatchBudget, Fifo, JobView};
-use crate::registry::DeviceRegistry;
+use crate::registry::{DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy};
 use crate::scheduler::{BatchReport, ExecutionMode, RuntimeConfig, RuntimeError};
 
 /// How the EFS fidelity-threshold gate sizes a batch.
@@ -191,6 +194,7 @@ pub struct ServiceBuilder {
     registry: DeviceRegistry,
     strategy: Strategy,
     policy: Box<dyn AdmissionPolicy>,
+    routing: Box<dyn RoutingPolicy>,
     cfg: RuntimeConfig,
     efs_gate: EfsGate,
     default_shots: usize,
@@ -203,6 +207,7 @@ impl std::fmt::Debug for ServiceBuilder {
             .field("devices", &self.registry.len())
             .field("strategy", &self.strategy.name)
             .field("policy", &self.policy)
+            .field("routing", &self.routing)
             .field("cfg", &self.cfg)
             .field("efs_gate", &self.efs_gate)
             .field("default_shots", &self.default_shots)
@@ -218,13 +223,14 @@ impl Default for ServiceBuilder {
 
 impl ServiceBuilder {
     /// A builder with an empty fleet, QuCP strategy, FIFO admission,
-    /// the default [`RuntimeConfig`], the head-only EFS gate, and 1024
-    /// default shots.
+    /// earliest-free routing, the default [`RuntimeConfig`], the
+    /// head-only EFS gate, and 1024 default shots.
     pub fn new() -> Self {
         ServiceBuilder {
             registry: DeviceRegistry::new(),
             strategy: strategy::qucp(strategy::DEFAULT_SIGMA),
             policy: Box::new(Fifo),
+            routing: Box::new(EarliestFree),
             cfg: RuntimeConfig::default(),
             efs_gate: EfsGate::default(),
             default_shots: 1024,
@@ -258,6 +264,17 @@ impl ServiceBuilder {
     #[must_use]
     pub fn policy(mut self, policy: impl AdmissionPolicy + 'static) -> Self {
         self.policy = Box::new(policy);
+        self
+    }
+
+    /// Sets the routing policy deciding which admitting device each
+    /// batch dispatches to. [`EarliestFree`] (the default) is
+    /// bit-for-bit the pre-seam dispatch rule;
+    /// [`CalibrationAware`](crate::CalibrationAware) routes by the head
+    /// circuit's calibration quality blended with queue pressure.
+    #[must_use]
+    pub fn routing(mut self, policy: impl RoutingPolicy + 'static) -> Self {
+        self.routing = Box::new(policy);
         self
     }
 
@@ -364,6 +381,7 @@ impl ServiceBuilder {
         Ok(Service {
             strategy: self.strategy,
             policy: self.policy,
+            routing: self.routing,
             cfg: self.cfg,
             efs_gate: self.efs_gate,
             default_shots: self.default_shots,
@@ -374,6 +392,7 @@ impl ServiceBuilder {
             batches: Vec::new(),
             results: Vec::new(),
             unreported: Vec::new(),
+            route_cache: RouteCache::default(),
             log: EventLog::new(),
             observers: self.observers,
         })
@@ -407,6 +426,7 @@ impl ServiceBuilder {
 pub struct Service {
     strategy: Strategy,
     policy: Box<dyn AdmissionPolicy>,
+    routing: Box<dyn RoutingPolicy>,
     cfg: RuntimeConfig,
     efs_gate: EfsGate,
     default_shots: usize,
@@ -420,6 +440,8 @@ pub struct Service {
     results: Vec<Option<JobResult>>,
     /// Completed tickets not yet handed out by [`Service::tick`].
     unreported: Vec<(f64, JobTicket)>,
+    /// Cross-batch memo of the pure planning probes (see [`RouteCache`]).
+    route_cache: RouteCache,
     log: EventLog,
     observers: Vec<Box<dyn EventObserver>>,
 }
@@ -430,12 +452,82 @@ impl std::fmt::Debug for Service {
             .field("devices", &self.registry.len())
             .field("strategy", &self.strategy.name)
             .field("policy", &self.policy)
+            .field("routing", &self.routing)
             .field("cfg", &self.cfg)
             .field("efs_gate", &self.efs_gate)
             .field("pending", &self.pending.len())
             .field("batches", &self.batches.len())
             .finish_non_exhaustive()
     }
+}
+
+/// Observable statistics of the service's cross-batch planning cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCacheStats {
+    /// Probes answered from the cache.
+    pub hits: usize,
+    /// Probes computed and inserted.
+    pub misses: usize,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Cross-batch memo of the planning probes the dispatch loop repeats
+/// for similar jobs: the routing policy's solo-partition score and the
+/// head-only EFS gate's copy count. Both are pure functions of
+/// *(device, circuit shape, partition policy[, threshold])* — the
+/// registry and its calibrations are frozen once the service is built,
+/// so entries never go stale and live for the service's lifetime (a
+/// future recalibration API must clear this cache when it mutates a
+/// device).
+#[derive(Debug, Default)]
+struct RouteCache {
+    /// Solo-best EFS partition score of a circuit shape on a device;
+    /// `None` records — and caches — "no placement on this chip".
+    solo: HashMap<(usize, u64, u64), Option<f64>>,
+    /// Head-only EFS-gate copy counts, additionally keyed by the
+    /// threshold bits. Planning errors are cached alongside successes:
+    /// the probe is deterministic either way.
+    head_cap: HashMap<(usize, u64, u64, u64), Result<usize, CoreError>>,
+    hits: usize,
+    misses: usize,
+}
+
+/// Feeds a value's `Debug` rendering straight into a hasher without
+/// allocating.
+struct HashWriter<'a>(&'a mut std::collections::hash_map::DefaultHasher);
+
+impl std::fmt::Write for HashWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        std::hash::Hasher::write(self.0, s.as_bytes());
+        Ok(())
+    }
+}
+
+/// Fingerprint of a circuit's *shape* — width and exact gate sequence,
+/// name excluded — so replicated copies (`fredkin#0`, `fredkin#1`)
+/// share one cache entry per device.
+fn circuit_shape_fingerprint(circuit: &Circuit) -> u64 {
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    h.write_usize(circuit.width());
+    for gate in circuit.gates() {
+        let _ = write!(HashWriter(&mut h), "{gate:?}");
+    }
+    h.finish()
+}
+
+/// Fingerprint of a partition policy — the only strategy component the
+/// planning probes consult. `Debug` renders `f64` fields round-trip
+/// exactly, so distinct σ values or measured crosstalk maps never
+/// collide.
+fn partition_policy_fingerprint(policy: &PartitionPolicy) -> u64 {
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let _ = write!(HashWriter(&mut h), "{policy:?}");
+    h.finish()
 }
 
 impl Service {
@@ -452,6 +544,25 @@ impl Service {
     /// The admission policy's display name.
     pub fn policy_name(&self) -> &str {
         self.policy.name()
+    }
+
+    /// The routing policy's display name.
+    pub fn routing_name(&self) -> &str {
+        self.routing.name()
+    }
+
+    /// Statistics of the cross-batch planning cache: how many
+    /// partition/candidate probes the dispatch loop answered from memo
+    /// instead of recomputing. Entries are keyed by *(device, circuit
+    /// shape, partition policy[, threshold])* and never invalidate —
+    /// the fleet and its calibrations are frozen at
+    /// [`ServiceBuilder::build`].
+    pub fn route_cache_stats(&self) -> RouteCacheStats {
+        RouteCacheStats {
+            hits: self.route_cache.hits,
+            misses: self.route_cache.misses,
+            entries: self.route_cache.solo.len() + self.route_cache.head_cap.len(),
+        }
     }
 
     /// Jobs admitted but not yet dispatched.
@@ -553,7 +664,14 @@ impl Service {
     /// [`Service::run_until_drained`]'s dispatch sequence, and the
     /// final schedule is identical; only notification timing differs.
     ///
-    /// `now = f64::INFINITY` drains everything pending.
+    /// **Time contract** (deliberately asymmetric to
+    /// [`Service::submit`], which requires *finite* arrivals): a tick
+    /// horizon is a comparison bound, not a timestamp, so the infinities
+    /// are meaningful — `now = f64::INFINITY` drains everything
+    /// pending, `now = f64::NEG_INFINITY` is a no-op (nothing can start
+    /// or complete by then). Only NaN is rejected, because no dispatch
+    /// decision can be ordered against it. See
+    /// [`RuntimeError::NonFiniteTime`].
     ///
     /// # Errors
     ///
@@ -642,8 +760,11 @@ impl Service {
         }
         let t_min = self.pending[0].arrival;
 
-        // Devices by (free time, registration order): deterministic
-        // earliest-free routing.
+        // Devices by (free time, registration order): the earliest-free
+        // horizon at which the head is selected. Head choice is the
+        // *admission* policy's business and always happens at this
+        // horizon; the *routing* policy only ranks the admitting
+        // candidates afterwards.
         let mut dev_order: Vec<usize> = (0..self.registry.len()).collect();
         dev_order.sort_by(|&a, &b| {
             self.states[a]
@@ -669,19 +790,78 @@ impl Service {
             .unwrap_or_else(|| self.strategy.clone());
         let head_threshold = head.fidelity_threshold.or(self.cfg.fidelity_threshold);
 
-        // Route to the earliest-free device whose topology admits the
-        // head; if none does, probe the widest chip so the precise
+        // Rank the admitting candidates with the routing policy; if
+        // none admits the head, probe the widest chip so the precise
         // placement error surfaces (matching the seed scheduler).
-        let candidates: Vec<usize> = dev_order
+        let admitting: Vec<usize> = dev_order
             .iter()
             .copied()
             .filter(|&d| self.registry.device_at(d).admits(head_width))
             .collect();
-        let probe_widest = candidates.is_empty();
-        let candidates = if probe_widest {
-            vec![self.registry.widest().expect("fleet is non-empty").index()]
+        let probe_widest = admitting.is_empty();
+        // Cache keys cost an O(gates) hash of the head circuit, so they
+        // are only computed when a probing path will consult the cache
+        // — the default EarliestFree/no-threshold dispatch stays
+        // exactly as cheap as before the routing seam.
+        let wants_score = self.routing.wants_partition_score();
+        let gate_probes =
+            !probe_widest && self.efs_gate == EfsGate::HeadOnly && head_threshold.is_some();
+        let (shape, policy_fp) = if wants_score || gate_probes {
+            (
+                circuit_shape_fingerprint(&head_circuit),
+                partition_policy_fingerprint(&head_strategy.partition),
+            )
         } else {
-            candidates
+            (0, 0)
+        };
+        let (candidates, route_scores): (Vec<usize>, Vec<f64>) = if probe_widest {
+            let widest = self.registry.widest().expect("fleet is non-empty").index();
+            (vec![widest], vec![f64::INFINITY])
+        } else {
+            let starts: Vec<f64> = admitting
+                .iter()
+                .map(|&d| self.states[d].clock.max(head_arrival))
+                .collect();
+            let best_start = starts.iter().copied().fold(f64::INFINITY, f64::min);
+            let head_cx_count = head_circuit.cx_count();
+            // (score, free time, registration index): scores compare
+            // with `total_cmp` (NaN sorts last) and ties always fall
+            // back to the earliest-free order, so any policy routes
+            // deterministically.
+            let mut ranked: Vec<(f64, f64, usize)> = Vec::with_capacity(admitting.len());
+            for (i, &d) in admitting.iter().enumerate() {
+                let partition_score = if wants_score {
+                    self.cached_solo_score(
+                        d,
+                        &head_circuit,
+                        &head_strategy.partition,
+                        shape,
+                        policy_fp,
+                    )
+                } else {
+                    None
+                };
+                let query = RouteQuery {
+                    device: self.registry.device_at(d),
+                    device_index: d,
+                    free_at: self.states[d].clock,
+                    start: starts[i],
+                    best_start,
+                    head_width,
+                    head_cx_count,
+                    partition_score,
+                };
+                ranked.push((self.routing.score(&query), self.states[d].clock, d));
+            }
+            ranked.sort_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then(a.1.total_cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
+            });
+            (
+                ranked.iter().map(|r| r.2).collect(),
+                ranked.iter().map(|r| r.0).collect(),
+            )
         };
 
         // Assembling a pipeline is cheap (it boxes four stage objects),
@@ -690,11 +870,17 @@ impl Service {
         let pipeline = Pipeline::from_strategy(&head_strategy);
 
         let mut last_unplaceable: Option<RuntimeError> = None;
-        for &d in &candidates {
+        for (rank, &d) in candidates.iter().enumerate() {
             let start = self.states[d].clock.max(head_arrival);
             if start > limit {
-                // Candidates are ordered by free time, so every later
-                // one starts no earlier: defer the whole dispatch.
+                // Head-of-line across the fleet: when the policy's
+                // preferred viable candidate cannot start by `limit`,
+                // the whole dispatch defers to a later tick instead of
+                // falling through to a lower-ranked chip — a
+                // finite-horizon tick sequence must stay a prefix of
+                // the drain schedule, and planning failures (which are
+                // horizon-independent) are the only way down the
+                // ranking.
                 return Ok(false);
             }
             // Cloned so the loop below can take `&mut self`; one clone
@@ -702,15 +888,17 @@ impl Service {
             let device = self.registry.device_at(d).clone();
 
             // Head-only EFS gate (legacy Fig. 4 behaviour): probe the
-            // admissible copy count of the head circuit before packing.
+            // admissible copy count of the head circuit before packing,
+            // memoized across batches per (device, shape, threshold).
             let cap = match (self.efs_gate, head_threshold) {
                 (EfsGate::HeadOnly, Some(threshold)) if !probe_widest => {
-                    match parallel_count_for_threshold(
-                        &device,
+                    match self.cached_head_cap(
+                        d,
                         &head_circuit,
                         threshold,
-                        self.cfg.max_parallel,
                         &head_strategy,
+                        shape,
+                        policy_fp,
                     ) {
                         Ok(k) => k.max(1),
                         Err(
@@ -769,6 +957,18 @@ impl Service {
                 }
                 Err(e) => return Err(e),
             };
+            // The routing decision is recorded only for the device the
+            // batch actually commits on (failed candidates leave no
+            // trace, like their shrink events).
+            let routed = Event::BatchRouted {
+                batch_index,
+                device: device.name().to_string(),
+                policy: self.routing.name().to_string(),
+                score: route_scores[rank],
+                start,
+                candidates: candidates.len(),
+            };
+            self.emit(routed);
             for event in shrinks {
                 self.emit(event);
             }
@@ -947,6 +1147,59 @@ impl Service {
                 Err(e) => return Err(RuntimeError::Core(e)),
             }
         }
+    }
+
+    /// The head circuit's solo-best EFS partition score on a device,
+    /// memoized across batches by (device, shape, partition policy);
+    /// `None` records — and caches — "no placement on this chip".
+    fn cached_solo_score(
+        &mut self,
+        device_index: usize,
+        circuit: &Circuit,
+        policy: &PartitionPolicy,
+        shape: u64,
+        policy_fp: u64,
+    ) -> Option<f64> {
+        let key = (device_index, shape, policy_fp);
+        if let Some(&cached) = self.route_cache.solo.get(&key) {
+            self.route_cache.hits += 1;
+            return cached;
+        }
+        self.route_cache.misses += 1;
+        let score = best_partition(self.registry.device_at(device_index), circuit, policy)
+            .ok()
+            .map(|alloc| alloc.efs.score);
+        self.route_cache.solo.insert(key, score);
+        score
+    }
+
+    /// The head-only EFS gate's admissible copy count on a device,
+    /// memoized across batches by (device, shape, partition policy,
+    /// threshold).
+    fn cached_head_cap(
+        &mut self,
+        device_index: usize,
+        circuit: &Circuit,
+        threshold: f64,
+        strategy: &Strategy,
+        shape: u64,
+        policy_fp: u64,
+    ) -> Result<usize, CoreError> {
+        let key = (device_index, shape, policy_fp, threshold.to_bits());
+        if let Some(cached) = self.route_cache.head_cap.get(&key) {
+            self.route_cache.hits += 1;
+            return cached.clone();
+        }
+        self.route_cache.misses += 1;
+        let result = parallel_count_for_threshold(
+            self.registry.device_at(device_index),
+            circuit,
+            threshold,
+            self.cfg.max_parallel,
+            strategy,
+        );
+        self.route_cache.head_cap.insert(key, result.clone());
+        result
     }
 
     /// The effective strategy of a pending job.
@@ -1412,6 +1665,137 @@ mod tests {
             expected.sort_unstable();
             assert_eq!(served, expected, "{policy}");
         }
+    }
+
+    #[test]
+    fn tick_neg_infinity_is_a_noop_and_only_nan_is_rejected() {
+        // The time contract is asymmetric: submit requires finite
+        // arrivals (pinned elsewhere), tick only rejects NaN. −∞ is a
+        // valid horizon by which nothing can start or complete.
+        let mut service = fifo_service(2);
+        submit_all(&mut service, 3);
+        let done = service.tick(f64::NEG_INFINITY).unwrap();
+        assert!(done.is_empty());
+        assert_eq!(service.pending_len(), 3, "−∞ must not dispatch anything");
+        assert!(service.event_log().planned_batches().is_empty());
+        assert!(matches!(
+            service.tick(f64::NAN).unwrap_err(),
+            RuntimeError::NonFiniteTime { .. }
+        ));
+        // +∞ drains; the earlier −∞ tick must not have disturbed state.
+        let done = service.tick(f64::INFINITY).unwrap();
+        assert_eq!(done.len(), 3);
+        assert!(service.tick(f64::NEG_INFINITY).unwrap().is_empty());
+    }
+
+    #[test]
+    fn earliest_free_routing_skips_partition_probes() {
+        // The default policy never asks for partition scores, so the
+        // routing path must not populate the solo cache — keeping the
+        // default dispatch exactly as cheap as before the seam.
+        let mut service = fifo_service(2);
+        submit_all(&mut service, 4);
+        service.run_until_drained().unwrap();
+        let stats = service.route_cache_stats();
+        assert_eq!(stats.hits + stats.misses, 0);
+        assert_eq!(stats.entries, 0);
+        assert_eq!(service.routing_name(), "EarliestFree");
+        // Every committed batch still records its routing decision.
+        assert_eq!(
+            service.event_log().routed().len(),
+            service.event_log().planned_batches().len()
+        );
+    }
+
+    #[test]
+    fn head_only_gate_probes_are_cached_across_batches() {
+        // Four identical-shape jobs under a head-only threshold force
+        // one probe per (device, shape, threshold) — every subsequent
+        // batch hits the memo, and the schedule is unchanged by it.
+        let run = |jobs: usize| {
+            let mut service = Service::builder()
+                .device(ibm::toronto())
+                .strategy(strategy::qucp(4.0))
+                .max_parallel(2)
+                .fidelity_threshold(Some(0.05))
+                .default_shots(32)
+                .seed(3)
+                .build()
+                .unwrap();
+            let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+            for i in 0..jobs {
+                let mut c = bell.clone();
+                c.set_name(format!("bell#{i}"));
+                service
+                    .submit(JobRequest::new(c, 0.0).with_id(i as u64))
+                    .unwrap();
+            }
+            let report = service.run_until_drained().unwrap();
+            (report, service.route_cache_stats())
+        };
+        let (report, stats) = run(6);
+        assert_eq!(report.job_results.len(), 6);
+        assert!(report.stats.batches >= 2, "several batches must dispatch");
+        assert_eq!(stats.misses, 1, "one probe per (device, shape, threshold)");
+        assert_eq!(stats.hits, report.stats.batches - 1);
+        // The memoized run must schedule exactly like a shorter burst
+        // scaled up: batch memberships are a pure function of the jobs.
+        let (short, _) = run(2);
+        assert_eq!(
+            report.batches[0].job_ids, short.batches[0].job_ids,
+            "cache must not change scheduling decisions"
+        );
+    }
+
+    #[test]
+    fn calibration_aware_caches_solo_scores_per_device_and_shape() {
+        let mut service = Service::builder()
+            .device(ibm::melbourne())
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .routing(crate::registry::CalibrationAware::default())
+            .max_parallel(2)
+            .default_shots(16)
+            .seed(8)
+            .build()
+            .unwrap();
+        assert_eq!(service.routing_name(), "CalibrationAware");
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        for i in 0..6u64 {
+            let mut c = bell.clone();
+            c.set_name(format!("bell#{i}"));
+            service.submit(JobRequest::new(c, 0.0).with_id(i)).unwrap();
+        }
+        let report = service.run_until_drained().unwrap();
+        assert_eq!(report.job_results.len(), 6);
+        let stats = service.route_cache_stats();
+        // One solo probe per (device, shape): two devices, one shape.
+        assert_eq!(stats.misses, 2);
+        assert!(stats.hits > 0, "repeat dispatches must hit the memo");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn shape_fingerprint_ignores_names_but_not_gates() {
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        let mut renamed = bell.clone();
+        renamed.set_name("other");
+        assert_eq!(
+            circuit_shape_fingerprint(&bell),
+            circuit_shape_fingerprint(&renamed)
+        );
+        let mut grown = bell.clone();
+        grown.h(0);
+        assert_ne!(
+            circuit_shape_fingerprint(&bell),
+            circuit_shape_fingerprint(&grown)
+        );
+        // Distinct partition policies never share cache entries.
+        let a = partition_policy_fingerprint(&strategy::qucp(4.0).partition);
+        let b = partition_policy_fingerprint(&strategy::qucp(8.0).partition);
+        let c = partition_policy_fingerprint(&strategy::multiqc().partition);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

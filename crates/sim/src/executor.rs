@@ -630,21 +630,29 @@ impl TrajectoryJob<'_> {
     /// claim shards off a shared counter, and the per-shard counts
     /// merge **in shard order** — so the result is a pure function of
     /// `(seed, shards)`, independent of `threads` and of scheduling.
+    ///
+    /// When `shards > shots` the tail shards carry zero shots; they are
+    /// skipped outright (no seed stream is built, no worker spins up
+    /// for them) — merging an empty shard is a no-op, so the counts
+    /// stay bit-for-bit those of the full shard sweep.
     fn run_sharded(&self, shards: usize, threads: usize) -> Counts {
         let shards = shards.max(1);
         let shots = self.cfg.shots;
         let (base, rem) = (shots / shards, shots % shards);
         let shard_shots = |s: usize| base + usize::from(s < rem);
+        // Every shard past `active` is empty (base == 0 means only the
+        // first `rem` shards got the remainder shot).
+        let active = if base == 0 { rem } else { shards };
 
         let threads = if threads == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
             threads
         };
-        let threads = threads.min(shards).max(1);
+        let threads = threads.min(active).max(1);
 
         let mut partials: Vec<(usize, Counts)> = if threads == 1 {
-            (0..shards)
+            (0..active)
                 .map(|s| {
                     (
                         s,
@@ -662,7 +670,7 @@ impl TrajectoryJob<'_> {
                             let mut done: Vec<(usize, Counts)> = Vec::new();
                             loop {
                                 let s = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if s >= shards {
+                                if s >= active {
                                     break done;
                                 }
                                 done.push((
@@ -1063,6 +1071,30 @@ mod tests {
                 run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
             assert_eq!(counts.shots(), shots, "shards = {shards}");
             assert_eq!(counts.width(), 2);
+        }
+    }
+
+    #[test]
+    fn oversharded_run_skips_empty_shards_bit_for_bit() {
+        // With `shards > shots` only the first `shots` shards carry a
+        // shot, seeded `derive_shard_seed(seed, 0..shots)` — exactly
+        // the seed streams of a `shards == shots` run. Skipping the
+        // empty tail must therefore leave the counts bit-for-bit equal
+        // to the exact-shard-count run, however absurd the shard count.
+        let dev = line_device(2, 0.05, 0.02);
+        let run_with = |shards: usize, threads: usize| {
+            let cfg = ExecutionConfig::default()
+                .with_shots(3)
+                .with_seed(11)
+                .with_parallelism(ShotParallelism::Sharded { shards, threads });
+            run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap()
+        };
+        let exact = run_with(3, 1);
+        assert_eq!(exact.shots(), 3);
+        for shards in [4, 64, 1000] {
+            for threads in [1, 4] {
+                assert_eq!(run_with(shards, threads), exact, "shards = {shards}");
+            }
         }
     }
 

@@ -142,7 +142,11 @@ impl CampaignReport {
     pub fn significant(&self) -> Vec<&PairCharacterization> {
         let mut v: Vec<&PairCharacterization> =
             self.pairs.iter().filter(|p| p.is_significant()).collect();
-        v.sort_by(|a, b| b.worst_ratio().partial_cmp(&a.worst_ratio()).unwrap());
+        v.sort_by(|a, b| {
+            b.worst_ratio()
+                .total_cmp(&a.worst_ratio())
+                .then(a.pair.cmp(&b.pair))
+        });
         v
     }
 }

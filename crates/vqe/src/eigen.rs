@@ -73,7 +73,7 @@ pub fn hermitian_eigenvalues(m: &[Vec<Complex>]) -> Vec<f64> {
     }
     jacobi_eigenvalues(&mut a);
     let mut eig: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
-    eig.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    eig.sort_by(f64::total_cmp);
     // Keep every other one (eigenvalues come in duplicated pairs).
     eig.into_iter().step_by(2).collect()
 }
@@ -207,7 +207,7 @@ mod tests {
             ("ZZ".parse::<PauliString>().unwrap(), 1.0),
         ]);
         let mut eig = hermitian_eigenvalues(&dense_matrix(&h));
-        eig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        eig.sort_by(f64::total_cmp);
         assert!((eig[0] + 2.0).abs() < 1e-9, "{eig:?}");
         assert!(eig[1].abs() < 1e-9);
         assert!(eig[2].abs() < 1e-9);

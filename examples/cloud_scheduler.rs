@@ -1,10 +1,13 @@
-//! Cloud-queue scenario, three times over: the *analytical* model of
+//! Cloud-queue scenario, four times over: the *analytical* model of
 //! Sec. I/II-A (abstract durations), the **event-driven service**
 //! runtime serving the same kind of burst through the staged QuCP
 //! pipeline (dedicated vs. multi-programmed, same `QueueStats`
-//! head-to-head), and finally an **admission-policy shoot-out** on a
-//! skewed workload where wide GHZ jobs block the FIFO head of line —
-//! the situation `Backfill` and `ShortestJobFirst` exist for.
+//! head-to-head), an **admission-policy shoot-out** on a skewed
+//! workload where wide GHZ jobs block the FIFO head of line — the
+//! situation `Backfill` and `ShortestJobFirst` exist for — and a
+//! **routing shoot-out** on a two-chip fleet whose calibrations differ
+//! ~3×, where `CalibrationAware` routing must beat `EarliestFree` on
+//! delivered fidelity at bounded turnaround cost.
 //!
 //! ```text
 //! cargo run --release -p qucp-bench --example cloud_scheduler
@@ -14,8 +17,8 @@ use qucp_core::queue::{simulate_queue, synthetic_workload};
 use qucp_core::strategy;
 use qucp_device::ibm;
 use qucp_runtime::{
-    skewed_jobs, synthetic_jobs, AdmissionPolicy, Backfill, Fifo, Job, JobRequest, Service,
-    ServiceReport, ShortestJobFirst,
+    skewed_jobs, synthetic_jobs, AdmissionPolicy, Backfill, CalibrationAware, EarliestFree,
+    ExecutionMode, Fifo, Job, JobRequest, Service, ServiceReport, ShortestJobFirst,
 };
 
 fn serve(
@@ -140,6 +143,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nBackfill turnaround gain over FIFO: {:.2}x (SJF: {:.2}x)",
         fifo.stats.mean_turnaround / backfill.stats.mean_turnaround,
         fifo.stats.mean_turnaround / sjf.stats.mean_turnaround,
+    );
+
+    // --- routing shoot-out on the skewed two-chip fleet --------------------
+    //
+    // The fleet pairs ibm::toronto() with a twin whose calibration is
+    // ~3x worse across the board (the noisy twin is registered first,
+    // so earliest-free ties favour it). EarliestFree splits the load
+    // and delivers half the jobs at the noisy chip's fidelity;
+    // CalibrationAware scores each candidate by the head circuit's
+    // solo-best EFS partition (cached across batches) plus queue
+    // pressure, and steers the burst to the good chip.
+    println!("\nRouting policies, 18-job burst on [toronto_noisy, toronto]:\n");
+    println!(
+        "{:<18} {:>10} {:>10} {:>14} {:>12} {:>12}",
+        "routing", "mean EFS", "mean JSD", "turnaround ns", "noisy jobs", "good jobs"
+    );
+    // Serial == concurrent bit-for-bit: routing is deterministic.
+    fn shoot<R: qucp_runtime::RoutingPolicy + Copy + 'static>(
+        routing: R,
+    ) -> qucp_bench::ShootoutOutcome {
+        let serial = qucp_bench::routing_shootout(routing, ExecutionMode::Serial);
+        let concurrent = qucp_bench::routing_shootout(routing, ExecutionMode::Concurrent);
+        assert_eq!(
+            serial, concurrent,
+            "{} routing must be deterministic",
+            concurrent.policy
+        );
+        concurrent
+    }
+    let earliest = shoot(EarliestFree);
+    let aware = shoot(CalibrationAware::default());
+    for o in [&earliest, &aware] {
+        println!(
+            "{:<18} {:>10.4} {:>10.4} {:>14.0} {:>12} {:>12}",
+            o.policy,
+            o.mean_efs,
+            o.mean_jsd,
+            o.mean_turnaround,
+            o.per_device_jobs[0].1,
+            o.per_device_jobs[1].1,
+        );
+    }
+    assert!(
+        aware.mean_efs < earliest.mean_efs && aware.mean_jsd < earliest.mean_jsd,
+        "calibration-aware routing must win on delivered fidelity"
+    );
+    println!(
+        "\nCalibrationAware delivered-fidelity win: EFS -{:.1}%, JSD -{:.1}% \
+         (turnaround {:.2}x, partition-probe cache {} hits / {} misses)",
+        100.0 * (earliest.mean_efs - aware.mean_efs) / earliest.mean_efs,
+        100.0 * (earliest.mean_jsd - aware.mean_jsd) / earliest.mean_jsd,
+        aware.mean_turnaround / earliest.mean_turnaround,
+        aware.cache.hits,
+        aware.cache.misses,
     );
     Ok(())
 }
