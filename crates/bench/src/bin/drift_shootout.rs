@@ -1,0 +1,153 @@
+//! Regenerates `BENCH_drift_shootout.json`: epoch-aware vs stale-cache
+//! routing on the skewed two-chip fleet under calibration drift.
+//!
+//! The experiment: a burst on the original calibrations (the noisy twin
+//! ~3× worse than the good Toronto), then a deterministic `SeesawDrift`
+//! that *flips* the fleet — the noisy twin anneals to good while the
+//! good chip degrades ~3.4× — then a second, identical burst.
+//! `CalibrationAware` routing probes through the cross-batch planning
+//! cache both times; the only difference between the two runs is the
+//! cache-invalidation mode. Doubles as the CI smoke check of the
+//! live-fleet refactor — it **asserts** that epoch-aware invalidation
+//! beats the stale cache on post-drift delivered fidelity (mean EFS and
+//! mean JSD), that the pre-drift bursts agree exactly, and that both
+//! modes stay deterministic (serial == concurrent, bit for bit).
+//!
+//! ```text
+//! cargo run --release -p qucp-bench --bin drift_shootout
+//! ```
+
+use qucp_bench::{drift_shootout, DriftOutcome, DRIFT_STEPS, SEESAW_RATE};
+use qucp_runtime::{CacheInvalidation, ExecutionMode};
+
+fn print_outcome(label: &str, o: &DriftOutcome) {
+    println!(
+        "  {label:<12} pre-drift EFS {:.4} / JSD {:.4}   post-drift EFS {:.4} / JSD {:.4}   \
+         cache {}h/{}m/{}inv",
+        o.mean_efs_before,
+        o.mean_jsd_before,
+        o.mean_efs_after,
+        o.mean_jsd_after,
+        o.cache.hits,
+        o.cache.misses,
+        o.cache.invalidated
+    );
+    for (device, jobs) in &o.fresh_jobs_per_device {
+        println!("    post-drift {device:<22} {jobs:>3} jobs");
+    }
+}
+
+fn main() {
+    println!(
+        "drift shoot-out: 9 + 9 jobs on [ibmq_toronto_noisy, ibmq_toronto], \
+         seesaw x{SEESAW_RATE}/step over {DRIFT_STEPS} steps\n"
+    );
+
+    // Determinism first: drift, epochs and routing must not depend on
+    // per-batch thread scheduling.
+    let aware = drift_shootout(CacheInvalidation::EpochAware, ExecutionMode::Concurrent);
+    let stale = drift_shootout(CacheInvalidation::Never, ExecutionMode::Concurrent);
+    assert_eq!(
+        aware,
+        drift_shootout(CacheInvalidation::EpochAware, ExecutionMode::Serial),
+        "epoch-aware run must be serial == concurrent"
+    );
+    assert_eq!(
+        stale,
+        drift_shootout(CacheInvalidation::Never, ExecutionMode::Serial),
+        "stale-cache run must be serial == concurrent"
+    );
+
+    print_outcome("epoch-aware", &aware);
+    print_outcome("stale-cache", &stale);
+
+    // Until the drift fires the two services are byte-identical, so the
+    // pre-drift burst must agree exactly — the comparison isolates the
+    // cache-invalidation protocol and nothing else.
+    assert_eq!(
+        (aware.mean_efs_before, aware.mean_jsd_before),
+        (stale.mean_efs_before, stale.mean_jsd_before),
+        "pre-drift bursts must be identical across cache modes"
+    );
+    // Both runs saw the same epoch bumps (drift is cache-independent)…
+    assert_eq!(aware.epoch_bumps, stale.epoch_bumps);
+    assert!(
+        aware.epoch_bumps >= DRIFT_STEPS as usize,
+        "the seesaw must bump every step"
+    );
+    // …but only the epoch-aware run dropped stale probes.
+    assert!(aware.cache.invalidated > 0, "epoch bumps must invalidate");
+    assert_eq!(stale.cache.invalidated, 0, "Never mode must not drop");
+
+    // The acceptance bar: after the fleet flips, routing by current
+    // calibration must beat routing by the stale cached picture.
+    assert!(
+        aware.mean_efs_after < stale.mean_efs_after,
+        "epoch-aware routing must win on post-drift EFS: {:.4} !< {:.4}",
+        aware.mean_efs_after,
+        stale.mean_efs_after
+    );
+    assert!(
+        aware.mean_jsd_after < stale.mean_jsd_after,
+        "epoch-aware routing must win on post-drift JSD: {:.4} !< {:.4}",
+        aware.mean_jsd_after,
+        stale.mean_jsd_after
+    );
+    // The mechanism: the epoch-aware run re-routes the post-drift burst
+    // to the annealed twin; the stale run keeps chasing the degraded
+    // chip it remembers as good.
+    let fresh_on = |o: &DriftOutcome, device: &str| {
+        o.fresh_jobs_per_device
+            .iter()
+            .find(|(d, _)| d == device)
+            .map_or(0, |&(_, n)| n)
+    };
+    assert!(
+        fresh_on(&aware, "ibmq_toronto_noisy") > fresh_on(&stale, "ibmq_toronto_noisy"),
+        "epoch-aware routing must shift post-drift load to the annealed twin"
+    );
+
+    let gain_efs = (stale.mean_efs_after - aware.mean_efs_after) / stale.mean_efs_after;
+    let gain_jsd = (stale.mean_jsd_after - aware.mean_jsd_after) / stale.mean_jsd_after;
+    println!(
+        "\nepoch-aware win on the post-drift burst: EFS -{:.1}%, JSD -{:.1}%",
+        100.0 * gain_efs,
+        100.0 * gain_jsd
+    );
+
+    let per_device = |o: &DriftOutcome| {
+        o.fresh_jobs_per_device
+            .iter()
+            .map(|(d, n)| format!("{{ \"device\": \"{d}\", \"jobs\": {n} }}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mode_json = |label: &str, o: &DriftOutcome| {
+        format!(
+            "{{ \"mode\": \"{label}\", \"mean_efs_before\": {:.6}, \"mean_jsd_before\": {:.6}, \
+             \"mean_efs_after\": {:.6}, \"mean_jsd_after\": {:.6}, \"mean_turnaround_ns\": \
+             {:.1}, \"epoch_bumps\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+             \"cache_invalidated\": {}, \"post_drift_per_device\": [{}] }}",
+            o.mean_efs_before,
+            o.mean_jsd_before,
+            o.mean_efs_after,
+            o.mean_jsd_after,
+            o.mean_turnaround,
+            o.epoch_bumps,
+            o.cache.hits,
+            o.cache.misses,
+            o.cache.invalidated,
+            per_device(o),
+        )
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"drift_shootout\",\n  \"fleet\": [\"ibmq_toronto_noisy\", \
+         \"ibmq_toronto\"],\n  \"jobs_per_burst\": 9,\n  \"seesaw_rate\": {SEESAW_RATE},\n  \
+         \"drift_steps\": {DRIFT_STEPS},\n  \"modes\": [\n    {},\n    {}\n  ],\n  \
+         \"efs_gain_post_drift\": {gain_efs:.4},\n  \"jsd_gain_post_drift\": {gain_jsd:.4}\n}}\n",
+        mode_json("epoch_aware", &aware),
+        mode_json("stale_cache", &stale),
+    );
+    std::fs::write("BENCH_drift_shootout.json", &json).expect("write BENCH_drift_shootout.json");
+    println!("wrote BENCH_drift_shootout.json");
+}

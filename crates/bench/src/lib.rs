@@ -230,6 +230,204 @@ pub fn routing_shootout(
     }
 }
 
+/// Simulated nanoseconds per drift step of the drift shoot-out.
+pub const DRIFT_INTERVAL_NS: f64 = 50_000.0;
+
+/// Drift steps the shoot-out advances between its two bursts.
+pub const DRIFT_STEPS: u64 = 3;
+
+/// Per-step seesaw rate: after [`DRIFT_STEPS`] steps the degrading chip
+/// is `rate^steps ≈ 3.4×` worse and the improving chip `3.4×` better —
+/// enough to decisively flip the skewed fleet's quality ordering.
+pub const SEESAW_RATE: f64 = 1.5;
+
+/// A deterministic cross-fade [`DriftModel`](qucp_device::DriftModel)
+/// for the drift shoot-out: the device with salt 0 (the noisy twin,
+/// registered first in [`skewed_fleet`]) *improves* by `1/rate` per
+/// step while every other device *degrades* by `rate` — no RNG at all,
+/// so the fleet's quality ordering flips at an exactly predictable
+/// step. Crosstalk excesses (γ − 1) fade with the same factors.
+///
+/// This is deliberately not a realistic noise process (that is
+/// [`GaussianWalk`](qucp_device::GaussianWalk)'s job); it is the
+/// controlled experiment that isolates what stale routing data costs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeesawDrift {
+    /// Per-step multiplicative rate (> 1).
+    pub rate: f64,
+    /// Simulated nanoseconds per step.
+    pub interval_ns: f64,
+}
+
+impl qucp_device::DriftModel for SeesawDrift {
+    fn steps_at(&self, now: f64) -> u64 {
+        qucp_device::interval_steps(now, self.interval_ns)
+    }
+
+    fn apply_step(
+        &self,
+        _step: u64,
+        device_salt: u64,
+        calibration: &mut qucp_device::Calibration,
+        crosstalk: &mut qucp_device::CrosstalkModel,
+    ) -> bool {
+        let factor = if device_salt == 0 {
+            1.0 / self.rate
+        } else {
+            self.rate
+        };
+        let mut changed = false;
+        let mut scale = |v: &mut f64| {
+            let next = (*v * factor).clamp(1e-6, 0.45);
+            if next != *v {
+                *v = next;
+                changed = true;
+            }
+        };
+        for (_, e) in calibration.cx_errors_mut() {
+            scale(e);
+        }
+        for e in calibration.sq_errors_mut() {
+            scale(e);
+        }
+        for e in calibration.readout_errors_mut() {
+            scale(e);
+        }
+        for (_, g) in crosstalk.gammas_mut() {
+            let next = (1.0 + (*g - 1.0) * factor).clamp(1.0, 64.0);
+            if next != *g {
+                *g = next;
+                changed = true;
+            }
+        }
+        changed
+    }
+}
+
+/// Outcome of one drift shoot-out run (see [`drift_shootout`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftOutcome {
+    /// The cache mode the run used.
+    pub invalidation: qucp_runtime::CacheInvalidation,
+    /// Mean EFS of the pre-drift burst (must agree between modes — the
+    /// fleets are identical until the drift).
+    pub mean_efs_before: f64,
+    /// Mean JSD of the pre-drift burst.
+    pub mean_jsd_before: f64,
+    /// Mean EFS of the post-drift burst — the discriminating metric.
+    pub mean_efs_after: f64,
+    /// Mean JSD of the post-drift burst.
+    pub mean_jsd_after: f64,
+    /// Fleet-wide mean turnaround over both bursts (ns).
+    pub mean_turnaround: f64,
+    /// Calibration-epoch bumps the drift advance performed.
+    pub epoch_bumps: usize,
+    /// Post-drift jobs served per device, in registration order.
+    pub fresh_jobs_per_device: Vec<(String, usize)>,
+    /// Planning-cache statistics after both drains.
+    pub cache: qucp_runtime::RouteCacheStats,
+}
+
+/// Runs the calibration-drift shoot-out on the [`skewed_fleet`] under
+/// `invalidation` and `mode`: a 9-job burst on the original
+/// calibrations, then [`DRIFT_STEPS`] [`SeesawDrift`] steps that flip
+/// which chip is good (the noisy twin anneals, the good Toronto
+/// degrades ~3.4×), then a second 9-job burst. `CalibrationAware`
+/// routing probes through the cross-batch cache both times — under
+/// [`CacheInvalidation::EpochAware`](qucp_runtime::CacheInvalidation)
+/// the epoch bumps drop the stale probes and the second burst re-routes
+/// to the *currently* good chip; under `Never` the second burst keeps
+/// chasing the pre-drift ranking. Deterministic: serial and concurrent
+/// execution produce identical outcomes.
+///
+/// # Panics
+///
+/// Panics if the service rejects the fixture workload (a runtime
+/// regression).
+pub fn drift_shootout(
+    invalidation: qucp_runtime::CacheInvalidation,
+    mode: qucp_runtime::ExecutionMode,
+) -> DriftOutcome {
+    use qucp_runtime::{CalibrationAware, JobRequest, Service};
+    let mut service = Service::builder()
+        .registry(skewed_fleet())
+        .strategy(qucp_core::strategy::qucp(4.0))
+        .routing(CalibrationAware::default())
+        .drift(SeesawDrift {
+            rate: SEESAW_RATE,
+            interval_ns: DRIFT_INTERVAL_NS,
+        })
+        .cache_invalidation(invalidation)
+        .max_parallel(3)
+        .mode(mode)
+        .seed(EXPERIMENT_SEED)
+        .build()
+        .expect("drift shoot-out service must build");
+    let burst = qucp_runtime::synthetic_jobs(9, 400.0, 1024, 0xF1EE7);
+    for job in &burst {
+        service
+            .submit(JobRequest::from_job(job))
+            .expect("fixture job must submit");
+    }
+    service
+        .run_until_drained()
+        .expect("pre-drift burst must drain");
+
+    // The calibrations cross-fade; with epoch-aware caching every bump
+    // also drops the bumped chip's cached probes.
+    let epoch_bumps = service
+        .advance_drift(DRIFT_STEPS as f64 * DRIFT_INTERVAL_NS)
+        .expect("drift advance must succeed");
+
+    // Same workload again, long after the first burst drained; ids are
+    // offset so the two bursts stay distinguishable in the report.
+    const FRESH_ID_OFFSET: u64 = 100;
+    const FRESH_ARRIVAL_OFFSET: f64 = 1e7;
+    for job in &burst {
+        service
+            .submit(
+                JobRequest::new(job.circuit.clone(), job.arrival + FRESH_ARRIVAL_OFFSET)
+                    .with_id(job.id + FRESH_ID_OFFSET)
+                    .with_shots(job.shots),
+            )
+            .expect("fixture job must submit");
+    }
+    let report = service
+        .run_until_drained()
+        .expect("post-drift burst must drain");
+
+    let n = burst.len();
+    let mean = |f: &dyn Fn(&qucp_runtime::JobResult) -> f64, range: std::ops::Range<usize>| {
+        report.job_results[range.clone()].iter().map(f).sum::<f64>() / range.len() as f64
+    };
+    let mut fresh_jobs_per_device: Vec<(String, usize)> = report
+        .per_device
+        .iter()
+        .map(|d| (d.device.clone(), 0))
+        .collect();
+    for batch in &report.batches {
+        if batch.job_ids.iter().any(|&id| id >= FRESH_ID_OFFSET) {
+            if let Some(slot) = fresh_jobs_per_device
+                .iter_mut()
+                .find(|(name, _)| *name == batch.device)
+            {
+                slot.1 += batch.job_ids.len();
+            }
+        }
+    }
+    DriftOutcome {
+        invalidation,
+        mean_efs_before: mean(&|r| r.result.efs, 0..n),
+        mean_jsd_before: mean(&|r| r.result.jsd, 0..n),
+        mean_efs_after: mean(&|r| r.result.efs, n..2 * n),
+        mean_jsd_after: mean(&|r| r.result.jsd, n..2 * n),
+        mean_turnaround: report.stats.mean_turnaround,
+        epoch_bumps,
+        fresh_jobs_per_device,
+        cache: service.route_cache_stats(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -254,6 +254,48 @@ impl Calibration {
         cx_count as f64 * self.mean_cx_error() + width as f64 * self.mean_readout_error()
     }
 
+    /// Mutable access to every link's CNOT error, in canonical link
+    /// order — the iteration a [`DriftModel`](crate::DriftModel)
+    /// perturbs, deterministic because the underlying map is ordered.
+    pub fn cx_errors_mut(&mut self) -> impl Iterator<Item = (Link, &mut f64)> {
+        self.cx_error.iter_mut().map(|(&l, e)| (l, e))
+    }
+
+    /// Mutable access to the one-qubit gate errors, indexed by qubit.
+    pub fn sq_errors_mut(&mut self) -> &mut [f64] {
+        &mut self.sq_error
+    }
+
+    /// Mutable access to the readout errors, indexed by qubit.
+    pub fn readout_errors_mut(&mut self) -> &mut [f64] {
+        &mut self.readout_error
+    }
+
+    /// Whether every stored entry (errors, durations, coherence times)
+    /// is finite — the validity gate a live-fleet recalibration API
+    /// checks before letting a snapshot near the planning caches.
+    pub fn all_finite(&self) -> bool {
+        self.cx_error.values().all(|e| e.is_finite())
+            && self.cx_duration.values().all(|d| d.is_finite())
+            && self.sq_error.iter().all(|e| e.is_finite())
+            && self.readout_error.iter().all(|e| e.is_finite())
+            && self.t1.iter().all(|t| t.is_finite())
+            && self.t2.iter().all(|t| t.is_finite())
+            && self.sq_duration.is_finite()
+            && self.readout_duration.is_finite()
+    }
+
+    /// Whether this snapshot calibrates every link of `topology` (and
+    /// the same qubit count) — required before swapping it into a
+    /// device, or the per-link accessors would panic mid-plan.
+    pub fn covers(&self, topology: &Topology) -> bool {
+        self.num_qubits() == topology.num_qubits()
+            && topology
+                .links()
+                .iter()
+                .all(|l| self.cx_error.contains_key(l) && self.cx_duration.contains_key(l))
+    }
+
     /// Links sorted by ascending CNOT error (most reliable first).
     pub fn links_by_reliability(&self) -> Vec<(Link, f64)> {
         let mut v: Vec<(Link, f64)> = self.cx_error.iter().map(|(&l, &e)| (l, e)).collect();

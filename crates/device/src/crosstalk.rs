@@ -116,6 +116,18 @@ impl CrosstalkModel {
         self.gamma.values().sum::<f64>() / self.gamma.len() as f64
     }
 
+    /// Mutable access to every characterized pair's factor, in
+    /// canonical pair order (deterministic: the map is ordered) — the
+    /// iteration a [`DriftModel`](crate::DriftModel) perturbs.
+    pub fn gammas_mut(&mut self) -> impl Iterator<Item = (LinkPair, &mut f64)> {
+        self.gamma.iter_mut().map(|(&p, g)| (p, g))
+    }
+
+    /// Whether every stored factor is finite.
+    pub fn all_finite(&self) -> bool {
+        self.gamma.values().all(|g| g.is_finite())
+    }
+
     /// The maximum amplification of any pair involving `link`.
     pub fn worst_gamma_for(&self, link: Link) -> f64 {
         self.gamma

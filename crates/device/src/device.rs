@@ -72,6 +72,20 @@ impl Device {
         &self.crosstalk
     }
 
+    /// Mutable access to the crosstalk ground truth (drift models and
+    /// what-if experiments).
+    pub fn crosstalk_mut(&mut self) -> &mut CrosstalkModel {
+        &mut self.crosstalk
+    }
+
+    /// Simultaneous mutable access to the calibration and the
+    /// crosstalk ground truth — the borrow a
+    /// [`DriftModel`](crate::DriftModel) step needs, since it perturbs
+    /// both in one pass.
+    pub fn calibration_state_mut(&mut self) -> (&mut Calibration, &mut CrosstalkModel) {
+        (&mut self.calibration, &mut self.crosstalk)
+    }
+
     /// Number of physical qubits.
     pub fn num_qubits(&self) -> usize {
         self.topology.num_qubits()

@@ -26,6 +26,7 @@
 mod calibration;
 mod crosstalk;
 mod device;
+mod drift;
 pub mod ibm;
 mod link;
 mod topology;
@@ -33,5 +34,6 @@ mod topology;
 pub use calibration::{Calibration, NoiseProfile};
 pub use crosstalk::{CrosstalkModel, CrosstalkProfile};
 pub use device::Device;
+pub use drift::{interval_steps, splitmix64, DriftEvent, DriftModel, GaussianWalk};
 pub use link::{Link, LinkPair};
 pub use topology::{Topology, UNREACHABLE};

@@ -81,6 +81,18 @@ pub enum Event {
         /// What forced the shrink.
         reason: ShrinkReason,
     },
+    /// A device's calibration state changed — an explicit
+    /// [`Service::recalibrate`](crate::Service::recalibrate), a drift
+    /// step that moved values, or a drift-scheduled recalibration
+    /// reset. Every such event corresponds to exactly one calibration
+    /// **epoch bump** (and, under the default epoch-aware cache mode,
+    /// one per-device invalidation of the cross-batch planning cache).
+    DeviceRecalibrated {
+        /// Name of the device whose calibration changed.
+        device: String,
+        /// The device's new calibration epoch.
+        epoch: u64,
+    },
     /// A job's batch finished executing.
     JobCompleted {
         /// Effective job id.
@@ -194,6 +206,18 @@ impl EventLog {
             .iter()
             .filter_map(|e| match e {
                 Event::BatchRouted { device, score, .. } => Some((device.as_str(), *score)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The calibration-state changes as `(device, new epoch)` pairs, in
+    /// emission order.
+    pub fn recalibrations(&self) -> Vec<(&str, u64)> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                Event::DeviceRecalibrated { device, epoch } => Some((device.as_str(), *epoch)),
                 _ => None,
             })
             .collect()

@@ -40,12 +40,13 @@
 //!    edge. The expensive partition/candidate probes behind routing and
 //!    the head-only EFS gate are **memoized across batches** per
 //!    *(device, circuit shape, partition policy)* — a stream of
-//!    similar jobs pays the candidate growth once per chip; the fleet
-//!    is frozen at build time, so cache entries never invalidate (see
-//!    [`Service::route_cache_stats`]). The batch then runs through the
-//!    staged [`Pipeline`](qucp_core::pipeline::Pipeline) of the head's
-//!    effective strategy; partition pressure shrinks the batch from
-//!    the tail. Every committed decision is recorded as an
+//!    similar jobs pays the candidate growth once per chip; entries
+//!    are valid for one **calibration epoch** of their device and are
+//!    dropped when that epoch bumps (see [`Service::route_cache_stats`]
+//!    and the live-fleet section below). The batch then runs through
+//!    the staged [`Pipeline`](qucp_core::pipeline::Pipeline) of the
+//!    head's effective strategy; partition pressure shrinks the batch
+//!    from the tail. Every committed decision is recorded as an
 //!    [`Event::BatchRouted`] carrying the winning score.
 //! 4. **Execute** — every program of the planned batch runs on the
 //!    pipeline backend in its own scoped thread (or serially under
@@ -56,12 +57,46 @@
 //!    ([`ServiceBuilder::shot_parallelism`], [`ShotParallelism`]):
 //!    each program's trajectory loop splits its shots over worker
 //!    threads, deterministic in the shard count and independent of the
-//!    thread count.
+//!    thread count. Each job may override the service default
+//!    ([`JobRequest::shot_parallelism`]), and
+//!    [`ShotParallelism::Auto`] picks the shard count from the job's
+//!    shot budget (one shard per 512 shots, capped at 32) so callers
+//!    need not hand-tune the split.
 //! 5. **Observe** — every transition ([`Event::JobSubmitted`],
 //!    [`Event::BatchPlanned`], [`Event::BatchShrunk`],
 //!    [`Event::JobCompleted`]) lands in the service [`EventLog`] and in
 //!    every registered [`EventObserver`]; per-device clocks and
 //!    statistics accumulate into the drained [`ServiceReport`].
+//!
+//! ## The live fleet: calibration drift, epochs, recalibration
+//!
+//! Real chips are recalibrated daily and their error rates drift in
+//! between, so the fleet is **live**, not frozen at build:
+//!
+//! - **Epochs** — every device carries a calibration epoch
+//!   ([`DeviceRegistry::epoch`], [`Service::device_epoch`]), bumped on
+//!   each calibration-state change. Cached planning probes are valid
+//!   for exactly one epoch: a bump drops the bumped device's entries
+//!   (only its — invalidation is per device) and emits
+//!   [`Event::DeviceRecalibrated`], so the next dispatch re-probes the
+//!   *current* calibration. [`CacheInvalidation::Never`] disables the
+//!   protocol as the stale-cache ablation the `drift_shootout` bench
+//!   quantifies: on a fleet whose quality ordering flips under drift,
+//!   epoch-aware invalidation wins delivered EFS/JSD decisively.
+//! - **Recalibration** — [`Service::recalibrate`] installs a fresh
+//!   [`Calibration`](qucp_device::Calibration) snapshot. Snapshots are
+//!   validated first (finite entries, matching qubit count, full link
+//!   coverage); a poisoned snapshot is rejected with
+//!   [`RuntimeError::InvalidCalibration`] and touches nothing.
+//! - **Drift** — [`ServiceBuilder::drift`] attaches a deterministic,
+//!   seeded [`DriftModel`] (e.g. [`GaussianWalk`], a log-normal walk on
+//!   gate/readout errors and crosstalk gammas with an optional
+//!   recalibration-reset cycle); [`Service::advance_drift`] ages every
+//!   device to a simulated timestamp, one epoch bump per step that
+//!   actually changes values. A zero-sigma walk never bumps an epoch,
+//!   so a drift-free service stays **bit-for-bit** the frozen-fleet
+//!   runtime (property-tested), and drift itself is a pure function of
+//!   `(model, step, device)` — serial == concurrent still holds.
 //!
 //! The legacy one-shot [`BatchScheduler::run`] survives as a deprecated
 //! veneer over `Service` + [`Fifo`] + a single device and reproduces
@@ -112,13 +147,19 @@ pub use registry::{
     CalibrationAware, DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy,
 };
 pub use scheduler::{
-    BatchReport, BatchScheduler, ExecutionMode, RunReport, RuntimeConfig, RuntimeError,
+    BatchReport, BatchScheduler, CalibrationFault, ExecutionMode, RunReport, RuntimeConfig,
+    RuntimeError,
 };
 pub use service::{
-    DeviceReport, EfsGate, JobRequest, JobTicket, RouteCacheStats, Service, ServiceBuilder,
-    ServiceReport,
+    CacheInvalidation, DeviceReport, EfsGate, JobRequest, JobTicket, RouteCacheStats, Service,
+    ServiceBuilder, ServiceReport, MAX_DRIFT_STEPS_PER_ADVANCE,
 };
 
 // The shot-parallelism mode travels with the runtime config; re-export
 // it so service callers need not depend on `qucp-sim` directly.
 pub use qucp_sim::ShotParallelism;
+
+// The drift types travel with `ServiceBuilder::drift` /
+// `Service::advance_drift`; re-export them so live-fleet callers need
+// not depend on `qucp-device` directly.
+pub use qucp_device::{DriftEvent, DriftModel, GaussianWalk};

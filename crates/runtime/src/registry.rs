@@ -30,24 +30,43 @@
 //! NaN: the comparison stays total (positive NaN sorts after `+∞`,
 //! negative before `−∞`) and never panics.
 //!
-//! ## Cross-batch probe caching
+//! ## Calibration epochs and cross-batch probe caching
 //!
 //! The partition probes behind [`CalibrationAware`] (and the head-only
 //! EFS gate) are pure functions of *(device, circuit shape, partition
-//! policy[, threshold])*; the service memoizes them across batches, so
-//! a stream of same-shape jobs pays the candidate growth once per chip
-//! instead of once per batch. **Invalidation rules:** a registry is
-//! frozen once the service is built — devices cannot be added and
-//! calibrations cannot be edited through the service — so cached
-//! entries never go stale and are kept for the service's lifetime. Any
-//! future recalibration API must drop the service's cache when it
-//! mutates a device (see
-//! [`Service::route_cache_stats`](crate::Service::route_cache_stats)
-//! for observing the cache).
+//! policy[, threshold])* **at a fixed calibration**; the service
+//! memoizes them across batches, so a stream of same-shape jobs pays
+//! the candidate growth once per chip instead of once per batch.
+//!
+//! The fleet is *live*: calibrations mutate after build, through
+//! [`Service::recalibrate`](crate::Service::recalibrate) (a fresh
+//! snapshot arrives) or
+//! [`Service::advance_drift`](crate::Service::advance_drift) (a
+//! [`DriftModel`](qucp_device::DriftModel) ages them in simulated
+//! time). Every mutation that actually changes a device's calibration
+//! state bumps that device's **calibration epoch** — a monotone
+//! per-device counter readable via [`DeviceRegistry::epoch`].
+//!
+//! **Invalidation rules:** cached probe entries are valid for exactly
+//! one epoch of their device. On an epoch bump the service drops every
+//! cache entry keyed by that device (other devices' entries survive —
+//! invalidation is per device, never fleet-wide) and emits
+//! [`Event::DeviceRecalibrated`](crate::Event::DeviceRecalibrated), so
+//! the next dispatch re-probes against the *current* calibration.
+//! While a device's epoch stays put its entries stay valid
+//! indefinitely — a frozen fleet (no drift model, no recalibration
+//! calls) therefore behaves exactly like the pre-live-fleet runtime:
+//! epochs stay 0 and entries never invalidate. Invalidations are
+//! observable via
+//! [`Service::route_cache_stats`](crate::Service::route_cache_stats),
+//! and
+//! [`CacheInvalidation::Never`](crate::CacheInvalidation::Never)
+//! disables the protocol as an ablation (stale-cache routing, the
+//! baseline the `drift_shootout` bench beats).
 
 use std::fmt;
 
-use qucp_device::Device;
+use qucp_device::{Calibration, CrosstalkModel, Device};
 
 /// Opaque handle of a registered device (its registration index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -57,6 +76,12 @@ impl DeviceId {
     /// The registration index the id wraps.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Internal constructor for the service dispatch loop, which keys
+    /// per-device runtime state by registration index.
+    pub(crate) fn from_index(index: usize) -> Self {
+        DeviceId(index)
     }
 }
 
@@ -79,6 +104,9 @@ impl DeviceId {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeviceRegistry {
     devices: Vec<Device>,
+    /// Per-device calibration epoch: bumped on every calibration-state
+    /// mutation, parallel to `devices`.
+    epochs: Vec<u64>,
 }
 
 impl DeviceRegistry {
@@ -91,13 +119,79 @@ impl DeviceRegistry {
     pub fn single(device: Device) -> Self {
         DeviceRegistry {
             devices: vec![device],
+            epochs: vec![0],
         }
     }
 
-    /// Adds a device; later registrations lose routing ties.
+    /// Adds a device; later registrations lose routing ties. The new
+    /// device starts at calibration epoch 0.
     pub fn register(&mut self, device: Device) -> DeviceId {
         self.devices.push(device);
+        self.epochs.push(0);
         DeviceId(self.devices.len() - 1)
+    }
+
+    /// The device's calibration epoch: 0 at registration, bumped once
+    /// per calibration-state mutation ([`DeviceRegistry::recalibrate`]
+    /// or a changing [`DeviceRegistry::mutate_calibration`]). Cached
+    /// planning probes are valid for exactly one epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry and is out of
+    /// range.
+    pub fn epoch(&self, id: DeviceId) -> u64 {
+        self.epochs[id.0]
+    }
+
+    /// Replaces the device's calibration snapshot wholesale, bumps its
+    /// epoch unconditionally (a fresh snapshot is fresh information
+    /// even when numerically identical) and returns the new epoch.
+    ///
+    /// This is the raw swap: callers wanting validation (finite
+    /// entries, topology coverage) and cache invalidation should go
+    /// through [`Service::recalibrate`](crate::Service::recalibrate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration's qubit count does not match the
+    /// device or if `id` is out of range.
+    pub fn recalibrate(&mut self, id: DeviceId, calibration: Calibration) -> u64 {
+        let device = &mut self.devices[id.0];
+        assert_eq!(
+            calibration.num_qubits(),
+            device.num_qubits(),
+            "calibration does not match device"
+        );
+        *device.calibration_mut() = calibration;
+        self.epochs[id.0] += 1;
+        self.epochs[id.0]
+    }
+
+    /// Mutates a device's calibration state in place through `f`,
+    /// bumping the epoch **iff** `f` reports a change; returns the new
+    /// epoch when bumped. Drift models plug in here: a no-op step
+    /// (zero sigmas, or a recalibration reset of an undrifted device)
+    /// must not bump the epoch, or frozen-fleet equivalence would pay
+    /// phantom cache invalidations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn mutate_calibration(
+        &mut self,
+        id: DeviceId,
+        f: impl FnOnce(&mut Calibration, &mut CrosstalkModel) -> bool,
+    ) -> Option<u64> {
+        let device = &mut self.devices[id.0];
+        let (cal, xt) = device.calibration_state_mut();
+        let changed = f(cal, xt);
+        if changed {
+            self.epochs[id.0] += 1;
+            Some(self.epochs[id.0])
+        } else {
+            None
+        }
     }
 
     /// Internal positional access for the service dispatch loop, which
@@ -320,6 +414,40 @@ mod tests {
         assert_eq!(fleet.admitting(99).count(), 0);
         assert_eq!(fleet.get(tor).name(), ibm::toronto().name());
         assert_eq!(fleet.iter().count(), 3);
+    }
+
+    #[test]
+    fn epochs_bump_on_calibration_mutation_only() {
+        let mut fleet = DeviceRegistry::new();
+        let tor = fleet.register(ibm::toronto());
+        let mel = fleet.register(ibm::melbourne());
+        assert_eq!(fleet.epoch(tor), 0);
+        assert_eq!(fleet.epoch(mel), 0);
+        // A no-op mutation must not bump.
+        assert_eq!(fleet.mutate_calibration(tor, |_, _| false), None);
+        assert_eq!(fleet.epoch(tor), 0);
+        // A changing mutation bumps only the touched device.
+        let bumped = fleet.mutate_calibration(tor, |cal, _| {
+            cal.set_readout_error(0, 0.3);
+            true
+        });
+        assert_eq!(bumped, Some(1));
+        assert_eq!(fleet.epoch(tor), 1);
+        assert_eq!(fleet.epoch(mel), 0);
+        assert_eq!(fleet.get(tor).calibration().readout_error(0), 0.3);
+        // A wholesale recalibration bumps unconditionally.
+        let fresh = fleet.get(tor).calibration().clone();
+        assert_eq!(fleet.recalibrate(tor, fresh), 2);
+        assert_eq!(fleet.epoch(tor), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "calibration does not match device")]
+    fn mismatched_recalibration_panics_at_registry_level() {
+        let mut fleet = DeviceRegistry::new();
+        let tor = fleet.register(ibm::toronto());
+        let wrong = ibm::melbourne().calibration().clone();
+        fleet.recalibrate(tor, wrong);
     }
 
     fn query(device: &Device, free_at: f64, start: f64, score: Option<f64>) -> RouteQuery<'_> {

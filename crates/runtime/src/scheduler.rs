@@ -63,6 +63,40 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// Why a recalibration snapshot was rejected (see
+/// [`RuntimeError::InvalidCalibration`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalibrationFault {
+    /// The snapshot contains a NaN or infinite entry (error rate,
+    /// duration or coherence time).
+    NonFinite,
+    /// The snapshot calibrates a different number of qubits than the
+    /// device has.
+    QubitCountMismatch {
+        /// Qubits the device has.
+        expected: usize,
+        /// Qubits the snapshot calibrates.
+        got: usize,
+    },
+    /// The snapshot is missing entries for links of the device's
+    /// coupling topology.
+    MissingLinks,
+}
+
+impl fmt::Display for CalibrationFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrationFault::NonFinite => write!(f, "non-finite entries"),
+            CalibrationFault::QubitCountMismatch { expected, got } => {
+                write!(f, "calibrates {got} qubits, device has {expected}")
+            }
+            CalibrationFault::MissingLinks => {
+                write!(f, "missing entries for links of the device topology")
+            }
+        }
+    }
+}
+
 /// Errors of the scheduling runtime.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
@@ -89,6 +123,27 @@ pub enum RuntimeError {
     InvalidThreshold {
         /// The offending value.
         value: f64,
+    },
+    /// A recalibration snapshot was rejected before it could reach the
+    /// device (and poison the planning caches): it carried non-finite
+    /// entries or did not match the device's topology.
+    InvalidCalibration {
+        /// Name of the device the snapshot was meant for.
+        device: String,
+        /// What disqualified the snapshot.
+        fault: CalibrationFault,
+    },
+    /// One `advance_drift` call would schedule more steps than the
+    /// per-advance bound — almost always a clock-unit mismatch or a
+    /// degenerate drift interval. The drift trajectory is a pure
+    /// function of every step, so runaway advances are refused (state
+    /// untouched) rather than truncated. See
+    /// [`MAX_DRIFT_STEPS_PER_ADVANCE`](crate::MAX_DRIFT_STEPS_PER_ADVANCE).
+    DriftHorizonTooFar {
+        /// Steps the advance would have to apply per device.
+        steps: u64,
+        /// The per-advance bound.
+        max: u64,
     },
     /// A single job cannot be placed on any registered device even
     /// alone.
@@ -118,6 +173,16 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::InvalidThreshold { value } => {
                 write!(f, "fidelity threshold must be finite and >= 0, got {value}")
+            }
+            RuntimeError::InvalidCalibration { device, fault } => {
+                write!(f, "recalibration of {device} rejected: {fault}")
+            }
+            RuntimeError::DriftHorizonTooFar { steps, max } => {
+                write!(
+                    f,
+                    "advance_drift would apply {steps} steps per device (bound: {max}); \
+                     check the drift interval against the clock unit"
+                )
             }
             RuntimeError::JobUnplaceable { job_id, source } => {
                 write!(f, "job {job_id} cannot be placed: {source}")

@@ -15,14 +15,14 @@ use qucp_core::queue::QueueStats;
 use qucp_core::threshold::{parallel_count_for_threshold, solo_efs_scores};
 use qucp_core::{best_partition, strategy, CoreError, ParallelConfig, PartitionPolicy};
 use qucp_core::{ProgramResult, Strategy};
-use qucp_device::Device;
+use qucp_device::{Calibration, CrosstalkModel, Device, DriftEvent, DriftModel};
 use qucp_sim::{ExecutionConfig, ShotParallelism};
 
 use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
 use crate::job::{Job, JobResult};
 use crate::policy::{AdmissionPolicy, BatchBudget, Fifo, JobView};
-use crate::registry::{DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy};
-use crate::scheduler::{BatchReport, ExecutionMode, RuntimeConfig, RuntimeError};
+use crate::registry::{DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy};
+use crate::scheduler::{BatchReport, CalibrationFault, ExecutionMode, RuntimeConfig, RuntimeError};
 
 /// How the EFS fidelity-threshold gate sizes a batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +70,14 @@ pub struct JobRequest {
     /// Per-job EFS fidelity-threshold override (must be finite and
     /// non-negative); defaults to the service's configured threshold.
     pub fidelity_threshold: Option<f64>,
+    /// Per-job intra-program shot-parallelism override, layered over
+    /// the service default of
+    /// [`ServiceBuilder::shot_parallelism`](crate::ServiceBuilder::shot_parallelism):
+    /// a huge job can shard its trajectory loop while the rest of the
+    /// stream stays serial (or vice versa). Counts stay deterministic
+    /// per the [`ShotParallelism`] contract — a pure function of the
+    /// effective mode and the job, never of the thread count.
+    pub shot_parallelism: Option<ShotParallelism>,
 }
 
 impl JobRequest {
@@ -82,6 +90,7 @@ impl JobRequest {
             shots: None,
             strategy: None,
             fidelity_threshold: None,
+            shot_parallelism: None,
         }
     }
 
@@ -110,6 +119,13 @@ impl JobRequest {
     #[must_use]
     pub fn with_fidelity_threshold(mut self, threshold: f64) -> Self {
         self.fidelity_threshold = Some(threshold);
+        self
+    }
+
+    /// Overrides the intra-program shot parallelism for this job only.
+    #[must_use]
+    pub fn with_shot_parallelism(mut self, parallelism: ShotParallelism) -> Self {
+        self.shot_parallelism = Some(parallelism);
         self
     }
 
@@ -174,6 +190,7 @@ struct Pending {
     arrival: f64,
     strategy: Option<Strategy>,
     fidelity_threshold: Option<f64>,
+    shot_parallelism: Option<ShotParallelism>,
     skips: usize,
 }
 
@@ -189,6 +206,34 @@ struct DeviceState {
     total_turnaround: f64,
 }
 
+/// The most drift steps one [`Service::advance_drift`] call may apply
+/// per device. A fleet that drifts hourly stays under this bound for
+/// over a decade of simulated time per advance; hitting it almost
+/// always means a clock-unit mismatch (seconds fed to a nanosecond
+/// interval) or a degenerate interval, so the advance is refused with
+/// [`RuntimeError::DriftHorizonTooFar`] instead of looping — and never
+/// silently truncated, because skipping steps would fork the
+/// deterministic noise trajectory.
+pub const MAX_DRIFT_STEPS_PER_ADVANCE: u64 = 100_000;
+
+/// How the cross-batch planning cache reacts to calibration-epoch
+/// bumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheInvalidation {
+    /// The default protocol: an epoch bump drops every cached probe of
+    /// the bumped device, so the next dispatch re-probes against the
+    /// current calibration. A frozen fleet never bumps, so this mode
+    /// is bit-for-bit the pre-live-fleet behaviour.
+    #[default]
+    EpochAware,
+    /// Never invalidate — cached probes survive recalibrations and
+    /// drift, so routing keeps ranking chips by **stale** calibration
+    /// data while execution uses the live values. Exists as the
+    /// ablation baseline the `drift_shootout` bench quantifies against;
+    /// do not use it in production configurations.
+    Never,
+}
+
 /// Builds a [`Service`]; validation happens in [`ServiceBuilder::build`].
 pub struct ServiceBuilder {
     registry: DeviceRegistry,
@@ -199,6 +244,8 @@ pub struct ServiceBuilder {
     efs_gate: EfsGate,
     default_shots: usize,
     observers: Vec<Box<dyn EventObserver>>,
+    drift: Option<Box<dyn DriftModel>>,
+    invalidation: CacheInvalidation,
 }
 
 impl std::fmt::Debug for ServiceBuilder {
@@ -211,6 +258,8 @@ impl std::fmt::Debug for ServiceBuilder {
             .field("cfg", &self.cfg)
             .field("efs_gate", &self.efs_gate)
             .field("default_shots", &self.default_shots)
+            .field("drift", &self.drift)
+            .field("invalidation", &self.invalidation)
             .finish_non_exhaustive()
     }
 }
@@ -235,6 +284,8 @@ impl ServiceBuilder {
             efs_gate: EfsGate::default(),
             default_shots: 1024,
             observers: Vec::new(),
+            drift: None,
+            invalidation: CacheInvalidation::default(),
         }
     }
 
@@ -353,6 +404,29 @@ impl ServiceBuilder {
         self
     }
 
+    /// Attaches a fleet-wide calibration [`DriftModel`]: every device
+    /// ages along its own deterministic trajectory (salted by
+    /// registration index) as the caller advances simulated time with
+    /// [`Service::advance_drift`]. Without a model the fleet stays
+    /// frozen — `advance_drift` is then a no-op.
+    #[must_use]
+    pub fn drift(mut self, model: impl DriftModel + 'static) -> Self {
+        self.drift = Some(Box::new(model));
+        self
+    }
+
+    /// Chooses how the cross-batch planning cache reacts to
+    /// calibration-epoch bumps. The default
+    /// [`CacheInvalidation::EpochAware`] drops a device's cached probes
+    /// whenever its calibration changes;
+    /// [`CacheInvalidation::Never`] is the stale-cache ablation used by
+    /// the drift shoot-out.
+    #[must_use]
+    pub fn cache_invalidation(mut self, invalidation: CacheInvalidation) -> Self {
+        self.invalidation = invalidation;
+        self
+    }
+
     /// Validates the configuration and builds the service.
     ///
     /// # Errors
@@ -378,6 +452,15 @@ impl ServiceBuilder {
             }
         }
         let states = vec![DeviceState::default(); self.registry.len()];
+        // Baseline snapshots are the reset targets of drift-scheduled
+        // recalibrations; only a drifting fleet pays for the clones.
+        let baselines = self.drift.is_some().then(|| {
+            self.registry
+                .iter()
+                .map(|(_, d)| (d.calibration().clone(), d.crosstalk().clone()))
+                .collect()
+        });
+        let drift_steps = vec![0u64; self.registry.len()];
         Ok(Service {
             strategy: self.strategy,
             policy: self.policy,
@@ -395,6 +478,10 @@ impl ServiceBuilder {
             route_cache: RouteCache::default(),
             log: EventLog::new(),
             observers: self.observers,
+            drift: self.drift,
+            drift_steps,
+            baselines,
+            invalidation: self.invalidation,
         })
     }
 }
@@ -444,6 +531,18 @@ pub struct Service {
     route_cache: RouteCache,
     log: EventLog,
     observers: Vec<Box<dyn EventObserver>>,
+    /// The fleet-wide calibration drift process (`None` = frozen
+    /// fleet). Temporarily `take`n during [`Service::advance_drift`].
+    drift: Option<Box<dyn DriftModel>>,
+    /// Per-device count of drift steps already applied.
+    drift_steps: Vec<u64>,
+    /// Per-device baseline snapshots (reset targets of drift-scheduled
+    /// recalibrations); populated iff a drift model is attached. An
+    /// explicit [`Service::recalibrate`] moves the baseline too — the
+    /// newest official snapshot is what a reset restores.
+    baselines: Option<Vec<(Calibration, CrosstalkModel)>>,
+    /// How the route cache reacts to epoch bumps.
+    invalidation: CacheInvalidation,
 }
 
 impl std::fmt::Debug for Service {
@@ -470,16 +569,22 @@ pub struct RouteCacheStats {
     pub misses: usize,
     /// Entries currently cached.
     pub entries: usize,
+    /// Entries dropped by calibration-epoch invalidations (0 on a
+    /// frozen fleet, and always 0 under
+    /// [`CacheInvalidation::Never`]).
+    pub invalidated: usize,
 }
 
 /// Cross-batch memo of the planning probes the dispatch loop repeats
 /// for similar jobs: the routing policy's solo-partition score and the
 /// head-only EFS gate's copy count. Both are pure functions of
-/// *(device, circuit shape, partition policy[, threshold])* — the
-/// registry and its calibrations are frozen once the service is built,
-/// so entries never go stale and live for the service's lifetime (a
-/// future recalibration API must clear this cache when it mutates a
-/// device).
+/// *(device, circuit shape, partition policy[, threshold])* **at a
+/// fixed calibration epoch**: an entry is valid for exactly one epoch
+/// of its device, and the service drops a device's entries whenever
+/// its epoch bumps (recalibration or a changing drift step) under the
+/// default [`CacheInvalidation::EpochAware`] protocol. A frozen fleet
+/// never bumps, so its entries live for the service's lifetime —
+/// bit-for-bit the pre-live-fleet behaviour.
 #[derive(Debug, Default)]
 struct RouteCache {
     /// Solo-best EFS partition score of a circuit shape on a device;
@@ -491,6 +596,21 @@ struct RouteCache {
     head_cap: HashMap<(usize, u64, u64, u64), Result<usize, CoreError>>,
     hits: usize,
     misses: usize,
+    invalidated: usize,
+}
+
+impl RouteCache {
+    /// Drops every entry keyed by `device_index` (one device's epoch
+    /// bumped; other devices' entries stay valid) and returns how many
+    /// entries were dropped.
+    fn invalidate_device(&mut self, device_index: usize) -> usize {
+        let before = self.solo.len() + self.head_cap.len();
+        self.solo.retain(|k, _| k.0 != device_index);
+        self.head_cap.retain(|k, _| k.0 != device_index);
+        let dropped = before - (self.solo.len() + self.head_cap.len());
+        self.invalidated += dropped;
+        dropped
+    }
 }
 
 /// Feeds a value's `Debug` rendering straight into a hasher without
@@ -554,15 +674,239 @@ impl Service {
     /// Statistics of the cross-batch planning cache: how many
     /// partition/candidate probes the dispatch loop answered from memo
     /// instead of recomputing. Entries are keyed by *(device, circuit
-    /// shape, partition policy[, threshold])* and never invalidate —
-    /// the fleet and its calibrations are frozen at
-    /// [`ServiceBuilder::build`].
+    /// shape, partition policy[, threshold])* and are valid for exactly
+    /// one calibration **epoch** of their device: a
+    /// [`Service::recalibrate`] or a changing [`Service::advance_drift`]
+    /// step bumps the device's epoch and (under the default
+    /// [`CacheInvalidation::EpochAware`] mode) drops that device's
+    /// entries, counted in [`RouteCacheStats::invalidated`]. On a
+    /// frozen fleet epochs never bump and entries live for the
+    /// service's lifetime.
     pub fn route_cache_stats(&self) -> RouteCacheStats {
         RouteCacheStats {
             hits: self.route_cache.hits,
             misses: self.route_cache.misses,
             entries: self.route_cache.solo.len() + self.route_cache.head_cap.len(),
+            invalidated: self.route_cache.invalidated,
         }
+    }
+
+    /// A device's current calibration epoch (see
+    /// [`DeviceRegistry::epoch`]).
+    pub fn device_epoch(&self, device: DeviceId) -> u64 {
+        self.registry.epoch(device)
+    }
+
+    /// Installs a fresh calibration snapshot on a device — the live
+    /// fleet's "daily recalibration arrived" entry point.
+    ///
+    /// The snapshot is **validated before it can touch anything**: a
+    /// snapshot with NaN/infinite entries, the wrong qubit count or
+    /// missing link entries is rejected with a typed error and the
+    /// device, its epoch and the planning cache are left exactly as
+    /// they were. On success the device's calibration epoch bumps, the
+    /// device's cached planning probes are dropped (under
+    /// [`CacheInvalidation::EpochAware`]), an
+    /// [`Event::DeviceRecalibrated`] is emitted, and — when a drift
+    /// model is attached — the new snapshot becomes the baseline that
+    /// drift-scheduled recalibration resets restore. Returns the new
+    /// epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidCalibration`] with the disqualifying
+    /// [`CalibrationFault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` came from a different registry and is out of
+    /// range.
+    pub fn recalibrate(
+        &mut self,
+        device: DeviceId,
+        calibration: Calibration,
+    ) -> Result<u64, RuntimeError> {
+        let dev = self.registry.get(device);
+        let fault = if calibration.num_qubits() != dev.num_qubits() {
+            Some(CalibrationFault::QubitCountMismatch {
+                expected: dev.num_qubits(),
+                got: calibration.num_qubits(),
+            })
+        } else if !calibration.all_finite() {
+            Some(CalibrationFault::NonFinite)
+        } else if !calibration.covers(dev.topology()) {
+            Some(CalibrationFault::MissingLinks)
+        } else {
+            None
+        };
+        if let Some(fault) = fault {
+            return Err(RuntimeError::InvalidCalibration {
+                device: dev.name().to_string(),
+                fault,
+            });
+        }
+        let name = dev.name().to_string();
+        if let Some(baselines) = &mut self.baselines {
+            baselines[device.index()].0 = calibration.clone();
+        }
+        let epoch = self.registry.recalibrate(device, calibration);
+        self.bump_epoch(device.index(), name, epoch);
+        Ok(epoch)
+    }
+
+    /// Advances the fleet's calibration drift to simulated time `now`
+    /// (ns): for every device, applies each drift step the attached
+    /// [`DriftModel`] schedules between the last advance and `now` —
+    /// [`DriftEvent::Drift`] steps perturb the calibration state,
+    /// [`DriftEvent::Recalibrate`] steps restore the device's baseline
+    /// snapshot. Each step that actually changes a device bumps its
+    /// calibration epoch, drops its cached planning probes (under the
+    /// default [`CacheInvalidation::EpochAware`] mode) and emits an
+    /// [`Event::DeviceRecalibrated`]; no-op steps (zero-sigma walks, or
+    /// resets of an undrifted device) leave epoch, cache and telemetry
+    /// untouched, so a zero-drift service stays bit-for-bit a frozen
+    /// one. Returns the number of epoch bumps.
+    ///
+    /// Drift is advanced **explicitly**, never implicitly by
+    /// [`Service::tick`] — [`Service::run_until_drained`] jumps to an
+    /// infinite horizon, which is a fine dispatch bound but not a
+    /// meaningful drift time. Interleave `advance_drift(t)` with
+    /// `tick(t)` to co-evolve queue and noise; time never runs
+    /// backwards (an earlier `now` than a previous advance is a
+    /// no-op). Without an attached model this is a no-op returning 0.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NonFiniteTime`] unless `now` is finite;
+    /// [`RuntimeError::DriftHorizonTooFar`] when the advance would
+    /// schedule more than [`MAX_DRIFT_STEPS_PER_ADVANCE`] steps per
+    /// device (a mismatched clock unit or a degenerate interval —
+    /// every step must actually run or the noise trajectory would
+    /// fork, so runaway advances are refused, not truncated; state is
+    /// untouched). [`RuntimeError::InvalidCalibration`] when a
+    /// misbehaving model produces NaN/infinite values — the same
+    /// validation gate [`Service::recalibrate`] applies to explicit
+    /// snapshots: the offending step is rolled back (no epoch bump, no
+    /// cache drop) and that device stops just before it, while earlier
+    /// steps and other devices stand, so a fixed model can resume
+    /// exactly where drift halted.
+    pub fn advance_drift(&mut self, now: f64) -> Result<usize, RuntimeError> {
+        if !now.is_finite() {
+            return Err(RuntimeError::NonFiniteTime { value: now });
+        }
+        // Taken (not borrowed) so the loop below can mutate registry,
+        // cache and event log while consulting the model.
+        let Some(model) = self.drift.take() else {
+            return Ok(0);
+        };
+        let target = model.steps_at(now);
+        let applied_min = self.drift_steps.iter().copied().min().unwrap_or(0);
+        if target.saturating_sub(applied_min) > MAX_DRIFT_STEPS_PER_ADVANCE {
+            self.drift = Some(model);
+            return Err(RuntimeError::DriftHorizonTooFar {
+                steps: target - applied_min,
+                max: MAX_DRIFT_STEPS_PER_ADVANCE,
+            });
+        }
+        let mut bumps = 0usize;
+        let mut fault: Option<RuntimeError> = None;
+        'devices: for index in 0..self.registry.len() {
+            let applied = self.drift_steps[index];
+            if target <= applied {
+                continue;
+            }
+            let id = DeviceId::from_index(index);
+            let mut device_bumped = false;
+            for step in applied + 1..=target {
+                let new_epoch = match model.event_at(step) {
+                    // Applied against a scratch copy so a model that
+                    // produces NaN/infinity can be rejected with the
+                    // live state untouched — the same gate
+                    // `recalibrate` applies to explicit snapshots.
+                    DriftEvent::Drift => {
+                        let mut poisoned = false;
+                        let epoch = self.registry.mutate_calibration(id, |cal, xt| {
+                            let (mut next_cal, mut next_xt) = (cal.clone(), xt.clone());
+                            if !model.apply_step(step, index as u64, &mut next_cal, &mut next_xt) {
+                                return false;
+                            }
+                            if next_cal.all_finite() && next_xt.all_finite() {
+                                *cal = next_cal;
+                                *xt = next_xt;
+                                true
+                            } else {
+                                poisoned = true;
+                                false
+                            }
+                        });
+                        if poisoned {
+                            fault = Some(RuntimeError::InvalidCalibration {
+                                device: self.registry.device_at(index).name().to_string(),
+                                fault: CalibrationFault::NonFinite,
+                            });
+                            // Steps up to the poisoned one stand; the
+                            // device stays at `step - 1` so a fixed
+                            // model could resume exactly there.
+                            self.drift_steps[index] = step - 1;
+                            if device_bumped && self.invalidation == CacheInvalidation::EpochAware {
+                                self.route_cache.invalidate_device(index);
+                            }
+                            continue 'devices;
+                        }
+                        epoch
+                    }
+                    // Restore-by-clone only when the device actually
+                    // drifted away from its baseline; the common
+                    // nothing-changed reset costs two comparisons.
+                    DriftEvent::Recalibrate => {
+                        let (base_cal, base_xt) = &self
+                            .baselines
+                            .as_ref()
+                            .expect("a drifting service always snapshots baselines at build")
+                            [index];
+                        self.registry.mutate_calibration(id, |cal, xt| {
+                            if cal == base_cal && xt == base_xt {
+                                false
+                            } else {
+                                *cal = base_cal.clone();
+                                *xt = base_xt.clone();
+                                true
+                            }
+                        })
+                    }
+                };
+                if let Some(epoch) = new_epoch {
+                    // One telemetry event per epoch bump; the cache
+                    // drop is coalesced to once per device below (no
+                    // dispatch can repopulate it mid-advance).
+                    let device = self.registry.device_at(index).name().to_string();
+                    self.emit(Event::DeviceRecalibrated { device, epoch });
+                    device_bumped = true;
+                    bumps += 1;
+                }
+            }
+            self.drift_steps[index] = target;
+            if device_bumped && self.invalidation == CacheInvalidation::EpochAware {
+                self.route_cache.invalidate_device(index);
+            }
+        }
+        self.drift = Some(model);
+        match fault {
+            Some(err) => Err(err),
+            None => Ok(bumps),
+        }
+    }
+
+    /// The epoch-bump fanout: per-device cache invalidation (under the
+    /// epoch-aware mode) plus telemetry.
+    fn bump_epoch(&mut self, device_index: usize, device_name: String, epoch: u64) {
+        if self.invalidation == CacheInvalidation::EpochAware {
+            self.route_cache.invalidate_device(device_index);
+        }
+        self.emit(Event::DeviceRecalibrated {
+            device: device_name,
+            epoch,
+        });
     }
 
     /// Jobs admitted but not yet dispatched.
@@ -643,6 +987,7 @@ impl Service {
                 arrival: request.arrival,
                 strategy: request.strategy,
                 fidelity_threshold: request.fidelity_threshold,
+                shot_parallelism: request.shot_parallelism,
                 skips: 0,
             },
         );
@@ -1227,6 +1572,16 @@ impl Service {
             .iter()
             .map(|&s| self.pending_by_seq(s).shots)
             .collect();
+        // Per-member effective shot parallelism: the job's override, or
+        // the service default.
+        let parallelism: Vec<ShotParallelism> = member_seqs
+            .iter()
+            .map(|&s| {
+                self.pending_by_seq(s)
+                    .shot_parallelism
+                    .unwrap_or(self.cfg.shot_parallelism)
+            })
+            .collect();
         let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
         let results = execute_members(
             pipeline,
@@ -1235,7 +1590,7 @@ impl Service {
             &shots,
             batch_seed,
             self.cfg.mode,
-            self.cfg.shot_parallelism,
+            &parallelism,
         )?;
 
         let makespan = plan.context.makespan;
@@ -1392,9 +1747,10 @@ fn worst_excess_position(excesses: &[f64]) -> usize {
 }
 
 /// Executes every program of a planned batch, one scoped thread per
-/// program (or serially under [`ExecutionMode::Serial`]), each
-/// program's shot budget spread per `parallelism`. Results come back in
-/// program order regardless of thread scheduling.
+/// program (or serially under [`ExecutionMode::Serial`]), program `i`'s
+/// shot budget spread per `parallelism[i]` (the job's effective mode:
+/// its per-request override or the service default). Results come back
+/// in program order regardless of thread scheduling.
 #[allow(clippy::too_many_arguments)]
 fn execute_members(
     pipeline: &Pipeline,
@@ -1403,12 +1759,12 @@ fn execute_members(
     shots: &[usize],
     batch_seed: u64,
     mode: ExecutionMode,
-    parallelism: ShotParallelism,
+    parallelism: &[ShotParallelism],
 ) -> Result<Vec<ProgramResult>, RuntimeError> {
     let exec_for = |pos: usize| ExecutionConfig {
         shots: shots[pos],
         seed: batch_seed,
-        parallelism,
+        parallelism: parallelism[pos],
         ..ParallelConfig::default().execution
     };
     match mode {
@@ -1807,6 +2163,285 @@ mod tests {
         // excesses).
         assert_eq!(worst_excess_position(&[0.0, 2.0, 2.0]), 2);
         assert_eq!(worst_excess_position(&[3.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn advance_drift_without_model_is_a_noop_and_rejects_nonfinite() {
+        let mut service = fifo_service(2);
+        submit_all(&mut service, 2);
+        assert_eq!(service.advance_drift(1e9).unwrap(), 0);
+        assert_eq!(service.device_epoch(DeviceId::from_index(0)), 0);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                service.advance_drift(bad).unwrap_err(),
+                RuntimeError::NonFiniteTime { .. }
+            ));
+        }
+        assert!(service.event_log().recalibrations().is_empty());
+    }
+
+    fn aware_two_chip_service(invalidation: CacheInvalidation) -> Service {
+        Service::builder()
+            .device(ibm::melbourne())
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .routing(crate::registry::CalibrationAware::default())
+            .cache_invalidation(invalidation)
+            .max_parallel(2)
+            .default_shots(16)
+            .seed(8)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn recalibration_bumps_epoch_invalidates_cache_and_emits_event() {
+        let mut service = aware_two_chip_service(CacheInvalidation::EpochAware);
+        submit_all(&mut service, 4);
+        service.run_until_drained().unwrap();
+        let warm = service.route_cache_stats();
+        // Every shape was probed on both chips: half the entries belong
+        // to each device.
+        assert!(
+            warm.entries >= 2 && warm.entries.is_multiple_of(2),
+            "{warm:?}"
+        );
+        assert_eq!(warm.invalidated, 0);
+
+        let mel = DeviceId::from_index(0);
+        let fresh = ibm::melbourne().calibration().clone();
+        let epoch = service.recalibrate(mel, fresh).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(service.device_epoch(mel), 1);
+        assert_eq!(service.device_epoch(DeviceId::from_index(1)), 0);
+        let stats = service.route_cache_stats();
+        // Only Melbourne's entries dropped; Toronto's survive.
+        assert_eq!(stats.entries, warm.entries / 2);
+        assert_eq!(stats.invalidated, warm.entries / 2);
+        assert_eq!(
+            service.event_log().recalibrations(),
+            vec![(ibm::melbourne().name(), 1)]
+        );
+        // The next same-shape dispatch re-probes the recalibrated chip.
+        submit_all(&mut service, 2);
+        service.run_until_drained().unwrap();
+        assert!(service.route_cache_stats().entries > stats.entries);
+        assert!(service.route_cache_stats().misses > warm.misses);
+    }
+
+    #[test]
+    fn stale_cache_mode_survives_recalibration() {
+        let mut service = aware_two_chip_service(CacheInvalidation::Never);
+        submit_all(&mut service, 4);
+        service.run_until_drained().unwrap();
+        let warm = service.route_cache_stats();
+        let mel = DeviceId::from_index(0);
+        let fresh = ibm::melbourne().calibration().clone();
+        service.recalibrate(mel, fresh).unwrap();
+        // Epoch and telemetry still move — only the cache stays stale.
+        assert_eq!(service.device_epoch(mel), 1);
+        let stats = service.route_cache_stats();
+        assert_eq!(stats.entries, warm.entries);
+        assert_eq!(stats.invalidated, 0);
+    }
+
+    #[test]
+    fn invalid_recalibrations_are_rejected_typed_without_side_effects() {
+        let mut service = aware_two_chip_service(CacheInvalidation::EpochAware);
+        submit_all(&mut service, 4);
+        service.run_until_drained().unwrap();
+        let warm = service.route_cache_stats();
+        let mel = DeviceId::from_index(0);
+
+        // NaN entries must not reach the device or the cache.
+        let mut poisoned = ibm::melbourne().calibration().clone();
+        poisoned.set_readout_error(3, f64::NAN);
+        let err = service.recalibrate(mel, poisoned).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::InvalidCalibration {
+                fault: crate::scheduler::CalibrationFault::NonFinite,
+                ..
+            }
+        ));
+
+        // Wrong qubit count.
+        let wrong = ibm::toronto().calibration().clone();
+        assert!(matches!(
+            service.recalibrate(mel, wrong).unwrap_err(),
+            RuntimeError::InvalidCalibration {
+                fault: crate::scheduler::CalibrationFault::QubitCountMismatch { .. },
+                ..
+            }
+        ));
+
+        // Right qubit count, wrong link set.
+        let line = qucp_device::Topology::line(ibm::melbourne().num_qubits());
+        let uncovering = Calibration::uniform(&line, 0.02, 3e-4, 0.03);
+        assert!(matches!(
+            service.recalibrate(mel, uncovering).unwrap_err(),
+            RuntimeError::InvalidCalibration {
+                fault: crate::scheduler::CalibrationFault::MissingLinks,
+                ..
+            }
+        ));
+
+        // No side effects: epoch, cache and telemetry untouched.
+        assert_eq!(service.device_epoch(mel), 0);
+        assert_eq!(service.route_cache_stats(), warm);
+        assert!(service.event_log().recalibrations().is_empty());
+    }
+
+    #[test]
+    fn drift_steps_bump_epochs_and_recalibration_resets_restore_baseline() {
+        let baseline = ibm::toronto().calibration().clone();
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .drift(qucp_device::GaussianWalk::new(3, 1000.0).with_recalibration_every(4))
+            .max_parallel(2)
+            .seed(42)
+            .build()
+            .unwrap();
+        let tor = DeviceId::from_index(0);
+        // Three drift steps: three bumps, calibration has moved.
+        assert_eq!(service.advance_drift(3000.0).unwrap(), 3);
+        assert_eq!(service.device_epoch(tor), 3);
+        assert_ne!(service.registry().get(tor).calibration(), &baseline);
+        // Step 4 is the recalibration reset: back to baseline.
+        assert_eq!(service.advance_drift(4000.0).unwrap(), 1);
+        assert_eq!(service.device_epoch(tor), 4);
+        assert_eq!(service.registry().get(tor).calibration(), &baseline);
+        // Time never runs backwards; replaying an old horizon is a noop.
+        assert_eq!(service.advance_drift(2000.0).unwrap(), 0);
+        assert_eq!(service.device_epoch(tor), 4);
+        // Telemetry recorded one event per bump, epochs ascending.
+        assert_eq!(
+            service
+                .event_log()
+                .recalibrations()
+                .iter()
+                .map(|&(_, e)| e)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn poisoning_drift_steps_are_rolled_back_with_a_typed_error() {
+        // A misbehaving model (no clamps) writing NaN must hit the same
+        // gate as an explicit NaN recalibration: typed error, step
+        // rolled back, nothing bumped or emitted.
+        #[derive(Debug)]
+        struct PoisonDrift;
+        impl DriftModel for PoisonDrift {
+            fn steps_at(&self, now: f64) -> u64 {
+                qucp_device::interval_steps(now, 1000.0)
+            }
+            fn apply_step(
+                &self,
+                _step: u64,
+                _salt: u64,
+                calibration: &mut Calibration,
+                _crosstalk: &mut CrosstalkModel,
+            ) -> bool {
+                calibration.set_readout_error(0, f64::NAN);
+                true
+            }
+        }
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .drift(PoisonDrift)
+            .max_parallel(2)
+            .seed(42)
+            .build()
+            .unwrap();
+        let baseline = ibm::toronto().calibration().clone();
+        let err = service.advance_drift(3000.0).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::InvalidCalibration {
+                fault: CalibrationFault::NonFinite,
+                ..
+            }
+        ));
+        let tor = DeviceId::from_index(0);
+        assert_eq!(service.device_epoch(tor), 0, "poisoned step must not bump");
+        assert_eq!(service.registry().get(tor).calibration(), &baseline);
+        assert!(service.event_log().recalibrations().is_empty());
+    }
+
+    #[test]
+    fn runaway_drift_horizons_are_refused_not_truncated() {
+        // A clock-unit mismatch (e.g. seconds against a nanosecond
+        // interval) must fail loudly with state untouched, never spin
+        // through quadrillions of steps or silently skip some.
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .drift(qucp_device::GaussianWalk::new(3, 1.0))
+            .max_parallel(2)
+            .seed(42)
+            .build()
+            .unwrap();
+        let horizon = (MAX_DRIFT_STEPS_PER_ADVANCE + 1) as f64;
+        let err = service.advance_drift(horizon).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::DriftHorizonTooFar {
+                steps,
+                max: MAX_DRIFT_STEPS_PER_ADVANCE,
+            } if steps == MAX_DRIFT_STEPS_PER_ADVANCE + 1
+        ));
+        assert_eq!(service.device_epoch(DeviceId::from_index(0)), 0);
+        assert!(service.event_log().recalibrations().is_empty());
+        // The refusal is recoverable (the model is restored) and the
+        // bound is per advance: bounded hops still make progress.
+        assert!(service.advance_drift(10.0).unwrap() > 0);
+        assert!(service.advance_drift(60.0).unwrap() > 0);
+    }
+
+    #[test]
+    fn per_job_shot_parallelism_override_applies() {
+        // Two identical jobs in one service, one overriding to sharded:
+        // the override job's counts must match a service whose *default*
+        // is sharded, the other job must match the serial default.
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        let run = |default: ShotParallelism, with_override: bool| {
+            let mut service = Service::builder()
+                .device(ibm::toronto())
+                .strategy(strategy::qucp(4.0))
+                .shot_parallelism(default)
+                .max_parallel(1)
+                .default_shots(256)
+                .seed(7)
+                .build()
+                .unwrap();
+            for i in 0..2u64 {
+                let mut req = JobRequest::new(bell.clone(), 0.0).with_id(i);
+                if with_override && i == 0 {
+                    req = req.with_shot_parallelism(ShotParallelism::sharded(4));
+                }
+                service.submit(req).unwrap();
+            }
+            service.run_until_drained().unwrap()
+        };
+        let mixed = run(ShotParallelism::Serial, true);
+        let all_serial = run(ShotParallelism::Serial, false);
+        let all_sharded = run(ShotParallelism::sharded(4), false);
+        assert_eq!(
+            mixed.job_results[0].result.counts, all_sharded.job_results[0].result.counts,
+            "override job runs sharded"
+        );
+        assert_eq!(
+            mixed.job_results[1].result.counts, all_serial.job_results[1].result.counts,
+            "non-override job keeps the service default"
+        );
+        assert_ne!(
+            mixed.job_results[0].result.counts, all_serial.job_results[0].result.counts,
+            "the override must actually change the sample"
+        );
     }
 
     #[test]

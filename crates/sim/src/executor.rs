@@ -59,6 +59,15 @@ pub enum ShotParallelism {
         /// wall-clock time, never the counts.
         threads: usize,
     },
+    /// Adaptive sharding: pick the shard count from the job's shot
+    /// budget via [`auto_shard_count`] (one shard per
+    /// [`AUTO_SHOTS_PER_SHARD`] shots, at least 1, at most
+    /// [`AUTO_MAX_SHARDS`]) and run on all available cores. The counts
+    /// stay a pure function of `(seed, shots)` — the shot budget
+    /// *determines* the shard split, so two runs of the same job agree
+    /// bit-for-bit on any machine, and `Auto` on an `n`-shot job equals
+    /// `Sharded { shards: auto_shard_count(n), threads: 0 }` exactly.
+    Auto,
 }
 
 impl ShotParallelism {
@@ -67,23 +76,58 @@ impl ShotParallelism {
         ShotParallelism::Sharded { shards, threads: 0 }
     }
 
-    /// The same shard split with an explicit worker cap.
+    /// The same shard split with an explicit worker cap. `Serial` and
+    /// `Auto` are unaffected: the former has no workers, the latter
+    /// always uses all available cores (cap the workers by resolving
+    /// the split yourself with [`auto_shard_count`] and `Sharded`).
     #[must_use]
     pub fn with_threads(self, threads: usize) -> Self {
         match self {
             ShotParallelism::Serial => ShotParallelism::Serial,
             ShotParallelism::Sharded { shards, .. } => ShotParallelism::Sharded { shards, threads },
+            ShotParallelism::Auto => ShotParallelism::Auto,
+        }
+    }
+
+    /// The concrete mode a job of `shots` runs under: `Auto` resolves
+    /// to its budget-derived shard split, everything else is returned
+    /// unchanged.
+    #[must_use]
+    pub fn resolve(self, shots: usize) -> Self {
+        match self {
+            ShotParallelism::Auto => ShotParallelism::Sharded {
+                shards: auto_shard_count(shots),
+                threads: 0,
+            },
+            other => other,
         }
     }
 }
 
-/// The SplitMix64 output mixing function (Steele, Lea & Flood 2014).
-fn splitmix64(state: u64) -> u64 {
-    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+/// Shot budget one auto-picked shard covers (see [`auto_shard_count`]).
+pub const AUTO_SHOTS_PER_SHARD: usize = 512;
+
+/// Upper bound on auto-picked shard counts (see [`auto_shard_count`]).
+pub const AUTO_MAX_SHARDS: usize = 32;
+
+/// The shard count [`ShotParallelism::Auto`] picks for a job of
+/// `shots`: `clamp(shots / AUTO_SHOTS_PER_SHARD, 1, AUTO_MAX_SHARDS)`.
+///
+/// The heuristic keeps every shard busy enough to amortize its scratch
+/// setup (at least [`AUTO_SHOTS_PER_SHARD`] = 512 shots per shard, so
+/// small jobs run 1 shard ≈ serially) while bounding the split (at most
+/// [`AUTO_MAX_SHARDS`] = 32 shards, past which merge overhead and
+/// diminishing stream lengths dominate). It deliberately ignores the
+/// machine's core count: shards determine the counts, so they must be
+/// a pure function of the job, never of the host.
+pub fn auto_shard_count(shots: usize) -> usize {
+    (shots / AUTO_SHOTS_PER_SHARD).clamp(1, AUTO_MAX_SHARDS)
 }
+
+// The workspace's canonical SplitMix64 mixer lives in `qucp-device`
+// (`qucp_device::splitmix64`, shared with the drift models' step
+// seeds); the shard-seed derivation below builds on it.
+use qucp_device::splitmix64;
 
 /// The seed of shard `shard` for a job seeded with `seed`: the
 /// `shard + 1`-th output of a SplitMix64 generator whose state starts
@@ -510,9 +554,10 @@ pub fn run_noisy_with_idle(
         ideal: &ideal,
         cfg,
     };
-    Ok(match cfg.parallelism {
+    Ok(match cfg.parallelism.resolve(cfg.shots) {
         ShotParallelism::Serial => job.run_stream(cfg.shots, cfg.seed),
         ShotParallelism::Sharded { shards, threads } => job.run_sharded(shards, threads),
+        ShotParallelism::Auto => unreachable!("Auto resolves to Sharded"),
     })
 }
 
@@ -1144,6 +1189,60 @@ mod tests {
         assert_eq!(
             ExecutionConfig::default().parallelism,
             ShotParallelism::Serial
+        );
+        assert_eq!(ShotParallelism::Auto.with_threads(4), ShotParallelism::Auto);
+    }
+
+    #[test]
+    fn auto_shard_count_heuristic_bounds() {
+        // One shard per 512 shots, clamped to [1, 32].
+        assert_eq!(auto_shard_count(0), 1);
+        assert_eq!(auto_shard_count(1), 1);
+        assert_eq!(auto_shard_count(511), 1);
+        assert_eq!(auto_shard_count(512), 1);
+        assert_eq!(auto_shard_count(1024), 2);
+        assert_eq!(auto_shard_count(8192), 16);
+        assert_eq!(auto_shard_count(1 << 20), AUTO_MAX_SHARDS);
+        // Resolution is pure in the shot budget.
+        assert_eq!(
+            ShotParallelism::Auto.resolve(8192),
+            ShotParallelism::Sharded {
+                shards: 16,
+                threads: 0
+            }
+        );
+        assert_eq!(
+            ShotParallelism::Serial.resolve(8192),
+            ShotParallelism::Serial
+        );
+        assert_eq!(
+            ShotParallelism::sharded(3).resolve(8192),
+            ShotParallelism::sharded(3)
+        );
+    }
+
+    #[test]
+    fn auto_matches_its_resolved_sharded_split_bit_for_bit() {
+        let dev = line_device(2, 0.05, 0.02);
+        let run_with = |parallelism: ShotParallelism| {
+            let cfg = ExecutionConfig::default()
+                .with_shots(2048)
+                .with_seed(77)
+                .with_parallelism(parallelism);
+            run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap()
+        };
+        let auto = run_with(ShotParallelism::Auto);
+        assert_eq!(auto.shots(), 2048);
+        assert_eq!(
+            auto,
+            run_with(ShotParallelism::sharded(auto_shard_count(2048))),
+            "Auto must equal its resolved explicit split"
+        );
+        // Thread caps on the resolved split cannot change the counts,
+        // so Auto (threads = all cores) is thread-count invariant too.
+        assert_eq!(
+            auto,
+            run_with(ShotParallelism::sharded(auto_shard_count(2048)).with_threads(1))
         );
     }
 

@@ -32,7 +32,11 @@
 //! and [`ExecutionConfig::parallelism`] exploits that:
 //! [`ShotParallelism::Sharded`] splits the shot budget into a fixed
 //! number of *shards*, each an independent sequential RNG stream,
-//! executed by scoped worker threads.
+//! executed by scoped worker threads. [`ShotParallelism::Auto`] picks
+//! the shard count from the shot budget itself
+//! ([`auto_shard_count`]: one shard per 512 shots, capped at 32) so
+//! callers need not hand-tune the split — the resolution depends only
+//! on the job, never the machine, keeping counts deterministic.
 //!
 //! **Shard-RNG derivation.** Shard `s` of a job seeded with `seed`
 //! seeds its `StdRng` with [`derive_shard_seed`]`(seed, s)` — the
@@ -81,9 +85,9 @@ mod unitaries;
 pub use counts::Counts;
 pub use density::{apply_readout_confusion, exact_probabilities, DensityMatrix};
 pub use executor::{
-    derive_shard_seed, gate_durations, ideal_outcome, noiseless_probabilities, run_ideal,
-    run_noisy, run_noisy_with_idle, trivial_layout, ExecutionConfig, NoiseScaling, ShotParallelism,
-    SimError,
+    auto_shard_count, derive_shard_seed, gate_durations, ideal_outcome, noiseless_probabilities,
+    run_ideal, run_noisy, run_noisy_with_idle, trivial_layout, ExecutionConfig, NoiseScaling,
+    ShotParallelism, SimError, AUTO_MAX_SHARDS, AUTO_SHOTS_PER_SHARD,
 };
 pub use state::Statevector;
 pub use unitaries::single_qubit_matrix;

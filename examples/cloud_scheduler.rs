@@ -198,5 +198,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aware.cache.hits,
         aware.cache.misses,
     );
+
+    // --- the live fleet: calibration drift flips the chips ------------------
+    //
+    // The fleet is not frozen: between the two bursts a deterministic
+    // seesaw drift anneals the noisy twin to good while the good chip
+    // degrades ~3.4x. Epoch-aware cache invalidation re-probes the
+    // current calibration and re-routes the second burst; the
+    // stale-cache ablation keeps chasing the chip it remembers as good.
+    println!("\nCalibration drift (seesaw flip between two 9-job bursts), CalibrationAware:\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>14} {:>14}",
+        "cache mode", "EFS pre-drift", "EFS post-drift", "JSD post-drift", "invalidations"
+    );
+    let drift_aware = qucp_bench::drift_shootout(
+        qucp_runtime::CacheInvalidation::EpochAware,
+        ExecutionMode::Concurrent,
+    );
+    let drift_stale = qucp_bench::drift_shootout(
+        qucp_runtime::CacheInvalidation::Never,
+        ExecutionMode::Concurrent,
+    );
+    for (label, o) in [("epoch-aware", &drift_aware), ("stale cache", &drift_stale)] {
+        println!(
+            "{label:<14} {:>14.4} {:>14.4} {:>14.4} {:>14}",
+            o.mean_efs_before, o.mean_efs_after, o.mean_jsd_after, o.cache.invalidated,
+        );
+    }
+    assert!(
+        drift_aware.mean_efs_after < drift_stale.mean_efs_after
+            && drift_aware.mean_jsd_after < drift_stale.mean_jsd_after,
+        "epoch-aware invalidation must win under drift"
+    );
+    println!(
+        "\nEpoch-aware invalidation win on the post-drift burst: EFS -{:.1}%, JSD -{:.1}% \
+         ({} epoch bumps, post-drift jobs on annealed twin: {} vs {})",
+        100.0 * (drift_stale.mean_efs_after - drift_aware.mean_efs_after)
+            / drift_stale.mean_efs_after,
+        100.0 * (drift_stale.mean_jsd_after - drift_aware.mean_jsd_after)
+            / drift_stale.mean_jsd_after,
+        drift_aware.epoch_bumps,
+        drift_aware.fresh_jobs_per_device[0].1,
+        drift_stale.fresh_jobs_per_device[0].1,
+    );
     Ok(())
 }

@@ -1,0 +1,290 @@
+//! Integration tests for the live-fleet refactor: frozen-fleet
+//! equivalence under zero drift (property), typed rejection of poisoned
+//! recalibrations, epoch-aware re-routing after a recalibration flips
+//! the fleet's quality ordering, the drift shoot-out's payoff at test
+//! scale, and the per-job shot-parallelism overrides (thread-count
+//! invariance, `Auto` resolution).
+
+use proptest::prelude::*;
+use qucp_core::strategy;
+use qucp_device::{ibm, GaussianWalk};
+use qucp_runtime::{
+    synthetic_jobs, CacheInvalidation, CalibrationAware, CalibrationFault, JobRequest,
+    RuntimeError, Service, ServiceBuilder, ServiceReport, ShotParallelism,
+};
+use qucp_sim::auto_shard_count;
+
+fn aware_fleet_builder(seed: u64) -> ServiceBuilder {
+    Service::builder()
+        .registry(qucp_bench::skewed_fleet())
+        .strategy(strategy::qucp(4.0))
+        .routing(CalibrationAware::default())
+        .max_parallel(3)
+        .default_shots(64)
+        .seed(seed)
+}
+
+/// Drains `n` fixture jobs, interleaving `tick`s (and, when `drift` is
+/// true, `advance_drift`s) at the given horizons before the final
+/// drain.
+fn drain_with_horizons(
+    builder: ServiceBuilder,
+    n: usize,
+    horizons: &[f64],
+    drift: bool,
+) -> (ServiceReport, Vec<u64>) {
+    let mut service = builder.build().expect("build");
+    for job in synthetic_jobs(n, 300.0, 64, 0xD21F7) {
+        service.submit(JobRequest::from_job(&job)).expect("submit");
+    }
+    for &t in horizons {
+        if drift {
+            service.advance_drift(t).expect("advance");
+        }
+        service.tick(t).expect("tick");
+    }
+    let report = service.run_until_drained().expect("drain");
+    let epochs: Vec<u64> = (0..service.registry().len())
+        .map(|i| {
+            let id = service.registry().iter().nth(i).expect("device").0;
+            service.device_epoch(id)
+        })
+        .collect();
+    (report, epochs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Frozen-fleet equivalence: a zero-sigma drift walk may tick its
+    /// steps as often as it likes — no epoch ever bumps, no cache entry
+    /// ever drops, no event is emitted, and the service report is
+    /// bit-for-bit the report of a service with no drift model at all.
+    #[test]
+    fn zero_drift_advance_never_bumps_an_epoch_or_changes_results(
+        n in 3usize..7,
+        seed in 0u64..200,
+        interval in prop_oneof![Just(1_000.0), Just(25_000.0), Just(400_000.0)],
+        horizons in proptest::collection::vec(0.0f64..2e6, 0usize..4),
+    ) {
+        let (frozen, frozen_epochs) =
+            drain_with_horizons(aware_fleet_builder(seed), n, &horizons, false);
+        let walk = GaussianWalk::new(seed ^ 0xD21F7, interval).frozen();
+        let (drifted, drifted_epochs) =
+            drain_with_horizons(aware_fleet_builder(seed).drift(walk), n, &horizons, true);
+        prop_assert_eq!(&frozen, &drifted);
+        prop_assert_eq!(frozen_epochs, vec![0, 0]);
+        prop_assert_eq!(drifted_epochs, vec![0, 0]);
+        prop_assert!(drifted
+            .events
+            .iter()
+            .all(|e| !matches!(e, qucp_runtime::Event::DeviceRecalibrated { .. })));
+    }
+}
+
+/// Regression: a recalibration snapshot with NaN entries is rejected
+/// with a typed [`RuntimeError::InvalidCalibration`] *before* it can
+/// touch the device or poison the planning cache — the service then
+/// schedules exactly as if the call had never happened.
+#[test]
+fn nan_recalibration_is_rejected_and_does_not_poison_the_cache() {
+    let jobs = synthetic_jobs(6, 300.0, 64, 0xBAD);
+    let run = |poison: bool| {
+        let mut service = aware_fleet_builder(17).build().expect("build");
+        for job in &jobs[..3] {
+            service.submit(JobRequest::from_job(job)).expect("submit");
+        }
+        service.run_until_drained().expect("drain 1");
+        if poison {
+            let (id, device) = {
+                let (id, d) = service.registry().iter().next().expect("device");
+                (id, d.name().to_string())
+            };
+            let mut bad = service.registry().get(id).calibration().clone();
+            bad.set_cx_error(qucp_device::Link::new(0, 1), f64::NAN);
+            let err = service.recalibrate(id, bad).unwrap_err();
+            match err {
+                RuntimeError::InvalidCalibration { device: d, fault } => {
+                    assert_eq!(d, device);
+                    assert_eq!(fault, CalibrationFault::NonFinite);
+                }
+                other => panic!("expected InvalidCalibration, got {other:?}"),
+            }
+            assert_eq!(service.device_epoch(id), 0, "epoch must not bump");
+            assert_eq!(service.route_cache_stats().invalidated, 0);
+            assert!(service.event_log().recalibrations().is_empty());
+        }
+        for job in &jobs[3..] {
+            service.submit(JobRequest::from_job(job)).expect("submit");
+        }
+        service.run_until_drained().expect("drain 2")
+    };
+    assert_eq!(
+        run(true),
+        run(false),
+        "a rejected recalibration must leave no trace in scheduling"
+    );
+}
+
+/// A *valid* recalibration that flips which chip is well-calibrated
+/// must re-route the next burst: the epoch bump drops the stale probes,
+/// `CalibrationAware` re-probes the current snapshots, and the load
+/// moves to the newly good chip.
+#[test]
+fn recalibration_swap_reroutes_the_next_burst() {
+    let mut service = aware_fleet_builder(23).build().expect("build");
+    let (noisy_id, good_id) = {
+        let mut it = service.registry().iter();
+        (it.next().unwrap().0, it.next().unwrap().0)
+    };
+    let noisy_cal = service.registry().get(noisy_id).calibration().clone();
+    let good_cal = service.registry().get(good_id).calibration().clone();
+    let burst = synthetic_jobs(6, 300.0, 64, 0x5A1D);
+    let jobs_on = |report: &qucp_runtime::ServiceReport, from: usize| {
+        let mut counts = [0usize; 2];
+        for b in report.batches.iter().skip(from) {
+            let idx = if b.device == "ibmq_toronto_noisy" {
+                0
+            } else {
+                1
+            };
+            counts[idx] += b.job_ids.len();
+        }
+        counts
+    };
+
+    for job in &burst {
+        service.submit(JobRequest::from_job(job)).expect("submit");
+    }
+    let before = service.run_until_drained().expect("drain 1");
+    let placed_before = jobs_on(&before, 0);
+    assert!(
+        placed_before[1] > placed_before[0],
+        "pre-swap, the good Toronto must carry the load: {placed_before:?}"
+    );
+
+    // The daily recalibration arrives — and the chips have swapped
+    // quality. Both topologies are Toronto's, so the snapshots cross
+    // over cleanly.
+    assert_eq!(service.recalibrate(noisy_id, good_cal).unwrap(), 1);
+    assert_eq!(service.recalibrate(good_id, noisy_cal).unwrap(), 1);
+    assert!(service.route_cache_stats().invalidated > 0);
+
+    let dispatched = before.batches.len();
+    for job in &burst {
+        service
+            .submit(JobRequest::new(job.circuit.clone(), job.arrival + 1e7).with_id(job.id + 50))
+            .expect("submit");
+    }
+    let after = service.run_until_drained().expect("drain 2");
+    let placed_after = jobs_on(&after, dispatched);
+    assert!(
+        placed_after[0] > placed_after[1],
+        "post-swap, the (formerly) noisy twin must carry the load: {placed_after:?}"
+    );
+    assert_eq!(
+        service.event_log().recalibrations(),
+        vec![("ibmq_toronto_noisy", 1), ("ibmq_toronto", 1)]
+    );
+}
+
+/// The drift shoot-out's acceptance bar at test scale: with the seesaw
+/// drift enabled, epoch-aware cache invalidation strictly beats the
+/// stale cache on post-drift delivered fidelity, deterministically.
+#[test]
+fn epoch_aware_invalidation_beats_stale_cache_under_drift() {
+    use qucp_runtime::ExecutionMode;
+    let aware = qucp_bench::drift_shootout(CacheInvalidation::EpochAware, ExecutionMode::Serial);
+    let stale = qucp_bench::drift_shootout(CacheInvalidation::Never, ExecutionMode::Serial);
+    assert_eq!(
+        (aware.mean_efs_before, aware.mean_jsd_before),
+        (stale.mean_efs_before, stale.mean_jsd_before),
+        "pre-drift behaviour must not depend on the cache mode"
+    );
+    assert!(aware.mean_efs_after < stale.mean_efs_after);
+    assert!(aware.mean_jsd_after < stale.mean_jsd_after);
+    assert!(aware.cache.invalidated > 0);
+    assert_eq!(stale.cache.invalidated, 0);
+}
+
+/// Per-job `ShotParallelism` overrides are thread-count invariant: the
+/// same mixed workload produces bit-for-bit the same report at 1, 2 and
+/// 4 worker threads (shards fix the counts; threads only move
+/// wall-clock time).
+#[test]
+fn per_job_parallelism_override_is_thread_count_invariant() {
+    let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+    let fred = qucp_circuit::library::by_name("fred").unwrap().circuit();
+    let run = |threads: usize| {
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(2)
+            .default_shots(512)
+            .seed(0x0DD)
+            .build()
+            .expect("build");
+        // A sharded big job, an Auto job and a default-serial job
+        // co-scheduled: only the explicit shard split carries a thread
+        // cap, and no report field may depend on it.
+        service
+            .submit(
+                JobRequest::new(fred.clone(), 0.0)
+                    .with_id(0)
+                    .with_shots(2048)
+                    .with_shot_parallelism(ShotParallelism::Sharded { shards: 4, threads }),
+            )
+            .expect("submit");
+        service
+            .submit(
+                JobRequest::new(bell.clone(), 0.0)
+                    .with_id(1)
+                    .with_shot_parallelism(ShotParallelism::Auto),
+            )
+            .expect("submit");
+        service
+            .submit(JobRequest::new(bell.clone(), 10.0).with_id(2))
+            .expect("submit");
+        service.run_until_drained().expect("drain")
+    };
+    let reference = run(1);
+    assert_eq!(reference, run(2));
+    assert_eq!(reference, run(4));
+    assert_eq!(reference.job_results.len(), 3);
+}
+
+/// `ShotParallelism::Auto` resolves from the shot budget alone: an Auto
+/// override equals the explicit `Sharded` split `auto_shard_count`
+/// prescribes, and differs from the serial default.
+#[test]
+fn auto_override_matches_its_documented_resolution() {
+    let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+    let shots = 2048usize;
+    let run = |parallelism: Option<ShotParallelism>| {
+        let mut service = Service::builder()
+            .device(ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(1)
+            .default_shots(shots)
+            .seed(0xA070)
+            .build()
+            .expect("build");
+        let mut req = JobRequest::new(bell.clone(), 0.0);
+        if let Some(p) = parallelism {
+            req = req.with_shot_parallelism(p);
+        }
+        service.submit(req).expect("submit");
+        service.run_until_drained().expect("drain")
+    };
+    let auto = run(Some(ShotParallelism::Auto));
+    let explicit = run(Some(ShotParallelism::sharded(auto_shard_count(shots))));
+    let serial = run(None);
+    assert_eq!(
+        auto.job_results[0].result.counts,
+        explicit.job_results[0].result.counts
+    );
+    assert_ne!(
+        auto.job_results[0].result.counts, serial.job_results[0].result.counts,
+        "a 2048-shot Auto job must actually shard"
+    );
+}
