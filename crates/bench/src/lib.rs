@@ -96,7 +96,8 @@ pub fn trajectory_job() -> (qucp_device::Device, qucp_core::pipeline::PlannedWor
 }
 
 /// Runs program 0 of a [`trajectory_job`] plan under `parallelism`
-/// with [`PAPER_SHOTS`] shots.
+/// with [`PAPER_SHOTS`] shots on the default
+/// [`Replay`](qucp_sim::TrajectoryKernel::Replay) kernel.
 ///
 /// # Panics
 ///
@@ -106,10 +107,31 @@ pub fn run_trajectory_job(
     plan: &qucp_core::pipeline::PlannedWorkload,
     parallelism: qucp_sim::ShotParallelism,
 ) -> qucp_sim::Counts {
+    run_trajectory_job_with_kernel(
+        device,
+        plan,
+        parallelism,
+        qucp_sim::TrajectoryKernel::Replay,
+    )
+}
+
+/// [`run_trajectory_job`] with an explicit trajectory kernel — the
+/// benchmark's kernel dimension.
+///
+/// # Panics
+///
+/// Panics if the mapped job is rejected by the simulator.
+pub fn run_trajectory_job_with_kernel(
+    device: &qucp_device::Device,
+    plan: &qucp_core::pipeline::PlannedWorkload,
+    parallelism: qucp_sim::ShotParallelism,
+    kernel: qucp_sim::TrajectoryKernel,
+) -> qucp_sim::Counts {
     let exec = qucp_sim::ExecutionConfig::default()
         .with_shots(PAPER_SHOTS)
         .with_seed(EXPERIMENT_SEED)
-        .with_parallelism(parallelism);
+        .with_parallelism(parallelism)
+        .with_kernel(kernel);
     let mapped = &plan.mapped[0];
     qucp_sim::run_noisy_with_idle(
         &mapped.circuit,
@@ -118,6 +140,29 @@ pub fn run_trajectory_job(
         &plan.context.scalings[0],
         &plan.context.tail_idle[0],
         &exec,
+    )
+    .expect("mapped GHZ job must simulate")
+}
+
+/// The clean-shot probability of the [`trajectory_job`] workload — the
+/// fraction of trajectories the `SurvivalSkip` kernel answers from the
+/// cached ideal state (see [`qucp_sim::clean_shot_probability`]).
+///
+/// # Panics
+///
+/// Panics if the mapped job is rejected by the simulator.
+pub fn trajectory_clean_shot_fraction(
+    device: &qucp_device::Device,
+    plan: &qucp_core::pipeline::PlannedWorkload,
+) -> f64 {
+    let mapped = &plan.mapped[0];
+    qucp_sim::clean_shot_probability(
+        &mapped.circuit,
+        &mapped.layout,
+        device,
+        &plan.context.scalings[0],
+        &plan.context.tail_idle[0],
+        &qucp_sim::ExecutionConfig::default(),
     )
     .expect("mapped GHZ job must simulate")
 }

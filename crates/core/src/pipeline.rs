@@ -86,7 +86,10 @@ pub trait Backend: Send + Sync {
     /// The same holds one level down: when `exec.parallelism` shards
     /// the shot loop ([`qucp_sim::ShotParallelism`]), the result must
     /// depend on the shard count only, never on how many worker
-    /// threads execute the shards.
+    /// threads execute the shards. `exec.kernel`
+    /// ([`qucp_sim::TrajectoryKernel`]) selects the per-shot sampler;
+    /// each kernel pins its own stream, and both obey the same
+    /// `(seed, shards)` purity contract.
     ///
     /// # Errors
     ///

@@ -61,7 +61,12 @@
 //!    ([`JobRequest::shot_parallelism`]), and
 //!    [`ShotParallelism::Auto`] picks the shard count from the job's
 //!    shot budget (one shard per 512 shots, capped at 32) so callers
-//!    need not hand-tune the split.
+//!    need not hand-tune the split. Orthogonally, the per-shot
+//!    *trajectory kernel* ([`ServiceBuilder::trajectory_kernel`],
+//!    [`TrajectoryKernel`]) chooses between the bit-pinned replay
+//!    stream and the fast survival-skip sampler, with the same
+//!    per-job override escape hatch
+//!    ([`JobRequest::with_trajectory_kernel`]).
 //! 5. **Observe** — every transition ([`Event::JobSubmitted`],
 //!    [`Event::BatchPlanned`], [`Event::BatchShrunk`],
 //!    [`Event::JobCompleted`]) lands in the service [`EventLog`] and in
@@ -157,7 +162,7 @@ pub use service::{
 
 // The shot-parallelism mode travels with the runtime config; re-export
 // it so service callers need not depend on `qucp-sim` directly.
-pub use qucp_sim::ShotParallelism;
+pub use qucp_sim::{ShotParallelism, TrajectoryKernel};
 
 // The drift types travel with `ServiceBuilder::drift` /
 // `Service::advance_drift`; re-export them so live-fleet callers need

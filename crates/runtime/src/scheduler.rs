@@ -8,7 +8,7 @@ use std::fmt;
 use qucp_core::queue::QueueStats;
 use qucp_core::{CoreError, Strategy};
 use qucp_device::Device;
-use qucp_sim::ShotParallelism;
+use qucp_sim::{ShotParallelism, TrajectoryKernel};
 
 use crate::job::{Job, JobResult};
 use crate::service::{JobRequest, Service};
@@ -48,6 +48,15 @@ pub struct RuntimeConfig {
     /// serial default keeps every report bit-for-bit identical to the
     /// pre-sharding runtime.
     pub shot_parallelism: ShotParallelism,
+    /// Default per-shot trajectory algorithm (see
+    /// [`TrajectoryKernel`]). The [`Replay`] default keeps every
+    /// report bit-for-bit identical to the pre-kernel runtime;
+    /// [`SurvivalSkip`] trades that historical stream for much cheaper
+    /// shots while sampling the identical distribution.
+    ///
+    /// [`Replay`]: TrajectoryKernel::Replay
+    /// [`SurvivalSkip`]: TrajectoryKernel::SurvivalSkip
+    pub trajectory_kernel: TrajectoryKernel,
 }
 
 impl Default for RuntimeConfig {
@@ -59,6 +68,7 @@ impl Default for RuntimeConfig {
             optimize: true,
             mode: ExecutionMode::Concurrent,
             shot_parallelism: ShotParallelism::Serial,
+            trajectory_kernel: TrajectoryKernel::Replay,
         }
     }
 }

@@ -16,7 +16,7 @@ use qucp_core::threshold::{parallel_count_for_threshold, solo_efs_scores};
 use qucp_core::{best_partition, strategy, CoreError, ParallelConfig, PartitionPolicy};
 use qucp_core::{ProgramResult, Strategy};
 use qucp_device::{Calibration, CrosstalkModel, Device, DriftEvent, DriftModel};
-use qucp_sim::{ExecutionConfig, ShotParallelism};
+use qucp_sim::{ExecutionConfig, ShotParallelism, TrajectoryKernel};
 
 use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
 use crate::job::{Job, JobResult};
@@ -78,6 +78,14 @@ pub struct JobRequest {
     /// per the [`ShotParallelism`] contract — a pure function of the
     /// effective mode and the job, never of the thread count.
     pub shot_parallelism: Option<ShotParallelism>,
+    /// Per-job trajectory-kernel override, layered over the service
+    /// default of
+    /// [`ServiceBuilder::trajectory_kernel`](crate::ServiceBuilder::trajectory_kernel):
+    /// a latency-critical probe job can run the cheap
+    /// [`SurvivalSkip`](TrajectoryKernel::SurvivalSkip) kernel while
+    /// the rest of the stream keeps the bit-pinned
+    /// [`Replay`](TrajectoryKernel::Replay) stream (or vice versa).
+    pub trajectory_kernel: Option<TrajectoryKernel>,
 }
 
 impl JobRequest {
@@ -91,6 +99,7 @@ impl JobRequest {
             strategy: None,
             fidelity_threshold: None,
             shot_parallelism: None,
+            trajectory_kernel: None,
         }
     }
 
@@ -126,6 +135,13 @@ impl JobRequest {
     #[must_use]
     pub fn with_shot_parallelism(mut self, parallelism: ShotParallelism) -> Self {
         self.shot_parallelism = Some(parallelism);
+        self
+    }
+
+    /// Overrides the trajectory kernel for this job only.
+    #[must_use]
+    pub fn with_trajectory_kernel(mut self, kernel: TrajectoryKernel) -> Self {
+        self.trajectory_kernel = Some(kernel);
         self
     }
 
@@ -191,6 +207,7 @@ struct Pending {
     strategy: Option<Strategy>,
     fidelity_threshold: Option<f64>,
     shot_parallelism: Option<ShotParallelism>,
+    trajectory_kernel: Option<TrajectoryKernel>,
     skips: usize,
 }
 
@@ -386,6 +403,19 @@ impl ServiceBuilder {
     #[must_use]
     pub fn shot_parallelism(mut self, parallelism: ShotParallelism) -> Self {
         self.cfg.shot_parallelism = parallelism;
+        self
+    }
+
+    /// Trajectory kernel for every executed program (see
+    /// [`TrajectoryKernel`]); individual jobs may override it via
+    /// [`JobRequest::with_trajectory_kernel`]. The [`Replay`]
+    /// default keeps reports bit-for-bit identical to the
+    /// pre-kernel-selection runtime.
+    ///
+    /// [`Replay`]: TrajectoryKernel::Replay
+    #[must_use]
+    pub fn trajectory_kernel(mut self, kernel: TrajectoryKernel) -> Self {
+        self.cfg.trajectory_kernel = kernel;
         self
     }
 
@@ -988,6 +1018,7 @@ impl Service {
                 strategy: request.strategy,
                 fidelity_threshold: request.fidelity_threshold,
                 shot_parallelism: request.shot_parallelism,
+                trajectory_kernel: request.trajectory_kernel,
                 skips: 0,
             },
         );
@@ -1582,6 +1613,15 @@ impl Service {
                     .unwrap_or(self.cfg.shot_parallelism)
             })
             .collect();
+        // Per-member effective trajectory kernel, same layering.
+        let kernels: Vec<TrajectoryKernel> = member_seqs
+            .iter()
+            .map(|&s| {
+                self.pending_by_seq(s)
+                    .trajectory_kernel
+                    .unwrap_or(self.cfg.trajectory_kernel)
+            })
+            .collect();
         let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
         let results = execute_members(
             pipeline,
@@ -1591,6 +1631,7 @@ impl Service {
             batch_seed,
             self.cfg.mode,
             &parallelism,
+            &kernels,
         )?;
 
         let makespan = plan.context.makespan;
@@ -1760,11 +1801,13 @@ fn execute_members(
     batch_seed: u64,
     mode: ExecutionMode,
     parallelism: &[ShotParallelism],
+    kernels: &[TrajectoryKernel],
 ) -> Result<Vec<ProgramResult>, RuntimeError> {
     let exec_for = |pos: usize| ExecutionConfig {
         shots: shots[pos],
         seed: batch_seed,
         parallelism: parallelism[pos],
+        kernel: kernels[pos],
         ..ParallelConfig::default().execution
     };
     match mode {
@@ -2440,6 +2483,49 @@ mod tests {
         );
         assert_ne!(
             mixed.job_results[0].result.counts, all_serial.job_results[0].result.counts,
+            "the override must actually change the sample"
+        );
+    }
+
+    #[test]
+    fn per_job_trajectory_kernel_override_applies() {
+        // Two identical jobs in one service, one overriding to the
+        // survival-skip kernel: the override job's counts must match a
+        // service whose *default* is survival-skip, the other job must
+        // match the replay default.
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        let run = |default: TrajectoryKernel, with_override: bool| {
+            let mut service = Service::builder()
+                .device(ibm::toronto())
+                .strategy(strategy::qucp(4.0))
+                .trajectory_kernel(default)
+                .max_parallel(1)
+                .default_shots(256)
+                .seed(7)
+                .build()
+                .unwrap();
+            for i in 0..2u64 {
+                let mut req = JobRequest::new(bell.clone(), 0.0).with_id(i);
+                if with_override && i == 0 {
+                    req = req.with_trajectory_kernel(TrajectoryKernel::SurvivalSkip);
+                }
+                service.submit(req).unwrap();
+            }
+            service.run_until_drained().unwrap()
+        };
+        let mixed = run(TrajectoryKernel::Replay, true);
+        let all_replay = run(TrajectoryKernel::Replay, false);
+        let all_survival = run(TrajectoryKernel::SurvivalSkip, false);
+        assert_eq!(
+            mixed.job_results[0].result.counts, all_survival.job_results[0].result.counts,
+            "override job runs the survival-skip kernel"
+        );
+        assert_eq!(
+            mixed.job_results[1].result.counts, all_replay.job_results[1].result.counts,
+            "non-override job keeps the service default"
+        );
+        assert_ne!(
+            mixed.job_results[0].result.counts, all_replay.job_results[0].result.counts,
             "the override must actually change the sample"
         );
     }

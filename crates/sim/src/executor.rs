@@ -8,6 +8,15 @@
 //! relaxation/dephasing errors derived from T1/T2; readout flips each
 //! measured bit with the qubit's readout error.
 //!
+//! Two per-shot algorithms sample that model (see [`TrajectoryKernel`]):
+//! the historical [`Replay`](TrajectoryKernel::Replay) stream draws one
+//! Bernoulli per event, while
+//! [`SurvivalSkip`](TrajectoryKernel::SurvivalSkip) jumps straight to
+//! the next error event through the plan's prefix survival products and
+//! answers clean shots from a per-job [`AliasTable`] in O(1). Both
+//! sample the identical distribution; they differ only in which RNG
+//! stream realizes it.
+//!
 //! Crosstalk enters through a per-gate [`NoiseScaling`]: the parallel
 //! executor in `qucp-core` inspects the *merged* schedule of all
 //! simultaneous programs and scales a CNOT's error probability by the
@@ -23,6 +32,7 @@ use qucp_device::{Calibration, Device, Link};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::alias::AliasTable;
 use crate::counts::Counts;
 use crate::state::Statevector;
 
@@ -147,6 +157,36 @@ pub fn derive_shard_seed(seed: u64, shard: usize) -> u64 {
     splitmix64(splitmix64(seed).wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64)))
 }
 
+/// Which per-shot algorithm the trajectory loop runs.
+///
+/// Both kernels sample the *same* noise model — the distribution of
+/// counts is identical — but they advance the RNG differently, so each
+/// kernel realizes its own (equally valid) trajectory stream.
+///
+/// ## Determinism contract
+///
+/// Each kernel's counts are a pure function of `(seed, shards)` under
+/// the [`ShotParallelism`] contract: thread counts never change the
+/// result, and a kernel's serial stream is pinned bit-for-bit across
+/// releases. Switching kernels — like switching shard counts — selects
+/// a different sample of the same distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TrajectoryKernel {
+    /// The historical stream (the default): one Bernoulli draw per
+    /// scheduled event decides whether that event errors, clean shots
+    /// sample the cached ideal state through the linear CDF walk.
+    /// Bit-for-bit identical to every release before kernels existed.
+    #[default]
+    Replay,
+    /// Survival-skip sampling: one uniform draw plus a binary search
+    /// over the plan's prefix survival products jumps directly to the
+    /// next error event — O(#errors · log E) RNG work per shot instead
+    /// of O(E) — and a shot whose first draw lands past the last event
+    /// is clean without touching the stream. Clean shots sample the
+    /// per-job [`AliasTable`] in O(1) from a single uniform.
+    SurvivalSkip,
+}
+
 /// Execution parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecutionConfig {
@@ -163,11 +203,18 @@ pub struct ExecutionConfig {
     /// Shot-level parallelism (see [`ShotParallelism`] for the
     /// determinism contract). Defaults to the serial path.
     pub parallelism: ShotParallelism,
+    /// Per-shot trajectory algorithm (see [`TrajectoryKernel`]).
+    /// Defaults to the bit-for-bit historical [`Replay`] stream.
+    ///
+    /// [`Replay`]: TrajectoryKernel::Replay
+    pub kernel: TrajectoryKernel,
 }
 
 impl Default for ExecutionConfig {
     /// 8192 shots (the paper's job size), all noise channels enabled,
-    /// serial trajectory execution.
+    /// serial trajectory execution on the [`Replay`] kernel.
+    ///
+    /// [`Replay`]: TrajectoryKernel::Replay
     fn default() -> Self {
         ExecutionConfig {
             shots: 8192,
@@ -176,6 +223,7 @@ impl Default for ExecutionConfig {
             readout_noise: true,
             idle_noise: true,
             parallelism: ShotParallelism::Serial,
+            kernel: TrajectoryKernel::Replay,
         }
     }
 }
@@ -196,6 +244,12 @@ impl ExecutionConfig {
     /// A config with a different shot-parallelism mode.
     pub fn with_parallelism(mut self, parallelism: ShotParallelism) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// A config with a different trajectory kernel.
+    pub fn with_kernel(mut self, kernel: TrajectoryKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 }
@@ -356,12 +410,16 @@ pub fn ideal_outcome(circuit: &Circuit) -> Option<usize> {
 }
 
 /// Samples `shots` outcomes from the noiseless circuit.
+///
+/// Sampling goes through a Walker/Vose [`AliasTable`] built once from
+/// the final state — O(1) per shot instead of the O(2^n) linear CDF
+/// walk — and advances the RNG by exactly one `f64` draw per shot.
 pub fn run_ideal(circuit: &Circuit, shots: usize, seed: u64) -> Counts {
-    let sv = Statevector::from_circuit(circuit);
+    let table = AliasTable::from_statevector(&Statevector::from_circuit(circuit));
     let mut rng = StdRng::seed_from_u64(seed);
     let mut counts = Counts::new(circuit.width());
     for _ in 0..shots {
-        counts.record(sv.sample(&mut rng));
+        counts.record(table.sample_with(&mut rng));
     }
     counts
 }
@@ -390,14 +448,34 @@ pub(crate) enum Event {
 }
 
 /// The deterministic part of a noisy execution: the time-ordered event
-/// stream and the effective (crosstalk-scaled) per-gate error
-/// probabilities.
+/// stream, the effective (crosstalk-scaled) per-gate error
+/// probabilities, and the prefix survival products the
+/// [`TrajectoryKernel::SurvivalSkip`] kernel binary-searches.
 #[derive(Debug, Clone)]
 pub(crate) struct TrajectoryPlan {
     /// `(time, kind, event)` sorted by time with idles before gates.
     pub events: Vec<(f64, u8, Event)>,
     /// Per-gate error probabilities after scaling, capped at 0.75.
     pub error_p: Vec<f64>,
+    /// Prefix survival products over the event stream, length
+    /// `events.len() + 1`: `survival[k] = Π_{j<k} (1 − p_j)` where
+    /// `p_j` is event `j`'s total error probability (the capped gate
+    /// error, or an idle window's summed Pauli probability
+    /// `relax_p/2 + dephase_p/2`). Non-increasing, starts at 1;
+    /// `survival.last()` is the probability a whole shot stays clean.
+    pub survival: Vec<f64>,
+}
+
+/// The total error probability of one scheduled event: the effective
+/// (scaled, capped) gate error, or the summed Pauli-twirl probability
+/// `p_x + p_y + p_z = relax_p/2 + dephase_p/2` of an idle window.
+fn event_error_p(ev: Event, error_p: &[f64]) -> f64 {
+    match ev {
+        Event::Gate { index } => error_p[index],
+        Event::Idle {
+            relax_p, dephase_p, ..
+        } => relax_p / 2.0 + dephase_p / 2.0,
+    }
 }
 
 /// Builds the shared trajectory plan (see [`TrajectoryPlan`]).
@@ -412,26 +490,23 @@ pub(crate) fn build_plan(
     validate_layout(circuit, layout, device)?;
     let cal = device.calibration();
 
-    // Per-gate durations and base error probabilities.
-    let mut durations = Vec::with_capacity(circuit.gate_count());
+    // Durations come from the one shared model (`gate_durations`, also
+    // used by the qucp-core overlap scheduler); only the base error
+    // probabilities are computed here.
+    let durations = gate_durations(circuit, layout, device);
     let mut base_error = Vec::with_capacity(circuit.gate_count());
     for g in circuit.gates() {
         let qs = g.qubits();
         let qs = qs.as_slice();
         match g {
             Gate::Swap(..) => {
-                let link = Link::new(layout[qs[0]], layout[qs[1]]);
-                let e = cal.cx_error(link);
-                durations.push(3.0 * cal.cx_duration(link));
+                let e = cal.cx_error(Link::new(layout[qs[0]], layout[qs[1]]));
                 base_error.push(1.0 - (1.0 - e).powi(3));
             }
             g if g.is_two_qubit() => {
-                let link = Link::new(layout[qs[0]], layout[qs[1]]);
-                durations.push(cal.cx_duration(link));
-                base_error.push(cal.cx_error(link));
+                base_error.push(cal.cx_error(Link::new(layout[qs[0]], layout[qs[1]])));
             }
             _ => {
-                durations.push(cal.sq_duration());
                 base_error.push(cal.sq_error(layout[qs[0]]));
             }
         }
@@ -501,7 +576,104 @@ pub(crate) fn build_plan(
             }
         })
         .collect();
-    Ok(TrajectoryPlan { events, error_p })
+
+    // Prefix survival products for the SurvivalSkip kernel's CDF.
+    let mut survival = Vec::with_capacity(events.len() + 1);
+    let mut s = 1.0f64;
+    survival.push(s);
+    for &(_, _, ev) in &events {
+        s *= 1.0 - event_error_p(ev, &error_p);
+        survival.push(s);
+    }
+    Ok(TrajectoryPlan {
+        events,
+        error_p,
+        survival,
+    })
+}
+
+/// Memory gate for [`PrefixSnapshots`]: build them only while the
+/// total snapshot storage `(gate_events + 1) · 2^n` stays at or below
+/// this many amplitudes (2^21 amps ≈ 32 MiB of `Complex`).
+const SNAPSHOT_AMP_LIMIT: usize = 1 << 21;
+
+/// Memory gate for the per-stream single-error outcome cache: enabled
+/// only while its worst-case size `events · 16 · 2^n` stays at or
+/// below this many table entries.
+const SINGLE_ERROR_CACHE_LIMIT: usize = 1 << 22;
+
+/// Ideal prefix states of a job's event stream, built once per job for
+/// the [`TrajectoryKernel::SurvivalSkip`] kernel: `states[k]` is the
+/// state after the first `k` *gate* events applied ideally, which is
+/// exactly the replay state right before any event position whose
+/// clean prefix contains `k` gates. Error shots restore the snapshot
+/// at their first error event instead of re-simulating the prefix —
+/// bit-for-bit the state a from-zero replay would reach, since the
+/// same gates are applied in the same order.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixSnapshots {
+    /// `states[k]`: ideal state after the first `k` gate events.
+    states: Vec<Statevector>,
+    /// Per event position, the number of gate events strictly before
+    /// it — the index into `states` of the state preceding that event.
+    gates_before: Vec<u32>,
+}
+
+impl PrefixSnapshots {
+    /// Builds the snapshots, or `None` when the stream's snapshot
+    /// storage would exceed [`SNAPSHOT_AMP_LIMIT`] (replay then starts
+    /// from `|0…0⟩` as before — a speed gate, never a behaviour gate).
+    fn build(circuit: &Circuit, plan: &TrajectoryPlan) -> Option<Self> {
+        let n = circuit.width();
+        let gate_events = plan
+            .events
+            .iter()
+            .filter(|(_, _, ev)| matches!(ev, Event::Gate { .. }))
+            .count();
+        if (gate_events + 1).checked_shl(n as u32)? > SNAPSHOT_AMP_LIMIT {
+            return None;
+        }
+        let mut states = Vec::with_capacity(gate_events + 1);
+        let mut gates_before = Vec::with_capacity(plan.events.len());
+        let mut sv = Statevector::zero_state(n);
+        states.push(sv.clone());
+        let mut k = 0u32;
+        for &(_, _, ev) in &plan.events {
+            gates_before.push(k);
+            if let Event::Gate { index } = ev {
+                sv.apply(&circuit.gates()[index]);
+                states.push(sv.clone());
+                k += 1;
+            }
+        }
+        Some(PrefixSnapshots {
+            states,
+            gates_before,
+        })
+    }
+}
+
+/// The probability that one shot of the mapped job draws *no* gate or
+/// idle error — the full survival product `Π (1 − p_e)` over the
+/// job's scheduled event stream, i.e. the fraction of trajectories the
+/// [`TrajectoryKernel::SurvivalSkip`] kernel answers straight from the
+/// cached ideal state without replaying any events. (Readout flips are
+/// applied to the sampled outcome either way and do not enter here.)
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the layout is malformed or a two-qubit
+/// gate is not executable on the topology.
+pub fn clean_shot_probability(
+    circuit: &Circuit,
+    layout: &[usize],
+    device: &Device,
+    scaling: &NoiseScaling,
+    tail_idle: &[f64],
+    cfg: &ExecutionConfig,
+) -> Result<f64, SimError> {
+    let plan = build_plan(circuit, layout, device, scaling, tail_idle, cfg)?;
+    Ok(*plan.survival.last().expect("survival is never empty"))
 }
 
 /// Executes a mapped circuit on the device's noise model.
@@ -546,12 +718,42 @@ pub fn run_noisy_with_idle(
 ) -> Result<Counts, SimError> {
     let plan = build_plan(circuit, layout, device, scaling, tail_idle, cfg)?;
     let ideal = Statevector::from_circuit(circuit);
+    // The alias table answers SurvivalSkip's clean shots in O(1) and
+    // the prefix snapshots let its error shots resume at their first
+    // error; the Replay kernel keeps its bit-pinned paths instead.
+    let (alias, snapshots) = match cfg.kernel {
+        TrajectoryKernel::SurvivalSkip => (
+            Some(AliasTable::from_statevector(&ideal)),
+            PrefixSnapshots::build(circuit, &plan),
+        ),
+        TrajectoryKernel::Replay => (None, None),
+    };
+    // Prefix survival products over the per-qubit readout errors, so
+    // SurvivalSkip jumps straight to the next flipped bit instead of
+    // drawing one Bernoulli per measured qubit.
+    let readout_survival = match cfg.kernel {
+        TrajectoryKernel::SurvivalSkip if cfg.readout_noise => {
+            let cal = device.calibration();
+            let mut surv = Vec::with_capacity(layout.len() + 1);
+            let mut s = 1.0f64;
+            surv.push(s);
+            for &phys in layout {
+                s *= 1.0 - cal.readout_error(phys);
+                surv.push(s);
+            }
+            Some(surv)
+        }
+        _ => None,
+    };
     let job = TrajectoryJob {
         circuit,
         layout,
         cal: device.calibration(),
         plan: &plan,
         ideal: &ideal,
+        alias: alias.as_ref(),
+        snapshots: snapshots.as_ref(),
+        readout_survival: readout_survival.as_deref(),
         cfg,
     };
     Ok(match cfg.parallelism.resolve(cfg.shots) {
@@ -573,6 +775,17 @@ struct TrajectoryJob<'a> {
     cal: &'a Calibration,
     plan: &'a TrajectoryPlan,
     ideal: &'a Statevector,
+    /// O(1) clean-shot sampler, built once per job for the
+    /// SurvivalSkip kernel (`None` under Replay).
+    alias: Option<&'a AliasTable>,
+    /// Ideal prefix states for first-error replay resumption, built
+    /// once per job for the SurvivalSkip kernel (`None` under Replay
+    /// or past the snapshot memory gate).
+    snapshots: Option<&'a PrefixSnapshots>,
+    /// Prefix survival products over the layout's readout errors
+    /// (length `width + 1`), `Some` only for the SurvivalSkip kernel
+    /// with readout noise on.
+    readout_survival: Option<&'a [f64]>,
     cfg: &'a ExecutionConfig,
 }
 
@@ -586,9 +799,19 @@ impl TrajectoryJob<'_> {
     fn run_stream(&self, shots: usize, seed: u64) -> Counts {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut counts = Counts::new(self.circuit.width());
-        let mut scratch = ShotScratch::new(self.circuit.width());
-        for _ in 0..shots {
-            counts.record(self.run_shot(&mut rng, &mut scratch));
+        match self.cfg.kernel {
+            TrajectoryKernel::Replay => {
+                let mut scratch = ShotScratch::new(self.circuit.width());
+                for _ in 0..shots {
+                    counts.record(self.run_shot(&mut rng, &mut scratch));
+                }
+            }
+            TrajectoryKernel::SurvivalSkip => {
+                let mut scratch = ShotScratch::for_survival(self.circuit.width(), self.plan);
+                for _ in 0..shots {
+                    counts.record(self.run_shot_survival(&mut rng, &mut scratch));
+                }
+            }
         }
         counts
     }
@@ -598,7 +821,9 @@ impl TrajectoryJob<'_> {
     /// replay the event stream on the scratch state, then flip readout
     /// bits.
     fn run_shot(&self, rng: &mut StdRng, scratch: &mut ShotScratch) -> usize {
-        let TrajectoryPlan { events, error_p } = self.plan;
+        let TrajectoryPlan {
+            events, error_p, ..
+        } = self.plan;
         let cfg = self.cfg;
         scratch.gate_errors.clear();
         scratch.idle_errors.clear();
@@ -632,34 +857,300 @@ impl TrajectoryJob<'_> {
         let outcome = if scratch.gate_errors.is_empty() && scratch.idle_errors.is_empty() {
             self.ideal.sample(rng)
         } else {
+            self.replay_errors(rng, scratch)
+        };
+        self.apply_readout(outcome, rng)
+    }
+
+    /// One survival-skip trajectory: jump from error to error through
+    /// the plan's prefix survival CDF (one uniform + binary search per
+    /// error, one final uniform to certify the clean tail), drawing
+    /// each error's Pauli type on the spot. Clean shots sample the
+    /// per-job alias table in O(1); single-error shots sample a cached
+    /// per-`(position, type)` outcome distribution in O(1); only
+    /// multi-error shots replay the stream, and they resume from the
+    /// prefix snapshot at their first error. Readout bits flip last.
+    ///
+    /// Same distribution as [`TrajectoryJob::run_shot`], different RNG
+    /// stream: the per-event Bernoulli draws collapse into per-error
+    /// draws, so the two kernels pin different (equally valid) counts.
+    fn run_shot_survival(&self, rng: &mut StdRng, scratch: &mut ShotScratch) -> usize {
+        let TrajectoryPlan {
+            events, survival, ..
+        } = self.plan;
+        scratch.typed_errors.clear();
+        let tail = *survival.last().expect("survival is never empty");
+        let mut from = 0usize;
+        while from < events.len() {
+            let s_from = survival[from];
+            if s_from <= f64::MIN_POSITIVE {
+                // The prefix product underflowed: conditional jump
+                // probabilities are no longer representable, so finish
+                // the stream with per-event Bernoulli draws.
+                self.sample_errors_linear(from, rng, scratch);
+                break;
+            }
+            // target is uniform on (0, s_from]; the first error sits at
+            // the event whose survival prefix first drops below it:
+            // P(error at i) = (survival[i] − survival[i+1]) / s_from,
+            // P(no further error) = tail / s_from — exactly the Replay
+            // model's conditional distribution given a clean prefix.
+            let u: f64 = rng.gen();
+            let target = (1.0 - u) * s_from;
+            if tail >= target {
+                break;
+            }
+            let pos = from + survival[from + 1..].partition_point(|&s| s >= target);
+            let code = match events[pos].2 {
+                Event::Gate { index } => self.draw_gate_error_code(index, rng),
+                Event::Idle {
+                    relax_p, dephase_p, ..
+                } => {
+                    // Pauli type conditioned on the window erroring:
+                    // X/Y each with p_relax/4, Z with p_dephase/2.
+                    let px = relax_p / 4.0;
+                    let py = relax_p / 4.0;
+                    let pz = dephase_p / 2.0;
+                    let v: f64 = rng.gen::<f64>() * (px + py + pz);
+                    if v < px {
+                        1
+                    } else if v < px + py {
+                        2
+                    } else {
+                        3
+                    }
+                }
+            };
+            scratch.typed_errors.push((pos, code));
+            from = pos + 1;
+        }
+
+        let outcome = match scratch.typed_errors.len() {
+            0 => match self.alias {
+                Some(table) => table.sample_with(rng),
+                None => self.ideal.sample(rng),
+            },
+            1 => {
+                let (pos, code) = scratch.typed_errors[0];
+                self.single_error_outcome(pos, code, rng, scratch)
+            }
+            _ => self.replay_typed(rng, scratch),
+        };
+        self.apply_readout_skip(outcome, rng)
+    }
+
+    /// Survival-skip readout: jump from flipped bit to flipped bit
+    /// through the prefix survival products over the layout's readout
+    /// errors — typically one uniform draw per shot instead of one
+    /// Bernoulli per measured qubit. Falls back to the per-qubit walk
+    /// when the products are unavailable or underflow.
+    fn apply_readout_skip(&self, mut measured: usize, rng: &mut StdRng) -> usize {
+        if !self.cfg.readout_noise {
+            return measured;
+        }
+        let Some(surv) = self.readout_survival else {
+            return self.apply_readout(measured, rng);
+        };
+        let width = self.layout.len();
+        let tail = surv[width];
+        let mut from = 0usize;
+        while from < width {
+            let s_from = surv[from];
+            if s_from <= f64::MIN_POSITIVE {
+                for (q, &phys) in self.layout.iter().enumerate().skip(from) {
+                    if rng.gen_bool(self.cal.readout_error(phys)) {
+                        measured ^= 1 << q;
+                    }
+                }
+                break;
+            }
+            let u: f64 = rng.gen();
+            let target = (1.0 - u) * s_from;
+            if tail >= target {
+                break;
+            }
+            let q = from + surv[from + 1..].partition_point(|&s| s >= target);
+            measured ^= 1 << q;
+            from = q + 1;
+        }
+        measured
+    }
+
+    /// Draws the Pauli code of a gate error at gate `index`: uniform
+    /// over X/Y/Z for a one-qubit gate, uniform over the 15 non-identity
+    /// two-qubit Paulis otherwise — the same conditional distribution
+    /// [`apply_gate_error`] realizes, drawn up front so the error is
+    /// fully typed before the outcome stage picks its path.
+    fn draw_gate_error_code(&self, index: usize, rng: &mut StdRng) -> u8 {
+        if self.circuit.gates()[index].is_two_qubit() {
+            rng.gen_range(1..16) as u8
+        } else {
+            pauli_code(random_pauli(rng))
+        }
+    }
+
+    /// Per-event Bernoulli error sampling over `events[from..]`,
+    /// appending typed draws to the scratch error pattern — the Replay
+    /// model, used as the SurvivalSkip fallback once the survival
+    /// prefix underflows (pathologically long / noisy streams only).
+    fn sample_errors_linear(&self, from: usize, rng: &mut StdRng, scratch: &mut ShotScratch) {
+        let TrajectoryPlan {
+            events, error_p, ..
+        } = self.plan;
+        for (pos, &(_, _, ev)) in events.iter().enumerate().skip(from) {
+            match ev {
+                Event::Gate { index } => {
+                    if error_p[index] > 0.0 && rng.gen_bool(error_p[index]) {
+                        let code = self.draw_gate_error_code(index, rng);
+                        scratch.typed_errors.push((pos, code));
+                    }
+                }
+                Event::Idle {
+                    relax_p, dephase_p, ..
+                } => {
+                    let px = relax_p / 4.0;
+                    let py = relax_p / 4.0;
+                    let pz = dephase_p / 2.0;
+                    let u: f64 = rng.gen();
+                    if u < px {
+                        scratch.typed_errors.push((pos, 1));
+                    } else if u < px + py {
+                        scratch.typed_errors.push((pos, 2));
+                    } else if u < px + py + pz {
+                        scratch.typed_errors.push((pos, 3));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The outcome of a shot whose only error is `code` at event
+    /// `pos`, via the per-stream single-error cache: the output
+    /// distribution of such a shot is a pure function of `(pos, code)`,
+    /// so it is evolved once (deterministically, no RNG) into an alias
+    /// table and every later hit samples it with one uniform — O(1),
+    /// exactly the RNG advance a replay's final sample would cost.
+    fn single_error_outcome(
+        &self,
+        pos: usize,
+        code: u8,
+        rng: &mut StdRng,
+        scratch: &mut ShotScratch,
+    ) -> usize {
+        if scratch.single_error_tables.is_empty() {
+            // Cache disabled by the memory gate: replay instead.
+            return self.replay_typed(rng, scratch);
+        }
+        let slot = pos * 16 + code as usize;
+        if scratch.single_error_tables[slot].is_none() {
             let sv = &mut scratch.state;
-            sv.reset_zero();
-            let mut gate_err = scratch.gate_errors.iter().peekable();
-            let mut idle_err = scratch.idle_errors.iter().peekable();
-            for (pos, &(_, _, ev)) in events.iter().enumerate() {
-                match ev {
-                    Event::Gate { index } => {
-                        sv.apply(&self.circuit.gates()[index]);
-                        if gate_err.peek() == Some(&&pos) {
-                            gate_err.next();
-                            apply_gate_error(sv, &self.circuit.gates()[index], rng);
+            let start = self.load_prefix(sv, pos);
+            self.evolve_typed(sv, &[(pos, code)], start);
+            scratch.single_error_tables[slot] =
+                Some(AliasTable::from_probabilities(&sv.probabilities()));
+        }
+        scratch.single_error_tables[slot]
+            .as_ref()
+            .expect("just built")
+            .sample_with(rng)
+    }
+
+    /// Replays the stream with the shot's pre-typed error pattern,
+    /// resuming from the prefix snapshot at the first error, and
+    /// samples the resulting state (the one RNG draw of this path).
+    fn replay_typed(&self, rng: &mut StdRng, scratch: &mut ShotScratch) -> usize {
+        let ShotScratch {
+            state,
+            typed_errors,
+            ..
+        } = scratch;
+        let first = typed_errors.first().map_or(0, |&(pos, _)| pos);
+        let start = self.load_prefix(state, first);
+        self.evolve_typed(state, typed_errors, start);
+        state.sample(rng)
+    }
+
+    /// Loads the replay state preceding event `pos` into `sv` and
+    /// returns the event position to resume from: the prefix snapshot
+    /// (resume at `pos`) when snapshots exist, `|0…0⟩` (resume at 0)
+    /// otherwise.
+    fn load_prefix(&self, sv: &mut Statevector, pos: usize) -> usize {
+        match self.snapshots {
+            Some(snap) => {
+                sv.copy_from(&snap.states[snap.gates_before[pos] as usize]);
+                pos
+            }
+            None => {
+                sv.reset_zero();
+                0
+            }
+        }
+    }
+
+    /// Walks `events[start..]` on `sv`, applying every gate and the
+    /// pre-typed errors of `errors` (ascending event positions) at
+    /// their events. Consumes no RNG — shared by the multi-error
+    /// replay and the deterministic single-error cache build.
+    fn evolve_typed(&self, sv: &mut Statevector, errors: &[(usize, u8)], start: usize) {
+        let mut pending = errors.iter().peekable();
+        for (pos, &(_, _, ev)) in self.plan.events.iter().enumerate().skip(start) {
+            match ev {
+                Event::Gate { index } => {
+                    sv.apply(&self.circuit.gates()[index]);
+                    if let Some(&&(epos, code)) = pending.peek() {
+                        if epos == pos {
+                            pending.next();
+                            apply_typed_gate_error(sv, &self.circuit.gates()[index], code);
                         }
                     }
-                    Event::Idle { q, .. } => {
-                        if let Some(&&(epos, pauli)) = idle_err.peek() {
-                            if epos == pos {
-                                idle_err.next();
-                                apply_pauli(sv, q, pauli);
-                            }
+                }
+                Event::Idle { q, .. } => {
+                    if let Some(&&(epos, code)) = pending.peek() {
+                        if epos == pos {
+                            pending.next();
+                            apply_pauli(sv, q, int_pauli(code as usize));
                         }
                     }
                 }
             }
-            sv.sample(rng)
-        };
+        }
+    }
 
-        let mut measured = outcome;
-        if cfg.readout_noise {
+    /// Replays the event stream on the scratch state, injecting the
+    /// shot's pre-drawn error pattern, and samples the resulting state.
+    /// Shared by both kernels (gate-error Pauli types are drawn here,
+    /// in stream order, under both).
+    fn replay_errors(&self, rng: &mut StdRng, scratch: &mut ShotScratch) -> usize {
+        let TrajectoryPlan { events, .. } = self.plan;
+        let sv = &mut scratch.state;
+        sv.reset_zero();
+        let mut gate_err = scratch.gate_errors.iter().peekable();
+        let mut idle_err = scratch.idle_errors.iter().peekable();
+        for (pos, &(_, _, ev)) in events.iter().enumerate() {
+            match ev {
+                Event::Gate { index } => {
+                    sv.apply(&self.circuit.gates()[index]);
+                    if gate_err.peek() == Some(&&pos) {
+                        gate_err.next();
+                        apply_gate_error(sv, &self.circuit.gates()[index], rng);
+                    }
+                }
+                Event::Idle { q, .. } => {
+                    if let Some(&&(epos, pauli)) = idle_err.peek() {
+                        if epos == pos {
+                            idle_err.next();
+                            apply_pauli(sv, q, pauli);
+                        }
+                    }
+                }
+            }
+        }
+        sv.sample(rng)
+    }
+
+    /// Flips each measured bit with its physical qubit's readout error.
+    fn apply_readout(&self, mut measured: usize, rng: &mut StdRng) -> usize {
+        if self.cfg.readout_noise {
             for (q, &phys) in self.layout.iter().enumerate() {
                 if rng.gen_bool(self.cal.readout_error(phys)) {
                     measured ^= 1 << q;
@@ -746,12 +1237,22 @@ impl TrajectoryJob<'_> {
 
 /// Reusable per-stream scratch of the trajectory hot loop.
 struct ShotScratch {
-    /// Event positions whose gate draws an error this shot.
+    /// Event positions whose gate draws an error this shot (Replay).
     gate_errors: Vec<usize>,
-    /// Event positions whose idle window draws a Pauli this shot.
+    /// Event positions whose idle window draws a Pauli this shot
+    /// (Replay).
     idle_errors: Vec<(usize, Pauli)>,
+    /// `(event position, Pauli code)` error pattern of the shot, in
+    /// ascending position order (SurvivalSkip; codes are 1–15
+    /// two-qubit indices for two-qubit gates, 1–3 X/Y/Z otherwise).
+    typed_errors: Vec<(usize, u8)>,
     /// Replay statevector for shots that drew at least one error.
     state: Statevector,
+    /// Lazily built single-error outcome distributions, indexed by
+    /// `position · 16 + code` (SurvivalSkip; empty when the memory
+    /// gate disabled the cache). Each table is a pure function of the
+    /// job, so per-stream rebuilding can never change a count.
+    single_error_tables: Vec<Option<AliasTable>>,
 }
 
 impl ShotScratch {
@@ -759,8 +1260,26 @@ impl ShotScratch {
         ShotScratch {
             gate_errors: Vec::new(),
             idle_errors: Vec::new(),
+            typed_errors: Vec::new(),
             state: Statevector::zero_state(width),
+            single_error_tables: Vec::new(),
         }
+    }
+
+    /// Scratch for a SurvivalSkip stream: same buffers plus the
+    /// single-error cache, sized `events · 16` slots unless the
+    /// worst-case table storage would exceed
+    /// [`SINGLE_ERROR_CACHE_LIMIT`] entries (then disabled).
+    fn for_survival(width: usize, plan: &TrajectoryPlan) -> Self {
+        let mut scratch = ShotScratch::new(width);
+        let slots = plan.events.len() * 16;
+        if slots
+            .checked_shl(width as u32)
+            .is_some_and(|n| n <= SINGLE_ERROR_CACHE_LIMIT)
+        {
+            scratch.single_error_tables = vec![None; slots];
+        }
+        scratch
     }
 }
 
@@ -853,6 +1372,35 @@ fn int_pauli(i: usize) -> Pauli {
         1 => Pauli::X,
         2 => Pauli::Y,
         _ => Pauli::Z,
+    }
+}
+
+/// The 1–3 code of a single-qubit Pauli (inverse of [`int_pauli`]).
+fn pauli_code(p: Pauli) -> u8 {
+    match p {
+        Pauli::X => 1,
+        Pauli::Y => 2,
+        Pauli::Z => 3,
+    }
+}
+
+/// Applies a pre-typed gate error: `code` is a 1–3 X/Y/Z index for a
+/// one-qubit gate, or a 1–15 two-qubit Pauli index (base-4 digit pair,
+/// identity-identity excluded) for a two-qubit gate — the same error
+/// algebra as [`apply_gate_error`], with the type drawn by the caller.
+fn apply_typed_gate_error(sv: &mut Statevector, gate: &Gate, code: u8) {
+    let qs = gate.qubits();
+    let qs = qs.as_slice();
+    if qs.len() == 1 {
+        apply_pauli(sv, qs[0], int_pauli(code as usize));
+    } else {
+        let (a, b) = ((code / 4) as usize, (code % 4) as usize);
+        if a > 0 {
+            apply_pauli(sv, qs[0], int_pauli(a));
+        }
+        if b > 0 {
+            apply_pauli(sv, qs[1], int_pauli(b));
+        }
     }
 }
 
@@ -1260,6 +1808,177 @@ mod tests {
         let pairs: Vec<(usize, usize)> = counts.iter().collect();
         assert_eq!(pairs, vec![(0, 128), (1, 8), (2, 11), (3, 153)]);
     }
+    #[test]
+    fn survival_skip_counts_pinned_bit_for_bit() {
+        // Regression pin of the SurvivalSkip serial stream on the same
+        // fixture as `serial_counts_pinned_bit_for_bit`: the kernel's
+        // RNG choreography (skip draw, type draw, outcome draw,
+        // readout-skip draw) is part of its determinism contract, so
+        // any change to the draw order shows up here.
+        let dev = line_device(2, 0.05, 0.02);
+        let cfg = ExecutionConfig::default()
+            .with_shots(300)
+            .with_seed(0xC0FFEE)
+            .with_kernel(TrajectoryKernel::SurvivalSkip);
+        let counts = run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        let pairs: Vec<(usize, usize)> = counts.iter().collect();
+        assert_eq!(pairs, vec![(0, 124), (1, 11), (2, 11), (3, 154)]);
+    }
+
+    #[test]
+    fn survival_skip_counts_independent_of_thread_count() {
+        // The (seed, shards) purity contract holds per kernel: the
+        // SurvivalSkip sharded counts may not depend on the worker
+        // count at 1/2/4/8 workers (or auto).
+        let dev = line_device(3, 0.04, 0.02);
+        let mut c = Circuit::new(3);
+        c.x(0).cx(0, 1).cx(1, 2);
+        let base = ExecutionConfig::default()
+            .with_shots(1500)
+            .with_seed(31)
+            .with_kernel(TrajectoryKernel::SurvivalSkip);
+        let run_with = |threads: usize| {
+            let cfg = base.with_parallelism(ShotParallelism::Sharded { shards: 8, threads });
+            run_noisy(&c, &[0, 1, 2], &dev, &NoiseScaling::uniform(3), &cfg).unwrap()
+        };
+        let reference = run_with(1);
+        assert_eq!(reference.shots(), 1500);
+        for threads in [2, 4, 8, 0] {
+            assert_eq!(run_with(threads), reference, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn survival_skip_oversharded_run_skips_empty_shards_bit_for_bit() {
+        // The empty-tail-shard skip must stay bit-for-bit under the
+        // SurvivalSkip kernel too (shards > shots edge case).
+        let dev = line_device(2, 0.05, 0.02);
+        let run_with = |shards: usize, threads: usize| {
+            let cfg = ExecutionConfig::default()
+                .with_shots(3)
+                .with_seed(11)
+                .with_kernel(TrajectoryKernel::SurvivalSkip)
+                .with_parallelism(ShotParallelism::Sharded { shards, threads });
+            run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap()
+        };
+        let exact = run_with(3, 1);
+        assert_eq!(exact.shots(), 3);
+        for shards in [4, 64, 1000] {
+            for threads in [1, 4] {
+                assert_eq!(run_with(shards, threads), exact, "shards = {shards}");
+            }
+        }
+    }
+
+    #[test]
+    fn survival_skip_zero_noise_plan_is_all_clean() {
+        // With every trajectory noise channel off the survival product
+        // is exactly 1: every shot takes the clean fast path and the
+        // deterministic outcome must be reproduced exactly.
+        let dev = line_device(2, 0.0, 0.0);
+        let mut cfg = ExecutionConfig::default()
+            .with_shots(999)
+            .with_seed(13)
+            .with_kernel(TrajectoryKernel::SurvivalSkip);
+        cfg.gate_noise = false;
+        cfg.idle_noise = false;
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let clean = clean_shot_probability(&c, &[0, 1], &dev, &NoiseScaling::uniform(2), &[], &cfg)
+            .unwrap();
+        assert_eq!(clean, 1.0);
+        let counts = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(2), &cfg).unwrap();
+        assert_eq!(counts.count(0b11), 999);
+    }
+
+    #[test]
+    fn survival_skip_honours_error_probability_cap() {
+        // An absurd crosstalk scaling saturates at the 0.75 cap; the
+        // survival product then is exactly 0.25 per capped gate, and
+        // the kernel still conserves the shot budget.
+        let dev = line_device(2, 0.3, 0.0);
+        let mut cfg = ExecutionConfig::default()
+            .with_shots(400)
+            .with_seed(7)
+            .with_kernel(TrajectoryKernel::SurvivalSkip);
+        cfg.idle_noise = false;
+        cfg.readout_noise = false;
+        let mut c = Circuit::new(2);
+        c.cx(0, 1).cx(0, 1);
+        let mut scaling = NoiseScaling::uniform(2);
+        scaling.amplify(0, 1e9);
+        scaling.amplify(1, 1e9);
+        let clean = clean_shot_probability(&c, &[0, 1], &dev, &scaling, &[], &cfg).unwrap();
+        assert_eq!(clean, 0.25 * 0.25, "both gates capped at 0.75");
+        let counts = run_noisy(&c, &[0, 1], &dev, &scaling, &cfg).unwrap();
+        assert_eq!(counts.shots(), 400);
+        // At ~94% error shots the identity circuit cannot stay pure.
+        assert!(counts.probability(0b00) < 0.9);
+    }
+
+    #[test]
+    fn survival_skip_empty_circuit() {
+        // No gates, no events: every shot is clean, only readout noise
+        // can act. With readout off the outcome is always |00⟩.
+        let dev = line_device(2, 0.05, 0.0);
+        let mut cfg = ExecutionConfig::default()
+            .with_shots(256)
+            .with_seed(3)
+            .with_kernel(TrajectoryKernel::SurvivalSkip);
+        cfg.readout_noise = false;
+        let c = Circuit::new(2);
+        let counts = run_noisy(&c, &[0, 1], &dev, &NoiseScaling::uniform(0), &cfg).unwrap();
+        assert_eq!(counts.count(0b00), 256);
+    }
+
+    #[test]
+    fn survival_skip_matches_replay_statistically_on_bell() {
+        // The two kernels realize the same distribution through
+        // different RNG streams; on a well-populated fixture the modal
+        // probabilities must agree within sampling tolerance.
+        let dev = line_device(2, 0.05, 0.02);
+        let base = ExecutionConfig::default().with_shots(6000).with_seed(42);
+        let replay = run_noisy(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &base).unwrap();
+        let survival = run_noisy(
+            &bell(),
+            &[0, 1],
+            &dev,
+            &NoiseScaling::uniform(2),
+            &base.with_kernel(TrajectoryKernel::SurvivalSkip),
+        )
+        .unwrap();
+        for outcome in 0..4 {
+            let (a, b) = (replay.probability(outcome), survival.probability(outcome));
+            assert!((a - b).abs() < 0.03, "outcome {outcome}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn clean_shot_probability_bounds_and_layout_errors() {
+        let dev = line_device(2, 0.05, 0.02);
+        let cfg = ExecutionConfig::default();
+        let p =
+            clean_shot_probability(&bell(), &[0, 1], &dev, &NoiseScaling::uniform(2), &[], &cfg)
+                .unwrap();
+        assert!((0.0..1.0).contains(&p), "noisy bell clean prob {p}");
+        // Layout validation flows through unchanged.
+        let e = clean_shot_probability(&bell(), &[0], &dev, &NoiseScaling::uniform(2), &[], &cfg)
+            .unwrap_err();
+        assert!(matches!(e, SimError::LayoutMismatch { .. }));
+    }
+
+    #[test]
+    fn kernel_builders_and_default() {
+        assert_eq!(TrajectoryKernel::default(), TrajectoryKernel::Replay);
+        assert_eq!(ExecutionConfig::default().kernel, TrajectoryKernel::Replay);
+        assert_eq!(
+            ExecutionConfig::default()
+                .with_kernel(TrajectoryKernel::SurvivalSkip)
+                .kernel,
+            TrajectoryKernel::SurvivalSkip
+        );
+    }
+
     #[test]
     fn runs_are_reproducible() {
         let dev = line_device(2, 0.05, 0.02);

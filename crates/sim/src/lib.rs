@@ -48,12 +48,46 @@
 //! streams, all without touching the vendored `rand` internals that
 //! the tuned calibration thresholds depend on.
 //!
-//! **Determinism contract.** The merged counts are a pure function of
-//! `(seed, shards)` and the job: shards are merged in shard order after
-//! all workers join, so the worker-thread count (and any scheduling
-//! interleaving) can change only wall-clock time, never a single count.
-//! The default [`ShotParallelism::Serial`] path is bit-for-bit the
-//! pre-sharding single-stream loop, which the tuned-seed tests pin.
+//! ## Trajectory kernels
+//!
+//! [`ExecutionConfig::kernel`] selects the per-shot algorithm. Both
+//! kernels sample the identical noise model — only the RNG stream that
+//! realizes it differs:
+//!
+//! - [`TrajectoryKernel::Replay`] (default): one Bernoulli draw per
+//!   scheduled event; clean shots sample the cached ideal state through
+//!   the linear CDF walk. Bit-for-bit the historical stream.
+//! - [`TrajectoryKernel::SurvivalSkip`]: one uniform draw + binary
+//!   search over the plan's prefix survival products jumps straight to
+//!   the next error event, and clean shots sample a per-job
+//!   Walker/Vose [`AliasTable`] in O(1) — per-shot work proportional
+//!   to the number of *errors*, not the number of events.
+//!
+//! ## Determinism contract (kernel × parallelism)
+//!
+//! Counts are always a pure function of `(kernel, seed, shards)` and
+//! the job; thread counts and scheduling interleavings can change only
+//! wall-clock time, never a single count.
+//!
+//! | | [`Replay`](TrajectoryKernel::Replay) | [`SurvivalSkip`](TrajectoryKernel::SurvivalSkip) |
+//! |---|---|---|
+//! | [`Serial`](ShotParallelism::Serial) | the historical pre-sharding stream, pinned bit-for-bit across releases | one pinned stream per `(job, seed)`, fewer draws per shot |
+//! | [`Sharded`](ShotParallelism::Sharded) | pure in `(seed, shards)` via [`derive_shard_seed`], merged in shard order | same shard seeds, same merge — pure in `(seed, shards)` |
+//! | [`Auto`](ShotParallelism::Auto) | equals `Sharded` at [`auto_shard_count`]`(shots)` exactly | equals `Sharded` at [`auto_shard_count`]`(shots)` exactly |
+//!
+//! Switching any of kernel, shard count, or seed selects a different
+//! (equally valid) sample of the same distribution; switching threads
+//! never does.
+//!
+//! **Shard-RNG derivation.** Shard `s` of a job seeded with `seed`
+//! seeds its `StdRng` with [`derive_shard_seed`]`(seed, s)` — the
+//! `s + 1`-th output of a SplitMix64 generator started at the *mixed*
+//! base seed `splitmix64(seed)`. Mixing the base seed first keeps the
+//! shard streams of co-scheduled programs disjoint even though their
+//! per-program seeds are golden-ratio strides of one batch seed; the
+//! SplitMix64 finalizer then decorrelates the per-shard ChaCha12
+//! streams, all without touching the vendored `rand` internals that
+//! the tuned calibration thresholds depend on.
 //!
 //! ```
 //! use qucp_circuit::Circuit;
@@ -74,6 +108,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod alias;
 mod counts;
 pub mod density;
 mod executor;
@@ -82,12 +117,14 @@ pub mod metrics;
 mod state;
 mod unitaries;
 
+pub use alias::AliasTable;
 pub use counts::Counts;
 pub use density::{apply_readout_confusion, exact_probabilities, DensityMatrix};
 pub use executor::{
-    auto_shard_count, derive_shard_seed, gate_durations, ideal_outcome, noiseless_probabilities,
-    run_ideal, run_noisy, run_noisy_with_idle, trivial_layout, ExecutionConfig, NoiseScaling,
-    ShotParallelism, SimError, AUTO_MAX_SHARDS, AUTO_SHOTS_PER_SHARD,
+    auto_shard_count, clean_shot_probability, derive_shard_seed, gate_durations, ideal_outcome,
+    noiseless_probabilities, run_ideal, run_noisy, run_noisy_with_idle, trivial_layout,
+    ExecutionConfig, NoiseScaling, ShotParallelism, SimError, TrajectoryKernel, AUTO_MAX_SHARDS,
+    AUTO_SHOTS_PER_SHARD,
 };
 pub use state::Statevector;
 pub use unitaries::single_qubit_matrix;

@@ -55,6 +55,19 @@ impl Statevector {
         self.amps[0] = Complex::one();
     }
 
+    /// Overwrites this state with `other` in place, keeping the
+    /// allocation — the snapshot-restore primitive of the trajectory
+    /// hot loop (error shots resume from a cached ideal prefix state
+    /// instead of re-simulating from `|0…0⟩`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states have different widths.
+    pub fn copy_from(&mut self, other: &Statevector) {
+        assert_eq!(self.n, other.n, "statevector width mismatch");
+        self.amps.copy_from_slice(&other.amps);
+    }
+
     /// Runs `circuit` from `|0…0⟩` and returns the final state.
     pub fn from_circuit(circuit: &Circuit) -> Self {
         let mut sv = Statevector::zero_state(circuit.width());
@@ -94,67 +107,112 @@ impl Statevector {
 
     /// Applies a 2×2 unitary to qubit `q`.
     ///
+    /// The sweep is branch-free: amplitude pairs `(base, base | 1<<q)`
+    /// are visited as contiguous strided blocks (no per-index bit test),
+    /// in the same ascending pair order — and therefore with bit-for-bit
+    /// the same floating-point results — as the historical masked loop.
+    ///
     /// # Panics
     ///
     /// Panics if `q` is out of range.
     pub fn apply_single(&mut self, q: usize, m: &Mat2) {
         assert!(q < self.n, "qubit {q} out of range");
         let bit = 1usize << q;
-        for base in 0..self.amps.len() {
-            if base & bit == 0 {
-                let a = self.amps[base];
-                let b = self.amps[base | bit];
-                self.amps[base] = m[0][0] * a + m[0][1] * b;
-                self.amps[base | bit] = m[1][0] * a + m[1][1] * b;
+        let (m00, m01) = (m[0][0], m[0][1]);
+        let (m10, m11) = (m[1][0], m[1][1]);
+        for block in self.amps.chunks_exact_mut(bit << 1) {
+            let (lo, hi) = block.split_at_mut(bit);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let (x, y) = (*a, *b);
+                *a = m00 * x + m01 * y;
+                *b = m10 * x + m11 * y;
             }
         }
     }
 
     /// Applies CNOT with the given control and target.
+    ///
+    /// Branch-free: the indices with the control bit set split into
+    /// contiguous runs of `min(control, target)`-strided amplitudes
+    /// whose target-flipped partners are swapped run-at-a-time.
     pub fn apply_cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n && target < self.n && control != target);
         let cb = 1usize << control;
         let tb = 1usize << target;
-        for idx in 0..self.amps.len() {
-            if idx & cb != 0 && idx & tb == 0 {
-                self.amps.swap(idx, idx | tb);
+        if control > target {
+            for block in self.amps.chunks_exact_mut(cb << 1) {
+                // The upper half has the control bit set; swap its
+                // target-bit pairs.
+                for pair in block[cb..].chunks_exact_mut(tb << 1) {
+                    let (lo, hi) = pair.split_at_mut(tb);
+                    lo.swap_with_slice(hi);
+                }
+            }
+        } else {
+            for block in self.amps.chunks_exact_mut(tb << 1) {
+                let (lo, hi) = block.split_at_mut(tb);
+                // Swap the control-set runs of the target-clear half
+                // with the matching runs of the target-set half.
+                for (l, h) in lo
+                    .chunks_exact_mut(cb << 1)
+                    .zip(hi.chunks_exact_mut(cb << 1))
+                {
+                    l[cb..].swap_with_slice(&mut h[cb..]);
+                }
             }
         }
     }
 
     /// Applies CZ.
+    ///
+    /// Branch-free: amplitudes with both bits set are visited as
+    /// contiguous strided runs and negated in place.
     pub fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n && a != b);
-        let ab = 1usize << a;
-        let bb = 1usize << b;
-        for (idx, amp) in self.amps.iter_mut().enumerate() {
-            if idx & ab != 0 && idx & bb != 0 {
-                *amp = -*amp;
+        let lo_bit = 1usize << a.min(b);
+        let hi_bit = 1usize << a.max(b);
+        for block in self.amps.chunks_exact_mut(hi_bit << 1) {
+            for run in block[hi_bit..].chunks_exact_mut(lo_bit << 1) {
+                for amp in &mut run[lo_bit..] {
+                    *amp = -*amp;
+                }
             }
         }
     }
 
     /// Applies a controlled phase of angle `theta`.
+    ///
+    /// Branch-free, same sweep as [`Statevector::apply_cz`].
     pub fn apply_cp(&mut self, a: usize, b: usize, theta: f64) {
         assert!(a < self.n && b < self.n && a != b);
         let phase = Complex::cis(theta);
-        let ab = 1usize << a;
-        let bb = 1usize << b;
-        for (idx, amp) in self.amps.iter_mut().enumerate() {
-            if idx & ab != 0 && idx & bb != 0 {
-                *amp *= phase;
+        let lo_bit = 1usize << a.min(b);
+        let hi_bit = 1usize << a.max(b);
+        for block in self.amps.chunks_exact_mut(hi_bit << 1) {
+            for run in block[hi_bit..].chunks_exact_mut(lo_bit << 1) {
+                for amp in &mut run[lo_bit..] {
+                    *amp *= phase;
+                }
             }
         }
     }
 
     /// Applies SWAP.
+    ///
+    /// Branch-free: the `|…1…0…⟩`/`|…0…1…⟩` partner pairs form matching
+    /// contiguous runs in the two halves of each high-bit block and are
+    /// exchanged run-at-a-time.
     pub fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.n && b < self.n && a != b);
-        let ab = 1usize << a;
-        let bb = 1usize << b;
-        for idx in 0..self.amps.len() {
-            if idx & ab != 0 && idx & bb == 0 {
-                self.amps.swap(idx, idx ^ ab ^ bb);
+        let lo_bit = 1usize << a.min(b);
+        let hi_bit = 1usize << a.max(b);
+        for block in self.amps.chunks_exact_mut(hi_bit << 1) {
+            let (lo_half, hi_half) = block.split_at_mut(hi_bit);
+            for (l, h) in lo_half
+                .chunks_exact_mut(lo_bit << 1)
+                .zip(hi_half.chunks_exact_mut(lo_bit << 1))
+            {
+                l[lo_bit..].swap_with_slice(&mut h[..lo_bit]);
             }
         }
     }

@@ -5,7 +5,7 @@ use qucp_circuit::{Circuit, Gate};
 use qucp_device::{Calibration, CrosstalkModel, Device, Topology};
 use qucp_sim::{
     metrics, noiseless_probabilities, run_noisy, Counts, ExecutionConfig, NoiseScaling,
-    ShotParallelism, Statevector,
+    ShotParallelism, Statevector, TrajectoryKernel,
 };
 
 fn arb_gate(width: usize) -> impl Strategy<Value = Gate> {
@@ -167,6 +167,58 @@ proptest! {
         prop_assert!((ps - ph).abs() < 0.1, "serial {ps} vs sharded {ph}");
         let tvd = metrics::tvd(&serial.distribution(), &sharded.distribution());
         prop_assert!(tvd < 0.15, "tvd {tvd}");
+    }
+
+    #[test]
+    fn survival_and_replay_agree_statistically(c in arb_circuit(), seed in 0u64..20) {
+        // The SurvivalSkip kernel samples the *same* noisy output
+        // distribution as Replay through a different trajectory
+        // stream: on random circuits the empirical probability of the
+        // ideal modal outcome (the PST numerator) and the full
+        // distributions must agree within sampling tolerance.
+        let dev = complete_device(c.width());
+        let scaling = NoiseScaling::uniform(c.gate_count());
+        let layout: Vec<usize> = (0..c.width()).collect();
+        let base = ExecutionConfig::default().with_shots(1024).with_seed(seed);
+        let replay = run_noisy(&c, &layout, &dev, &scaling, &base).unwrap();
+        let survival = run_noisy(
+            &c,
+            &layout,
+            &dev,
+            &scaling,
+            &base.with_kernel(TrajectoryKernel::SurvivalSkip),
+        )
+        .unwrap();
+        prop_assert_eq!(survival.shots(), 1024);
+        let ideal = noiseless_probabilities(&c);
+        let target = (0..ideal.len())
+            .max_by(|&a, &b| ideal[a].total_cmp(&ideal[b]))
+            .unwrap();
+        let pr = replay.probability(target);
+        let ps = survival.probability(target);
+        prop_assert!((pr - ps).abs() < 0.1, "replay {pr} vs survival {ps}");
+        let tvd = metrics::tvd(&replay.distribution(), &survival.distribution());
+        prop_assert!(tvd < 0.15, "tvd {tvd}");
+    }
+
+    #[test]
+    fn survival_sharded_is_pure_in_seed_and_shards(c in arb_circuit(), seed in 0u64..10) {
+        // SurvivalSkip under sharding obeys the same purity contract
+        // as Replay: the counts depend on (seed, shards) only.
+        let dev = complete_device(c.width());
+        let scaling = NoiseScaling::uniform(c.gate_count());
+        let layout: Vec<usize> = (0..c.width()).collect();
+        let base = ExecutionConfig::default()
+            .with_shots(256)
+            .with_seed(seed)
+            .with_kernel(TrajectoryKernel::SurvivalSkip);
+        let run_with = |threads| {
+            let cfg = base.with_parallelism(ShotParallelism::Sharded { shards: 4, threads });
+            run_noisy(&c, &layout, &dev, &scaling, &cfg).unwrap()
+        };
+        let reference = run_with(1);
+        prop_assert_eq!(run_with(2), reference.clone());
+        prop_assert_eq!(run_with(4), reference);
     }
 
     #[test]

@@ -2,7 +2,9 @@
 //! IBM Q 27 Toronto with the QuCP crosstalk-aware policy, and inspect
 //! fidelity, throughput and runtime gain. The 8192-shot trajectory
 //! loops themselves run shot-sharded across the host's cores
-//! (deterministic in the shard count, independent of the core count).
+//! (deterministic in the shard count, independent of the core count)
+//! on the survival-skip kernel, which samples clean shots from a
+//! cached alias table instead of replaying every gate.
 //!
 //! ```text
 //! cargo run --release -p qucp-bench --example quickstart
@@ -11,7 +13,7 @@
 use qucp_circuit::library;
 use qucp_core::{execute_parallel, strategy, ParallelConfig};
 use qucp_device::ibm;
-use qucp_sim::{ExecutionConfig, ShotParallelism};
+use qucp_sim::{ExecutionConfig, ShotParallelism, TrajectoryKernel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A NISQ device model: topology + calibration + crosstalk.
@@ -34,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // QuCP with the paper's σ = 4: crosstalk-aware partitioning with no
     // characterization overhead. Each program's 8192 shots split into 8
-    // deterministic shards executed on all available cores.
+    // deterministic shards executed on all available cores, and each
+    // shot runs on the fast survival-skip kernel (counts stay a pure
+    // function of seed, shards, and kernel).
     let outcome = execute_parallel(
         &device,
         &programs,
@@ -42,7 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &ParallelConfig {
             execution: ExecutionConfig::default()
                 .with_shots(8192)
-                .with_parallelism(ShotParallelism::sharded(8)),
+                .with_parallelism(ShotParallelism::sharded(8))
+                .with_kernel(TrajectoryKernel::SurvivalSkip),
             optimize: true,
         },
     )?;
