@@ -1,0 +1,181 @@
+//! `qucpd` — the QuCP service daemon.
+//!
+//! Binds a unix-domain socket (or a TCP address), builds a
+//! [`Service`] over the requested IBM device
+//! fleet, and serves the versioned wire protocol until a client sends
+//! `Shutdown` (which drains every admitted job first). A wall-clock
+//! driver folds monotonic elapsed time into `tick`/`advance_drift` at
+//! the configured cadence; `--cadence-ms 0` disables it, leaving the
+//! clock entirely to client `tick`/`drain` requests (deterministic
+//! mode — what the bit-identity tests use).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use qucp_daemon::{Daemon, DaemonConfig, DaemonHandle};
+use qucp_device::ibm;
+use qucp_runtime::Service;
+
+const USAGE: &str = "\
+qucpd — QuCP service daemon
+
+USAGE:
+    qucpd --socket PATH [OPTIONS]
+    qucpd --tcp ADDR [OPTIONS]
+
+OPTIONS:
+    --socket PATH        unix-domain socket to bind (exclusive with --tcp)
+    --tcp ADDR           TCP address to bind, e.g. 127.0.0.1:7777
+    --devices LIST       comma-separated fleet: melbourne,toronto,manhattan
+                         (default: melbourne)
+    --seed N             deterministic RNG seed (default: 7)
+    --max-parallel N     max programs multi-programmed per batch (default: 2)
+    --shots N            default shot budget per job (default: 256)
+    --cadence-ms N       wall-clock driver period; 0 disables the driver
+                         (default: 10)
+    --help               print this help
+";
+
+struct Args {
+    socket: Option<String>,
+    tcp: Option<String>,
+    devices: Vec<String>,
+    seed: u64,
+    max_parallel: usize,
+    shots: usize,
+    cadence_ms: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        tcp: None,
+        devices: vec!["melbourne".into()],
+        seed: 7,
+        max_parallel: 2,
+        shots: 256,
+        cadence_ms: 10,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--socket" => args.socket = Some(value("--socket")?),
+            "--tcp" => args.tcp = Some(value("--tcp")?),
+            "--devices" => {
+                args.devices = value("--devices")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--max-parallel" => {
+                args.max_parallel = value("--max-parallel")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-parallel: {e}"))?;
+            }
+            "--shots" => {
+                args.shots = value("--shots")?
+                    .parse()
+                    .map_err(|e| format!("bad --shots: {e}"))?;
+            }
+            "--cadence-ms" => {
+                args.cadence_ms = value("--cadence-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --cadence-ms: {e}"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.socket.is_some() == args.tcp.is_some() {
+        return Err("exactly one of --socket or --tcp is required".into());
+    }
+    Ok(args)
+}
+
+fn build_service(args: &Args) -> Result<Service, String> {
+    let mut builder = Service::builder()
+        .seed(args.seed)
+        .max_parallel(args.max_parallel)
+        .default_shots(args.shots);
+    for name in &args.devices {
+        let device = match name.as_str() {
+            "melbourne" => ibm::melbourne(),
+            "toronto" => ibm::toronto(),
+            "manhattan" => ibm::manhattan(),
+            other => return Err(format!("unknown device {other}")),
+        };
+        builder = builder.device(device);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("qucpd: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let service = match build_service(&args) {
+        Ok(service) => service,
+        Err(message) => {
+            eprintln!("qucpd: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let config = DaemonConfig {
+        driver_cadence: (args.cadence_ms > 0).then(|| Duration::from_millis(args.cadence_ms)),
+    };
+
+    let handle: DaemonHandle = if let Some(path) = &args.socket {
+        match Daemon::spawn_unix(path, service, config) {
+            Ok(handle) => {
+                eprintln!("qucpd: listening on {path}");
+                handle
+            }
+            Err(e) => {
+                eprintln!("qucpd: cannot bind {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    } else {
+        let addr = args.tcp.as_deref().expect("checked in parse_args");
+        match Daemon::spawn_tcp(addr, service, config) {
+            Ok((handle, local)) => {
+                eprintln!("qucpd: listening on {local}");
+                handle
+            }
+            Err(e) => {
+                eprintln!("qucpd: cannot bind {addr}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    };
+
+    // Serve until a client's Shutdown request flips the flag, then join
+    // every daemon thread so the final drain is fully flushed.
+    while !handle.is_shutting_down() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    handle.join();
+    eprintln!("qucpd: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,154 @@
+//! The blocking client handle.
+//!
+//! A [`Client`] wraps any [`Transport`] — a live unix or TCP socket,
+//! or the in-memory [`MockTransport`](crate::MockTransport) — and
+//! speaks the versioned protocol: `connect` performs the handshake,
+//! after which each method is one request/response exchange. The
+//! client is strictly synchronous; one outstanding request at a time.
+
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use qucp_runtime::{JobRequest, JobResult, JobTicket, ServiceReport};
+
+use crate::proto::{Fault, Request, Response, PROTOCOL_VERSION};
+use crate::transport::{StreamTransport, Transport};
+use crate::wire::WireError;
+
+/// A client-side failure: transport/decoding trouble, a typed server
+/// fault, or a response of the wrong shape.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Framing, I/O or decoding failed.
+    Wire(WireError),
+    /// The server answered with a typed error frame.
+    Fault(Fault),
+    /// The server answered with a well-formed but unexpected message.
+    UnexpectedResponse {
+        /// What the client was waiting for.
+        expected: &'static str,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Fault(fault) => write!(f, "server fault: {fault}"),
+            ClientError::UnexpectedResponse { expected } => {
+                write!(f, "unexpected response (expected {expected})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A blocking protocol client over some [`Transport`].
+pub struct Client<T: Transport> {
+    transport: T,
+    version: u16,
+}
+
+impl Client<StreamTransport<UnixStream>> {
+    /// Connects to a daemon's unix socket and performs the handshake.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, ClientError> {
+        let stream = UnixStream::connect(path).map_err(WireError::from)?;
+        Client::connect(StreamTransport::new(stream))
+    }
+}
+
+impl<T: Transport> Client<T> {
+    /// Performs the version handshake over an established transport,
+    /// advertising this build's [`PROTOCOL_VERSION`].
+    pub fn connect(transport: T) -> Result<Self, ClientError> {
+        Client::connect_with_version(transport, PROTOCOL_VERSION)
+    }
+
+    /// Handshakes advertising an explicit version — the test hook for
+    /// exercising negotiation (and rejection) paths.
+    pub fn connect_with_version(mut transport: T, version: u16) -> Result<Self, ClientError> {
+        let reply = transport.call(&Request::Hello { version }.encode())?;
+        match Response::decode(&reply)? {
+            Response::HelloAck { version } => Ok(Client { transport, version }),
+            Response::Error(fault) => Err(ClientError::Fault(fault)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "HelloAck",
+            }),
+        }
+    }
+
+    /// The version agreed during the handshake.
+    pub fn version(&self) -> u16 {
+        self.version
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let reply = self.transport.call(&request.encode())?;
+        match Response::decode(&reply)? {
+            Response::Error(fault) => Err(ClientError::Fault(fault)),
+            response => Ok(response),
+        }
+    }
+
+    /// Submits a job; returns its ticket.
+    pub fn submit(&mut self, request: JobRequest) -> Result<JobTicket, ClientError> {
+        match self.call(&Request::Submit(Box::new(request)))? {
+            Response::Ticket(ticket) => Ok(ticket),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Ticket" }),
+        }
+    }
+
+    /// Advances the service clock to `now` (simulated ns); returns the
+    /// tickets that completed by then.
+    pub fn tick(&mut self, now: f64) -> Result<Vec<JobTicket>, ClientError> {
+        match self.call(&Request::Tick { now })? {
+            Response::Completed(tickets) => Ok(tickets),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "Completed",
+            }),
+        }
+    }
+
+    /// Fetches one ticket's result, `None` while its batch has not run.
+    pub fn report(&mut self, ticket: JobTicket) -> Result<Option<JobResult>, ClientError> {
+        match self.call(&Request::Report { ticket })? {
+            Response::JobReport(result) => Ok(result.map(|boxed| *boxed)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "JobReport",
+            }),
+        }
+    }
+
+    /// Drains everything pending and returns the service report.
+    pub fn drain(&mut self) -> Result<ServiceReport, ClientError> {
+        match self.call(&Request::Drain)? {
+            Response::Report(report) => Ok(*report),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Report" }),
+        }
+    }
+
+    /// Fetches the telemetry log accumulated so far.
+    pub fn events(&mut self) -> Result<Vec<qucp_runtime::Event>, ClientError> {
+        match self.call(&Request::Events)? {
+            Response::Events(events) => Ok(events),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Events" }),
+        }
+    }
+
+    /// Asks the daemon to drain, report, and stop accepting work. The
+    /// returned report contains every job admitted before this call —
+    /// graceful shutdown loses nothing.
+    pub fn shutdown(&mut self) -> Result<ServiceReport, ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Report(report) => Ok(*report),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Report" }),
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `qucp-daemon` — the long-running front door to the QuCP runtime:
+//! the `qucpd` socket daemon, its versioned binary wire protocol, and
+//! a blocking [`Client`].
+//!
+//! The library [`Service`](qucp_runtime::Service) built in earlier
+//! iterations is deterministic and fast, but in-process only. This
+//! crate runs it as a shared process: remote clients submit circuits
+//! over a unix-domain socket (or TCP), a wall-clock driver folds real
+//! monotonic time into `tick(now)` + `advance_drift(now)`, and the
+//! daemon's reply to a drain is **bit-identical** to calling the
+//! service in process — the protocol carries `f64`s as IEEE-754 bit
+//! patterns end to end.
+//!
+//! # Frame layout
+//!
+//! Every message travels as one frame on a reliable byte stream:
+//!
+//! ```text
+//! ┌────────────┬──────────────────────────────┐
+//! │ u32 le len │ payload (len bytes)          │
+//! └────────────┴──────────────────────────────┘
+//! payload := tag (u8) | body
+//! ```
+//!
+//! - `len` counts payload bytes only and is bounded by
+//!   [`MAX_FRAME_LEN`] (16 MiB); an oversized header is rejected
+//!   before any allocation.
+//! - Request tags occupy `0x01..=0x7f`, response tags `0x81..=0xff`
+//!   (the high bit marks the direction).
+//! - Body fields are little-endian fixed-width integers; `usize` is
+//!   always 8 bytes on the wire; `f64` is its IEEE-754 bit pattern
+//!   (NaN payloads and signed zeros round-trip bit-for-bit); strings
+//!   and sequences are length-prefixed; options carry a presence byte.
+//! - Decoders are total: truncated frames, forged length prefixes,
+//!   unknown tags, invalid UTF-8 and structurally impossible values
+//!   all map to a typed [`WireError`] (server side: a [`Fault`]
+//!   frame), never a panic.
+//!
+//! # Version rules
+//!
+//! The first frame on every connection must be `Hello`, carrying the
+//! magic `"QCPD"` and the client's newest version. The server replies
+//! `HelloAck` with `min(client, server)` — both sides then speak that
+//! version — or an `UnsupportedVersion` fault when the client
+//! predates [`MIN_SUPPORTED_VERSION`]. Any other request before the
+//! handshake earns a `HandshakeRequired` fault. Within a version,
+//! enum tag numbers are frozen; new variants only append.
+//!
+//! # Structure
+//!
+//! - [`wire`] — bounds-checked encoding primitives.
+//! - [`proto`] — the message catalog and typed ser/de.
+//! - [`transport`] — framing over byte streams; the [`Transport`]
+//!   trait.
+//! - [`server`] — [`ServerSession`] (pure protocol handler), the
+//!   socket accept loop, the wall-clock driver.
+//! - [`client`] — the blocking [`Client`] handle.
+//! - [`mock`] — [`MockTransport`]: the whole protocol with no sockets
+//!   or threads.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod mock;
+pub mod proto;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use mock::MockTransport;
+pub use proto::{
+    negotiate, Fault, Request, Response, WireCalibrationFault, WireRuntimeError, MAGIC,
+    MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+pub use server::{Daemon, DaemonConfig, DaemonHandle, ServerSession};
+pub use transport::{read_frame, write_frame, StreamTransport, Transport};
+pub use wire::{Decoder, Encoder, WireError, MAX_FRAME_LEN};

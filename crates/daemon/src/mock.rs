@@ -1,0 +1,56 @@
+//! An in-memory transport: the full client/server protocol with no
+//! sockets and no threads.
+//!
+//! [`MockTransport`] owns a [`ServerSession`] and satisfies each
+//! [`Transport::call`] by invoking
+//! [`ServerSession::handle_frame`] synchronously — the *same* handler
+//! the socket server runs, so a protocol test through the mock
+//! exercises everything but the framing I/O. Used by the negotiation,
+//! garbage-rejection and bit-identity tests.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, Mutex};
+
+use qucp_runtime::Service;
+
+use crate::server::ServerSession;
+use crate::transport::Transport;
+use crate::wire::WireError;
+
+/// A synchronous in-memory transport wired straight into a
+/// [`ServerSession`].
+pub struct MockTransport {
+    session: ServerSession,
+}
+
+impl MockTransport {
+    /// Wraps a service in a single-connection in-memory daemon. The
+    /// shutdown flag is fresh; a `Shutdown` request drains and flips it
+    /// exactly as in the socket daemon.
+    pub fn new(service: Service) -> Self {
+        MockTransport::over(
+            Arc::new(Mutex::new(service)),
+            Arc::new(AtomicBool::new(false)),
+        )
+    }
+
+    /// Wraps an existing shared service and shutdown flag — lets a test
+    /// run several mock "connections" against one service, or inspect
+    /// the flag after a shutdown request.
+    pub fn over(service: Arc<Mutex<Service>>, shutdown: Arc<AtomicBool>) -> Self {
+        MockTransport {
+            session: ServerSession::new(service, shutdown),
+        }
+    }
+
+    /// The session's negotiated version, once the handshake happened.
+    pub fn negotiated_version(&self) -> Option<u16> {
+        self.session.negotiated_version()
+    }
+}
+
+impl Transport for MockTransport {
+    fn call(&mut self, request: &[u8]) -> Result<Vec<u8>, WireError> {
+        Ok(self.session.handle_frame(request))
+    }
+}

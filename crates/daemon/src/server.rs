@@ -1,0 +1,424 @@
+//! The daemon: a per-connection protocol session, a socket accept loop
+//! and the wall-clock driver.
+//!
+//! The protocol brain is [`ServerSession::handle_frame`] — one request
+//! payload in, one response payload out, no I/O. The socket server
+//! wraps it in per-connection reader/writer threads; the mock
+//! transport calls it directly; both therefore exercise the *same*
+//! code path, which is what makes the mock tests trustworthy.
+//!
+//! All connections share one [`Service`] behind a mutex, so the
+//! daemon's observable behaviour is a serialization of the clients'
+//! requests — exactly the semantics of calling the `Service` in
+//! process, which the bit-identity integration test pins.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use qucp_runtime::Service;
+
+use crate::proto::{negotiate, Fault, Request, Response, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
+use crate::transport::{read_frame, write_frame};
+use crate::wire::WireError;
+
+/// Tuning knobs for a spawned daemon.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Cadence of the wall-clock driver: every period, monotonic
+    /// elapsed nanoseconds since spawn are folded into
+    /// `advance_drift(now)` + `tick(now)`. `None` disables the driver
+    /// entirely — time then advances only through client `tick`/`drain`
+    /// requests, which keeps the service's event log a pure function of
+    /// the request sequence (the bit-identity tests rely on this).
+    pub driver_cadence: Option<Duration>,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            driver_cadence: Some(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Locks a shared service, recovering the data from a poisoned mutex
+/// (a panic in another connection thread must not wedge the daemon).
+fn lock_service(service: &Mutex<Service>) -> MutexGuard<'_, Service> {
+    service
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One connection's protocol state machine: handshake tracking plus
+/// request dispatch against the shared [`Service`]. Performs no I/O —
+/// both the socket server and the in-memory mock feed it frames.
+pub struct ServerSession {
+    service: Arc<Mutex<Service>>,
+    shutdown: Arc<AtomicBool>,
+    negotiated: Option<u16>,
+}
+
+impl ServerSession {
+    /// A fresh, not-yet-handshaken session over a shared service.
+    pub fn new(service: Arc<Mutex<Service>>, shutdown: Arc<AtomicBool>) -> Self {
+        ServerSession {
+            service,
+            shutdown,
+            negotiated: None,
+        }
+    }
+
+    /// The version agreed during the handshake, once there was one.
+    pub fn negotiated_version(&self) -> Option<u16> {
+        self.negotiated
+    }
+
+    /// Handles one request frame payload and returns the encoded
+    /// response payload. Total over arbitrary bytes: malformed input
+    /// yields an encoded [`Fault`] frame, never a panic.
+    pub fn handle_frame(&mut self, payload: &[u8]) -> Vec<u8> {
+        self.handle(payload).encode()
+    }
+
+    fn handle(&mut self, payload: &[u8]) -> Response {
+        let request = match Request::decode(payload) {
+            Ok(request) => request,
+            Err(WireError::UnknownTag {
+                context: "Request",
+                tag,
+            }) => return Response::Error(Fault::UnknownRequest { tag }),
+            Err(e) => {
+                return Response::Error(Fault::MalformedRequest {
+                    detail: e.to_string(),
+                })
+            }
+        };
+        match request {
+            Request::Hello { version } => match negotiate(version) {
+                Some(agreed) => {
+                    self.negotiated = Some(agreed);
+                    Response::HelloAck { version: agreed }
+                }
+                None => Response::Error(Fault::UnsupportedVersion {
+                    client: version,
+                    min: MIN_SUPPORTED_VERSION,
+                    max: PROTOCOL_VERSION,
+                }),
+            },
+            _ if self.negotiated.is_none() => Response::Error(Fault::HandshakeRequired),
+            Request::Submit(job) => {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    return Response::Error(Fault::ShuttingDown);
+                }
+                match lock_service(&self.service).submit(*job) {
+                    Ok(ticket) => Response::Ticket(ticket),
+                    Err(e) => Response::Error(Fault::Runtime((&e).into())),
+                }
+            }
+            Request::Tick { now } => match lock_service(&self.service).tick(now) {
+                Ok(tickets) => Response::Completed(tickets),
+                Err(e) => Response::Error(Fault::Runtime((&e).into())),
+            },
+            Request::Report { ticket } => Response::JobReport(
+                lock_service(&self.service)
+                    .result(ticket)
+                    .cloned()
+                    .map(Box::new),
+            ),
+            Request::Drain => match lock_service(&self.service).run_until_drained() {
+                Ok(report) => Response::Report(Box::new(report)),
+                Err(e) => Response::Error(Fault::Runtime((&e).into())),
+            },
+            Request::Events => Response::Events(lock_service(&self.service).events().to_vec()),
+            Request::Shutdown => {
+                // Drain *before* raising the flag so every job admitted
+                // ahead of this request reaches the final report — the
+                // no-job-lost guarantee.
+                let drained = lock_service(&self.service).run_until_drained();
+                self.shutdown.store(true, Ordering::SeqCst);
+                match drained {
+                    Ok(report) => Response::Report(Box::new(report)),
+                    Err(e) => Response::Error(Fault::Runtime((&e).into())),
+                }
+            }
+        }
+    }
+}
+
+/// Server-side socket abstraction so unix and TCP share one accept
+/// loop and one connection loop.
+trait Listener: Send + 'static {
+    /// The connection stream type.
+    type Conn: Connection;
+    /// Accepts one pending connection; `Ok(None)` when none is queued
+    /// (the listener is nonblocking).
+    fn poll_accept(&self) -> io::Result<Option<Self::Conn>>;
+}
+
+trait Connection: Read + Write + Send + Sized + 'static {
+    fn duplicate(&self) -> io::Result<Self>;
+    fn set_read_timeout_on(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Listener for UnixListener {
+    type Conn = UnixStream;
+    fn poll_accept(&self) -> io::Result<Option<UnixStream>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Connection for UnixStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_timeout_on(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl Listener for TcpListener {
+    type Conn = TcpStream;
+    fn poll_accept(&self) -> io::Result<Option<TcpStream>> {
+        match self.accept() {
+            Ok((stream, _)) => Ok(Some(stream)),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Connection for TcpStream {
+    fn duplicate(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_read_timeout_on(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+/// How often a blocked connection read wakes up to check the shutdown
+/// flag, and how often the accept loop polls.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// A running daemon: accept loop, connection threads, optional
+/// wall-clock driver. Obtained from [`Daemon::spawn_unix`] /
+/// [`Daemon::spawn_tcp`].
+pub struct DaemonHandle {
+    service: Arc<Mutex<Service>>,
+    shutdown: Arc<AtomicBool>,
+    driver_errors: Arc<AtomicUsize>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+    driver_thread: Option<thread::JoinHandle<()>>,
+    socket_path: Option<PathBuf>,
+}
+
+impl DaemonHandle {
+    /// Raises the shutdown flag; the accept loop and driver exit at
+    /// their next poll. (A client's `Shutdown` request does the same,
+    /// after draining.)
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether shutdown was requested (locally or by a client).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The shared service, for in-process inspection in tests.
+    pub fn service(&self) -> Arc<Mutex<Service>> {
+        Arc::clone(&self.service)
+    }
+
+    /// How many driver iterations failed (a NaN horizon cannot arise
+    /// from `Instant` arithmetic, so this staying 0 is the norm).
+    pub fn driver_errors(&self) -> usize {
+        self.driver_errors.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until every daemon thread exits, then removes the unix
+    /// socket file if one was bound. Call after
+    /// [`request_shutdown`](Self::request_shutdown) (or after a client
+    /// sent `Shutdown`).
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.driver_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(path) = self.socket_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Spawner for the daemon's socket servers.
+pub struct Daemon;
+
+impl Daemon {
+    /// Binds a unix-domain socket at `path` (replacing any stale socket
+    /// file) and spawns the accept loop plus, per
+    /// [`DaemonConfig::driver_cadence`], the wall-clock driver.
+    pub fn spawn_unix(
+        path: impl AsRef<Path>,
+        service: Service,
+        config: DaemonConfig,
+    ) -> io::Result<DaemonHandle> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        Ok(spawn(listener, service, config, Some(path)))
+    }
+
+    /// Binds a TCP listener at `addr` and spawns the same loops.
+    /// Returns the handle and the actual bound address (useful with
+    /// port 0).
+    pub fn spawn_tcp(
+        addr: impl ToSocketAddrs,
+        service: Service,
+        config: DaemonConfig,
+    ) -> io::Result<(DaemonHandle, SocketAddr)> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        Ok((spawn(listener, service, config, None), local))
+    }
+}
+
+fn spawn<L: Listener>(
+    listener: L,
+    service: Service,
+    config: DaemonConfig,
+    socket_path: Option<PathBuf>,
+) -> DaemonHandle {
+    let service = Arc::new(Mutex::new(service));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let driver_errors = Arc::new(AtomicUsize::new(0));
+
+    let accept_thread = {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || accept_loop(listener, service, shutdown))
+    };
+
+    let driver_thread = config.driver_cadence.map(|cadence| {
+        let service = Arc::clone(&service);
+        let shutdown = Arc::clone(&shutdown);
+        let errors = Arc::clone(&driver_errors);
+        thread::spawn(move || driver_loop(cadence, service, shutdown, errors))
+    });
+
+    DaemonHandle {
+        service,
+        shutdown,
+        driver_errors,
+        accept_thread: Some(accept_thread),
+        driver_thread,
+        socket_path,
+    }
+}
+
+fn accept_loop<L: Listener>(listener: L, service: Arc<Mutex<Service>>, shutdown: Arc<AtomicBool>) {
+    let mut connections: Vec<thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.poll_accept() {
+            Ok(Some(conn)) => {
+                let session = ServerSession::new(Arc::clone(&service), Arc::clone(&shutdown));
+                let shutdown = Arc::clone(&shutdown);
+                connections.push(thread::spawn(move || {
+                    connection_loop(conn, session, shutdown)
+                }));
+            }
+            Ok(None) => thread::sleep(POLL_INTERVAL),
+            // A transient accept failure (e.g. the peer vanished
+            // between queueing and accepting) must not kill the daemon.
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+        connections.retain(|handle| !handle.is_finished());
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Per-connection reader loop plus a dedicated writer thread: the
+/// reader decodes and handles frames, the writer serializes responses
+/// back. Any transport error ends the connection; the daemon lives on.
+fn connection_loop<C: Connection>(conn: C, mut session: ServerSession, shutdown: Arc<AtomicBool>) {
+    // The periodic read timeout is what lets the loop notice shutdown
+    // while idle; a timeout is not an error.
+    if conn.set_read_timeout_on(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let writer = match conn.duplicate() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<Vec<u8>>();
+    let writer_thread = thread::spawn(move || {
+        let mut writer = writer;
+        while let Ok(payload) = rx.recv() {
+            if write_frame(&mut writer, &payload).is_err() {
+                break;
+            }
+        }
+    });
+
+    let mut reader = conn;
+    loop {
+        match read_frame(&mut reader) {
+            Ok(Some(payload)) => {
+                let response = session.handle_frame(&payload);
+                if tx.send(response).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break, // peer hung up cleanly
+            Err(WireError::Io { kind, .. }) if kind == "WouldBlock" || kind == "TimedOut" => {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(_) => break, // malformed framing or hard I/O error
+        }
+    }
+    drop(tx);
+    let _ = writer_thread.join();
+}
+
+/// The wall-clock driver: every `cadence`, fold monotonic elapsed
+/// nanoseconds into `advance_drift(now)` then `tick(now)` — real time
+/// drives calibration drift and batch dispatch exactly like the
+/// explicit simulated clock does, retiring the explicit/auto split.
+fn driver_loop(
+    cadence: Duration,
+    service: Arc<Mutex<Service>>,
+    shutdown: Arc<AtomicBool>,
+    errors: Arc<AtomicUsize>,
+) {
+    let origin = Instant::now();
+    while !shutdown.load(Ordering::SeqCst) {
+        thread::sleep(cadence);
+        let now = origin.elapsed().as_nanos() as f64;
+        let mut service = lock_service(&service);
+        if service.advance_drift(now).is_err() {
+            errors.fetch_add(1, Ordering::SeqCst);
+        }
+        if service.tick(now).is_err() {
+            errors.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}

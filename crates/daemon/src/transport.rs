@@ -1,0 +1,167 @@
+//! Frame transport: length-prefixed frames over byte streams, and the
+//! [`Transport`] abstraction the client speaks through.
+//!
+//! A frame is a little-endian `u32` payload length followed by exactly
+//! that many payload bytes. The length is validated against
+//! [`MAX_FRAME_LEN`] *before* any buffer is reserved, on both the read
+//! and the write side, so neither a forged header nor a runaway
+//! payload can exhaust memory. The same helpers serve the client, the
+//! socket server and the tests — there is exactly one framing
+//! implementation to get wrong.
+
+use std::io::{Read, Write};
+
+use crate::wire::{WireError, MAX_FRAME_LEN};
+
+/// Writes one frame (length prefix + payload) and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::LengthOverflow {
+            len: payload.len() as u64,
+            max: MAX_FRAME_LEN as u64,
+        });
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame's payload, enforcing [`MAX_FRAME_LEN`] before
+/// allocating. Returns `Ok(None)` on clean EOF at a frame boundary
+/// (the peer hung up between messages); mid-frame EOF is an error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::LengthOverflow {
+            len: len as u64,
+            max: MAX_FRAME_LEN as u64,
+        });
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+enum ReadOutcome {
+    Filled,
+    Eof,
+}
+
+/// `read_exact`, except EOF *before the first byte* is reported as
+/// [`ReadOutcome::Eof`] instead of an error — that is how a peer
+/// closing the connection between frames looks.
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => {
+                return Err(WireError::Truncated {
+                    needed: buf.len(),
+                    remaining: filled,
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+/// One request/response exchange. The client is strictly synchronous —
+/// a transport carries exactly one outstanding request — which keeps
+/// the protocol trivially orderable and the mock implementation a pure
+/// function call.
+pub trait Transport {
+    /// Sends one encoded request payload and returns the peer's encoded
+    /// response payload.
+    fn call(&mut self, request: &[u8]) -> Result<Vec<u8>, WireError>;
+}
+
+/// [`Transport`] over any duplex byte stream — a `UnixStream`, a
+/// `TcpStream`, or anything else implementing `Read + Write`.
+#[derive(Debug)]
+pub struct StreamTransport<S: Read + Write> {
+    stream: S,
+}
+
+impl<S: Read + Write> StreamTransport<S> {
+    /// Wraps an already-connected stream.
+    pub fn new(stream: S) -> Self {
+        StreamTransport { stream }
+    }
+
+    /// The underlying stream, for shutdown-side effects.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+}
+
+impl<S: Read + Write> Transport for StreamTransport<S> {
+    fn call(&mut self, request: &[u8]) -> Result<Vec<u8>, WireError> {
+        write_frame(&mut self.stream, request)?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(payload),
+            None => Err(WireError::Io {
+                kind: "UnexpectedEof".into(),
+                message: "server closed the connection before responding".into(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none()); // clean EOF
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+    }
+
+    #[test]
+    fn midframe_eof_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..6]; // header + 2 of 5 payload bytes
+        assert!(matches!(
+            read_frame(&mut r).unwrap_err(),
+            WireError::Io { .. } | WireError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn oversized_write_is_refused() {
+        let payload = vec![0u8; MAX_FRAME_LEN + 1];
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &payload).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+        assert!(buf.is_empty(), "nothing must be written on refusal");
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end test of the real `qucpd` binary: spawn the process,
+//! connect over its unix socket, run a workload, shut it down, and
+//! check it exits cleanly.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use qucp_circuit::{Circuit, Gate};
+use qucp_daemon::Client;
+use qucp_runtime::JobRequest;
+
+struct KillOnDrop(Child);
+
+impl Drop for KillOnDrop {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+#[test]
+fn qucpd_binary_serves_a_workload_end_to_end() {
+    let socket = std::env::temp_dir().join(format!("qucpd-bin-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+
+    let child = Command::new(env!("CARGO_BIN_EXE_qucpd"))
+        .args([
+            "--socket",
+            socket.to_str().expect("utf-8 temp path"),
+            "--devices",
+            "melbourne",
+            "--seed",
+            "7",
+            "--shots",
+            "64",
+            "--cadence-ms",
+            "2",
+        ])
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn qucpd");
+    let mut child = KillOnDrop(child);
+
+    // Wait for the daemon to bind its socket.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut client = loop {
+        if socket.exists() {
+            if let Ok(client) = Client::connect_unix(&socket) {
+                break client;
+            }
+        }
+        assert!(Instant::now() < deadline, "qucpd never bound {socket:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+
+    // Submit a few jobs; the wall-clock driver completes them without
+    // any client tick.
+    let mut tickets = Vec::new();
+    for i in 0..3u64 {
+        let mut circuit = Circuit::with_name(2, format!("bell-{i}"));
+        circuit.try_push(Gate::H(0)).unwrap();
+        circuit.try_push(Gate::Cx(0, 1)).unwrap();
+        tickets.push(
+            client
+                .submit(JobRequest::new(circuit, 0.0).with_id(100 + i))
+                .expect("submit"),
+        );
+    }
+    for ticket in &tickets {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if client.report(*ticket).expect("report").is_some() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "job {ticket:?} never completed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    let report = client.shutdown().expect("shutdown");
+    assert_eq!(report.job_results.len(), 3);
+    let mut ids: Vec<u64> = report.job_results.iter().map(|r| r.job_id).collect();
+    ids.sort_unstable();
+    assert_eq!(ids, vec![100, 101, 102]);
+
+    // The process must exit cleanly after the shutdown request.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match child.0.try_wait().expect("try_wait") {
+            Some(status) => {
+                assert!(status.success(), "qucpd exited with {status}");
+                break;
+            }
+            None => {
+                assert!(Instant::now() < deadline, "qucpd never exited");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}

@@ -35,6 +35,36 @@ impl Counts {
         }
     }
 
+    /// Rebuilds counts from `(outcome, count)` entries, e.g. decoded
+    /// from a wire encoding of [`Counts::iter`]. Returns `None` — never
+    /// panicking, unlike repeated [`Counts::record`] — when `width`
+    /// exceeds the register sizes a `usize` outcome can index, an
+    /// outcome is out of range or repeated, or the total shot count
+    /// overflows. Entries may arrive in any order; the result is
+    /// identical to recording each outcome `count` times.
+    pub fn from_entries(
+        width: usize,
+        entries: impl IntoIterator<Item = (usize, usize)>,
+    ) -> Option<Self> {
+        if width >= usize::BITS as usize {
+            return None;
+        }
+        let mut counts = Counts::new(width);
+        for (index, count) in entries {
+            // Zero counts are rejected too: recording never produces
+            // them, so admitting one would break the canonical-form
+            // equality `from_entries(width, c.iter()) == c`.
+            if count == 0 || index >= (1usize << width) {
+                return None;
+            }
+            if counts.map.insert(index, count).is_some() {
+                return None;
+            }
+            counts.shots = counts.shots.checked_add(count)?;
+        }
+        Some(counts)
+    }
+
     /// Records one shot with outcome `index`.
     ///
     /// # Panics

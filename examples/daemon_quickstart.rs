@@ -1,0 +1,95 @@
+//! Daemon quickstart: run `qucpd` on a unix socket in a temp dir,
+//! submit a small skewed workload through the blocking [`Client`], and
+//! print the final [`ServiceReport`].
+//!
+//! ```sh
+//! cargo run --release --example daemon_quickstart
+//! ```
+//!
+//! The daemon here is spawned in process via [`Daemon::spawn_unix`] —
+//! the same accept loop, connection threads and wall-clock driver the
+//! standalone `qucpd` binary runs — so the example is a faithful,
+//! self-contained client/server round trip.
+
+use std::time::Duration;
+
+use qucp_daemon::{Client, Daemon, DaemonConfig};
+use qucp_device::ibm;
+use qucp_runtime::{skewed_jobs, JobRequest, Service};
+
+fn main() {
+    let socket = std::env::temp_dir().join(format!("qucpd-example-{}.sock", std::process::id()));
+
+    // A two-device fleet with the paper's default QuCP strategy; the
+    // wall-clock driver folds real elapsed time into tick/advance_drift
+    // every 2 ms.
+    let service = Service::builder()
+        .device(ibm::melbourne())
+        .device(ibm::toronto())
+        .max_parallel(3)
+        .default_shots(128)
+        .seed(7)
+        .build()
+        .expect("build service");
+    let handle = Daemon::spawn_unix(
+        &socket,
+        service,
+        DaemonConfig {
+            driver_cadence: Some(Duration::from_millis(2)),
+        },
+    )
+    .expect("bind daemon socket");
+    println!("qucpd listening on {}", socket.display());
+
+    let mut client = Client::connect_unix(&socket).expect("connect");
+    println!("negotiated protocol version {}", client.version());
+
+    // A skewed workload: mostly small circuits plus periodic wide ones.
+    let jobs: Vec<JobRequest> = skewed_jobs(8, 12, 400.0, 128, 0xC10D)
+        .iter()
+        .map(JobRequest::from_job)
+        .collect();
+    let submitted = jobs.len();
+    for job in jobs {
+        let ticket = client.submit(job).expect("submit");
+        println!("submitted job {} (seq {})", ticket.id, ticket.seq);
+    }
+
+    // Graceful shutdown: the daemon drains every admitted job, replies
+    // with the final report, and exits its accept loop.
+    let report = client.shutdown().expect("shutdown");
+    handle.join();
+
+    println!("\n=== final ServiceReport ===");
+    println!(
+        "jobs completed : {} / {submitted}",
+        report.job_results.len()
+    );
+    println!("batches        : {}", report.stats.batches);
+    println!("mean waiting   : {:.1} ns", report.stats.mean_waiting);
+    println!("mean turnaround: {:.1} ns", report.stats.mean_turnaround);
+    println!("makespan       : {:.1} ns", report.stats.makespan);
+    for device in &report.per_device {
+        println!(
+            "  {:<10} {} jobs, {} batches",
+            device.device, device.jobs, device.stats.batches
+        );
+    }
+    for result in &report.job_results {
+        println!(
+            "  job {:>2} [{}] pst={} jsd={:.4}",
+            result.job_id,
+            result.result.name,
+            result
+                .result
+                .pst
+                .map(|p| format!("{p:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            result.result.jsd,
+        );
+    }
+
+    // The CI smoke step greps this line and the count above.
+    assert_eq!(report.job_results.len(), submitted, "no job lost");
+    println!("completed-jobs={}", report.job_results.len());
+}

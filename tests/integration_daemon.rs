@@ -1,0 +1,829 @@
+//! Integration tests for the `qucpd` daemon subsystem: round-trip
+//! properties for every wire message (handshake and error frames
+//! included), decode-rejects-garbage properties (truncation, forged
+//! length prefixes, unknown tags — typed errors, never panics), the
+//! mock-transport protocol suite (version negotiation, handshake
+//! enforcement), graceful shutdown losing no admitted job, and the
+//! headline acceptance property: a `Client` over the mock transport
+//! AND over a live unix socket receives a `ServiceReport`
+//! **bit-identical** to driving the same `Service` in process with the
+//! same simulated clock.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use qucp_circuit::{Circuit, Gate};
+use qucp_core::queue::QueueStats;
+use qucp_core::{CrosstalkTreatment, PartitionPolicy, ProgramResult, Strategy as ExecStrategy};
+use qucp_daemon::{
+    Client, ClientError, Daemon, DaemonConfig, Fault, MockTransport, Request, Response,
+    ServerSession, Transport, WireError, WireRuntimeError, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
+};
+use qucp_device::{ibm, Link, LinkPair};
+use qucp_runtime::{
+    skewed_jobs, BatchReport, DeviceReport, Event, JobRequest, JobResult, JobTicket, Service,
+    ServiceReport, ShotParallelism, ShrinkReason, TrajectoryKernel,
+};
+use qucp_sim::Counts;
+
+// ---------------------------------------------------------------------------
+// Fixtures.
+// ---------------------------------------------------------------------------
+
+/// The shared deterministic fleet both sides of every identity test
+/// build: same device, same seed, same knobs.
+fn fleet() -> Service {
+    Service::builder()
+        .device(ibm::melbourne())
+        .max_parallel(2)
+        .default_shots(64)
+        .seed(7)
+        .build()
+        .expect("build service")
+}
+
+/// A small skewed workload (mixed widths, staggered arrivals).
+fn workload(n: usize) -> Vec<JobRequest> {
+    skewed_jobs(n, 12, 300.0, 64, 0xBEEF)
+        .iter()
+        .map(JobRequest::from_job)
+        .collect()
+}
+
+/// A throwaway valid circuit for submissions in protocol tests.
+fn bell_request(arrival: f64) -> JobRequest {
+    let mut circuit = Circuit::with_name(2, "bell");
+    circuit.try_push(Gate::H(0)).unwrap();
+    circuit.try_push(Gate::Cx(0, 1)).unwrap();
+    JobRequest::new(circuit, arrival)
+}
+
+/// A unique socket path in the system temp dir.
+fn socket_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qucpd-it-{}-{tag}.sock", std::process::id()))
+}
+
+// ---------------------------------------------------------------------------
+// Strategies for wire values.
+// ---------------------------------------------------------------------------
+
+/// Circuit width every generated gate stays inside.
+const WIDTH: usize = 4;
+
+/// Finite-or-infinite `f64`s, signed zeros included. NaN is excluded
+/// here only because `PartialEq` cannot witness its round-trip; the
+/// dedicated `nan_payloads_round_trip_bitwise` test covers NaN at the
+/// bit level.
+fn arb_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(2.5e-7),
+        -1.0e9..1.0e9,
+    ]
+}
+
+fn arb_gate() -> impl Strategy<Value = Gate> {
+    (
+        (0u8..20, 0usize..WIDTH, 1usize..WIDTH),
+        (arb_f64(), arb_f64(), arb_f64()),
+    )
+        .prop_map(|((tag, q, offset), (a, b, c))| {
+            let q2 = (q + offset) % WIDTH; // offset in 1..WIDTH, so q2 != q
+            match tag {
+                0 => Gate::I(q),
+                1 => Gate::X(q),
+                2 => Gate::Y(q),
+                3 => Gate::Z(q),
+                4 => Gate::H(q),
+                5 => Gate::S(q),
+                6 => Gate::Sdg(q),
+                7 => Gate::T(q),
+                8 => Gate::Tdg(q),
+                9 => Gate::Sx(q),
+                10 => Gate::Sxdg(q),
+                11 => Gate::Rx(q, a),
+                12 => Gate::Ry(q, a),
+                13 => Gate::Rz(q, a),
+                14 => Gate::P(q, a),
+                15 => Gate::U(q, a, b, c),
+                16 => Gate::Cx(q, q2),
+                17 => Gate::Cz(q, q2),
+                18 => Gate::Cp(q, q2, a),
+                19 => Gate::Swap(q, q2),
+                _ => unreachable!(),
+            }
+        })
+}
+
+fn arb_circuit() -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec(arb_gate(), 0usize..10).prop_map(|gates| {
+        let mut circuit = Circuit::with_name(WIDTH, "arb");
+        for gate in gates {
+            circuit.try_push(gate).expect("valid by construction");
+        }
+        circuit
+    })
+}
+
+fn arb_treatment() -> impl Strategy<Value = CrosstalkTreatment> {
+    prop_oneof![
+        Just(CrosstalkTreatment::None),
+        arb_f64().prop_map(CrosstalkTreatment::Sigma),
+        proptest::collection::vec(
+            ((0usize..8, 1usize..4), (0usize..8, 1usize..4), arb_f64()),
+            0usize..4
+        )
+        .prop_map(|entries| {
+            let map = entries
+                .into_iter()
+                .map(|((a, da), (b, db), ratio)| {
+                    let pair = LinkPair::new(Link::new(a, a + da), Link::new(b, b + db));
+                    (pair, ratio)
+                })
+                .collect();
+            CrosstalkTreatment::Measured(map)
+        }),
+    ]
+}
+
+fn arb_strategy() -> impl Strategy<Value = ExecStrategy> {
+    (
+        prop_oneof![
+            arb_treatment()
+                .prop_map(PartitionPolicy::NoiseAware)
+                .boxed(),
+            Just(PartitionPolicy::TopologyGreedy).boxed(),
+            Just(PartitionPolicy::FidelityDegree).boxed(),
+        ],
+        0u8..4,
+    )
+        .prop_map(|(partition, flags)| ExecStrategy {
+            name: format!("strat-{flags}"),
+            partition,
+            crosstalk_aware_routing: flags & 1 != 0,
+            serialize_conflicts: flags & 2 != 0,
+        })
+}
+
+fn arb_shot_parallelism() -> impl Strategy<Value = ShotParallelism> {
+    prop_oneof![
+        Just(ShotParallelism::Serial),
+        Just(ShotParallelism::Auto),
+        (1usize..9, 0usize..5)
+            .prop_map(|(shards, threads)| ShotParallelism::Sharded { shards, threads }),
+    ]
+}
+
+fn arb_option<S: Strategy + 'static>(inner: S) -> BoxedStrategy<Option<S::Value>>
+where
+    S::Value: 'static,
+{
+    prop_oneof![
+        Just(()).prop_map(|_| None).boxed(),
+        inner.prop_map(Some).boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_job_request() -> impl Strategy<Value = JobRequest> {
+    (
+        (arb_circuit(), arb_f64(), arb_option(0u64..999)),
+        (
+            arb_option(1usize..4096),
+            arb_option(arb_strategy()),
+            arb_option(arb_f64()),
+        ),
+        (
+            arb_option(arb_shot_parallelism()),
+            arb_option(prop_oneof![
+                Just(TrajectoryKernel::Replay),
+                Just(TrajectoryKernel::SurvivalSkip)
+            ]),
+        ),
+    )
+        .prop_map(
+            |((circuit, arrival, id), (shots, strategy, threshold), (parallelism, kernel))| {
+                JobRequest {
+                    circuit,
+                    arrival,
+                    id,
+                    shots,
+                    strategy,
+                    fidelity_threshold: threshold,
+                    shot_parallelism: parallelism,
+                    trajectory_kernel: kernel,
+                }
+            },
+        )
+}
+
+fn arb_ticket() -> impl Strategy<Value = JobTicket> {
+    (0usize..9999, 0u64..9999).prop_map(|(seq, id)| JobTicket { seq, id })
+}
+
+fn arb_queue_stats() -> impl Strategy<Value = QueueStats> {
+    ((arb_f64(), arb_f64()), (arb_f64(), arb_f64(), 0usize..999)).prop_map(
+        |((mean_waiting, mean_turnaround), (makespan, mean_throughput, batches))| QueueStats {
+            mean_waiting,
+            mean_turnaround,
+            makespan,
+            mean_throughput,
+            batches,
+        },
+    )
+}
+
+fn arb_counts() -> impl Strategy<Value = Counts> {
+    proptest::collection::vec((0usize..(1 << 3), 1usize..50), 0usize..6).prop_map(|entries| {
+        // Dedupe indices through a BTreeMap before rebuilding: the wire
+        // form requires unique outcomes, as Counts::iter produces.
+        let map: std::collections::BTreeMap<usize, usize> = entries.into_iter().collect();
+        Counts::from_entries(3, map).expect("valid by construction")
+    })
+}
+
+fn arb_program_result() -> impl Strategy<Value = ProgramResult> {
+    (
+        (proptest::collection::vec(0usize..20, 1usize..5), arb_f64()),
+        (0usize..30, arb_counts()),
+        (arb_option(arb_f64()), arb_f64()),
+    )
+        .prop_map(
+            |((partition, efs), (swap_count, counts), (pst, jsd))| ProgramResult {
+                name: format!("prog-{swap_count}"),
+                partition,
+                efs,
+                swap_count,
+                counts,
+                pst,
+                jsd,
+            },
+        )
+}
+
+fn arb_job_result() -> impl Strategy<Value = JobResult> {
+    (
+        (0u64..999, 0usize..99),
+        (arb_f64(), arb_f64()),
+        (arb_f64(), arb_f64(), arb_program_result()),
+    )
+        .prop_map(
+            |((job_id, batch_index), (start, completion), (waiting, turnaround, result))| {
+                JobResult {
+                    job_id,
+                    batch_index,
+                    start,
+                    completion,
+                    waiting,
+                    turnaround,
+                    result,
+                }
+            },
+        )
+}
+
+fn arb_batch_report() -> impl Strategy<Value = BatchReport> {
+    (
+        (0usize..99, proptest::collection::vec(0u64..99, 0usize..4)),
+        (arb_f64(), arb_f64(), arb_f64()),
+        (0usize..20, 0usize..9),
+    )
+        .prop_map(
+            |((batch_index, job_ids), (start, completion, makespan), (used_qubits, conflicts))| {
+                BatchReport {
+                    batch_index,
+                    device: format!("dev-{batch_index}"),
+                    job_ids,
+                    start,
+                    completion,
+                    makespan,
+                    used_qubits,
+                    conflict_count: conflicts,
+                }
+            },
+        )
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    let submitted = ((0u64..99, 0usize..99), (arb_f64(), 1usize..20, 1usize..999)).prop_map(
+        |((job_id, seq), (arrival, width, shots))| Event::JobSubmitted {
+            job_id,
+            seq,
+            arrival,
+            width,
+            shots,
+        },
+    );
+    let routed = ((0usize..99, arb_f64()), (arb_f64(), 1usize..5)).prop_map(
+        |((batch_index, score), (start, candidates))| Event::BatchRouted {
+            batch_index,
+            device: format!("dev-{candidates}"),
+            policy: "earliest-free".into(),
+            score,
+            start,
+            candidates,
+        },
+    );
+    let planned = (
+        (0usize..99, proptest::collection::vec(0u64..99, 0usize..4)),
+        (arb_f64(), arb_f64()),
+    )
+        .prop_map(
+            |((batch_index, job_ids), (start, makespan))| Event::BatchPlanned {
+                batch_index,
+                device: "melbourne".into(),
+                job_ids,
+                start,
+                makespan,
+            },
+        );
+    let shrunk = ((0usize..99, 0u64..99), (0usize..5, 0u8..2)).prop_map(
+        |((batch_index, dropped_job_id), (remaining, reason))| Event::BatchShrunk {
+            batch_index,
+            device: "melbourne".into(),
+            dropped_job_id,
+            remaining,
+            reason: if reason == 0 {
+                ShrinkReason::PartitionFailure
+            } else {
+                ShrinkReason::FidelityGate
+            },
+        },
+    );
+    let recal = (0u64..99).prop_map(|epoch| Event::DeviceRecalibrated {
+        device: "melbourne".into(),
+        epoch,
+    });
+    let completed = ((0u64..99, 0usize..99), (0usize..99, arb_f64(), arb_f64())).prop_map(
+        |((job_id, seq), (batch_index, completion, turnaround))| Event::JobCompleted {
+            job_id,
+            seq,
+            batch_index,
+            completion,
+            turnaround,
+        },
+    );
+    prop_oneof![submitted, routed, planned, shrunk, recal, completed]
+}
+
+fn arb_service_report() -> impl Strategy<Value = ServiceReport> {
+    (
+        arb_queue_stats(),
+        (
+            proptest::collection::vec(
+                (arb_queue_stats(), 0usize..99).prop_map(|(stats, jobs)| DeviceReport {
+                    device: format!("dev-{jobs}"),
+                    jobs,
+                    stats,
+                }),
+                0usize..3,
+            ),
+            proptest::collection::vec(arb_batch_report(), 0usize..3),
+        ),
+        (
+            proptest::collection::vec(arb_job_result(), 0usize..3),
+            proptest::collection::vec(arb_event(), 0usize..4),
+        ),
+    )
+        .prop_map(
+            |(stats, (per_device, batches), (job_results, events))| ServiceReport {
+                stats,
+                per_device,
+                batches,
+                job_results,
+                events,
+            },
+        )
+}
+
+fn arb_runtime_error() -> impl Strategy<Value = WireRuntimeError> {
+    prop_oneof![
+        Just(WireRuntimeError::ZeroParallel),
+        Just(WireRuntimeError::NoDevices),
+        Just(WireRuntimeError::ZeroShots),
+        Just(WireRuntimeError::EmptyCircuit),
+        arb_f64().prop_map(|value| WireRuntimeError::NonFiniteTime { value }),
+        arb_f64().prop_map(|value| WireRuntimeError::InvalidThreshold { value }),
+        (0u64..999, 0u64..999)
+            .prop_map(|(steps, max)| WireRuntimeError::DriftHorizonTooFar { steps, max }),
+        (0u64..99).prop_map(|job_id| WireRuntimeError::JobUnplaceable {
+            job_id,
+            detail: format!("no device admits job {job_id}"),
+        }),
+        Just(WireRuntimeError::Core {
+            detail: "pipeline exploded".into()
+        }),
+    ]
+}
+
+fn arb_fault() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0u16..9, 1u16..9, 1u16..9).prop_map(|(client, min, max)| Fault::UnsupportedVersion {
+            client,
+            min,
+            max
+        }),
+        Just(Fault::HandshakeRequired),
+        (0u8..255).prop_map(|tag| Fault::UnknownRequest { tag }),
+        Just(Fault::MalformedRequest {
+            detail: "trailing garbage".into()
+        }),
+        arb_runtime_error().prop_map(Fault::Runtime),
+        Just(Fault::ShuttingDown),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (0u16..9).prop_map(|version| Request::Hello { version }),
+        arb_job_request().prop_map(|job| Request::Submit(Box::new(job))),
+        arb_f64().prop_map(|now| Request::Tick { now }),
+        arb_ticket().prop_map(|ticket| Request::Report { ticket }),
+        Just(Request::Drain),
+        Just(Request::Events),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (0u16..9).prop_map(|version| Response::HelloAck { version }),
+        arb_ticket().prop_map(Response::Ticket),
+        proptest::collection::vec(arb_ticket(), 0usize..5).prop_map(Response::Completed),
+        arb_option(arb_job_result()).prop_map(|result| Response::JobReport(result.map(Box::new))),
+        arb_service_report().prop_map(|report| Response::Report(Box::new(report))),
+        proptest::collection::vec(arb_event(), 0usize..4).prop_map(Response::Events),
+        arb_fault().prop_map(Response::Error),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1a: round-trip properties for every wire message.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// encode → decode is the identity for every request, the version
+    /// handshake included.
+    #[test]
+    fn requests_round_trip(request in arb_request()) {
+        let decoded = Request::decode(&request.encode()).expect("round trip");
+        prop_assert_eq!(decoded, request);
+    }
+
+    /// encode → decode is the identity for every response, error
+    /// frames and full service reports included.
+    #[test]
+    fn responses_round_trip(response in arb_response()) {
+        let decoded = Response::decode(&response.encode()).expect("round trip");
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// Re-encoding a decoded message reproduces the original bytes —
+    /// the encoding is canonical, which is what makes "bit-identical
+    /// report" a meaningful claim.
+    #[test]
+    fn encoding_is_canonical(response in arb_response()) {
+        let bytes = response.encode();
+        let reencoded = Response::decode(&bytes).expect("decode").encode();
+        prop_assert_eq!(reencoded, bytes);
+    }
+}
+
+/// NaN payloads and signed zeros survive the wire bit-for-bit (the
+/// `PartialEq`-based properties above cannot witness NaN).
+#[test]
+fn nan_payloads_round_trip_bitwise() {
+    let weird = f64::from_bits(0x7ff8_dead_beef_0001); // NaN with payload
+    for value in [weird, f64::NAN, -0.0, f64::INFINITY] {
+        let request = Request::Tick { now: value };
+        let bytes = request.encode();
+        let reencoded = Request::decode(&bytes).expect("decode").encode();
+        assert_eq!(reencoded, bytes);
+        match Request::decode(&bytes).expect("decode") {
+            Request::Tick { now } => assert_eq!(now.to_bits(), value.to_bits()),
+            other => panic!("wrong message {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1b: decode rejects garbage with typed errors, never panics.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Truncating a valid frame at any point yields a typed error (or,
+    /// for a handful of prefix lengths, a shorter valid message) —
+    /// never a panic.
+    #[test]
+    fn truncated_requests_never_panic(request in arb_request(), cut in 0usize..2000) {
+        let bytes = request.encode();
+        let cut = cut % bytes.len().max(1);
+        let _ = Request::decode(&bytes[..cut]); // must return, not panic
+    }
+
+    /// Arbitrary garbage decodes to a typed error or, rarely, a valid
+    /// message — never a panic.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0usize..200)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    /// The server session is total over arbitrary frames: garbage in,
+    /// a typed error frame out.
+    #[test]
+    fn session_answers_garbage_with_typed_faults(
+        bytes in proptest::collection::vec(0u8..=255, 1usize..100),
+    ) {
+        let mut session = ServerSession::new(
+            Arc::new(Mutex::new(fleet())),
+            Arc::new(AtomicBool::new(false)),
+        );
+        let reply = session.handle_frame(&bytes);
+        // The reply itself must be well-formed.
+        let _ = Response::decode(&reply).expect("server reply decodes");
+    }
+}
+
+#[test]
+fn unknown_tags_are_typed_errors() {
+    // 0x55 is no request tag.
+    match Request::decode(&[0x55]) {
+        Err(WireError::UnknownTag {
+            context: "Request",
+            tag: 0x55,
+        }) => {}
+        other => panic!("expected UnknownTag, got {other:?}"),
+    }
+    // Through the session it becomes an UnknownRequest fault frame.
+    let mut session = ServerSession::new(
+        Arc::new(Mutex::new(fleet())),
+        Arc::new(AtomicBool::new(false)),
+    );
+    match Response::decode(&session.handle_frame(&[0x55])).expect("decodes") {
+        Response::Error(Fault::UnknownRequest { tag: 0x55 }) => {}
+        other => panic!("expected UnknownRequest fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversized_sequence_prefix_is_rejected_before_allocation() {
+    // A forged Completed frame advertising 2^64-1 tickets in 8 bytes.
+    let mut bytes = vec![0x83]; // Completed tag
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    match Response::decode(&bytes) {
+        Err(WireError::LengthOverflow { .. }) => {}
+        other => panic!("expected LengthOverflow, got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = Request::Drain.encode();
+    bytes.push(0xAA);
+    match Request::decode(&bytes) {
+        Err(WireError::TrailingBytes { count: 1 }) => {}
+        other => panic!("expected TrailingBytes, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_domain_values_are_rejected() {
+    // A circuit frame smuggling an out-of-range gate: width 1, Cx(0, 1).
+    let mut circuit = Circuit::with_name(2, "smuggle");
+    circuit.try_push(Gate::Cx(0, 1)).unwrap();
+    let good = Request::Submit(Box::new(JobRequest::new(circuit, 0.0))).encode();
+    // Byte-surgery: shrink the encoded width from 2 to 1. Layout:
+    // tag (1) | width u64 — so bytes[1..9] hold the width.
+    let mut evil = good;
+    evil[1..9].copy_from_slice(&1u64.to_le_bytes());
+    match Request::decode(&evil) {
+        Err(WireError::InvalidValue { context: "Circuit" }) => {}
+        other => panic!("expected InvalidValue, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 2: mock transport — protocol without sockets or threads.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn mock_handshake_negotiates_minimum_of_versions() {
+    // A newer client downgrades to our version.
+    let client = Client::connect_with_version(MockTransport::new(fleet()), PROTOCOL_VERSION + 7)
+        .expect("handshake");
+    assert_eq!(client.version(), PROTOCOL_VERSION);
+    // An exact match stays.
+    let client = Client::connect(MockTransport::new(fleet())).expect("handshake");
+    assert_eq!(client.version(), PROTOCOL_VERSION);
+}
+
+#[test]
+fn mock_handshake_rejects_prehistoric_clients() {
+    let too_old = MIN_SUPPORTED_VERSION - 1; // version 0 is never valid
+    match Client::connect_with_version(MockTransport::new(fleet()), too_old)
+        .err()
+        .expect("handshake must fail")
+    {
+        ClientError::Fault(Fault::UnsupportedVersion { client, min, max }) => {
+            assert_eq!(client, too_old);
+            assert_eq!(min, MIN_SUPPORTED_VERSION);
+            assert_eq!(max, PROTOCOL_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn requests_before_handshake_are_refused() {
+    let mut transport = MockTransport::new(fleet());
+    let reply = transport.call(&Request::Drain.encode()).expect("mock call");
+    match Response::decode(&reply).expect("decodes") {
+        Response::Error(Fault::HandshakeRequired) => {}
+        other => panic!("expected HandshakeRequired, got {other:?}"),
+    }
+}
+
+#[test]
+fn mock_full_protocol_conversation() {
+    let mut client = Client::connect(MockTransport::new(fleet())).expect("handshake");
+    let ticket = client.submit(bell_request(0.0)).expect("submit");
+    assert_eq!(ticket.seq, 0);
+    // Not yet executed.
+    assert!(client.report(ticket).expect("report").is_none());
+    // An infinite horizon drains it.
+    let done = client.tick(f64::INFINITY).expect("tick");
+    assert_eq!(done, vec![ticket]);
+    let result = client.report(ticket).expect("report").expect("completed");
+    assert_eq!(result.job_id, ticket.id);
+    let events = client.events().expect("events");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, Event::JobCompleted { .. })));
+    let report = client.drain().expect("drain");
+    assert_eq!(report.job_results.len(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: graceful shutdown loses no admitted job.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shutdown_drains_every_admitted_job() {
+    let service = Arc::new(Mutex::new(fleet()));
+    let flag = Arc::new(AtomicBool::new(false));
+    let mut client = Client::connect(MockTransport::over(Arc::clone(&service), Arc::clone(&flag)))
+        .expect("handshake");
+    let jobs = workload(5);
+    let expected = jobs.len();
+    let mut ids = Vec::new();
+    for job in jobs {
+        ids.push(client.submit(job).expect("submit").id);
+    }
+    // Shutdown must drain everything admitted before it...
+    let report = client.shutdown().expect("shutdown");
+    assert!(flag.load(Ordering::SeqCst), "shutdown flag raised");
+    assert_eq!(report.job_results.len(), expected, "no job lost");
+    let mut reported: Vec<u64> = report.job_results.iter().map(|r| r.job_id).collect();
+    reported.sort_unstable();
+    ids.sort_unstable();
+    assert_eq!(reported, ids);
+    // ...and later submissions are refused with a typed fault.
+    match client.submit(bell_request(0.0)) {
+        Err(ClientError::Fault(Fault::ShuttingDown)) => {}
+        other => panic!("expected ShuttingDown, got {other:?}"),
+    }
+}
+
+#[test]
+fn socket_shutdown_loses_no_job_and_stops_the_daemon() {
+    let path = socket_path("shutdown");
+    let handle = Daemon::spawn_unix(
+        &path,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: None,
+        },
+    )
+    .expect("spawn");
+    let mut client = Client::connect_unix(&path).expect("connect");
+    for job in workload(4) {
+        client.submit(job).expect("submit");
+    }
+    let report = client.shutdown().expect("shutdown");
+    assert_eq!(report.job_results.len(), 4, "no job lost across shutdown");
+    assert!(handle.is_shutting_down());
+    handle.join(); // must terminate (accept loop saw the flag)
+    assert!(!path.exists(), "socket file removed on join");
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: bit-identical reports in-process / mock / live socket.
+// ---------------------------------------------------------------------------
+
+/// Drives a client through the canonical sequence: submit all, tick at
+/// fixed simulated horizons, then drain.
+fn drive_client<T: Transport>(client: &mut Client<T>, jobs: Vec<JobRequest>) -> ServiceReport {
+    let horizons = [1_000.0, 250_000.0];
+    let mut tickets = Vec::new();
+    for job in jobs {
+        tickets.push(client.submit(job).expect("submit"));
+    }
+    for &t in &horizons {
+        client.tick(t).expect("tick");
+    }
+    let report = client.drain().expect("drain");
+    for ticket in tickets {
+        assert!(
+            client.report(ticket).expect("report").is_some(),
+            "every ticket resolved after drain"
+        );
+    }
+    report
+}
+
+/// The same sequence against the service directly, no protocol.
+fn drive_in_process(mut service: Service, jobs: Vec<JobRequest>) -> ServiceReport {
+    let horizons = [1_000.0, 250_000.0];
+    for job in jobs {
+        service.submit(job).expect("submit");
+    }
+    for &t in &horizons {
+        service.tick(t).expect("tick");
+    }
+    service.run_until_drained().expect("drain")
+}
+
+#[test]
+fn report_is_bit_identical_across_in_process_mock_and_socket() {
+    let in_process = drive_in_process(fleet(), workload(6));
+
+    let mut mock_client = Client::connect(MockTransport::new(fleet())).expect("handshake");
+    let via_mock = drive_client(&mut mock_client, workload(6));
+
+    let path = socket_path("bitident");
+    // The wall-clock driver stays off so simulated time is driven
+    // solely by the client's ticks — same clock, same report.
+    let handle = Daemon::spawn_unix(
+        &path,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: None,
+        },
+    )
+    .expect("spawn");
+    let mut socket_client = Client::connect_unix(&path).expect("connect");
+    let via_socket = drive_client(&mut socket_client, workload(6));
+    handle.request_shutdown();
+    handle.join();
+
+    assert!(!in_process.job_results.is_empty(), "workload ran");
+    assert_eq!(via_mock, in_process, "mock transport report differs");
+    assert_eq!(via_socket, in_process, "socket report differs");
+    // Bit-level identity, stronger than PartialEq: the encoded frames
+    // match byte for byte.
+    let encode = |r: &ServiceReport| Response::Report(Box::new(r.clone())).encode();
+    assert_eq!(encode(&via_mock), encode(&in_process));
+    assert_eq!(encode(&via_socket), encode(&in_process));
+}
+
+#[test]
+fn wall_clock_driver_completes_jobs_without_client_ticks() {
+    let path = socket_path("driver");
+    let handle = Daemon::spawn_unix(
+        &path,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: Some(std::time::Duration::from_millis(2)),
+        },
+    )
+    .expect("spawn");
+    let mut client = Client::connect_unix(&path).expect("connect");
+    let ticket = client.submit(bell_request(0.0)).expect("submit");
+    // The driver folds real elapsed nanoseconds into tick(now); the
+    // bell batch completes a few µs into simulated time, so it must
+    // appear without this client ever calling tick.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let result = loop {
+        if let Some(result) = client.report(ticket).expect("report") {
+            break result;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "driver never completed the job"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    };
+    assert_eq!(result.job_id, ticket.id);
+    assert_eq!(handle.driver_errors(), 0);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
