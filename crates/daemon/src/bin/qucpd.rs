@@ -4,10 +4,14 @@
 //! [`Service`] over the requested IBM device
 //! fleet, and serves the versioned wire protocol until a client sends
 //! `Shutdown` (which drains every admitted job first). A wall-clock
-//! driver folds monotonic elapsed time into `tick`/`advance_drift` at
-//! the configured cadence; `--cadence-ms 0` disables it, leaving the
-//! clock entirely to client `tick`/`drain` requests (deterministic
-//! mode — what the bit-identity tests use).
+//! driver folds monotonic elapsed time into
+//! `advance_dispatch`/`advance_drift` at the configured cadence —
+//! with the driver on, the service clock is wall-clock nanoseconds
+//! since start, and client `tick` horizons share that clock
+//! (completion notifications are only ever delivered to client
+//! ticks). `--cadence-ms 0` disables the driver, leaving the clock
+//! entirely to client `tick`/`drain` requests (deterministic mode —
+//! what the bit-identity tests use).
 
 use std::process::ExitCode;
 use std::time::Duration;

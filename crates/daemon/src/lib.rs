@@ -6,7 +6,8 @@
 //! iterations is deterministic and fast, but in-process only. This
 //! crate runs it as a shared process: remote clients submit circuits
 //! over a unix-domain socket (or TCP), a wall-clock driver folds real
-//! monotonic time into `tick(now)` + `advance_drift(now)`, and the
+//! monotonic time into `advance_dispatch(now)` + `advance_drift(now)`
+//! (completion notifications stay with client ticks), and the
 //! daemon's reply to a drain is **bit-identical** to calling the
 //! service in process — the protocol carries `f64`s as IEEE-754 bit
 //! patterns end to end.
@@ -74,5 +75,7 @@ pub use proto::{
     MIN_SUPPORTED_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{Daemon, DaemonConfig, DaemonHandle, ServerSession};
-pub use transport::{read_frame, write_frame, StreamTransport, Transport};
+pub use transport::{
+    read_frame, write_frame, FrameProgress, FrameReader, StreamTransport, Transport,
+};
 pub use wire::{Decoder, Encoder, WireError, MAX_FRAME_LEN};

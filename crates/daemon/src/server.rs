@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use qucp_runtime::Service;
 
 use crate::proto::{negotiate, Fault, Request, Response, MIN_SUPPORTED_VERSION, PROTOCOL_VERSION};
-use crate::transport::{read_frame, write_frame};
+use crate::transport::{write_frame, FrameProgress, FrameReader};
 use crate::wire::WireError;
 
 /// Tuning knobs for a spawned daemon.
@@ -33,7 +33,13 @@ use crate::wire::WireError;
 pub struct DaemonConfig {
     /// Cadence of the wall-clock driver: every period, monotonic
     /// elapsed nanoseconds since spawn are folded into
-    /// `advance_drift(now)` + `tick(now)`. `None` disables the driver
+    /// `advance_drift(now)` + `advance_dispatch(now)`. The driver only
+    /// advances dispatch — completion notifications stay queued for
+    /// client `Tick` requests, which keep their report-exactly-once
+    /// contract. With the driver on, the service clock *is* wall-clock
+    /// nanoseconds since spawn, and client `Tick` horizons are
+    /// interpreted on that clock (pass `f64::INFINITY` to collect
+    /// everything completed so far). `None` disables the driver
     /// entirely — time then advances only through client `tick`/`drain`
     /// requests, which keeps the service's event log a pure function of
     /// the request sequence (the bit-identity tests rely on this).
@@ -114,10 +120,16 @@ impl ServerSession {
             },
             _ if self.negotiated.is_none() => Response::Error(Fault::HandshakeRequired),
             Request::Submit(job) => {
+                let mut service = lock_service(&self.service);
+                // Checked *under* the service lock: the Shutdown
+                // handler raises the flag while still holding this
+                // lock, so a submit can never slip between its final
+                // drain and the flag — every accepted ticket is
+                // guaranteed a place in the shutdown report.
                 if self.shutdown.load(Ordering::SeqCst) {
                     return Response::Error(Fault::ShuttingDown);
                 }
-                match lock_service(&self.service).submit(*job) {
+                match service.submit(*job) {
                     Ok(ticket) => Response::Ticket(ticket),
                     Err(e) => Response::Error(Fault::Runtime((&e).into())),
                 }
@@ -138,11 +150,18 @@ impl ServerSession {
             },
             Request::Events => Response::Events(lock_service(&self.service).events().to_vec()),
             Request::Shutdown => {
-                // Drain *before* raising the flag so every job admitted
-                // ahead of this request reaches the final report — the
-                // no-job-lost guarantee.
-                let drained = lock_service(&self.service).run_until_drained();
-                self.shutdown.store(true, Ordering::SeqCst);
+                // Drain, then raise the flag *while still holding the
+                // service lock*: Submit re-checks the flag under the
+                // same lock, so no connection can admit a job after
+                // this drain and before the flag — the no-job-lost
+                // guarantee holds under concurrency, not just in
+                // sequence.
+                let drained = {
+                    let mut service = lock_service(&self.service);
+                    let drained = service.run_until_drained();
+                    self.shutdown.store(true, Ordering::SeqCst);
+                    drained
+                };
                 match drained {
                     Ok(report) => Response::Report(Box::new(report)),
                     Err(e) => Response::Error(Fault::Runtime((&e).into())),
@@ -268,16 +287,45 @@ impl DaemonHandle {
 pub struct Daemon;
 
 impl Daemon {
-    /// Binds a unix-domain socket at `path` (replacing any stale socket
-    /// file) and spawns the accept loop plus, per
-    /// [`DaemonConfig::driver_cadence`], the wall-clock driver.
+    /// Binds a unix-domain socket at `path` and spawns the accept loop
+    /// plus, per [`DaemonConfig::driver_cadence`], the wall-clock
+    /// driver.
+    ///
+    /// A *stale* socket file (left by a crashed daemon — nothing
+    /// accepts connections on it) is replaced. A live socket earns
+    /// `AddrInUse` and a non-socket file `AlreadyExists`; neither is
+    /// ever deleted, so starting a second daemon by mistake cannot
+    /// take down the first (or clobber an unrelated file).
     pub fn spawn_unix(
         path: impl AsRef<Path>,
         service: Service,
         config: DaemonConfig,
     ) -> io::Result<DaemonHandle> {
         let path = path.as_ref().to_path_buf();
-        let _ = std::fs::remove_file(&path);
+        match std::fs::symlink_metadata(&path) {
+            Ok(meta) => {
+                use std::os::unix::fs::FileTypeExt;
+                if !meta.file_type().is_socket() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::AlreadyExists,
+                        format!("{} exists and is not a socket", path.display()),
+                    ));
+                }
+                match UnixStream::connect(&path) {
+                    Ok(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!("a daemon is already listening on {}", path.display()),
+                        ))
+                    }
+                    // Nothing accepts on it: a leftover from a dead
+                    // process, safe to replace.
+                    Err(_) => std::fs::remove_file(&path)?,
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         let listener = UnixListener::bind(&path)?;
         listener.set_nonblocking(true)?;
         Ok(spawn(listener, service, config, Some(path)))
@@ -377,17 +425,21 @@ fn connection_loop<C: Connection>(conn: C, mut session: ServerSession, shutdown:
         }
     });
 
+    // The frame reader's fill state survives read timeouts, so a
+    // frame that stalls mid-transfer (slow peer, loaded host) resumes
+    // where it stopped instead of desyncing the stream.
     let mut reader = conn;
+    let mut frames = FrameReader::new();
     loop {
-        match read_frame(&mut reader) {
-            Ok(Some(payload)) => {
+        match frames.poll(&mut reader) {
+            Ok(FrameProgress::Frame(payload)) => {
                 let response = session.handle_frame(&payload);
                 if tx.send(response).is_err() {
                     break;
                 }
             }
-            Ok(None) => break, // peer hung up cleanly
-            Err(WireError::Io { kind, .. }) if kind == "WouldBlock" || kind == "TimedOut" => {
+            Ok(FrameProgress::Eof) => break, // peer hung up cleanly
+            Ok(FrameProgress::Pending) => {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
@@ -400,9 +452,13 @@ fn connection_loop<C: Connection>(conn: C, mut session: ServerSession, shutdown:
 }
 
 /// The wall-clock driver: every `cadence`, fold monotonic elapsed
-/// nanoseconds into `advance_drift(now)` then `tick(now)` — real time
-/// drives calibration drift and batch dispatch exactly like the
-/// explicit simulated clock does, retiring the explicit/auto split.
+/// nanoseconds into `advance_drift(now)` then `advance_dispatch(now)` —
+/// real time drives calibration drift and batch dispatch exactly like
+/// the explicit simulated clock does, retiring the explicit/auto
+/// split. Deliberately dispatch-only: `tick` reports each completed
+/// ticket exactly once, so if the driver called it the notifications
+/// would be consumed here and a client's `Tick` request would race the
+/// cadence. Completions therefore stay queued until a *client* ticks.
 fn driver_loop(
     cadence: Duration,
     service: Arc<Mutex<Service>>,
@@ -417,7 +473,7 @@ fn driver_loop(
         if service.advance_drift(now).is_err() {
             errors.fetch_add(1, Ordering::SeqCst);
         }
-        if service.tick(now).is_err() {
+        if service.advance_dispatch(now).is_err() {
             errors.fetch_add(1, Ordering::SeqCst);
         }
     }

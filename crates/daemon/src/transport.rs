@@ -75,6 +75,113 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, W
     Ok(ReadOutcome::Filled)
 }
 
+/// What one [`FrameReader::poll`] produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameProgress {
+    /// A complete frame's payload.
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary — the peer hung up between
+    /// messages. (EOF *inside* a frame is a [`WireError`] instead.)
+    Eof,
+    /// The read would block or timed out. Any bytes already consumed
+    /// stay buffered; the next `poll` resumes exactly where this one
+    /// stopped.
+    Pending,
+}
+
+/// Incremental frame reader for nonblocking or timeout-equipped
+/// streams.
+///
+/// [`read_frame`] is all-or-nothing: a read timeout that fires after
+/// part of a frame has been consumed discards those bytes, and the
+/// next call misparses mid-stream bytes as a fresh length header —
+/// permanent framing desync. `FrameReader` keeps the header and
+/// payload fill state *across* polls, so a frame interrupted by any
+/// number of `WouldBlock`/`TimedOut` reads is reassembled intact. The
+/// daemon's connection loop polls this between shutdown checks.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_filled: usize,
+    payload: Option<Vec<u8>>,
+    payload_filled: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned at a frame boundary.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Whether any bytes of the current frame have been consumed (a
+    /// `Pending` in this state means the peer stalled mid-frame, not
+    /// that the connection is idle).
+    pub fn mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.payload.is_some()
+    }
+
+    /// Reads as much of the current frame as the stream will give.
+    /// Never loses bytes: `Pending` preserves all progress for the
+    /// next call. Enforces [`MAX_FRAME_LEN`] before allocating, like
+    /// [`read_frame`].
+    pub fn poll(&mut self, r: &mut impl Read) -> Result<FrameProgress, WireError> {
+        while self.payload.is_none() && self.header_filled < self.header.len() {
+            match r.read(&mut self.header[self.header_filled..]) {
+                Ok(0) if self.header_filled == 0 => return Ok(FrameProgress::Eof),
+                Ok(0) => {
+                    return Err(WireError::Truncated {
+                        needed: self.header.len(),
+                        remaining: self.header_filled,
+                    })
+                }
+                Ok(n) => self.header_filled += n,
+                Err(e) => return Self::interruption(e),
+            }
+        }
+        if self.payload.is_none() {
+            let len = u32::from_le_bytes(self.header) as usize;
+            if len > MAX_FRAME_LEN {
+                return Err(WireError::LengthOverflow {
+                    len: len as u64,
+                    max: MAX_FRAME_LEN as u64,
+                });
+            }
+            self.payload = Some(vec![0u8; len]);
+            self.payload_filled = 0;
+        }
+        let payload = self.payload.as_mut().expect("allocated above");
+        while self.payload_filled < payload.len() {
+            match r.read(&mut payload[self.payload_filled..]) {
+                Ok(0) => {
+                    return Err(WireError::Truncated {
+                        needed: payload.len(),
+                        remaining: self.payload_filled,
+                    })
+                }
+                Ok(n) => self.payload_filled += n,
+                Err(e) => return Self::interruption(e),
+            }
+        }
+        let frame = self.payload.take().expect("present above");
+        self.header_filled = 0;
+        self.payload_filled = 0;
+        Ok(FrameProgress::Frame(frame))
+    }
+
+    /// Maps a read error to `Pending` when it only means "try again"
+    /// (state is preserved either way; `Interrupted` is retried by the
+    /// caller's next poll too, which keeps this loop-free).
+    fn interruption(e: std::io::Error) -> Result<FrameProgress, WireError> {
+        use std::io::ErrorKind;
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted => {
+                Ok(FrameProgress::Pending)
+            }
+            _ => Err(e.into()),
+        }
+    }
+}
+
 /// One request/response exchange. The client is strictly synchronous —
 /// a transport carries exactly one outstanding request — which keeps
 /// the protocol trivially orderable and the mock implementation a pure
@@ -151,6 +258,119 @@ mod tests {
         assert!(matches!(
             read_frame(&mut r).unwrap_err(),
             WireError::Io { .. } | WireError::Truncated { .. }
+        ));
+    }
+
+    /// A stream that serves a script of byte chunks interleaved with
+    /// `WouldBlock`/`TimedOut` stalls — the shape of a socket with a
+    /// read timeout under load.
+    struct StallingStream {
+        script: Vec<Result<Vec<u8>, std::io::ErrorKind>>,
+    }
+
+    impl Read for StallingStream {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.script.is_empty() {
+                return Ok(0); // EOF
+            }
+            match self.script.remove(0) {
+                Ok(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.script.insert(0, Ok(chunk[n..].to_vec()));
+                    }
+                    Ok(n)
+                }
+                Err(kind) => Err(std::io::Error::new(kind, "stall")),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_stalls_mid_frame_without_desync() {
+        use std::io::ErrorKind;
+        let mut first = Vec::new();
+        write_frame(&mut first, b"hello").unwrap();
+        let mut second = Vec::new();
+        write_frame(&mut second, b"world!").unwrap();
+        // Stalls after 2 header bytes, again after 3 payload bytes —
+        // the exact situation that desyncs the one-shot read_frame.
+        let mut stream = StallingStream {
+            script: vec![
+                Ok(first[..2].to_vec()),
+                Err(ErrorKind::WouldBlock),
+                Ok(first[2..4].to_vec()),
+                Ok(first[4..7].to_vec()),
+                Err(ErrorKind::TimedOut),
+                Ok(first[7..].to_vec()),
+                Err(ErrorKind::WouldBlock),
+                Ok(second.clone()),
+            ],
+        };
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        let mut stalls = 0;
+        loop {
+            match reader.poll(&mut stream).expect("no framing error") {
+                FrameProgress::Frame(payload) => frames.push(payload),
+                FrameProgress::Pending => stalls += 1,
+                FrameProgress::Eof => break,
+            }
+        }
+        assert_eq!(frames, vec![b"hello".to_vec(), b"world!".to_vec()]);
+        assert_eq!(stalls, 3, "every scripted stall surfaced as Pending");
+    }
+
+    #[test]
+    fn frame_reader_reports_mid_frame_state() {
+        use std::io::ErrorKind;
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, b"abc").unwrap();
+        let mut stream = StallingStream {
+            script: vec![Ok(bytes[..3].to_vec()), Err(ErrorKind::WouldBlock)],
+        };
+        let mut reader = FrameReader::new();
+        assert!(!reader.mid_frame());
+        assert_eq!(reader.poll(&mut stream).unwrap(), FrameProgress::Pending);
+        assert!(reader.mid_frame(), "partial header counts as mid-frame");
+    }
+
+    #[test]
+    fn frame_reader_matches_read_frame_on_clean_streams() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        let mut reader = FrameReader::new();
+        assert_eq!(
+            reader.poll(&mut r).unwrap(),
+            FrameProgress::Frame(b"hello".to_vec())
+        );
+        assert_eq!(
+            reader.poll(&mut r).unwrap(),
+            FrameProgress::Frame(Vec::new())
+        );
+        assert_eq!(reader.poll(&mut r).unwrap(), FrameProgress::Eof);
+    }
+
+    #[test]
+    fn frame_reader_rejects_oversized_header_and_midframe_eof() {
+        // Forged length prefix.
+        let huge = u32::MAX.to_le_bytes().to_vec();
+        let mut r = &huge[..];
+        assert!(matches!(
+            FrameReader::new().poll(&mut r).unwrap_err(),
+            WireError::LengthOverflow { .. }
+        ));
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..6];
+        let mut reader = FrameReader::new();
+        assert!(matches!(
+            reader.poll(&mut r).unwrap_err(),
+            WireError::Truncated { .. }
         ));
     }
 

@@ -1071,6 +1071,27 @@ impl Service {
         Ok(done.into_iter().map(|(_, t)| t).collect())
     }
 
+    /// Advances dispatch to `now` without consuming the completion
+    /// queue: the same head-of-line dispatch rule and time contract as
+    /// [`Service::tick`], but tickets of batches completed by `now`
+    /// stay queued and are still reported (exactly once) by the next
+    /// `tick`. This is the entry point for a background driver — e.g.
+    /// the daemon's wall-clock loop — that advances time on behalf of
+    /// clients: batches keep flowing, while completion notifications
+    /// keep their report-exactly-once contract with whoever calls
+    /// `tick`.
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Service::tick`].
+    pub fn advance_dispatch(&mut self, now: f64) -> Result<(), RuntimeError> {
+        if now.is_nan() {
+            return Err(RuntimeError::NonFiniteTime { value: now });
+        }
+        while self.dispatch_one(now)? {}
+        Ok(())
+    }
+
     /// Serves every pending job to completion and reports fleet-wide
     /// and per-device statistics, batches, per-job results and the
     /// telemetry log.

@@ -795,6 +795,121 @@ fn report_is_bit_identical_across_in_process_mock_and_socket() {
     assert_eq!(encode(&via_socket), encode(&in_process));
 }
 
+/// `advance_dispatch` (what the wall-clock driver calls) must leave
+/// the completion queue for `tick` — otherwise a client's `Tick` would
+/// race the driver cadence and lose notifications.
+#[test]
+fn advance_dispatch_preserves_completion_notifications() {
+    let mut service = fleet();
+    let ticket = service.submit(bell_request(0.0)).expect("submit");
+    service
+        .advance_dispatch(f64::INFINITY)
+        .expect("advance_dispatch");
+    // The batch ran (its result exists)...
+    assert!(service.result(ticket).is_some(), "batch dispatched");
+    // ...but the notification was not consumed: the next tick reports
+    // it, exactly once.
+    assert_eq!(service.tick(f64::INFINITY).expect("tick"), vec![ticket]);
+    assert!(service.tick(f64::INFINITY).expect("tick").is_empty());
+}
+
+/// Same property through the daemon: with the wall-clock driver on,
+/// a client that never ticked still receives the completion from its
+/// own `Tick` — the driver advanced dispatch but did not consume the
+/// notification.
+#[test]
+fn driver_leaves_completion_notifications_to_client_ticks() {
+    let path = socket_path("driver-tick");
+    let handle = Daemon::spawn_unix(
+        &path,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: Some(std::time::Duration::from_millis(2)),
+        },
+    )
+    .expect("spawn");
+    let mut client = Client::connect_unix(&path).expect("connect");
+    let ticket = client.submit(bell_request(0.0)).expect("submit");
+    // Wait until the driver has dispatched the batch...
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while client.report(ticket).expect("report").is_none() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "driver never completed the job"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    // ...then the notification must still be deliverable to *us*.
+    assert_eq!(client.tick(f64::INFINITY).expect("tick"), vec![ticket]);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Pointing a second daemon at a live socket (or any non-socket path)
+/// must fail without touching the original; only stale sockets are
+/// reclaimed.
+#[test]
+fn spawn_unix_refuses_live_sockets_and_foreign_files() {
+    // Live daemon: a second spawn fails AddrInUse and the first keeps
+    // serving on the untouched socket.
+    let path = socket_path("bind-live");
+    let handle = Daemon::spawn_unix(
+        &path,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: None,
+        },
+    )
+    .expect("spawn");
+    let err = match Daemon::spawn_unix(
+        &path,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: None,
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("second daemon on a live socket must fail"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse);
+    let mut client = Client::connect_unix(&path).expect("first daemon still serves");
+    client.submit(bell_request(0.0)).expect("submit");
+    client.shutdown().expect("shutdown");
+    handle.join();
+
+    // A regular file at the path is refused, not deleted.
+    let file = socket_path("bind-file");
+    std::fs::write(&file, b"precious").expect("write");
+    let err = match Daemon::spawn_unix(
+        &file,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: None,
+        },
+    ) {
+        Err(e) => e,
+        Ok(_) => panic!("non-socket path must be refused"),
+    };
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+    assert_eq!(std::fs::read(&file).expect("still there"), b"precious");
+    std::fs::remove_file(&file).expect("cleanup");
+
+    // A stale socket (no listener behind it) is reclaimed.
+    let stale = socket_path("bind-stale");
+    drop(std::os::unix::net::UnixListener::bind(&stale).expect("bind"));
+    assert!(stale.exists(), "stale socket file left behind");
+    let handle = Daemon::spawn_unix(
+        &stale,
+        fleet(),
+        DaemonConfig {
+            driver_cadence: None,
+        },
+    )
+    .expect("stale socket is replaced");
+    handle.request_shutdown();
+    handle.join();
+}
+
 #[test]
 fn wall_clock_driver_completes_jobs_without_client_ticks() {
     let path = socket_path("driver");
