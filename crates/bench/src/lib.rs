@@ -473,6 +473,203 @@ pub fn drift_shootout(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet scale-out: the mega-fleet fixture and the heavy-traffic workload.
+// ---------------------------------------------------------------------------
+
+/// Error-rate scale cycle of the [`mega_fleet`] calibrations: each chip
+/// takes the next factor, so the fleet mixes well-calibrated and noisy
+/// chips of every topology class.
+pub const FLEET_NOISE_SCALES: [f64; 5] = [1.0, 1.8, 0.7, 2.6, 1.3];
+
+/// A generated heterogeneous fleet of `devices` chips for the
+/// heavy-traffic shoot-out. Topologies cycle through four classes — an
+/// 8-qubit ring, a 3×4 grid, a 16-qubit line, and IBM Q Toronto's
+/// 27-qubit heavy-hex graph — and every chip gets its own synthesized
+/// calibration (seeded by `seed + index`) with the error-rate scale
+/// cycling through [`FLEET_NOISE_SCALES`]. Deterministic in
+/// `(devices, seed)`; names encode position and width
+/// (`mega-007-w16`).
+pub fn mega_fleet(devices: usize, seed: u64) -> qucp_runtime::DeviceRegistry {
+    use qucp_device::{Calibration, CrosstalkModel, CrosstalkProfile, NoiseProfile, Topology};
+    let mut fleet = qucp_runtime::DeviceRegistry::new();
+    for i in 0..devices {
+        let topo = match i % 4 {
+            0 => Topology::ring(8),
+            1 => Topology::grid(3, 4),
+            2 => Topology::line(16),
+            _ => qucp_device::ibm::toronto_topology(),
+        };
+        let base = NoiseProfile::default();
+        let scale = FLEET_NOISE_SCALES[i % FLEET_NOISE_SCALES.len()];
+        let profile = NoiseProfile {
+            cx_error: (base.cx_error.0 * scale, base.cx_error.1 * scale),
+            sq_error: (base.sq_error.0 * scale, base.sq_error.1 * scale),
+            readout_error: (base.readout_error.0 * scale, base.readout_error.1 * scale),
+            ..base
+        };
+        let chip_seed = seed.wrapping_add(i as u64);
+        let cal = Calibration::synthesize(&topo, chip_seed, &profile);
+        let xtalk = CrosstalkModel::synthesize(
+            &topo,
+            chip_seed.wrapping_add(qucp_device::ibm::CROSSTALK_SEED_OFFSET),
+            &CrosstalkProfile::default(),
+        );
+        let width = topo.num_qubits();
+        fleet.register(qucp_device::Device::new(
+            format!("mega-{i:03}-w{width}"),
+            topo,
+            cal,
+            xtalk,
+        ));
+    }
+    fleet
+}
+
+/// Generates a deterministic heavy-traffic job stream: `n` small
+/// library circuits with **exponential** inter-arrival gaps of mean
+/// `mean_gap_ns` — a Poisson arrival process, the open-system traffic
+/// of the paper's Sec. II-A queue model — cycling the same six
+/// benchmarks as [`qucp_runtime::synthetic_jobs`].
+pub fn poisson_jobs(n: usize, mean_gap_ns: f64, shots: usize, seed: u64) -> Vec<qucp_runtime::Job> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    const NAMES: [&str; 6] = [
+        "bell",
+        "fredkin",
+        "linearsolver",
+        "variation",
+        "alu-v0_27",
+        "qec",
+    ];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = 0.0;
+    (0..n)
+        .map(|i| {
+            // Inverse-CDF exponential sample; `1 - u` keeps the `ln`
+            // argument in (0, 1] so every gap is finite.
+            let u: f64 = rng.gen();
+            t += -mean_gap_ns.max(f64::MIN_POSITIVE) * (1.0 - u).ln();
+            let name = NAMES[i % NAMES.len()];
+            let mut circuit = library::by_name(name)
+                .unwrap_or_else(|| panic!("library benchmark {name} missing"))
+                .circuit();
+            circuit.set_name(format!("{name}#{i}"));
+            qucp_runtime::Job {
+                id: i as u64,
+                circuit,
+                shots,
+                arrival: t,
+            }
+        })
+        .collect()
+}
+
+/// Mean Poisson inter-arrival gap of the fleet shoot-out workload (ns).
+/// Far below per-batch service time, so the queue backs up and the
+/// dispatch loop operates deep in the heavy-traffic regime the index
+/// layer exists for.
+pub const FLEET_MEAN_GAP_NS: f64 = 100.0;
+
+/// Outcome of one heavy-traffic fleet shoot-out run (see
+/// [`fleet_shootout`]). Timings are wall-clock and therefore
+/// machine-dependent; the simulated-schedule fields
+/// (`mean_turnaround_ns`, `p99_turnaround_ns`) are deterministic.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Fleet size the run used.
+    pub devices: usize,
+    /// Jobs submitted (all complete by drain).
+    pub jobs: usize,
+    /// Queue path of the run ([`QueueIndexing::Linear`] is the
+    /// seed-path ablation).
+    ///
+    /// [`QueueIndexing::Linear`]: qucp_runtime::QueueIndexing::Linear
+    pub indexing: qucp_runtime::QueueIndexing,
+    /// Wall-clock nanoseconds spent scheduling: submit + dispatch-loop
+    /// time with the simulator's execution wall time *and* the
+    /// planner's mapping/partitioning wall time subtracted out (see
+    /// `qucp_runtime::Service::execution_time_ns` and
+    /// `qucp_runtime::Service::planning_time_ns`) — both are workload
+    /// costs identical on either queue path.
+    pub dispatch_ns: u64,
+    /// Dispatch-loop nanoseconds per job — the headline metric.
+    pub dispatch_ns_per_job: f64,
+    /// Scheduling throughput: jobs per wall-clock second of dispatch
+    /// time.
+    pub jobs_per_sec: f64,
+    /// Mean simulated turnaround (ns).
+    pub mean_turnaround_ns: f64,
+    /// 99th-percentile simulated turnaround (ns).
+    pub p99_turnaround_ns: f64,
+}
+
+/// Runs the heavy-traffic fleet shoot-out: `jobs` Poisson-arrival
+/// library jobs ([`poisson_jobs`], 1 shot each so scheduling dominates
+/// the wall clock) drained FIFO through a [`mega_fleet`] of `devices`
+/// chips under `indexing`, with earliest-free routing and up to 4
+/// circuits per batch. Returns the wall-clock outcome plus the full
+/// drained report; both queue paths must produce identical reports
+/// (asserted by the `fleet_shootout` bin and the `integration_fleet`
+/// suite).
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero or the service rejects the fixture
+/// workload (a runtime regression).
+pub fn fleet_shootout(
+    devices: usize,
+    jobs: usize,
+    indexing: qucp_runtime::QueueIndexing,
+    mode: qucp_runtime::ExecutionMode,
+) -> (FleetOutcome, qucp_runtime::ServiceReport) {
+    use qucp_runtime::{JobRequest, Service};
+    assert!(jobs > 0, "fleet shoot-out needs at least one job");
+    let mut service = Service::builder()
+        .registry(mega_fleet(devices, EXPERIMENT_SEED))
+        .strategy(qucp_core::strategy::qucp(4.0))
+        .max_parallel(4)
+        .mode(mode)
+        .seed(EXPERIMENT_SEED)
+        .queue_indexing(indexing)
+        .build()
+        .expect("fleet shoot-out service must build");
+    let stream = poisson_jobs(jobs, FLEET_MEAN_GAP_NS, 1, 0xF1EE7);
+    let started = std::time::Instant::now();
+    for job in &stream {
+        service
+            .submit(JobRequest::from_job(job))
+            .expect("fixture job must submit");
+    }
+    let report = service
+        .run_until_drained()
+        .expect("fleet shoot-out must drain");
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    // Execution (trajectory simulation) and planning (mapping /
+    // partitioning) are workload costs, identical on both queue paths;
+    // what remains after subtracting them is the dispatch loop itself —
+    // the queue bookkeeping this shoot-out exists to measure.
+    let dispatch_ns = wall_ns
+        .saturating_sub(service.execution_time_ns())
+        .saturating_sub(service.planning_time_ns())
+        .max(1);
+    let mut turnarounds: Vec<f64> = report.job_results.iter().map(|r| r.turnaround).collect();
+    turnarounds.sort_by(f64::total_cmp);
+    let p99_turnaround_ns =
+        turnarounds[((turnarounds.len() as f64 * 0.99).ceil() as usize).saturating_sub(1)];
+    let outcome = FleetOutcome {
+        devices,
+        jobs,
+        indexing,
+        dispatch_ns,
+        dispatch_ns_per_job: dispatch_ns as f64 / jobs as f64,
+        jobs_per_sec: jobs as f64 / (dispatch_ns as f64 * 1e-9),
+        mean_turnaround_ns: report.stats.mean_turnaround,
+        p99_turnaround_ns,
+    };
+    (outcome, report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,6 +716,65 @@ mod tests {
                 assert_eq!(b.result, ResultKind::Distribution, "{name}");
             }
         }
+    }
+
+    #[test]
+    fn mega_fleet_is_deterministic_and_heterogeneous() {
+        let a = mega_fleet(9, EXPERIMENT_SEED);
+        let b = mega_fleet(9, EXPERIMENT_SEED);
+        assert_eq!(a.len(), 9);
+        for ((_, da), (_, db)) in a.iter().zip(b.iter()) {
+            assert_eq!(da.name(), db.name());
+            assert_eq!(da.topology(), db.topology());
+            assert_eq!(da.calibration(), db.calibration());
+        }
+        // All four topology classes appear, and names encode widths.
+        let widths: std::collections::BTreeSet<usize> =
+            a.iter().map(|(_, d)| d.num_qubits()).collect();
+        assert_eq!(widths, [8, 12, 16, 27].into_iter().collect());
+        assert_eq!(a.iter().next().unwrap().1.name(), "mega-000-w8");
+        // Different seeds give different calibrations.
+        let c = mega_fleet(9, EXPERIMENT_SEED + 1);
+        assert_ne!(
+            a.iter().next().unwrap().1.calibration(),
+            c.iter().next().unwrap().1.calibration()
+        );
+    }
+
+    #[test]
+    fn poisson_jobs_are_deterministic_ordered_and_heavy_traffic() {
+        let a = poisson_jobs(64, 100.0, 1, 0xF1EE7);
+        assert_eq!(a, poisson_jobs(64, 100.0, 1, 0xF1EE7));
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.iter().all(|j| j.arrival.is_finite() && j.arrival >= 0.0));
+        // The empirical mean gap lands near the configured mean.
+        let mean_gap = a.last().unwrap().arrival / a.len() as f64;
+        assert!(
+            (20.0..500.0).contains(&mean_gap),
+            "mean gap {mean_gap} implausible for 100 ns"
+        );
+    }
+
+    #[test]
+    fn fleet_shootout_paths_agree_on_a_tiny_config() {
+        use qucp_runtime::{ExecutionMode, QueueIndexing};
+        let (indexed, indexed_report) =
+            fleet_shootout(3, 12, QueueIndexing::Indexed, ExecutionMode::Concurrent);
+        let (_, linear_report) =
+            fleet_shootout(3, 12, QueueIndexing::Linear, ExecutionMode::Concurrent);
+        assert_eq!(indexed_report, linear_report);
+        assert_eq!(indexed_report.job_results.len(), 12);
+        assert_eq!(indexed.jobs, 12);
+        assert!(indexed.dispatch_ns >= 1);
+        // p99 is read off the sorted turnarounds, so it can never fall
+        // below the median of the simulated schedule.
+        let mut sorted: Vec<f64> = indexed_report
+            .job_results
+            .iter()
+            .map(|r| r.turnaround)
+            .collect();
+        sorted.sort_by(f64::total_cmp);
+        assert!(indexed.p99_turnaround_ns >= sorted[sorted.len() / 2]);
     }
 
     #[test]

@@ -195,6 +195,11 @@ pub enum WireRuntimeError {
         /// The pipeline error, rendered.
         detail: String,
     },
+    /// See [`RuntimeError::QueueCorrupted`].
+    QueueCorrupted {
+        /// The vanished job's submission sequence number.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for WireRuntimeError {
@@ -224,6 +229,12 @@ impl std::fmt::Display for WireRuntimeError {
                 write!(f, "job {job_id} cannot be placed: {detail}")
             }
             WireRuntimeError::Core { detail } => write!(f, "pipeline failed: {detail}"),
+            WireRuntimeError::QueueCorrupted { seq } => {
+                write!(
+                    f,
+                    "pending queue corrupted: job seq {seq} vanished from the store"
+                )
+            }
         }
     }
 }
@@ -285,6 +296,9 @@ impl From<&RuntimeError> for WireRuntimeError {
             RuntimeError::Core(source) => WireRuntimeError::Core {
                 detail: source.to_string(),
             },
+            RuntimeError::QueueCorrupted { seq } => {
+                WireRuntimeError::QueueCorrupted { seq: *seq as u64 }
+            }
         }
     }
 }
@@ -872,6 +886,7 @@ fn put_service_report(e: &mut Encoder, r: &ServiceReport) {
     e.seq(&r.batches, put_batch_report);
     e.seq(&r.job_results, put_job_result);
     e.seq(&r.events, put_event);
+    e.usize(r.dropped_events);
 }
 
 fn get_service_report(d: &mut Decoder<'_>) -> Result<ServiceReport, WireError> {
@@ -881,6 +896,7 @@ fn get_service_report(d: &mut Decoder<'_>) -> Result<ServiceReport, WireError> {
         batches: d.seq(1, get_batch_report)?,
         job_results: d.seq(1, get_job_result)?,
         events: d.seq(1, get_event)?,
+        dropped_events: d.usize()?,
     })
 }
 
@@ -946,6 +962,10 @@ fn put_runtime_error(e: &mut Encoder, err: &WireRuntimeError) {
             e.u8(9);
             e.str(detail);
         }
+        WireRuntimeError::QueueCorrupted { seq } => {
+            e.u8(10);
+            e.u64(*seq);
+        }
     }
 }
 
@@ -970,6 +990,7 @@ fn get_runtime_error(d: &mut Decoder<'_>) -> Result<WireRuntimeError, WireError>
             detail: d.str()?,
         },
         9 => WireRuntimeError::Core { detail: d.str()? },
+        10 => WireRuntimeError::QueueCorrupted { seq: d.u64()? },
         tag => {
             return Err(WireError::UnknownTag {
                 context: "WireRuntimeError",

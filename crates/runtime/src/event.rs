@@ -131,41 +131,115 @@ impl<F: FnMut(&Event) + Send> EventObserver for F {
     }
 }
 
-/// An append-only record of every [`Event`] a service emitted.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// An ordered record of every [`Event`] a service emitted.
+///
+/// ## Capacity contract
+///
+/// By default the log is **unbounded**: every event is retained for the
+/// service's lifetime, bit-for-bit the original behaviour. Under heavy
+/// traffic a 100k-job run would hold 100k+ [`Event::JobCompleted`]
+/// entries live, so [`EventLog::with_capacity_limit`] (reachable via
+/// [`ServiceBuilder::event_capacity`](crate::ServiceBuilder::event_capacity))
+/// turns the log into a ring: at most `capacity` **most-recent** events
+/// stay live, older ones are dropped oldest-first and counted in
+/// [`EventLog::dropped`]. Observers are unaffected — they see every
+/// event at emission time regardless of what the log later retains —
+/// and [`EventLog::events`] always returns a contiguous slice in
+/// emission order. Pushes stay amortized O(1): the ring is a vector
+/// with a dead front that compacts once it reaches half the buffer.
+#[derive(Debug, Clone, Default)]
 pub struct EventLog {
     events: Vec<Event>,
+    /// First live index into `events` (dead prefix below it awaits
+    /// compaction).
+    start: usize,
+    /// Retention bound; `None` = unbounded.
+    capacity: Option<usize>,
+    /// Events dropped by the retention bound, oldest-first.
+    dropped: usize,
+}
+
+/// Equality compares the *logical* content (live events, capacity,
+/// dropped count), never the ring representation: two logs that
+/// recorded the same stream are equal regardless of when each
+/// compacted its dead prefix.
+impl PartialEq for EventLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.events() == other.events()
+            && self.capacity == other.capacity
+            && self.dropped == other.dropped
+    }
 }
 
 impl EventLog {
-    /// An empty log.
+    /// An empty, unbounded log.
     pub fn new() -> Self {
         EventLog::default()
     }
 
-    /// Appends an event.
+    /// An empty log retaining at most `capacity` most-recent events
+    /// (`None` = unbounded, exactly [`EventLog::new`]).
+    pub fn with_capacity_limit(capacity: Option<usize>) -> Self {
+        EventLog {
+            capacity,
+            ..EventLog::default()
+        }
+    }
+
+    /// The retention bound (`None` = unbounded).
+    pub fn capacity_limit(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// How many events the retention bound has dropped (always 0 on an
+    /// unbounded log).
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest live one when the
+    /// retention bound is full.
     pub fn push(&mut self, event: Event) {
-        self.events.push(event);
+        match self.capacity {
+            None => self.events.push(event),
+            Some(0) => self.dropped += 1,
+            Some(cap) => {
+                self.events.push(event);
+                let live = self.events.len() - self.start;
+                if live > cap {
+                    self.start += live - cap;
+                    self.dropped += live - cap;
+                }
+                // Compact once the dead prefix reaches half the buffer:
+                // each element is drained at most once, so pushes stay
+                // amortized O(1) and memory stays within 2 × capacity.
+                if self.start > 0 && self.start * 2 >= self.events.len() {
+                    self.events.drain(..self.start);
+                    self.start = 0;
+                }
+            }
+        }
     }
 
-    /// All recorded events, in emission order.
+    /// All live events, in emission order (everything ever recorded on
+    /// an unbounded log; the most recent `capacity` under a bound).
     pub fn events(&self) -> &[Event] {
-        &self.events
+        &self.events[self.start..]
     }
 
-    /// Number of recorded events.
+    /// Number of live events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.events.len() - self.start
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether nothing is live.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len() == 0
     }
 
     /// Ids of all submitted jobs, in submission order.
     pub fn submitted_ids(&self) -> Vec<u64> {
-        self.events
+        self.events()
             .iter()
             .filter_map(|e| match e {
                 Event::JobSubmitted { job_id, .. } => Some(*job_id),
@@ -176,7 +250,7 @@ impl EventLog {
 
     /// Ids of all completed jobs, in completion order.
     pub fn completed_ids(&self) -> Vec<u64> {
-        self.events
+        self.events()
             .iter()
             .filter_map(|e| match e {
                 Event::JobCompleted { job_id, .. } => Some(*job_id),
@@ -188,7 +262,7 @@ impl EventLog {
     /// The planned batches as `(device, member ids)` pairs, in dispatch
     /// order.
     pub fn planned_batches(&self) -> Vec<(&str, &[u64])> {
-        self.events
+        self.events()
             .iter()
             .filter_map(|e| match e {
                 Event::BatchPlanned {
@@ -202,7 +276,7 @@ impl EventLog {
     /// The routing decisions as `(device, winning score)` pairs, in
     /// dispatch order.
     pub fn routed(&self) -> Vec<(&str, f64)> {
-        self.events
+        self.events()
             .iter()
             .filter_map(|e| match e {
                 Event::BatchRouted { device, score, .. } => Some((device.as_str(), *score)),
@@ -214,7 +288,7 @@ impl EventLog {
     /// The calibration-state changes as `(device, new epoch)` pairs, in
     /// emission order.
     pub fn recalibrations(&self) -> Vec<(&str, u64)> {
-        self.events
+        self.events()
             .iter()
             .filter_map(|e| match e {
                 Event::DeviceRecalibrated { device, epoch } => Some((device.as_str(), *epoch)),
@@ -225,7 +299,7 @@ impl EventLog {
 
     /// How many shrink events were recorded for `reason`.
     pub fn shrink_count(&self, reason: ShrinkReason) -> usize {
-        self.events
+        self.events()
             .iter()
             .filter(|e| matches!(e, Event::BatchShrunk { reason: r, .. } if *r == reason))
             .count()

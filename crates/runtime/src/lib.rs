@@ -103,6 +103,49 @@
 //!   runtime (property-tested), and drift itself is a pure function of
 //!   `(model, step, device)` — serial == concurrent still holds.
 //!
+//! ## Scale: the indexed queue and best-k speculation
+//!
+//! The dispatch loop is built for the paper's heavy-traffic regime
+//! (O(100) devices, O(100k) queued jobs), not just the two-chip
+//! experiments. Per-operation costs, with `n` pending jobs, `A`
+//! admitting devices and `D` fleet devices (the "seed path" column is
+//! preserved verbatim behind [`QueueIndexing::Linear`] as the ablation
+//! baseline of the `fleet_shootout` bench):
+//!
+//! | operation | seed path | indexed path (default) |
+//! |---|---|---|
+//! | submit (queue insert) | O(n) scan + insert | O(log n) position, amortized append for in-order arrivals |
+//! | seq → job lookup | O(n) scan | O(1) hash map |
+//! | dispatch step: arrived views | O(n) rebuild per candidate | O(log n) prefix bind (O(arrived) flag pass only while per-job strategy overrides are live) |
+//! | dispatch step: admitting devices | O(D) filter | O(log D) + A width-bucket suffix |
+//! | batch removal | O(n·k) retain | offset bump (front run) or one compaction pass |
+//! | recalibrate / drift epoch bump | O(cache) invalidation | unchanged |
+//!
+//! Both paths are observationally equivalent — identical dispatch
+//! order, events and reports on any submission/tick interleaving,
+//! pinned by the `integration_fleet` equivalence proptest.
+//!
+//! **Best-k speculative planning** ([`ServiceBuilder::best_k`]) plans
+//! the head batch on the top-k routing candidates concurrently. The
+//! determinism rule: *the committed winner is always the first
+//! candidate in `(score, free time, registration index)` order whose
+//! plan succeeds* — exactly the sequential winner; speculation
+//! precomputes outcomes, it never reorders them, and a speculative hard
+//! error surfaces only when the ranked walk actually reaches its
+//! candidate. Losing candidates' probe results stay in the route cache
+//! (warming later dispatches), so with `k > 1` the
+//! [`RouteCacheStats`] counters may run ahead of the sequential
+//! schedule — the only observable difference.
+//!
+//! **Event-log bounding** ([`ServiceBuilder::event_capacity`]): by
+//! default the [`EventLog`] retains every event forever (bit-for-bit
+//! the historical contract). Under heavy traffic that is O(jobs) live
+//! memory, so a capacity bound turns the log into a ring keeping the
+//! most recent `capacity` events; dropped events are counted in
+//! [`ServiceReport::dropped_events`] and [`EventLog::dropped`].
+//! Observers are unaffected either way — they see every event at
+//! emission time.
+//!
 //! The legacy one-shot [`BatchScheduler::run`] survives as a deprecated
 //! veneer over `Service` + [`Fifo`] + a single device and reproduces
 //! the seed scheduler's output bit-for-bit — the PR-1 equivalence tests
@@ -140,6 +183,7 @@
 
 mod event;
 mod job;
+mod pending;
 mod policy;
 mod registry;
 mod scheduler;
@@ -147,6 +191,7 @@ mod service;
 
 pub use event::{Event, EventLog, EventObserver, ShrinkReason};
 pub use job::{skewed_jobs, synthetic_jobs, Job, JobResult};
+pub use pending::QueueIndexing;
 pub use policy::{AdmissionPolicy, Backfill, BatchBudget, Fifo, JobView, ShortestJobFirst};
 pub use registry::{
     CalibrationAware, DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy,

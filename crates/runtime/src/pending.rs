@@ -1,0 +1,548 @@
+//! The pending-job store: the seed's linear `Vec` path and the indexed
+//! scale-out path behind one seam.
+//!
+//! The service used to keep pending jobs in a bare `Vec<Pending>` and
+//! rebuild the policy-facing [`JobView`] vector from scratch on every
+//! dispatch step — fine at tens of jobs, ruinous under the heavy-traffic
+//! regime the paper's cloud argument assumes (Sec. I: "millions of
+//! users"). [`PendingStore`] hides the queue behind a small API with two
+//! interchangeable implementations:
+//!
+//! - [`QueueIndexing::Linear`] is the seed path, kept bit-for-bit as the
+//!   ablation baseline the `fleet_shootout` bench quantifies against:
+//!   O(n) insert, O(n) seq lookup, a full O(n) view rebuild per
+//!   `prepare`.
+//! - [`QueueIndexing::Indexed`] (the default) maintains a persistent
+//!   FIFO-sorted [`JobView`] mirror incrementally: O(log n) insert
+//!   position (amortized-append for in-order arrivals), an O(1)
+//!   seq→job map, O(log n) arrived-prefix binding per dispatch step,
+//!   and dead-prefix removal so draining the queue front is an offset
+//!   bump instead of a memmove.
+//!
+//! Both paths produce **identical observable behaviour** — dispatch
+//! order, reports, events — which the `integration_fleet` equivalence
+//! proptest pins down. The only intentional difference is cost.
+//!
+//! ## Joinable-flag maintenance
+//!
+//! A [`JobView`]'s `joinable` flag depends on the *head strategy* of the
+//! dispatch step being prepared, so it cannot be precomputed once. The
+//! indexed store interns each distinct per-job strategy override into a
+//! small key table (key 0 = the service default, including overrides
+//! that compare equal to it, matching the seed's value-equality rule)
+//! and counts live override jobs. The common no-override case then skips
+//! flag maintenance entirely: every flag is `true` and stays `true`.
+//! Only while override jobs are live does `prepare` rewrite the arrived
+//! prefix — O(arrived) — and a `flags_dirty` bit restores the all-true
+//! invariant once the last override leaves the queue.
+
+use std::collections::HashMap;
+
+use qucp_circuit::Circuit;
+use qucp_core::Strategy;
+use qucp_sim::{ShotParallelism, TrajectoryKernel};
+
+use crate::policy::JobView;
+
+/// A pending (admitted but not yet dispatched) job.
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub(crate) seq: usize,
+    pub(crate) id: u64,
+    pub(crate) circuit: Circuit,
+    /// Cached `circuit.width()` — immutable once submitted.
+    pub(crate) width: usize,
+    /// Cached `circuit.gate_count()`.
+    pub(crate) gates: usize,
+    /// Cached `circuit.depth()` (O(gates) to recompute).
+    pub(crate) depth: usize,
+    pub(crate) shots: usize,
+    pub(crate) arrival: f64,
+    pub(crate) strategy: Option<Strategy>,
+    pub(crate) fidelity_threshold: Option<f64>,
+    pub(crate) shot_parallelism: Option<ShotParallelism>,
+    pub(crate) trajectory_kernel: Option<TrajectoryKernel>,
+    pub(crate) skips: usize,
+}
+
+/// How the service stores its pending queue.
+///
+/// Both modes are observationally equivalent — identical dispatch
+/// order, reports and events on any submission/tick sequence; they
+/// differ only in asymptotic cost. See the crate docs' complexity
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueIndexing {
+    /// The scale-out default: an incrementally-maintained FIFO mirror
+    /// with O(log n) insert binding, an O(1) seq→job map, and
+    /// dead-prefix removal.
+    #[default]
+    Indexed,
+    /// The seed's `Vec` path — O(n) everything — kept as the ablation
+    /// baseline the `fleet_shootout` bench measures the indexed path
+    /// against.
+    Linear,
+}
+
+fn view_of(p: &Pending) -> JobView {
+    JobView {
+        id: p.id,
+        seq: p.seq,
+        arrival: p.arrival,
+        width: p.width,
+        gates: p.gates,
+        depth: p.depth,
+        area: p.width * p.depth,
+        shots: p.shots,
+        skips: p.skips,
+        joinable: true,
+    }
+}
+
+/// The seed queue: jobs in a FIFO-sorted `Vec`, views rebuilt from
+/// scratch on every [`LinearStore::prepare`].
+#[derive(Debug)]
+pub(crate) struct LinearStore {
+    jobs: Vec<Pending>,
+    /// The arrived prefix rebuilt by the latest `prepare` (the seed
+    /// allocated a fresh `Vec` per call; reusing the buffer keeps the
+    /// rebuild cost without the allocator traffic).
+    scratch: Vec<JobView>,
+    default: Strategy,
+}
+
+impl LinearStore {
+    fn prepare(&mut self, now: f64, head_strategy: Option<&Strategy>) {
+        self.scratch.clear();
+        for p in self.jobs.iter().take_while(|p| p.arrival <= now) {
+            let mut view = view_of(p);
+            view.joinable =
+                head_strategy.is_none_or(|s| p.strategy.as_ref().unwrap_or(&self.default) == s);
+            self.scratch.push(view);
+        }
+    }
+}
+
+/// The indexed queue: an O(1) seq→job map plus a persistent FIFO-sorted
+/// [`JobView`] mirror maintained incrementally.
+#[derive(Debug)]
+pub(crate) struct IndexedStore {
+    /// O(1) seq → job storage.
+    jobs: HashMap<usize, Pending>,
+    /// FIFO mirror of every pending job, sorted by `(arrival, seq)`
+    /// (`total_cmp` order). Indices `..head` are a dead prefix awaiting
+    /// compaction.
+    views: Vec<JobView>,
+    /// Interned strategy key per mirror slot, parallel to `views`
+    /// (key 0 = the service default).
+    keys: Vec<u32>,
+    /// First live mirror index: front-contiguous removals bump this
+    /// offset instead of shifting the vector.
+    head: usize,
+    /// Distinct strategies seen so far; slot 0 holds the default.
+    interned: Vec<Strategy>,
+    /// Live jobs whose interned key is not 0. While 0, `prepare` skips
+    /// joinable-flag maintenance entirely.
+    overrides: usize,
+    /// Whether any live flag may be stale (a strategy-filtered pass
+    /// ran); cleared by the next all-true reset once `overrides == 0`.
+    flags_dirty: bool,
+}
+
+impl IndexedStore {
+    fn strategy_key(&mut self, strategy: &Option<Strategy>) -> u32 {
+        match strategy {
+            None => 0,
+            Some(s) => match self.interned.iter().position(|x| x == s) {
+                Some(i) => i as u32,
+                None => {
+                    self.interned.push(s.clone());
+                    (self.interned.len() - 1) as u32
+                }
+            },
+        }
+    }
+
+    /// Live-window position of the `(arrival, seq)` key, by binary
+    /// search over the sorted mirror.
+    fn live_position(&self, arrival: f64, seq: usize) -> Option<usize> {
+        let live = &self.views[self.head..];
+        let pos = live.partition_point(|v| {
+            v.arrival.total_cmp(&arrival).then(v.seq.cmp(&seq)) == std::cmp::Ordering::Less
+        });
+        (live.get(pos)?.seq == seq).then_some(pos)
+    }
+
+    fn insert(&mut self, p: Pending) {
+        let key = self.strategy_key(&p.strategy);
+        if key != 0 {
+            self.overrides += 1;
+        }
+        let view = view_of(&p);
+        // Same tie rule as the seed: after every job with
+        // `arrival <= p.arrival` (equal arrivals keep submission order,
+        // so the mirror stays `(arrival, seq)`-sorted).
+        let rel = self.views[self.head..]
+            .partition_point(|v| v.arrival.total_cmp(&p.arrival) != std::cmp::Ordering::Greater);
+        let abs = self.head + rel;
+        self.views.insert(abs, view);
+        self.keys.insert(abs, key);
+        self.jobs.insert(p.seq, p);
+    }
+
+    fn prepare(&mut self, now: f64, head_strategy: Option<&Strategy>) {
+        if self.overrides > 0 {
+            let end = self.views[self.head..].partition_point(|v| v.arrival <= now);
+            match head_strategy {
+                Some(s) => {
+                    let hk = self
+                        .interned
+                        .iter()
+                        .position(|x| x == s)
+                        .map_or(u32::MAX, |i| i as u32);
+                    let keys = &self.keys[self.head..];
+                    for (i, v) in self.views[self.head..][..end].iter_mut().enumerate() {
+                        v.joinable = keys[i] == hk;
+                    }
+                }
+                None => {
+                    for v in &mut self.views[self.head..][..end] {
+                        v.joinable = true;
+                    }
+                }
+            }
+            self.flags_dirty = true;
+        } else if self.flags_dirty {
+            // The last override job left the queue: restore the
+            // all-true invariant over the whole live window once (later
+            // arrivals included — they may hold stale flags from a
+            // filtered pass), then go back to skipping maintenance.
+            for v in &mut self.views[self.head..] {
+                v.joinable = true;
+            }
+            self.flags_dirty = false;
+        }
+    }
+
+    fn remove_members(&mut self, seqs: &[usize]) {
+        let mut positions: Vec<usize> = Vec::with_capacity(seqs.len());
+        for &seq in seqs {
+            let Some(p) = self.jobs.remove(&seq) else {
+                debug_assert!(false, "removing job seq {seq} not in the store");
+                continue;
+            };
+            let rel = self
+                .live_position(p.arrival, seq)
+                .expect("mirror entry exists for every stored job");
+            let abs = self.head + rel;
+            if self.keys[abs] != 0 {
+                self.overrides -= 1;
+            }
+            positions.push(abs);
+        }
+        if positions.is_empty() {
+            return;
+        }
+        positions.sort_unstable();
+        let n = positions.len();
+        if positions[0] == self.head && positions[n - 1] == self.head + n - 1 {
+            // The batch drained the queue front (the FIFO common case):
+            // removal is an offset bump, no element moves.
+            self.head += n;
+        } else {
+            // Scattered removal (SJF / backfill picks): one in-place
+            // compaction pass from the first removed slot.
+            let first = positions[0];
+            let mut next = 0;
+            let mut write = first;
+            for read in first..self.views.len() {
+                if next < n && positions[next] == read {
+                    next += 1;
+                    continue;
+                }
+                self.views[write] = self.views[read];
+                self.keys[write] = self.keys[read];
+                write += 1;
+            }
+            self.views.truncate(write);
+            self.keys.truncate(write);
+        }
+        // Compact once the dead prefix reaches half the buffer: each
+        // slot is drained at most once, so removals stay amortized O(1)
+        // per removed job and memory stays within 2× the live queue.
+        if self.head > 0 && self.head * 2 >= self.views.len() {
+            self.views.drain(..self.head);
+            self.keys.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+/// The service's pending queue behind the linear/indexed seam.
+///
+/// Call discipline: [`PendingStore::prepare`] binds the arrived window
+/// and joinable flags for a given `now`/head strategy;
+/// [`PendingStore::arrived`] and [`PendingStore::position_of`] must then
+/// be called with that same `now` before the next `prepare`.
+#[derive(Debug)]
+pub(crate) enum PendingStore {
+    /// The seed `Vec` path (ablation baseline).
+    Linear(LinearStore),
+    /// The incrementally-indexed path (default).
+    Indexed(IndexedStore),
+}
+
+impl PendingStore {
+    pub(crate) fn new(indexing: QueueIndexing, default: Strategy) -> Self {
+        match indexing {
+            QueueIndexing::Linear => PendingStore::Linear(LinearStore {
+                jobs: Vec::new(),
+                scratch: Vec::new(),
+                default,
+            }),
+            QueueIndexing::Indexed => PendingStore::Indexed(IndexedStore {
+                jobs: HashMap::new(),
+                views: Vec::new(),
+                keys: Vec::new(),
+                head: 0,
+                interned: vec![default],
+                overrides: 0,
+                flags_dirty: false,
+            }),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            PendingStore::Linear(s) => s.jobs.len(),
+            PendingStore::Indexed(s) => s.views.len() - s.head,
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arrival of the earliest pending job (`None` when empty).
+    pub(crate) fn first_arrival(&self) -> Option<f64> {
+        match self {
+            PendingStore::Linear(s) => s.jobs.first().map(|p| p.arrival),
+            PendingStore::Indexed(s) => s.views.get(s.head).map(|v| v.arrival),
+        }
+    }
+
+    /// Admits a job, keeping FIFO `(arrival, submission)` order.
+    pub(crate) fn insert(&mut self, p: Pending) {
+        match self {
+            PendingStore::Linear(s) => {
+                let pos = s.jobs.partition_point(|q| {
+                    q.arrival.total_cmp(&p.arrival) != std::cmp::Ordering::Greater
+                });
+                s.jobs.insert(pos, p);
+            }
+            PendingStore::Indexed(s) => s.insert(p),
+        }
+    }
+
+    /// The stored job with submission index `seq`.
+    pub(crate) fn get(&self, seq: usize) -> Option<&Pending> {
+        match self {
+            PendingStore::Linear(s) => s.jobs.iter().find(|p| p.seq == seq),
+            PendingStore::Indexed(s) => s.jobs.get(&seq),
+        }
+    }
+
+    /// Binds the arrived window for `now`, computing each arrived
+    /// view's `joinable` flag against `head_strategy` (`None` = every
+    /// arrived job is joinable, the head-selection pass).
+    pub(crate) fn prepare(&mut self, now: f64, head_strategy: Option<&Strategy>) {
+        match self {
+            PendingStore::Linear(s) => s.prepare(now, head_strategy),
+            PendingStore::Indexed(s) => s.prepare(now, head_strategy),
+        }
+    }
+
+    /// The policy-facing views of all jobs arrived by `now`, in FIFO
+    /// order, with flags from the latest [`PendingStore::prepare`].
+    pub(crate) fn arrived(&self, now: f64) -> &[JobView] {
+        match self {
+            PendingStore::Linear(s) => &s.scratch,
+            PendingStore::Indexed(s) => {
+                let live = &s.views[s.head..];
+                let end = live.partition_point(|v| v.arrival <= now);
+                &live[..end]
+            }
+        }
+    }
+
+    /// Index of job `seq` in the arrived window (its `(arrival, seq)`
+    /// key locates it in O(log n) on the indexed path).
+    pub(crate) fn position_of(&self, arrival: f64, seq: usize) -> Option<usize> {
+        match self {
+            PendingStore::Linear(s) => s.scratch.iter().position(|v| v.seq == seq),
+            PendingStore::Indexed(s) => {
+                let _ = arrival;
+                s.live_position(arrival, seq)
+            }
+        }
+    }
+
+    /// Bumps a job's overtake counter (backfill starvation accounting).
+    pub(crate) fn bump_skip(&mut self, seq: usize) {
+        match self {
+            PendingStore::Linear(s) => {
+                if let Some(p) = s.jobs.iter_mut().find(|p| p.seq == seq) {
+                    p.skips += 1;
+                }
+            }
+            PendingStore::Indexed(s) => {
+                let Some(p) = s.jobs.get_mut(&seq) else {
+                    debug_assert!(false, "bumping job seq {seq} not in the store");
+                    return;
+                };
+                p.skips += 1;
+                let arrival = p.arrival;
+                let rel = s
+                    .live_position(arrival, seq)
+                    .expect("mirror entry exists for every stored job");
+                s.views[s.head + rel].skips += 1;
+            }
+        }
+    }
+
+    /// Removes a committed batch's members.
+    pub(crate) fn remove_members(&mut self, seqs: &[usize]) {
+        match self {
+            PendingStore::Linear(s) => s.jobs.retain(|p| !seqs.contains(&p.seq)),
+            PendingStore::Indexed(s) => s.remove_members(seqs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qucp_circuit::Circuit;
+    use qucp_core::strategy;
+
+    fn pending(seq: usize, arrival: f64, strategy_override: Option<Strategy>) -> Pending {
+        let mut circuit = Circuit::new(2);
+        circuit.h(0);
+        circuit.cx(0, 1);
+        Pending {
+            seq,
+            id: seq as u64,
+            width: circuit.width(),
+            gates: circuit.gate_count(),
+            depth: circuit.depth(),
+            circuit,
+            shots: 64,
+            arrival,
+            strategy: strategy_override,
+            fidelity_threshold: None,
+            shot_parallelism: None,
+            trajectory_kernel: None,
+            skips: 0,
+        }
+    }
+
+    fn stores() -> [PendingStore; 2] {
+        let default = strategy::qucp(strategy::DEFAULT_SIGMA);
+        [
+            PendingStore::new(QueueIndexing::Linear, default.clone()),
+            PendingStore::new(QueueIndexing::Indexed, default),
+        ]
+    }
+
+    #[test]
+    fn both_paths_keep_fifo_order_under_out_of_order_arrivals() {
+        for mut store in stores() {
+            // Arrivals 30, 10, 20, 10: ties keep submission order.
+            for (seq, arrival) in [(0, 30.0), (1, 10.0), (2, 20.0), (3, 10.0)] {
+                store.insert(pending(seq, arrival, None));
+            }
+            store.prepare(f64::INFINITY, None);
+            let order: Vec<usize> = store.arrived(f64::INFINITY).iter().map(|v| v.seq).collect();
+            assert_eq!(order, vec![1, 3, 2, 0]);
+            assert_eq!(store.first_arrival(), Some(10.0));
+            // The arrived window respects `now`.
+            store.prepare(15.0, None);
+            let early: Vec<usize> = store.arrived(15.0).iter().map(|v| v.seq).collect();
+            assert_eq!(early, vec![1, 3]);
+        }
+    }
+
+    #[test]
+    fn position_and_skip_bump_agree_between_paths() {
+        for mut store in stores() {
+            for (seq, arrival) in [(0, 0.0), (1, 1.0), (2, 2.0)] {
+                store.insert(pending(seq, arrival, None));
+            }
+            store.prepare(f64::INFINITY, None);
+            assert_eq!(store.position_of(1.0, 1), Some(1));
+            store.bump_skip(1);
+            store.bump_skip(1);
+            store.prepare(f64::INFINITY, None);
+            assert_eq!(store.arrived(f64::INFINITY)[1].skips, 2);
+            assert_eq!(store.get(1).unwrap().skips, 2);
+        }
+    }
+
+    #[test]
+    fn removal_compacts_and_preserves_survivors() {
+        for mut store in stores() {
+            for seq in 0..6 {
+                store.insert(pending(seq, seq as f64, None));
+            }
+            // Scattered removal first (mid-queue), then a front drain.
+            store.remove_members(&[1, 3]);
+            assert_eq!(store.len(), 4);
+            store.prepare(f64::INFINITY, None);
+            let order: Vec<usize> = store.arrived(f64::INFINITY).iter().map(|v| v.seq).collect();
+            assert_eq!(order, vec![0, 2, 4, 5]);
+            store.remove_members(&[0, 2]);
+            store.prepare(f64::INFINITY, None);
+            let order: Vec<usize> = store.arrived(f64::INFINITY).iter().map(|v| v.seq).collect();
+            assert_eq!(order, vec![4, 5]);
+            assert!(store.get(1).is_none());
+            assert!(store.get(4).is_some());
+        }
+    }
+
+    #[test]
+    fn joinable_flags_follow_head_strategy_and_recover() {
+        let default = strategy::qucp(strategy::DEFAULT_SIGMA);
+        let other = strategy::cna();
+        for mut store in stores() {
+            store.insert(pending(0, 0.0, None));
+            store.insert(pending(1, 1.0, Some(other.clone())));
+            // An override equal to the default interns to the default
+            // key — value equality, like the seed's comparison.
+            store.insert(pending(2, 2.0, Some(default.clone())));
+
+            store.prepare(f64::INFINITY, Some(&other));
+            let flags: Vec<bool> = store
+                .arrived(f64::INFINITY)
+                .iter()
+                .map(|v| v.joinable)
+                .collect();
+            assert_eq!(flags, vec![false, true, false]);
+
+            store.prepare(f64::INFINITY, Some(&default));
+            let flags: Vec<bool> = store
+                .arrived(f64::INFINITY)
+                .iter()
+                .map(|v| v.joinable)
+                .collect();
+            assert_eq!(flags, vec![true, false, true]);
+
+            // Once the only true-override job leaves, the all-true
+            // invariant recovers even on the fast path.
+            store.remove_members(&[1]);
+            store.prepare(f64::INFINITY, None);
+            assert!(store.arrived(f64::INFINITY).iter().all(|v| v.joinable));
+            store.prepare(f64::INFINITY, Some(&default));
+            assert!(store.arrived(f64::INFINITY).iter().all(|v| v.joinable));
+        }
+    }
+}

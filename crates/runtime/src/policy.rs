@@ -40,6 +40,10 @@ pub struct JobView {
     pub gates: usize,
     /// Circuit depth (critical-path length in gates).
     pub depth: usize,
+    /// Circuit area: `width × depth`, the service-time proxy
+    /// [`ShortestJobFirst`] orders by. Precomputed once at submission so
+    /// repeated packs never re-multiply per dispatch step.
+    pub area: usize,
     /// Effective shot budget.
     pub shots: usize,
     /// How many batches have already overtaken this job (the backfill
@@ -177,7 +181,7 @@ impl AdmissionPolicy for Backfill {
 pub struct ShortestJobFirst;
 
 fn sjf_key(job: &JobView) -> (usize, f64, usize) {
-    (job.width * job.depth, job.arrival, job.seq)
+    (job.area, job.arrival, job.seq)
 }
 
 fn sjf_cmp(a: &JobView, b: &JobView) -> std::cmp::Ordering {
@@ -232,6 +236,7 @@ mod tests {
             width,
             gates: depth,
             depth,
+            area: width * depth,
             shots: 64,
             skips: 0,
             joinable: true,

@@ -107,6 +107,13 @@ pub struct DeviceRegistry {
     /// Per-device calibration epoch: bumped on every calibration-state
     /// mutation, parallel to `devices`.
     epochs: Vec<u64>,
+    /// Width index: `(num_qubits, registration index)` sorted
+    /// ascending, so the devices admitting a width are a suffix —
+    /// [`DeviceRegistry::admitting`] and the dispatch loop stop
+    /// scanning non-candidates. Qubit counts are fixed at registration
+    /// (recalibration never resizes a chip), so the index never goes
+    /// stale.
+    by_width: Vec<(usize, usize)>,
 }
 
 impl DeviceRegistry {
@@ -117,18 +124,24 @@ impl DeviceRegistry {
 
     /// A registry holding a single device (the legacy wrapper's case).
     pub fn single(device: Device) -> Self {
+        let width = device.num_qubits();
         DeviceRegistry {
             devices: vec![device],
             epochs: vec![0],
+            by_width: vec![(width, 0)],
         }
     }
 
     /// Adds a device; later registrations lose routing ties. The new
     /// device starts at calibration epoch 0.
     pub fn register(&mut self, device: Device) -> DeviceId {
+        let index = self.devices.len();
+        let entry = (device.num_qubits(), index);
+        let pos = self.by_width.partition_point(|&e| e < entry);
+        self.by_width.insert(pos, entry);
         self.devices.push(device);
         self.epochs.push(0);
-        DeviceId(self.devices.len() - 1)
+        DeviceId(index)
     }
 
     /// The device's calibration epoch: 0 at registration, bumped once
@@ -229,26 +242,46 @@ impl DeviceRegistry {
     }
 
     /// Ids of the devices whose topology admits a `width`-qubit
-    /// program, in registration order.
+    /// program, in registration order. Served from the width index —
+    /// one binary search plus the candidates themselves, never a scan
+    /// over non-admitting devices.
     pub fn admitting(&self, width: usize) -> impl Iterator<Item = DeviceId> + '_ {
-        self.iter()
-            .filter(move |(_, d)| d.admits(width))
-            .map(|(id, _)| id)
+        let mut ids: Vec<usize> = self
+            .admitting_bucket(width)
+            .iter()
+            .map(|&(_, index)| index)
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(DeviceId)
+    }
+
+    /// The width-index suffix of `(num_qubits, registration index)`
+    /// entries admitting a `width`-qubit program, sorted by qubit count
+    /// then registration index — **not** registration order. The
+    /// dispatch loop consumes this raw bucket because it re-ranks
+    /// candidates by `(score, free time, registration index)` anyway;
+    /// order-sensitive callers go through
+    /// [`DeviceRegistry::admitting`].
+    pub(crate) fn admitting_bucket(&self, width: usize) -> &[(usize, usize)] {
+        if width == 0 {
+            // `Device::admits` rejects zero-width programs; the index
+            // suffix for width 0 would be every device.
+            return &[];
+        }
+        let start = self.by_width.partition_point(|&(q, _)| q < width);
+        &self.by_width[start..]
     }
 
     /// The registered device with the most qubits (`None` when empty) —
     /// the honest place to surface a "does not fit anywhere" planning
-    /// error.
+    /// error. Ties keep the earliest registration, consistent with the
+    /// routing rule.
     pub fn widest(&self) -> Option<DeviceId> {
-        let mut best: Option<usize> = None;
-        for (i, d) in self.devices.iter().enumerate() {
-            // Strict comparison: the earliest registration wins ties,
-            // consistent with the routing rule.
-            if best.is_none_or(|b| d.num_qubits() > self.devices[b].num_qubits()) {
-                best = Some(i);
-            }
-        }
-        best.map(DeviceId)
+        let &(max_qubits, _) = self.by_width.last()?;
+        let start = self.by_width.partition_point(|&(q, _)| q < max_qubits);
+        // The max-qubit run is sorted by registration index; its first
+        // entry is the earliest registration.
+        Some(DeviceId(self.by_width[start].1))
     }
 }
 

@@ -165,6 +165,14 @@ pub enum RuntimeError {
     },
     /// A planning or execution stage failed.
     Core(CoreError),
+    /// Internal invariant violation: the pending store's indexes
+    /// disagree about a job that must exist. Surfacing the typed error
+    /// instead of panicking keeps a corrupted queue diagnosable from a
+    /// daemon client; it indicates a runtime bug, never caller misuse.
+    QueueCorrupted {
+        /// Submission index of the job that vanished from the store.
+        seq: usize,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -198,6 +206,12 @@ impl fmt::Display for RuntimeError {
                 write!(f, "job {job_id} cannot be placed: {source}")
             }
             RuntimeError::Core(e) => write!(f, "pipeline failed: {e}"),
+            RuntimeError::QueueCorrupted { seq } => {
+                write!(
+                    f,
+                    "pending queue corrupted: job seq {seq} vanished from the store"
+                )
+            }
         }
     }
 }

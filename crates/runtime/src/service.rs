@@ -20,7 +20,8 @@ use qucp_sim::{ExecutionConfig, ShotParallelism, TrajectoryKernel};
 
 use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
 use crate::job::{Job, JobResult};
-use crate::policy::{AdmissionPolicy, BatchBudget, Fifo, JobView};
+use crate::pending::{Pending, PendingStore, QueueIndexing};
+use crate::policy::{AdmissionPolicy, BatchBudget, Fifo};
 use crate::registry::{DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy};
 use crate::scheduler::{BatchReport, CalibrationFault, ExecutionMode, RuntimeConfig, RuntimeError};
 
@@ -186,29 +187,14 @@ pub struct ServiceReport {
     pub batches: Vec<BatchReport>,
     /// Per-job results, in submission order.
     pub job_results: Vec<JobResult>,
-    /// The full telemetry log.
+    /// The retained telemetry log (every event ever emitted under the
+    /// default unbounded [`ServiceBuilder::event_capacity`]; only the
+    /// most recent `capacity` under a bound).
     pub events: Vec<Event>,
-}
-
-/// A pending (admitted but not yet dispatched) job.
-#[derive(Debug, Clone)]
-struct Pending {
-    seq: usize,
-    id: u64,
-    circuit: Circuit,
-    /// Cached `circuit.width()` — immutable once submitted.
-    width: usize,
-    /// Cached `circuit.gate_count()`.
-    gates: usize,
-    /// Cached `circuit.depth()` (O(gates) to recompute).
-    depth: usize,
-    shots: usize,
-    arrival: f64,
-    strategy: Option<Strategy>,
-    fidelity_threshold: Option<f64>,
-    shot_parallelism: Option<ShotParallelism>,
-    trajectory_kernel: Option<TrajectoryKernel>,
-    skips: usize,
+    /// Events the [`ServiceBuilder::event_capacity`] bound dropped from
+    /// the retained log (always 0 when unbounded). Observers saw every
+    /// event regardless.
+    pub dropped_events: usize,
 }
 
 /// Per-device runtime state (the registry holds only the static fleet).
@@ -263,6 +249,9 @@ pub struct ServiceBuilder {
     observers: Vec<Box<dyn EventObserver>>,
     drift: Option<Box<dyn DriftModel>>,
     invalidation: CacheInvalidation,
+    queue_indexing: QueueIndexing,
+    event_capacity: Option<usize>,
+    best_k: usize,
 }
 
 impl std::fmt::Debug for ServiceBuilder {
@@ -303,6 +292,9 @@ impl ServiceBuilder {
             observers: Vec::new(),
             drift: None,
             invalidation: CacheInvalidation::default(),
+            queue_indexing: QueueIndexing::default(),
+            event_capacity: None,
+            best_k: 1,
         }
     }
 
@@ -457,6 +449,50 @@ impl ServiceBuilder {
         self
     }
 
+    /// Chooses the pending-queue implementation. The
+    /// [`QueueIndexing::Indexed`] default and the
+    /// [`QueueIndexing::Linear`] seed path are observationally
+    /// equivalent — identical dispatch order, reports and events on any
+    /// submission/tick sequence (pinned by the equivalence proptest) —
+    /// the linear path exists as the ablation baseline the
+    /// `fleet_shootout` bench quantifies against.
+    #[must_use]
+    pub fn queue_indexing(mut self, indexing: QueueIndexing) -> Self {
+        self.queue_indexing = indexing;
+        self
+    }
+
+    /// Bounds the retained event log (see the [`EventLog`] capacity
+    /// contract): `None` — the default — retains every event for the
+    /// service's lifetime, bit-for-bit the prior behaviour;
+    /// `Some(capacity)` keeps only the `capacity` most-recent events
+    /// live and counts the rest in
+    /// [`ServiceReport::dropped_events`]. Observers see every event at
+    /// emission time regardless of the bound.
+    #[must_use]
+    pub fn event_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.event_capacity = capacity;
+        self
+    }
+
+    /// Plans the head batch on the top-`k` routing candidates
+    /// concurrently (`std::thread::scope`) instead of walking them one
+    /// at a time. Deterministic by construction: the committed winner
+    /// is always the **first** candidate in `(score, free time,
+    /// registration)` order whose plan succeeds — exactly the `k = 1`
+    /// sequential winner; speculation precomputes outcomes, it never
+    /// reorders them. Losing candidates' planning probes still land in
+    /// the route cache (warming later dispatches), which is the only
+    /// observable difference: with `k > 1` the
+    /// [`RouteCacheStats`] counters may run ahead of the sequential
+    /// schedule. Values are clamped to at least 1; the default 1
+    /// disables speculation.
+    #[must_use]
+    pub fn best_k(mut self, k: usize) -> Self {
+        self.best_k = k.max(1);
+        self
+    }
+
     /// Validates the configuration and builds the service.
     ///
     /// # Errors
@@ -491,6 +527,7 @@ impl ServiceBuilder {
                 .collect()
         });
         let drift_steps = vec![0u64; self.registry.len()];
+        let pending = PendingStore::new(self.queue_indexing, self.strategy.clone());
         Ok(Service {
             strategy: self.strategy,
             policy: self.policy,
@@ -500,18 +537,21 @@ impl ServiceBuilder {
             default_shots: self.default_shots,
             registry: self.registry,
             states,
-            pending: Vec::new(),
+            pending,
             next_seq: 0,
             batches: Vec::new(),
             results: Vec::new(),
             unreported: Vec::new(),
             route_cache: RouteCache::default(),
-            log: EventLog::new(),
+            log: EventLog::with_capacity_limit(self.event_capacity),
             observers: self.observers,
             drift: self.drift,
             drift_steps,
             baselines,
             invalidation: self.invalidation,
+            best_k: self.best_k.max(1),
+            exec_ns: 0,
+            plan_ns: 0,
         })
     }
 }
@@ -549,8 +589,9 @@ pub struct Service {
     default_shots: usize,
     registry: DeviceRegistry,
     states: Vec<DeviceState>,
-    /// FIFO-sorted (arrival, seq) queue of admitted jobs.
-    pending: Vec<Pending>,
+    /// FIFO-sorted (arrival, seq) queue of admitted jobs, behind the
+    /// linear/indexed seam (see [`QueueIndexing`]).
+    pending: PendingStore,
     next_seq: usize,
     batches: Vec<BatchReport>,
     /// Results by submission index; `None` until the job's batch ran.
@@ -573,6 +614,15 @@ pub struct Service {
     baselines: Option<Vec<(Calibration, CrosstalkModel)>>,
     /// How the route cache reacts to epoch bumps.
     invalidation: CacheInvalidation,
+    /// Top-k speculative planning width (1 = sequential).
+    best_k: usize,
+    /// Cumulative wall-clock nanoseconds spent *executing* batches
+    /// (trajectory simulation), as opposed to dispatch bookkeeping.
+    exec_ns: u64,
+    /// Cumulative wall-clock nanoseconds spent *planning* batches
+    /// (mapping/partitioning in [`plan_gated_members`]); under best-k
+    /// speculation the per-thread durations are summed.
+    plan_ns: u64,
 }
 
 impl std::fmt::Debug for Service {
@@ -997,31 +1047,26 @@ impl Service {
             shots,
         });
         // Ties on arrival keep submission order: every existing job
-        // with the same arrival has a smaller seq and stays in front.
-        let pos = self.pending.partition_point(|p| {
-            p.arrival.total_cmp(&request.arrival) != std::cmp::Ordering::Greater
-        });
+        // with the same arrival has a smaller seq and stays in front
+        // (the store's insert rule, identical on both queue paths).
         let width = request.circuit.width();
         let gates = request.circuit.gate_count();
         let depth = request.circuit.depth();
-        self.pending.insert(
-            pos,
-            Pending {
-                seq,
-                id,
-                circuit: request.circuit,
-                width,
-                gates,
-                depth,
-                shots,
-                arrival: request.arrival,
-                strategy: request.strategy,
-                fidelity_threshold: request.fidelity_threshold,
-                shot_parallelism: request.shot_parallelism,
-                trajectory_kernel: request.trajectory_kernel,
-                skips: 0,
-            },
-        );
+        self.pending.insert(Pending {
+            seq,
+            id,
+            circuit: request.circuit,
+            width,
+            gates,
+            depth,
+            shots,
+            arrival: request.arrival,
+            strategy: request.strategy,
+            fidelity_threshold: request.fidelity_threshold,
+            shot_parallelism: request.shot_parallelism,
+            trajectory_kernel: request.trajectory_kernel,
+            skips: 0,
+        });
         self.results.push(None);
         Ok(JobTicket { seq, id })
     }
@@ -1120,64 +1165,44 @@ impl Service {
         self.log.push(event);
     }
 
-    /// The policy-facing views of all pending jobs arrived by `now`, in
-    /// FIFO order. When `head_strategy` is given, `joinable` marks the
-    /// jobs whose effective strategy matches it.
-    fn views(&self, now: f64, head_strategy: Option<&Strategy>) -> Vec<JobView> {
+    /// The stored pending job with submission index `seq`; a job that
+    /// vanished from the store is an internal invariant violation
+    /// surfaced as a typed [`RuntimeError::QueueCorrupted`] instead of
+    /// a panic.
+    fn pending_by_seq(&self, seq: usize) -> Result<&Pending, RuntimeError> {
         self.pending
-            .iter()
-            .take_while(|p| p.arrival <= now)
-            .map(|p| JobView {
-                id: p.id,
-                seq: p.seq,
-                arrival: p.arrival,
-                width: p.width,
-                gates: p.gates,
-                depth: p.depth,
-                shots: p.shots,
-                skips: p.skips,
-                joinable: head_strategy
-                    .is_none_or(|s| p.strategy.as_ref().unwrap_or(&self.strategy) == s),
-            })
-            .collect()
-    }
-
-    fn pending_by_seq(&self, seq: usize) -> &Pending {
-        self.pending
-            .iter()
-            .find(|p| p.seq == seq)
-            .expect("pending job vanished")
+            .get(seq)
+            .ok_or(RuntimeError::QueueCorrupted { seq })
     }
 
     /// Dispatches the next batch if one can start at or before `limit`.
     /// Returns whether a batch was dispatched.
     fn dispatch_one(&mut self, limit: f64) -> Result<bool, RuntimeError> {
-        if self.pending.is_empty() {
+        let Some(t_min) = self.pending.first_arrival() else {
             return Ok(false);
+        };
+
+        // Earliest-free device (free time, then registration order):
+        // the admission horizon at which the head is selected. Head
+        // choice is the *admission* policy's business and always
+        // happens at this horizon; the *routing* policy only ranks the
+        // admitting candidates afterwards. An O(D) min scan — the full
+        // (clock, index) sort this used to do is unnecessary, because
+        // the ranked candidates below sort by a total key of their own.
+        let mut d0 = 0;
+        for d in 1..self.registry.len() {
+            if self.states[d].clock.total_cmp(&self.states[d0].clock) == std::cmp::Ordering::Less {
+                d0 = d;
+            }
         }
-        let t_min = self.pending[0].arrival;
-
-        // Devices by (free time, registration order): the earliest-free
-        // horizon at which the head is selected. Head choice is the
-        // *admission* policy's business and always happens at this
-        // horizon; the *routing* policy only ranks the admitting
-        // candidates afterwards.
-        let mut dev_order: Vec<usize> = (0..self.registry.len()).collect();
-        dev_order.sort_by(|&a, &b| {
-            self.states[a]
-                .clock
-                .total_cmp(&self.states[b].clock)
-                .then(a.cmp(&b))
-        });
-
-        // Head selection happens at the earliest-free device's horizon.
-        let d0 = dev_order[0];
         let now0 = self.states[d0].clock.max(t_min);
-        let arrived0 = self.views(now0, None);
-        let head_pos0 = self.policy.choose_head(&arrived0);
-        let head_seq = arrived0[head_pos0].seq;
-        let head = self.pending_by_seq(head_seq);
-        let head_arrival = head.arrival;
+        self.pending.prepare(now0, None);
+        let (head_seq, head_arrival) = {
+            let arrived0 = self.pending.arrived(now0);
+            let head_pos0 = self.policy.choose_head(arrived0);
+            (arrived0[head_pos0].seq, arrived0[head_pos0].arrival)
+        };
+        let head = self.pending_by_seq(head_seq)?;
         let head_width = head.width;
         let head_circuit = head.circuit.clone();
         let head_id = head.id;
@@ -1189,11 +1214,16 @@ impl Service {
 
         // Rank the admitting candidates with the routing policy; if
         // none admits the head, probe the widest chip so the precise
-        // placement error surfaces (matching the seed scheduler).
-        let admitting: Vec<usize> = dev_order
+        // placement error surfaces (matching the seed scheduler). The
+        // width-bucketed index hands back only the admitting devices —
+        // in (width, registration) order, which is fine: the ranked
+        // sort below uses the total key (score, free time,
+        // registration), so candidate input order never matters.
+        let admitting: Vec<usize> = self
+            .registry
+            .admitting_bucket(head_width)
             .iter()
-            .copied()
-            .filter(|&d| self.registry.device_at(d).admits(head_width))
+            .map(|&(_, d)| d)
             .collect();
         let probe_widest = admitting.is_empty();
         // Cache keys cost an O(gates) hash of the head circuit, so they
@@ -1265,6 +1295,36 @@ impl Service {
         // so each dispatch builds one for the head's effective strategy
         // rather than fighting the borrow checker over a cached copy.
         let pipeline = Pipeline::from_strategy(&head_strategy);
+        let batch_index = self.batches.len();
+
+        // Best-k speculation: precompute the top-k candidates' pack and
+        // plan outcomes (planning concurrently) before walking the
+        // ranking. The walk below consumes precomputed outcomes for
+        // ranks < k and falls back to the inline sequential path beyond
+        // — either way the committed winner is the first ranked
+        // candidate whose plan succeeds.
+        let k = if !probe_widest && self.best_k > 1 && candidates.len() > 1 {
+            self.best_k.min(candidates.len())
+        } else {
+            1
+        };
+        let mut spec: Vec<Option<SpecOutcome>> = if k > 1 {
+            self.speculate(
+                &candidates[..k],
+                &pipeline,
+                head_seq,
+                head_arrival,
+                head_id,
+                &head_circuit,
+                &head_strategy,
+                head_threshold,
+                shape,
+                policy_fp,
+                batch_index,
+            )
+        } else {
+            Vec::new()
+        };
 
         let mut last_unplaceable: Option<RuntimeError> = None;
         for (rank, &d) in candidates.iter().enumerate() {
@@ -1277,83 +1337,96 @@ impl Service {
                 // finite-horizon tick sequence must stay a prefix of
                 // the drain schedule, and planning failures (which are
                 // horizon-independent) are the only way down the
-                // ranking.
+                // ranking. Speculative outcomes (hard errors included)
+                // for this and lower ranks are discarded unseen.
                 return Ok(false);
             }
-            // Cloned so the loop below can take `&mut self`; one clone
-            // per dispatch, dwarfed by the batch's trajectory runs.
-            let device = self.registry.device_at(d).clone();
-
-            // Head-only EFS gate (legacy Fig. 4 behaviour): probe the
-            // admissible copy count of the head circuit before packing,
-            // memoized across batches per (device, shape, threshold).
-            let cap = match (self.efs_gate, head_threshold) {
-                (EfsGate::HeadOnly, Some(threshold)) if !probe_widest => {
-                    match self.cached_head_cap(
-                        d,
-                        &head_circuit,
-                        threshold,
-                        &head_strategy,
-                        shape,
-                        policy_fp,
-                    ) {
-                        Ok(k) => k.max(1),
+            let outcome = match spec.get_mut(rank).and_then(Option::take) {
+                Some(outcome) => outcome,
+                None => {
+                    // Sequential path: the k = 1 default, and every
+                    // rank beyond the speculation window.
+                    //
+                    // Head-only EFS gate (legacy Fig. 4 behaviour):
+                    // probe the admissible copy count of the head
+                    // circuit before packing, memoized across batches
+                    // per (device, shape, threshold).
+                    let cap_probe = match (self.efs_gate, head_threshold) {
+                        (EfsGate::HeadOnly, Some(threshold)) if !probe_widest => self
+                            .cached_head_cap(
+                                d,
+                                &head_circuit,
+                                threshold,
+                                &head_strategy,
+                                shape,
+                                policy_fp,
+                            )
+                            .map(|c| c.max(1)),
+                        _ => Ok(self.cfg.max_parallel),
+                    };
+                    match cap_probe {
+                        Ok(cap) => {
+                            let qubits = self.registry.device_at(d).num_qubits();
+                            let pack = self.pack_candidate(
+                                d,
+                                qubits,
+                                cap,
+                                head_seq,
+                                head_arrival,
+                                &head_strategy,
+                                probe_widest,
+                            )?;
+                            let members = self.plan_members(&pack.picks_seqs)?;
+                            let plan_started = std::time::Instant::now();
+                            let plan = plan_gated_members(
+                                &pipeline,
+                                self.registry.device_at(d),
+                                batch_index,
+                                self.efs_gate,
+                                self.cfg.optimize,
+                                &head_strategy,
+                                members,
+                            );
+                            self.plan_ns = self
+                                .plan_ns
+                                .saturating_add(plan_started.elapsed().as_nanos() as u64);
+                            SpecOutcome::Planned {
+                                pack,
+                                plan: Box::new(plan),
+                            }
+                        }
                         Err(
                             e @ (CoreError::PartitionUnavailable { .. }
                             | CoreError::ProgramTooWide { .. }),
-                        ) => {
-                            last_unplaceable = Some(RuntimeError::JobUnplaceable {
-                                job_id: head_id,
-                                source: e,
-                            });
-                            continue;
-                        }
+                        ) => SpecOutcome::Unplaceable(RuntimeError::JobUnplaceable {
+                            job_id: head_id,
+                            source: e,
+                        }),
                         Err(e) => return Err(RuntimeError::Core(e)),
                     }
                 }
-                _ => self.cfg.max_parallel,
             };
-
-            // Pack the batch (policy decision) against this device.
-            let arrived = self.views(start, Some(&head_strategy));
-            let head_pos = arrived
-                .iter()
-                .position(|v| v.seq == head_seq)
-                .expect("head stays arrived");
-            let budget = BatchBudget {
-                qubits: device.num_qubits(),
-                max_members: cap,
-            };
-            let picks = if probe_widest {
-                vec![head_pos]
-            } else {
-                self.policy.pack(&arrived, head_pos, &budget)
-            };
-            debug_assert_eq!(picks.first(), Some(&head_pos), "head must lead the batch");
-            let batch_index = self.batches.len();
-
-            // Plan with tail-shrink (partition pressure) and, in Batch
-            // gate mode, the per-member heterogeneous fidelity check.
-            // Shrink events are buffered and only recorded if the batch
-            // commits on this device — a failed candidate must leave no
-            // trace, or log replays would see phantom shrinks for a
-            // batch that was eventually planned elsewhere.
-            let mut member_seqs: Vec<usize> = picks.iter().map(|&i| arrived[i].seq).collect();
-            let mut shrinks: Vec<Event> = Vec::new();
-            let plan = match self.plan_gated(
-                &pipeline,
-                &device,
-                batch_index,
-                &mut member_seqs,
-                &mut shrinks,
-            ) {
-                Ok(plan) => plan,
-                Err(e @ RuntimeError::JobUnplaceable { .. }) => {
+            let (pack, planned) = match outcome {
+                SpecOutcome::Unplaceable(e) => {
                     last_unplaceable = Some(e);
                     continue;
                 }
-                Err(e) => return Err(e),
+                SpecOutcome::Failed(e) => return Err(e),
+                SpecOutcome::Planned { pack, plan } => match *plan {
+                    Ok(planned) => (pack, planned),
+                    Err(e @ RuntimeError::JobUnplaceable { .. }) => {
+                        last_unplaceable = Some(e);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
             };
+            let (plan, members, shrinks) = planned;
+            debug_assert_eq!(pack.start.to_bits(), start.to_bits());
+
+            // Cloned so the commit below can take `&mut self`; one
+            // clone per dispatch, dwarfed by the batch's trajectories.
+            let device = self.registry.device_at(d).clone();
             // The routing decision is recorded only for the device the
             // batch actually commits on (failed candidates leave no
             // trace, like their shrink events).
@@ -1377,7 +1450,7 @@ impl Service {
                 d,
                 batch_index,
                 start,
-                &member_seqs,
+                &members.seqs,
                 &plan,
             )?;
 
@@ -1388,25 +1461,24 @@ impl Service {
             // device that admits them, and turning them into barriers
             // on chips they cannot use would cost throughput for no
             // fairness gain.
-            let admitted: Vec<usize> = picks
-                .iter()
-                .map(|&i| arrived[i].seq)
-                .filter(|s| member_seqs.contains(s))
-                .collect();
-            let last_admitted_pos = picks
+            let admitted: Vec<usize> = pack
+                .picks_seqs
                 .iter()
                 .copied()
-                .filter(|&i| admitted.contains(&arrived[i].seq))
+                .filter(|s| members.seqs.contains(s))
+                .collect();
+            let last_admitted_pos = pack
+                .picks
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| admitted.contains(&pack.picks_seqs[j]))
+                .map(|(_, &pos)| pos)
                 .max()
-                .unwrap_or(head_pos);
-            for (i, view) in arrived.iter().enumerate() {
-                if i < last_admitted_pos
-                    && view.width <= device.num_qubits()
-                    && !admitted.contains(&view.seq)
+                .unwrap_or(pack.head_pos);
+            for (i, &(seq, width)) in pack.pool.iter().enumerate() {
+                if i < last_admitted_pos && width <= device.num_qubits() && !admitted.contains(&seq)
                 {
-                    if let Some(p) = self.pending.iter_mut().find(|p| p.seq == view.seq) {
-                        p.skips += 1;
-                    }
+                    self.pending.bump_skip(seq);
                 }
             }
             return Ok(true);
@@ -1414,136 +1486,212 @@ impl Service {
         Err(last_unplaceable.expect("every candidate device failed with an unplaceable error"))
     }
 
-    /// Plans `member_seqs` on `device`, shrinking while the partitioner
-    /// cannot place the batch (tail eviction) and — in
-    /// [`EfsGate::Batch`] / [`EfsGate::BatchWorstExcess`] mode — while
-    /// any member's EFS excess exceeds its own effective threshold
-    /// (tail or worst-excess eviction respectively).
+    /// Phase one of best-k speculation: probe, pack and plan the top-k
+    /// ranked candidates before the ranked walk consumes them.
     ///
-    /// The shrink loop re-plans from cached per-member state: the
-    /// circuits are cloned and peephole-optimized **once**, the
-    /// per-member thresholds are resolved once, and the solo-best EFS
-    /// baselines are probed once on the first successful plan; each
-    /// shrink step merely removes the evicted member's entry from every
-    /// cache (a standing ROADMAP "Scale" item — the loop previously
-    /// re-cloned and re-optimized the whole batch per step).
-    ///
-    /// Shrink events are appended to `shrinks`, not emitted: the caller
-    /// records them only if the batch actually commits on `device`.
-    fn plan_gated(
-        &self,
+    /// Cap probes and packs run **sequentially in ranked order** — they
+    /// mutate the route cache, and a deterministic mutation order keeps
+    /// the cache stream reproducible. Planning (the expensive part) then
+    /// runs concurrently under `std::thread::scope`: it is a pure
+    /// function of (device, circuits, strategy), so concurrency can
+    /// change wall-clock only, never an outcome. Losing candidates'
+    /// probes stay in the route cache and warm later dispatches.
+    #[allow(clippy::too_many_arguments)]
+    fn speculate(
+        &mut self,
+        ranked: &[usize],
         pipeline: &Pipeline,
-        device: &Device,
+        head_seq: usize,
+        head_arrival: f64,
+        head_id: u64,
+        head_circuit: &Circuit,
+        head_strategy: &Strategy,
+        head_threshold: Option<f64>,
+        shape: u64,
+        policy_fp: u64,
         batch_index: usize,
-        member_seqs: &mut Vec<usize>,
-        shrinks: &mut Vec<Event>,
-    ) -> Result<PlannedWorkload, RuntimeError> {
-        let device_name = device.name().to_string();
-        let mut circuits: Vec<Circuit> = member_seqs
-            .iter()
-            .map(|&s| self.pending_by_seq(s).circuit.clone())
-            .collect();
-        if self.cfg.optimize {
-            // Pre-optimized here exactly once; the pipeline is then
-            // asked not to optimize again, which is equivalent to the
-            // per-iteration pass it used to run on fresh clones.
-            for c in &mut circuits {
-                c.cancel_adjacent_inverses();
-            }
+    ) -> Vec<Option<SpecOutcome>> {
+        enum Prep {
+            Ready {
+                d: usize,
+                pack: CandidatePack,
+                members: PlanMembers,
+            },
+            Done(SpecOutcome),
         }
-        let gated = matches!(self.efs_gate, EfsGate::Batch | EfsGate::BatchWorstExcess);
-        let mut thresholds: Vec<Option<f64>> = if gated {
-            member_seqs
-                .iter()
-                .map(|&s| {
-                    self.pending_by_seq(s)
-                        .fidelity_threshold
-                        .or(self.cfg.fidelity_threshold)
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-        let mut solo_cache: Option<Vec<f64>> = None;
-        loop {
-            match pipeline.plan(device, &circuits, false) {
-                Ok(plan) => {
-                    if gated && member_seqs.len() > 1 && thresholds.iter().any(Option::is_some) {
-                        // The plan already allocated the joint
-                        // partitions; only the solo baselines need
-                        // probing (deduplicated, cached across shrink
-                        // iterations — evictions remove the matching
-                        // cache entry, so indices stay aligned).
-                        if solo_cache.is_none() {
-                            let refs: Vec<&Circuit> = plan.programs.iter().collect();
-                            solo_cache = Some(
-                                solo_efs_scores(device, &refs, &self.strategy_of(member_seqs[0]))
-                                    .map_err(RuntimeError::Core)?,
-                            );
-                        }
-                        let solo = solo_cache.as_ref().expect("just filled");
-                        let mut excesses = vec![0.0; member_seqs.len()];
-                        for alloc in &plan.allocations {
-                            excesses[alloc.program_index] =
-                                (alloc.efs.score - solo[alloc.program_index]).max(0.0);
-                        }
-                        let violated = thresholds
-                            .iter()
-                            .zip(&excesses)
-                            .any(|(t, &e)| t.is_some_and(|t| e > t));
-                        if violated {
-                            let evict = match self.efs_gate {
-                                EfsGate::BatchWorstExcess => worst_excess_position(&excesses),
-                                _ => member_seqs.len() - 1,
-                            };
-                            let dropped = member_seqs.remove(evict);
-                            circuits.remove(evict);
-                            thresholds.remove(evict);
-                            if let Some(cache) = solo_cache.as_mut() {
-                                cache.remove(evict);
-                            }
-                            let dropped_id = self.pending_by_seq(dropped).id;
-                            shrinks.push(Event::BatchShrunk {
-                                batch_index,
-                                device: device_name.clone(),
-                                dropped_job_id: dropped_id,
-                                remaining: member_seqs.len(),
-                                reason: ShrinkReason::FidelityGate,
-                            });
-                            continue;
-                        }
+        let mut preps: Vec<Prep> = Vec::with_capacity(ranked.len());
+        for &d in ranked {
+            let cap_probe = match (self.efs_gate, head_threshold) {
+                (EfsGate::HeadOnly, Some(threshold)) => self
+                    .cached_head_cap(d, head_circuit, threshold, head_strategy, shape, policy_fp)
+                    .map(|c| c.max(1)),
+                _ => Ok(self.cfg.max_parallel),
+            };
+            let prep = match cap_probe {
+                Ok(cap) => {
+                    let qubits = self.registry.device_at(d).num_qubits();
+                    match self
+                        .pack_candidate(
+                            d,
+                            qubits,
+                            cap,
+                            head_seq,
+                            head_arrival,
+                            head_strategy,
+                            false,
+                        )
+                        .and_then(|pack| {
+                            let members = self.plan_members(&pack.picks_seqs)?;
+                            Ok((pack, members))
+                        }) {
+                        Ok((pack, members)) => Prep::Ready { d, pack, members },
+                        Err(e) => Prep::Done(SpecOutcome::Failed(e)),
                     }
-                    return Ok(plan);
                 }
                 Err(
                     e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
-                ) => {
-                    if member_seqs.len() == 1 {
-                        return Err(RuntimeError::JobUnplaceable {
-                            job_id: self.pending_by_seq(member_seqs[0]).id,
-                            source: e,
-                        });
-                    }
-                    let dropped = member_seqs.pop().expect("len > 1");
-                    circuits.pop();
-                    if gated {
-                        thresholds.pop();
-                    }
-                    if let Some(cache) = solo_cache.as_mut() {
-                        cache.pop();
-                    }
-                    let dropped_id = self.pending_by_seq(dropped).id;
-                    shrinks.push(Event::BatchShrunk {
-                        batch_index,
-                        device: device_name.clone(),
-                        dropped_job_id: dropped_id,
-                        remaining: member_seqs.len(),
-                        reason: ShrinkReason::PartitionFailure,
-                    });
-                }
-                Err(e) => return Err(RuntimeError::Core(e)),
-            }
+                ) => Prep::Done(SpecOutcome::Unplaceable(RuntimeError::JobUnplaceable {
+                    job_id: head_id,
+                    source: e,
+                })),
+                Err(e) => Prep::Done(SpecOutcome::Failed(RuntimeError::Core(e))),
+            };
+            preps.push(prep);
         }
+        let gate = self.efs_gate;
+        let optimize = self.cfg.optimize;
+        let registry = &self.registry;
+        let (outcomes, plan_ns) = std::thread::scope(|scope| {
+            let slots: Vec<_> = preps
+                .into_iter()
+                .map(|prep| match prep {
+                    Prep::Done(outcome) => Ok(outcome),
+                    Prep::Ready { d, pack, members } => {
+                        let device = registry.device_at(d);
+                        Err(scope.spawn(move || {
+                            let plan_started = std::time::Instant::now();
+                            let plan = plan_gated_members(
+                                pipeline,
+                                device,
+                                batch_index,
+                                gate,
+                                optimize,
+                                head_strategy,
+                                members,
+                            );
+                            let elapsed = plan_started.elapsed().as_nanos() as u64;
+                            (
+                                SpecOutcome::Planned {
+                                    pack,
+                                    plan: Box::new(plan),
+                                },
+                                elapsed,
+                            )
+                        }))
+                    }
+                })
+                .collect();
+            let mut plan_ns = 0u64;
+            let outcomes: Vec<Option<SpecOutcome>> = slots
+                .into_iter()
+                .map(|slot| {
+                    Some(match slot {
+                        Ok(outcome) => outcome,
+                        Err(handle) => {
+                            let (outcome, elapsed) = handle
+                                .join()
+                                .unwrap_or_else(|p| std::panic::resume_unwind(p));
+                            plan_ns = plan_ns.saturating_add(elapsed);
+                            outcome
+                        }
+                    })
+                })
+                .collect();
+            (outcomes, plan_ns)
+        });
+        self.plan_ns = self.plan_ns.saturating_add(plan_ns);
+        outcomes
+    }
+
+    /// One candidate device's admission pass: bind the arrived window
+    /// at this candidate's start horizon, run the policy's pack, and
+    /// copy out everything the commit path needs (so packs for several
+    /// speculative candidates can coexist — each `prepare` rebinds the
+    /// store's joinable flags).
+    #[allow(clippy::too_many_arguments)]
+    fn pack_candidate(
+        &mut self,
+        d: usize,
+        qubits: usize,
+        cap: usize,
+        head_seq: usize,
+        head_arrival: f64,
+        head_strategy: &Strategy,
+        probe_widest: bool,
+    ) -> Result<CandidatePack, RuntimeError> {
+        let start = self.states[d].clock.max(head_arrival);
+        self.pending.prepare(start, Some(head_strategy));
+        let arrived = self.pending.arrived(start);
+        let head_pos = self
+            .pending
+            .position_of(head_arrival, head_seq)
+            .ok_or(RuntimeError::QueueCorrupted { seq: head_seq })?;
+        let budget = BatchBudget {
+            qubits,
+            max_members: cap,
+        };
+        let picks = if probe_widest {
+            vec![head_pos]
+        } else {
+            self.policy.pack(arrived, head_pos, &budget)
+        };
+        debug_assert_eq!(picks.first(), Some(&head_pos), "head must lead the batch");
+        let picks_seqs: Vec<usize> = picks.iter().map(|&i| arrived[i].seq).collect();
+        let max_pick = picks.iter().copied().max().unwrap_or(head_pos);
+        let pool = arrived[..=max_pick]
+            .iter()
+            .map(|v| (v.seq, v.width))
+            .collect();
+        Ok(CandidatePack {
+            start,
+            picks,
+            picks_seqs,
+            pool,
+            head_pos,
+        })
+    }
+
+    /// Pre-resolves the per-member planning inputs from the store, so
+    /// planning itself ([`plan_gated_members`]) runs without touching
+    /// the service — off the main thread when speculating.
+    fn plan_members(&self, seqs: &[usize]) -> Result<PlanMembers, RuntimeError> {
+        let mut ids = Vec::with_capacity(seqs.len());
+        let mut circuits = Vec::with_capacity(seqs.len());
+        for &s in seqs {
+            let p = self.pending_by_seq(s)?;
+            ids.push(p.id);
+            circuits.push(p.circuit.clone());
+        }
+        let gated = matches!(self.efs_gate, EfsGate::Batch | EfsGate::BatchWorstExcess);
+        let thresholds = if gated {
+            let mut thresholds = Vec::with_capacity(seqs.len());
+            for &s in seqs {
+                thresholds.push(
+                    self.pending_by_seq(s)?
+                        .fidelity_threshold
+                        .or(self.cfg.fidelity_threshold),
+                );
+            }
+            thresholds
+        } else {
+            Vec::new()
+        };
+        Ok(PlanMembers {
+            seqs: seqs.to_vec(),
+            ids,
+            circuits,
+            thresholds,
+        })
     }
 
     /// The head circuit's solo-best EFS partition score on a device,
@@ -1599,14 +1747,6 @@ impl Service {
         result
     }
 
-    /// The effective strategy of a pending job.
-    fn strategy_of(&self, seq: usize) -> Strategy {
-        self.pending_by_seq(seq)
-            .strategy
-            .clone()
-            .unwrap_or_else(|| self.strategy.clone())
-    }
-
     /// Executes a planned batch on its device and folds the outcome
     /// into clocks, statistics, results, events and the batch list.
     #[allow(clippy::too_many_arguments)]
@@ -1620,30 +1760,25 @@ impl Service {
         member_seqs: &[usize],
         plan: &PlannedWorkload,
     ) -> Result<(), RuntimeError> {
-        let shots: Vec<usize> = member_seqs
-            .iter()
-            .map(|&s| self.pending_by_seq(s).shots)
-            .collect();
-        // Per-member effective shot parallelism: the job's override, or
-        // the service default.
-        let parallelism: Vec<ShotParallelism> = member_seqs
-            .iter()
-            .map(|&s| {
-                self.pending_by_seq(s)
-                    .shot_parallelism
-                    .unwrap_or(self.cfg.shot_parallelism)
-            })
-            .collect();
-        // Per-member effective trajectory kernel, same layering.
-        let kernels: Vec<TrajectoryKernel> = member_seqs
-            .iter()
-            .map(|&s| {
-                self.pending_by_seq(s)
-                    .trajectory_kernel
-                    .unwrap_or(self.cfg.trajectory_kernel)
-            })
-            .collect();
+        let mut shots: Vec<usize> = Vec::with_capacity(member_seqs.len());
+        // Per-member effective shot parallelism and trajectory kernel:
+        // the job's override, or the service default.
+        let mut parallelism: Vec<ShotParallelism> = Vec::with_capacity(member_seqs.len());
+        let mut kernels: Vec<TrajectoryKernel> = Vec::with_capacity(member_seqs.len());
+        let mut job_ids: Vec<u64> = Vec::with_capacity(member_seqs.len());
+        for &s in member_seqs {
+            let p = self.pending_by_seq(s)?;
+            shots.push(p.shots);
+            parallelism.push(p.shot_parallelism.unwrap_or(self.cfg.shot_parallelism));
+            kernels.push(p.trajectory_kernel.unwrap_or(self.cfg.trajectory_kernel));
+            job_ids.push(p.id);
+        }
         let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
+        // Simulation wall-clock is accounted separately from dispatch
+        // bookkeeping so the fleet bench can isolate scheduler overhead
+        // (the timer never feeds a scheduling decision — determinism is
+        // untouched).
+        let exec_started = std::time::Instant::now();
         let results = execute_members(
             pipeline,
             device,
@@ -1653,14 +1788,14 @@ impl Service {
             self.cfg.mode,
             &parallelism,
             &kernels,
-        )?;
+        );
+        self.exec_ns = self
+            .exec_ns
+            .saturating_add(exec_started.elapsed().as_nanos() as u64);
+        let results = results?;
 
         let makespan = plan.context.makespan;
         let completion = start + makespan;
-        let job_ids: Vec<u64> = member_seqs
-            .iter()
-            .map(|&s| self.pending_by_seq(s).id)
-            .collect();
         self.emit(Event::BatchPlanned {
             batch_index,
             device: device.name().to_string(),
@@ -1671,7 +1806,7 @@ impl Service {
 
         let mut completions: Vec<Event> = Vec::with_capacity(member_seqs.len());
         for (pos, (&seq, result)) in member_seqs.iter().zip(results).enumerate() {
-            let job = self.pending_by_seq(seq);
+            let job = self.pending_by_seq(seq)?;
             let (job_id, job_arrival, job_width) = (job.id, job.arrival, job.width);
             let waiting = start - job_arrival;
             let turnaround = completion - job_arrival;
@@ -1716,7 +1851,7 @@ impl Service {
         state.busy_time += makespan;
         state.batches += 1;
         state.clock = completion;
-        self.pending.retain(|p| !member_seqs.contains(&p.seq));
+        self.pending.remove_members(member_seqs);
         Ok(())
     }
 
@@ -1782,6 +1917,210 @@ impl Service {
                 .map(|r| r.clone().expect("drained service has every result"))
                 .collect(),
             events: self.log.events().to_vec(),
+            dropped_events: self.log.dropped(),
+        }
+    }
+
+    /// Cumulative wall-clock nanoseconds this service spent *executing*
+    /// batches (the trajectory simulation inside
+    /// [`Service::tick`]/[`Service::run_until_drained`]), as opposed to
+    /// dispatch-loop bookkeeping. The `fleet_shootout` bench subtracts
+    /// this from end-to-end wall time to isolate scheduler overhead.
+    pub fn execution_time_ns(&self) -> u64 {
+        self.exec_ns
+    }
+
+    /// Cumulative wall-clock nanoseconds this service spent *planning*
+    /// batches (mapping/partitioning of the gated batch members) —
+    /// workload cost, like execution, not queue bookkeeping. Under
+    /// best-k speculation the concurrent per-candidate durations are
+    /// summed, so this can exceed the wall time the planning stage
+    /// actually occupied. The `fleet_shootout` bench subtracts this
+    /// (with [`Service::execution_time_ns`]) from end-to-end wall time
+    /// to isolate the dispatch loop itself.
+    pub fn planning_time_ns(&self) -> u64 {
+        self.plan_ns
+    }
+}
+
+/// Everything the commit path needs from one candidate's admission
+/// pass, copied out of the pending store so several speculative packs
+/// can coexist (each [`PendingStore::prepare`] rebinds the store's
+/// joinable flags to one candidate's horizon).
+struct CandidatePack {
+    /// The batch's start on this candidate (device clock vs head
+    /// arrival).
+    start: f64,
+    /// The policy's picks: positions into the candidate's arrived
+    /// window, head first.
+    picks: Vec<usize>,
+    /// The picks' submission indices, parallel to `picks`.
+    picks_seqs: Vec<usize>,
+    /// `(seq, width)` of the arrived window up to the last pick — the
+    /// overtake-accounting pool.
+    pool: Vec<(usize, usize)>,
+    /// The head's position in the arrived window.
+    head_pos: usize,
+}
+
+/// Per-member planning inputs, pre-resolved from the pending store so
+/// [`plan_gated_members`] can run without touching the service (off the
+/// main thread when speculating). The planning loop mutates its copy in
+/// place as members are evicted, so the returned `seqs`/`ids` are the
+/// committed batch.
+struct PlanMembers {
+    seqs: Vec<usize>,
+    ids: Vec<u64>,
+    circuits: Vec<Circuit>,
+    /// Effective per-member thresholds; resolved only in the batch-gate
+    /// modes (empty otherwise, matching the sequential path's laziness).
+    thresholds: Vec<Option<f64>>,
+}
+
+/// One speculative candidate's precomputed dispatch outcome.
+enum SpecOutcome {
+    /// The head-cap probe rejected the candidate; the ranked walk falls
+    /// past it exactly like the sequential path.
+    Unplaceable(RuntimeError),
+    /// A hard error — surfaced only if the ranked walk actually reaches
+    /// this candidate, so speculation never changes which error a run
+    /// reports.
+    Failed(RuntimeError),
+    /// The candidate packed; `plan` holds its (possibly failed) plan
+    /// (boxed — a planned workload is large, the other variants are
+    /// not). The walk commits the first ranked `Planned` whose plan
+    /// succeeded.
+    Planned {
+        pack: CandidatePack,
+        #[allow(clippy::type_complexity)]
+        plan: Box<Result<(PlannedWorkload, PlanMembers, Vec<Event>), RuntimeError>>,
+    },
+}
+
+/// Plans `members` on `device`, shrinking while the partitioner cannot
+/// place the batch (tail eviction) and — in [`EfsGate::Batch`] /
+/// [`EfsGate::BatchWorstExcess`] mode — while any member's EFS excess
+/// exceeds its own effective threshold (tail or worst-excess eviction
+/// respectively). Returns the plan, the surviving members, and the
+/// buffered shrink events (recorded by the caller only if the batch
+/// actually commits on `device` — a failed candidate must leave no
+/// trace, or log replays would see phantom shrinks for a batch that was
+/// eventually planned elsewhere).
+///
+/// `head_strategy` is the effective strategy of `members.seqs[0]` (the
+/// head, which no eviction rule can remove): it parameterizes the
+/// solo-EFS baselines exactly as the sequential path always has.
+///
+/// A free function on purpose: its only inputs are the pre-resolved
+/// members and shared device/pipeline state, so best-k speculation can
+/// run one invocation per candidate on scoped threads.
+///
+/// The shrink loop re-plans from cached per-member state: the circuits
+/// are cloned and peephole-optimized **once**, the per-member
+/// thresholds are resolved once, and the solo-best EFS baselines are
+/// probed once on the first successful plan; each shrink step merely
+/// removes the evicted member's entry from every cache.
+#[allow(clippy::type_complexity)]
+fn plan_gated_members(
+    pipeline: &Pipeline,
+    device: &Device,
+    batch_index: usize,
+    gate: EfsGate,
+    optimize: bool,
+    head_strategy: &Strategy,
+    mut members: PlanMembers,
+) -> Result<(PlannedWorkload, PlanMembers, Vec<Event>), RuntimeError> {
+    let device_name = device.name().to_string();
+    if optimize {
+        // Pre-optimized here exactly once; the pipeline is then asked
+        // not to optimize again, which is equivalent to the
+        // per-iteration pass it used to run on fresh clones.
+        for c in &mut members.circuits {
+            c.cancel_adjacent_inverses();
+        }
+    }
+    let gated = matches!(gate, EfsGate::Batch | EfsGate::BatchWorstExcess);
+    let mut shrinks: Vec<Event> = Vec::new();
+    let mut solo_cache: Option<Vec<f64>> = None;
+    loop {
+        match pipeline.plan(device, &members.circuits, false) {
+            Ok(plan) => {
+                if gated && members.seqs.len() > 1 && members.thresholds.iter().any(Option::is_some)
+                {
+                    // The plan already allocated the joint partitions;
+                    // only the solo baselines need probing
+                    // (deduplicated, cached across shrink iterations —
+                    // evictions remove the matching cache entry, so
+                    // indices stay aligned).
+                    if solo_cache.is_none() {
+                        let refs: Vec<&Circuit> = plan.programs.iter().collect();
+                        solo_cache = Some(
+                            solo_efs_scores(device, &refs, head_strategy)
+                                .map_err(RuntimeError::Core)?,
+                        );
+                    }
+                    let solo = solo_cache.as_ref().expect("just filled");
+                    let mut excesses = vec![0.0; members.seqs.len()];
+                    for alloc in &plan.allocations {
+                        excesses[alloc.program_index] =
+                            (alloc.efs.score - solo[alloc.program_index]).max(0.0);
+                    }
+                    let violated = members
+                        .thresholds
+                        .iter()
+                        .zip(&excesses)
+                        .any(|(t, &e)| t.is_some_and(|t| e > t));
+                    if violated {
+                        let evict = match gate {
+                            EfsGate::BatchWorstExcess => worst_excess_position(&excesses),
+                            _ => members.seqs.len() - 1,
+                        };
+                        members.seqs.remove(evict);
+                        let dropped_id = members.ids.remove(evict);
+                        members.circuits.remove(evict);
+                        members.thresholds.remove(evict);
+                        if let Some(cache) = solo_cache.as_mut() {
+                            cache.remove(evict);
+                        }
+                        shrinks.push(Event::BatchShrunk {
+                            batch_index,
+                            device: device_name.clone(),
+                            dropped_job_id: dropped_id,
+                            remaining: members.seqs.len(),
+                            reason: ShrinkReason::FidelityGate,
+                        });
+                        continue;
+                    }
+                }
+                return Ok((plan, members, shrinks));
+            }
+            Err(
+                e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
+            ) => {
+                if members.seqs.len() == 1 {
+                    return Err(RuntimeError::JobUnplaceable {
+                        job_id: members.ids[0],
+                        source: e,
+                    });
+                }
+                members.seqs.pop().expect("len > 1");
+                let dropped_id = members.ids.pop().expect("len > 1");
+                members.circuits.pop();
+                if gated {
+                    members.thresholds.pop();
+                }
+                if let Some(cache) = solo_cache.as_mut() {
+                    cache.pop();
+                }
+                shrinks.push(Event::BatchShrunk {
+                    batch_index,
+                    device: device_name.clone(),
+                    dropped_job_id: dropped_id,
+                    remaining: members.seqs.len(),
+                    reason: ShrinkReason::PartitionFailure,
+                });
+            }
+            Err(e) => return Err(RuntimeError::Core(e)),
         }
     }
 }

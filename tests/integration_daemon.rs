@@ -387,15 +387,17 @@ fn arb_service_report() -> impl Strategy<Value = ServiceReport> {
         (
             proptest::collection::vec(arb_job_result(), 0usize..3),
             proptest::collection::vec(arb_event(), 0usize..4),
+            0usize..99,
         ),
     )
         .prop_map(
-            |(stats, (per_device, batches), (job_results, events))| ServiceReport {
+            |(stats, (per_device, batches), (job_results, events, dropped_events))| ServiceReport {
                 stats,
                 per_device,
                 batches,
                 job_results,
                 events,
+                dropped_events,
             },
         )
 }
@@ -417,6 +419,7 @@ fn arb_runtime_error() -> impl Strategy<Value = WireRuntimeError> {
         Just(WireRuntimeError::Core {
             detail: "pipeline exploded".into()
         }),
+        (0u64..999).prop_map(|seq| WireRuntimeError::QueueCorrupted { seq }),
     ]
 }
 

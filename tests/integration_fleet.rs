@@ -1,0 +1,212 @@
+//! Fleet scale-out integration suite (PR 8): pins the observational
+//! equivalence of the indexed and linear queue paths on random
+//! submit/tick interleavings, the best-k speculative planner's
+//! winner-determinism rule, the bounded event log's contract, and the
+//! mega-fleet fixture's serial == concurrent determinism.
+
+use proptest::prelude::*;
+use qucp_bench::{fleet_shootout, EXPERIMENT_SEED};
+use qucp_circuit::library;
+use qucp_core::strategy;
+use qucp_runtime::{
+    Backfill, CalibrationAware, Event, ExecutionMode, Fifo, JobRequest, QueueIndexing, Service,
+    ServiceReport, ShortestJobFirst,
+};
+
+const NAMES: [&str; 6] = [
+    "bell",
+    "fredkin",
+    "linearsolver",
+    "variation",
+    "alu-v0_27",
+    "qec",
+];
+
+/// Builds a shoot-out service on the skewed two-Toronto fleet with the
+/// given queue path and admission policy (0 = FIFO, 1 = backfill,
+/// 2 = shortest-job-first).
+fn policy_service(indexing: QueueIndexing, policy: u8, best_k: usize) -> Service {
+    let builder = Service::builder()
+        .registry(qucp_bench::skewed_fleet())
+        .strategy(strategy::qucp(4.0))
+        .max_parallel(3)
+        .seed(EXPERIMENT_SEED)
+        .queue_indexing(indexing)
+        .best_k(best_k);
+    let builder = match policy % 3 {
+        0 => builder.policy(Fifo),
+        1 => builder.policy(Backfill::default()),
+        _ => builder.policy(ShortestJobFirst),
+    };
+    builder.build().expect("fleet service must build")
+}
+
+/// Materializes one random job spec into a request; `ov` exercises the
+/// per-job strategy-override seam (1 = a genuinely different strategy,
+/// 2 = an explicit override equal to the service default — the interned
+/// fast path).
+fn request_of(i: usize, arrival: f64, name: usize, shots: usize, ov: u8) -> JobRequest {
+    let mut circuit = library::by_name(NAMES[name % NAMES.len()])
+        .expect("library benchmark must exist")
+        .circuit();
+    circuit.set_name(format!("{}#{i}", NAMES[name % NAMES.len()]));
+    let req = JobRequest::new(circuit, arrival)
+        .with_id(i as u64)
+        .with_shots(shots);
+    match ov {
+        1 => req.with_strategy(strategy::cna()),
+        2 => req.with_strategy(strategy::qucp(4.0)),
+        _ => req,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole equivalence: on any random job stream (arrival
+    /// gaps, shapes, shot budgets, strategy overrides), any admission
+    /// policy, and any submit/tick interleaving, the indexed store
+    /// dispatches exactly like the seed's linear `Vec` path — same
+    /// tickets from every tick, same final report bit for bit.
+    #[test]
+    fn queue_paths_are_observationally_equivalent(
+        jobs in proptest::collection::vec(
+            (0u16..400, 0usize..6, 1usize..3, 0u8..3),
+            1usize..14,
+        ),
+        policy in 0u8..3,
+        split_frac in 0f64..1.0,
+        tick_gap in 0f64..5e5,
+    ) {
+        let mut indexed = policy_service(QueueIndexing::Indexed, policy, 1);
+        let mut linear = policy_service(QueueIndexing::Linear, policy, 1);
+        let mut t = 0.0;
+        let reqs: Vec<JobRequest> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(gap, name, shots, ov))| {
+                t += f64::from(gap);
+                request_of(i, t, name, shots, ov)
+            })
+            .collect();
+        let split = ((reqs.len() as f64) * split_frac) as usize;
+
+        for req in &reqs[..split] {
+            let a = indexed.submit(req.clone()).expect("indexed submit");
+            let b = linear.submit(req.clone()).expect("linear submit");
+            prop_assert_eq!(a, b);
+        }
+        let t1 = t * 0.5 + tick_gap;
+        prop_assert_eq!(
+            indexed.tick(t1).expect("indexed tick"),
+            linear.tick(t1).expect("linear tick")
+        );
+        for req in &reqs[split..] {
+            let a = indexed.submit(req.clone()).expect("indexed submit");
+            let b = linear.submit(req.clone()).expect("linear submit");
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(
+            indexed.tick(t1 + tick_gap).expect("indexed tick"),
+            linear.tick(t1 + tick_gap).expect("linear tick")
+        );
+        let a = indexed.run_until_drained().expect("indexed drain");
+        let b = linear.run_until_drained().expect("linear drain");
+        prop_assert_eq!(a, b);
+    }
+
+    /// The best-k determinism rule: speculative planning over the top-k
+    /// routing candidates commits exactly the sequential (k = 1)
+    /// winner — identical reports, including the `BatchRouted` device
+    /// sequence, on the skewed fleet where calibration-aware ranking
+    /// genuinely has two candidates to choose from. Only route-cache
+    /// counters may differ (they are not part of the report).
+    #[test]
+    fn best_k_commits_the_sequential_winner(
+        n in 3usize..10,
+        seed in 0u64..1000,
+        k in 2usize..5,
+    ) {
+        let run = |k: usize| -> ServiceReport {
+            let mut service = Service::builder()
+                .registry(qucp_bench::skewed_fleet())
+                .strategy(strategy::qucp(4.0))
+                .routing(CalibrationAware::default())
+                .max_parallel(3)
+                .seed(EXPERIMENT_SEED)
+                .best_k(k)
+                .build()
+                .expect("best-k service must build");
+            for job in qucp_runtime::synthetic_jobs(n, 400.0, 16, seed) {
+                service
+                    .submit(JobRequest::from_job(&job))
+                    .expect("fixture job must submit");
+            }
+            service.run_until_drained().expect("best-k drain")
+        };
+        let sequential = run(1);
+        prop_assert_eq!(&run(k), &sequential);
+    }
+}
+
+/// The mega-fleet fixture preserves the service's core determinism
+/// contract: serial and concurrent execution drain a Poisson burst to
+/// bit-identical reports, on both queue paths.
+#[test]
+fn mega_fleet_drain_is_deterministic_across_modes_and_paths() {
+    let (_, concurrent) = fleet_shootout(8, 60, QueueIndexing::Indexed, ExecutionMode::Concurrent);
+    let (_, serial) = fleet_shootout(8, 60, QueueIndexing::Indexed, ExecutionMode::Serial);
+    assert_eq!(concurrent, serial);
+    let (_, linear_serial) = fleet_shootout(8, 60, QueueIndexing::Linear, ExecutionMode::Serial);
+    assert_eq!(concurrent, linear_serial);
+}
+
+/// The bounded event log: a capacity keeps only the most recent events
+/// and counts the overflow in `ServiceReport::dropped_events`, while
+/// observers still see every event at emission time and the scheduling
+/// outcome (results, batches, stats) is untouched.
+#[test]
+fn event_capacity_bounds_the_log_without_losing_observers_or_results() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let run = |capacity: Option<usize>| -> (ServiceReport, usize) {
+        let observed = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&observed);
+        let mut service = Service::builder()
+            .device(qucp_device::ibm::toronto())
+            .strategy(strategy::qucp(4.0))
+            .max_parallel(2)
+            .seed(EXPERIMENT_SEED)
+            .event_capacity(capacity)
+            .observer(move |_: &Event| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .build()
+            .expect("bounded-log service must build");
+        for job in qucp_runtime::synthetic_jobs(8, 300.0, 32, 7) {
+            service
+                .submit(JobRequest::from_job(&job))
+                .expect("fixture job must submit");
+        }
+        let report = service.run_until_drained().expect("bounded-log drain");
+        (report, observed.load(Ordering::Relaxed))
+    };
+
+    let (unbounded, unbounded_seen) = run(None);
+    assert_eq!(unbounded.dropped_events, 0);
+    assert_eq!(unbounded.events.len(), unbounded_seen);
+    let total = unbounded.events.len();
+    assert!(total > 4, "fixture must emit more events than the cap");
+
+    let (bounded, bounded_seen) = run(Some(4));
+    assert_eq!(bounded.events.len(), 4);
+    assert_eq!(bounded.dropped_events, total - 4);
+    // The ring keeps the *most recent* events.
+    assert_eq!(bounded.events[..], unbounded.events[total - 4..]);
+    // Observers and the schedule itself are unaffected by the cap.
+    assert_eq!(bounded_seen, total);
+    assert_eq!(bounded.job_results, unbounded.job_results);
+    assert_eq!(bounded.batches, unbounded.batches);
+    assert_eq!(bounded.stats, unbounded.stats);
+}
