@@ -13,6 +13,8 @@
 
 #![warn(missing_docs)]
 
+pub mod srb_campaign;
+
 use qucp_circuit::{library, Circuit};
 
 /// The Fig. 3a workloads (JSD benchmarks, three simultaneous circuits):

@@ -126,6 +126,18 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Claims one ticket's result exactly once (protocol version ≥ 2):
+    /// `Some` on the first call after the batch has run, `None` before
+    /// completion and on every call after the claim. Claims never
+    /// change the drained report — the server retains the canonical
+    /// copy (see `Service::take_result`).
+    pub fn take_result(&mut self, ticket: JobTicket) -> Result<Option<JobResult>, ClientError> {
+        match self.call(&Request::TakeResult { ticket })? {
+            Response::Taken(result) => Ok(result.map(|boxed| *boxed)),
+            _ => Err(ClientError::UnexpectedResponse { expected: "Taken" }),
+        }
+    }
+
     /// Drains everything pending and returns the service report.
     pub fn drain(&mut self) -> Result<ServiceReport, ClientError> {
         match self.call(&Request::Drain)? {

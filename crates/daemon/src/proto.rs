@@ -17,7 +17,7 @@ use qucp_core::{CrosstalkTreatment, PartitionPolicy, ProgramResult, Strategy};
 use qucp_device::{Link, LinkPair};
 use qucp_runtime::{
     BatchReport, CalibrationFault, DeviceReport, Event, JobRequest, JobResult, JobTicket,
-    RuntimeError, ServiceReport, ShotParallelism, ShrinkReason, TrajectoryKernel,
+    RoutingChoice, RuntimeError, ServiceReport, ShotParallelism, ShrinkReason, TrajectoryKernel,
 };
 use qucp_sim::Counts;
 
@@ -27,7 +27,16 @@ use crate::wire::{Decoder, Encoder, WireError};
 pub const MAGIC: u32 = u32::from_le_bytes(*b"QCPD");
 
 /// Newest protocol version this build speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history:
+/// - **1** — the initial catalog (HELLO through SHUTDOWN).
+/// - **2** — appends the per-ticket claim pair
+///   ([`Request::TakeResult`] / [`Response::Taken`], tags
+///   `0x08`/`0x88`) and the optional per-job routing override on the
+///   [`JobRequest`] wire form. Existing tags and fields are untouched
+///   (frozen-tag rule: new variants append, existing numbers never
+///   change).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;
@@ -58,7 +67,8 @@ pub enum Request {
         now: f64,
     },
     /// Fetch one ticket's result, if its batch has run; answered with
-    /// [`Response::JobReport`].
+    /// [`Response::JobReport`]. A non-consuming peek — the claim state
+    /// is untouched (see [`Request::TakeResult`]).
     Report {
         /// The ticket [`Response::Ticket`] handed out.
         ticket: JobTicket,
@@ -66,6 +76,15 @@ pub enum Request {
     /// Serve everything pending and return the drained
     /// [`Response::Report`].
     Drain,
+    /// Claim one ticket's result **exactly once** (protocol version
+    /// ≥ 2); answered with [`Response::Taken`]: `None` while the batch
+    /// has not run and on every call after the first successful claim.
+    /// The server's drained report is unchanged by claims — see
+    /// `Service::take_result`.
+    TakeResult {
+        /// The ticket [`Response::Ticket`] handed out.
+        ticket: JobTicket,
+    },
     /// Fetch the telemetry log accumulated so far; answered with
     /// [`Response::Events`].
     Events,
@@ -88,6 +107,9 @@ pub enum Response {
     Completed(Vec<JobTicket>),
     /// A ticket's result, or `None` while its batch has not run.
     JobReport(Option<Box<JobResult>>),
+    /// A claimed result (protocol version ≥ 2): `Some` exactly once
+    /// per ticket, `None` before completion and after the claim.
+    Taken(Option<Box<JobResult>>),
     /// A drained service report.
     Report(Box<ServiceReport>),
     /// The telemetry log.
@@ -576,6 +598,31 @@ fn get_trajectory_kernel(d: &mut Decoder<'_>) -> Result<TrajectoryKernel, WireEr
     })
 }
 
+fn put_routing_choice(e: &mut Encoder, c: &RoutingChoice) {
+    match c {
+        RoutingChoice::EarliestFree => e.u8(0),
+        RoutingChoice::CalibrationAware { pressure_per_ns } => {
+            e.u8(1);
+            e.f64(*pressure_per_ns);
+        }
+    }
+}
+
+fn get_routing_choice(d: &mut Decoder<'_>) -> Result<RoutingChoice, WireError> {
+    Ok(match d.u8()? {
+        0 => RoutingChoice::EarliestFree,
+        1 => RoutingChoice::CalibrationAware {
+            pressure_per_ns: d.f64()?,
+        },
+        tag => {
+            return Err(WireError::UnknownTag {
+                context: "RoutingChoice",
+                tag,
+            })
+        }
+    })
+}
+
 fn put_job_request(e: &mut Encoder, r: &JobRequest) {
     put_circuit(e, &r.circuit);
     e.f64(r.arrival);
@@ -585,6 +632,7 @@ fn put_job_request(e: &mut Encoder, r: &JobRequest) {
     e.option(&r.fidelity_threshold, |e, v| e.f64(*v));
     e.option(&r.shot_parallelism, put_shot_parallelism);
     e.option(&r.trajectory_kernel, put_trajectory_kernel);
+    e.option(&r.routing, put_routing_choice);
 }
 
 fn get_job_request(d: &mut Decoder<'_>) -> Result<JobRequest, WireError> {
@@ -597,6 +645,7 @@ fn get_job_request(d: &mut Decoder<'_>) -> Result<JobRequest, WireError> {
         fidelity_threshold: d.option(|d| d.f64())?,
         shot_parallelism: d.option(get_shot_parallelism)?,
         trajectory_kernel: d.option(get_trajectory_kernel)?,
+        routing: d.option(get_routing_choice)?,
     })
 }
 
@@ -1059,6 +1108,7 @@ mod req_tag {
     pub const DRAIN: u8 = 0x05;
     pub const EVENTS: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
+    pub const TAKE_RESULT: u8 = 0x08;
 }
 
 /// Response tag bytes.
@@ -1070,6 +1120,7 @@ mod resp_tag {
     pub const REPORT: u8 = 0x85;
     pub const EVENTS: u8 = 0x86;
     pub const ERROR: u8 = 0x87;
+    pub const TAKEN: u8 = 0x88;
 }
 
 impl Request {
@@ -1097,6 +1148,10 @@ impl Request {
             Request::Drain => e.u8(req_tag::DRAIN),
             Request::Events => e.u8(req_tag::EVENTS),
             Request::Shutdown => e.u8(req_tag::SHUTDOWN),
+            Request::TakeResult { ticket } => {
+                e.u8(req_tag::TAKE_RESULT);
+                put_ticket(&mut e, ticket);
+            }
         }
         e.finish()
     }
@@ -1120,6 +1175,9 @@ impl Request {
             req_tag::DRAIN => Request::Drain,
             req_tag::EVENTS => Request::Events,
             req_tag::SHUTDOWN => Request::Shutdown,
+            req_tag::TAKE_RESULT => Request::TakeResult {
+                ticket: get_ticket(&mut d)?,
+            },
             tag => {
                 return Err(WireError::UnknownTag {
                     context: "Request",
@@ -1167,6 +1225,11 @@ impl Response {
                 e.u8(resp_tag::ERROR);
                 put_fault(&mut e, fault);
             }
+            Response::Taken(result) => {
+                e.u8(resp_tag::TAKEN);
+                let inner = result.as_deref();
+                e.option(&inner, |e, r| put_job_result(e, r));
+            }
         }
         e.finish()
     }
@@ -1188,6 +1251,7 @@ impl Response {
             resp_tag::REPORT => Response::Report(Box::new(get_service_report(&mut d)?)),
             resp_tag::EVENTS => Response::Events(d.seq(1, get_event)?),
             resp_tag::ERROR => Response::Error(get_fault(&mut d)?),
+            resp_tag::TAKEN => Response::Taken(d.option(get_job_result)?.map(Box::new)),
             tag => {
                 return Err(WireError::UnknownTag {
                     context: "Response",

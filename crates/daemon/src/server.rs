@@ -144,6 +144,11 @@ impl ServerSession {
                     .cloned()
                     .map(Box::new),
             ),
+            Request::TakeResult { ticket } => Response::Taken(
+                lock_service(&self.service)
+                    .take_result(&ticket)
+                    .map(Box::new),
+            ),
             Request::Drain => match lock_service(&self.service).run_until_drained() {
                 Ok(report) => Response::Report(Box::new(report)),
                 Err(e) => Response::Error(Fault::Runtime((&e).into())),

@@ -137,6 +137,39 @@
 //! [`RouteCacheStats`] counters may run ahead of the sequential
 //! schedule — the only observable difference.
 //!
+//! ## Campaigns and mid-stream result delivery
+//!
+//! Iterative applications (VQE, ZNE, SRB) need results *between*
+//! submissions, not just in the end-of-run drained report. Two seams
+//! serve them:
+//!
+//! - **Per-ticket retrieval** — [`Service::take_result`] claims a
+//!   completed result **exactly once** per ticket: `None` before the
+//!   batch runs, the [`JobResult`] on the first call after, `None`
+//!   forever after. The caller owns the claimed copy; the service
+//!   keeps the canonical result in its O(1) seq-indexed completed
+//!   store for the drained [`ServiceReport`], so the report is
+//!   **bit-for-bit unchanged** by any claim interleaving (the claim
+//!   flag, not eviction, spends the ticket — proptest-pinned).
+//!   [`Service::result`] stays the non-consuming peek. Claims are
+//!   independent of completion *notifications*: [`Service::tick`]
+//!   still reports every completed ticket exactly once.
+//! - **The campaign loop** — [`CampaignDriver`] models an application
+//!   as a pure function from prior results to the next co-scheduled
+//!   batch of [`JobRequest`]s; [`run_campaign`] owns the
+//!   generate → submit-batch → await-results → fold loop (arrival
+//!   stamping, `+∞` ticks, exactly-once claims, [`CampaignStats`]
+//!   accounting). Campaigns inherit the service's serial == concurrent
+//!   bit-for-bit determinism; the loop adds no nondeterminism of its
+//!   own.
+//!
+//! Per-job **routing overrides** ([`JobRequest::with_routing`],
+//! [`RoutingChoice`]) let a campaign route its measurement circuits by
+//! calibration quality on a service whose default is [`EarliestFree`]
+//! (or vice versa): the batch head's effective policy routes the whole
+//! batch, and an absent (or default-equal) override is bit-for-bit
+//! the service default.
+//!
 //! **Event-log bounding** ([`ServiceBuilder::event_capacity`]): by
 //! default the [`EventLog`] retains every event forever (bit-for-bit
 //! the historical contract). Under heavy traffic that is O(jobs) live
@@ -181,6 +214,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod campaign;
 mod event;
 mod job;
 mod pending;
@@ -189,12 +223,14 @@ mod registry;
 mod scheduler;
 mod service;
 
+pub use campaign::{run_campaign, CampaignDriver, CampaignRun, CampaignStats};
 pub use event::{Event, EventLog, EventObserver, ShrinkReason};
 pub use job::{skewed_jobs, synthetic_jobs, Job, JobResult};
 pub use pending::QueueIndexing;
 pub use policy::{AdmissionPolicy, Backfill, BatchBudget, Fifo, JobView, ShortestJobFirst};
 pub use registry::{
-    CalibrationAware, DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy,
+    CalibrationAware, DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingChoice,
+    RoutingPolicy,
 };
 pub use scheduler::{
     BatchReport, BatchScheduler, CalibrationFault, ExecutionMode, RunReport, RuntimeConfig,

@@ -43,6 +43,7 @@ use qucp_core::Strategy;
 use qucp_sim::{ShotParallelism, TrajectoryKernel};
 
 use crate::policy::JobView;
+use crate::registry::RoutingChoice;
 
 /// A pending (admitted but not yet dispatched) job.
 #[derive(Debug, Clone)]
@@ -62,6 +63,9 @@ pub(crate) struct Pending {
     pub(crate) fidelity_threshold: Option<f64>,
     pub(crate) shot_parallelism: Option<ShotParallelism>,
     pub(crate) trajectory_kernel: Option<TrajectoryKernel>,
+    /// Per-job routing override, consulted only when this job heads a
+    /// batch (see [`RoutingChoice`]).
+    pub(crate) routing: Option<RoutingChoice>,
     pub(crate) skips: usize,
 }
 
@@ -442,6 +446,7 @@ mod tests {
             fidelity_threshold: None,
             shot_parallelism: None,
             trajectory_kernel: None,
+            routing: None,
             skips: 0,
         }
     }

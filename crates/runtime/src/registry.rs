@@ -425,6 +425,119 @@ impl RoutingPolicy for CalibrationAware {
     }
 }
 
+/// A per-job routing-policy override, carried on a
+/// [`JobRequest`](crate::JobRequest).
+///
+/// The service routes every batch with its configured
+/// [`RoutingPolicy`]; a campaign that wants quality-routed measurement
+/// circuits on a service whose default is [`EarliestFree`] (or vice
+/// versa) can override the policy for the batches *it* heads. The
+/// override is a closed enum of the built-in policies — not a boxed
+/// trait object — so requests stay `Clone + PartialEq` and
+/// wire-encodable through the daemon protocol.
+///
+/// Semantics: the override of the batch **head** routes the whole
+/// batch (riders' overrides are ignored, exactly like the head's
+/// strategy governs batch planning). A request without an override
+/// routes with the service default, bit-for-bit — and an explicit
+/// override equal to the service default is observationally identical
+/// to no override (pinned by the campaign test suite).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoutingChoice {
+    /// Route to the earliest-free admitting device ([`EarliestFree`]).
+    EarliestFree,
+    /// Route by calibration quality blended with queue pressure
+    /// ([`CalibrationAware`]).
+    CalibrationAware {
+        /// EFS units one nanosecond of extra wait costs (see
+        /// [`CalibrationAware::pressure_per_ns`]).
+        pressure_per_ns: f64,
+    },
+}
+
+impl RoutingPolicy for RoutingChoice {
+    fn name(&self) -> &str {
+        match self {
+            RoutingChoice::EarliestFree => EarliestFree.name(),
+            RoutingChoice::CalibrationAware { .. } => "CalibrationAware",
+        }
+    }
+
+    fn wants_partition_score(&self) -> bool {
+        match self {
+            RoutingChoice::EarliestFree => EarliestFree.wants_partition_score(),
+            RoutingChoice::CalibrationAware { pressure_per_ns } => CalibrationAware {
+                pressure_per_ns: *pressure_per_ns,
+            }
+            .wants_partition_score(),
+        }
+    }
+
+    fn score(&self, query: &RouteQuery<'_>) -> f64 {
+        match self {
+            RoutingChoice::EarliestFree => EarliestFree.score(query),
+            RoutingChoice::CalibrationAware { pressure_per_ns } => CalibrationAware {
+                pressure_per_ns: *pressure_per_ns,
+            }
+            .score(query),
+        }
+    }
+}
+
+/// A keyed priority index over the fleet's device clocks: answers "the
+/// earliest-free device" in O(log D) instead of the O(D) min scan the
+/// dispatch loop used to run per batch.
+///
+/// Keys are device clocks mapped through the standard total-order bit
+/// trick, so the ordering is exactly `f64::total_cmp` — including the
+/// `-0.0 < +0.0` edge — and ties break on the registration index,
+/// matching the linear scan's first-strict-minimum rule bit-for-bit.
+/// The index lives behind the same seam as the pending queue
+/// ([`QueueIndexing`](crate::QueueIndexing)): the `Indexed` path keeps
+/// one, the `Linear` ablation path keeps the seed scan, and the
+/// `integration_fleet` equivalence proptests pin both paths to
+/// identical observable behaviour.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ClockIndex {
+    /// `(total-order key of clock, device index)`, ascending.
+    set: std::collections::BTreeSet<(u64, usize)>,
+}
+
+/// Maps a float to a `u64` whose unsigned order is `total_cmp` order.
+fn total_order_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits | (1 << 63)
+    }
+}
+
+impl ClockIndex {
+    /// An index over `devices` clocks, all starting at `0.0`.
+    pub(crate) fn new(devices: usize) -> Self {
+        ClockIndex {
+            set: (0..devices).map(|d| (total_order_key(0.0), d)).collect(),
+        }
+    }
+
+    /// Re-keys `device` from clock `old` to clock `new`.
+    pub(crate) fn update(&mut self, device: usize, old: f64, new: f64) {
+        let removed = self.set.remove(&(total_order_key(old), device));
+        debug_assert!(removed, "clock index lost device {device}");
+        self.set.insert((total_order_key(new), device));
+    }
+
+    /// The device with the smallest clock (smallest registration index
+    /// among ties) — the linear scan's answer.
+    pub(crate) fn min_device(&self) -> usize {
+        self.set
+            .first()
+            .expect("clock index over a non-empty fleet")
+            .1
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,9 @@ use crate::event::{Event, EventLog, EventObserver, ShrinkReason};
 use crate::job::{Job, JobResult};
 use crate::pending::{Pending, PendingStore, QueueIndexing};
 use crate::policy::{AdmissionPolicy, BatchBudget, Fifo};
-use crate::registry::{DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingPolicy};
+use crate::registry::{
+    ClockIndex, DeviceId, DeviceRegistry, EarliestFree, RouteQuery, RoutingChoice, RoutingPolicy,
+};
 use crate::scheduler::{BatchReport, CalibrationFault, ExecutionMode, RuntimeConfig, RuntimeError};
 
 /// How the EFS fidelity-threshold gate sizes a batch.
@@ -87,6 +89,13 @@ pub struct JobRequest {
     /// the rest of the stream keeps the bit-pinned
     /// [`Replay`](TrajectoryKernel::Replay) stream (or vice versa).
     pub trajectory_kernel: Option<TrajectoryKernel>,
+    /// Per-job routing-policy override, consulted only when this job
+    /// heads a batch: the head's effective policy routes the whole
+    /// batch, exactly as the head's strategy plans it. `None` routes
+    /// with the service default, bit-for-bit — and an explicit override
+    /// equal to the default is observationally identical to no override
+    /// (pinned by the campaign test suite). See [`RoutingChoice`].
+    pub routing: Option<RoutingChoice>,
 }
 
 impl JobRequest {
@@ -101,6 +110,7 @@ impl JobRequest {
             fidelity_threshold: None,
             shot_parallelism: None,
             trajectory_kernel: None,
+            routing: None,
         }
     }
 
@@ -143,6 +153,13 @@ impl JobRequest {
     #[must_use]
     pub fn with_trajectory_kernel(mut self, kernel: TrajectoryKernel) -> Self {
         self.trajectory_kernel = Some(kernel);
+        self
+    }
+
+    /// Overrides the routing policy for batches this job heads.
+    #[must_use]
+    pub fn with_routing(mut self, routing: RoutingChoice) -> Self {
+        self.routing = Some(routing);
         self
     }
 
@@ -527,6 +544,13 @@ impl ServiceBuilder {
                 .collect()
         });
         let drift_steps = vec![0u64; self.registry.len()];
+        // The clock index rides the same seam as the pending queue:
+        // the indexed path keeps a keyed priority structure over device
+        // clocks, the linear ablation path keeps the seed's O(D) scan.
+        // Both answer identically (pinned by the fleet equivalence
+        // proptests).
+        let clock_index = (self.queue_indexing == QueueIndexing::Indexed)
+            .then(|| ClockIndex::new(self.registry.len()));
         let pending = PendingStore::new(self.queue_indexing, self.strategy.clone());
         Ok(Service {
             strategy: self.strategy,
@@ -541,7 +565,9 @@ impl ServiceBuilder {
             next_seq: 0,
             batches: Vec::new(),
             results: Vec::new(),
+            claimed: Vec::new(),
             unreported: Vec::new(),
+            clock_index,
             route_cache: RouteCache::default(),
             log: EventLog::with_capacity_limit(self.event_capacity),
             observers: self.observers,
@@ -595,9 +621,21 @@ pub struct Service {
     next_seq: usize,
     batches: Vec<BatchReport>,
     /// Results by submission index; `None` until the job's batch ran.
+    /// This is the O(1) seq-indexed completed-results store: the
+    /// service keeps the canonical copy for the end-of-run
+    /// [`ServiceReport`] even after a claim — eviction would change the
+    /// drained report, which is bit-for-bit pinned.
     results: Vec<Option<JobResult>>,
+    /// Claim flags parallel to `results`: set by the first successful
+    /// [`Service::take_result`], after which the ticket's per-call copy
+    /// is spent (later takes return `None`).
+    claimed: Vec<bool>,
     /// Completed tickets not yet handed out by [`Service::tick`].
     unreported: Vec<(f64, JobTicket)>,
+    /// Keyed priority index over device clocks (`None` on the
+    /// [`QueueIndexing::Linear`] ablation path, which keeps the seed's
+    /// O(D) min scan).
+    clock_index: Option<ClockIndex>,
     /// Cross-batch memo of the pure planning probes (see [`RouteCache`]).
     route_cache: RouteCache,
     log: EventLog,
@@ -994,6 +1032,13 @@ impl Service {
         self.pending.len()
     }
 
+    /// Batches dispatched so far (the drained report's
+    /// `stats.batches`). Campaign accounting reads this around its
+    /// rounds to attribute batch counts.
+    pub fn batches_run(&self) -> usize {
+        self.batches.len()
+    }
+
     /// The telemetry log accumulated so far.
     pub fn events(&self) -> &[Event] {
         self.log.events()
@@ -1005,8 +1050,33 @@ impl Service {
     }
 
     /// The result of a ticket's job, once its batch has run.
+    ///
+    /// A non-consuming peek: it ignores the claim state and never
+    /// spends the ticket. Use [`Service::take_result`] for the
+    /// exactly-once retrieval campaigns rely on.
     pub fn result(&self, ticket: JobTicket) -> Option<&JobResult> {
         self.results.get(ticket.seq).and_then(Option::as_ref)
+    }
+
+    /// Claims a ticket's result: `None` while the batch has not run,
+    /// the [`JobResult`] **exactly once** after it has, and `None`
+    /// again for every later call on the same ticket.
+    ///
+    /// Ownership contract: the caller owns the returned copy; the
+    /// service retains the canonical result in its seq-indexed
+    /// completed store for the end-of-run [`ServiceReport`], so
+    /// claiming mid-stream never changes the drained report — the
+    /// claim flag, not eviction, is what spends the ticket
+    /// (bit-for-bit pinned by the campaign proptests). Claiming is
+    /// also independent of the completion *notifications*: a ticket
+    /// claimed between ticks is still reported exactly once by
+    /// [`Service::tick`].
+    pub fn take_result(&mut self, ticket: &JobTicket) -> Option<JobResult> {
+        let result = self.results.get(ticket.seq).and_then(Option::as_ref)?;
+        if std::mem::replace(&mut self.claimed[ticket.seq], true) {
+            return None;
+        }
+        Some(result.clone())
     }
 
     /// Admits a job into the pending queue.
@@ -1065,9 +1135,11 @@ impl Service {
             fidelity_threshold: request.fidelity_threshold,
             shot_parallelism: request.shot_parallelism,
             trajectory_kernel: request.trajectory_kernel,
+            routing: request.routing,
             skips: 0,
         });
         self.results.push(None);
+        self.claimed.push(false);
         Ok(JobTicket { seq, id })
     }
 
@@ -1186,15 +1258,27 @@ impl Service {
         // the admission horizon at which the head is selected. Head
         // choice is the *admission* policy's business and always
         // happens at this horizon; the *routing* policy only ranks the
-        // admitting candidates afterwards. An O(D) min scan — the full
-        // (clock, index) sort this used to do is unnecessary, because
-        // the ranked candidates below sort by a total key of their own.
-        let mut d0 = 0;
-        for d in 1..self.registry.len() {
-            if self.states[d].clock.total_cmp(&self.states[d0].clock) == std::cmp::Ordering::Less {
-                d0 = d;
+        // admitting candidates afterwards. The indexed path answers
+        // from the clock index in O(log D); the linear ablation path
+        // keeps the seed's O(D) min scan — both pick the same device
+        // (total_cmp order, first strict minimum), pinned by the fleet
+        // equivalence proptests. The full (clock, index) sort this used
+        // to do is unnecessary, because the ranked candidates below
+        // sort by a total key of their own.
+        let d0 = match &self.clock_index {
+            Some(index) => index.min_device(),
+            None => {
+                let mut d0 = 0;
+                for d in 1..self.registry.len() {
+                    if self.states[d].clock.total_cmp(&self.states[d0].clock)
+                        == std::cmp::Ordering::Less
+                    {
+                        d0 = d;
+                    }
+                }
+                d0
             }
-        }
+        };
         let now0 = self.states[d0].clock.max(t_min);
         self.pending.prepare(now0, None);
         let (head_seq, head_arrival) = {
@@ -1211,6 +1295,10 @@ impl Service {
             .clone()
             .unwrap_or_else(|| self.strategy.clone());
         let head_threshold = head.fidelity_threshold.or(self.cfg.fidelity_threshold);
+        // The head's routing override (if any) routes this batch; a
+        // `Copy` value so the ranked loop below can keep calling
+        // `&mut self` probe helpers.
+        let head_routing: Option<RoutingChoice> = head.routing;
 
         // Rank the admitting candidates with the routing policy; if
         // none admits the head, probe the widest chip so the precise
@@ -1230,7 +1318,10 @@ impl Service {
         // are only computed when a probing path will consult the cache
         // — the default EarliestFree/no-threshold dispatch stays
         // exactly as cheap as before the routing seam.
-        let wants_score = self.routing.wants_partition_score();
+        let wants_score = match &head_routing {
+            Some(choice) => choice.wants_partition_score(),
+            None => self.routing.wants_partition_score(),
+        };
         let gate_probes =
             !probe_widest && self.efs_gate == EfsGate::HeadOnly && head_threshold.is_some();
         let (shape, policy_fp) = if wants_score || gate_probes {
@@ -1278,7 +1369,11 @@ impl Service {
                     head_cx_count,
                     partition_score,
                 };
-                ranked.push((self.routing.score(&query), self.states[d].clock, d));
+                let score = match &head_routing {
+                    Some(choice) => choice.score(&query),
+                    None => self.routing.score(&query),
+                };
+                ranked.push((score, self.states[d].clock, d));
             }
             ranked.sort_by(|a, b| {
                 a.0.total_cmp(&b.0)
@@ -1430,10 +1525,15 @@ impl Service {
             // The routing decision is recorded only for the device the
             // batch actually commits on (failed candidates leave no
             // trace, like their shrink events).
+            // The recorded policy is the *effective* one: the head's
+            // override when present, the service default otherwise.
             let routed = Event::BatchRouted {
                 batch_index,
                 device: device.name().to_string(),
-                policy: self.routing.name().to_string(),
+                policy: match &head_routing {
+                    Some(choice) => choice.name().to_string(),
+                    None => self.routing.name().to_string(),
+                },
                 score: route_scores[rank],
                 start,
                 candidates: candidates.len(),
@@ -1850,7 +1950,11 @@ impl Service {
         let state = &mut self.states[device_index];
         state.busy_time += makespan;
         state.batches += 1;
+        let old_clock = state.clock;
         state.clock = completion;
+        if let Some(index) = &mut self.clock_index {
+            index.update(device_index, old_clock, completion);
+        }
         self.pending.remove_members(member_seqs);
         Ok(())
     }

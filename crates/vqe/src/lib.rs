@@ -21,6 +21,7 @@
 #![warn(missing_debug_implementations)]
 
 mod ansatz;
+mod campaign;
 mod eigen;
 mod error;
 mod hamiltonian;
@@ -29,6 +30,7 @@ mod pauli;
 mod runner;
 
 pub use ansatz::{hardware_efficient, parameter_count, tied_ansatz};
+pub use campaign::{VqeCampaign, VqeCampaignOutput};
 pub use eigen::{dense_matrix, ground_state_energy, hermitian_eigenvalues};
 pub use error::VqeError;
 pub use hamiltonian::{h2_exact_ground_energy, h2_hamiltonian, Hamiltonian};

@@ -99,7 +99,7 @@ impl VqeReport {
 }
 
 /// The measurement circuits of one θ point: one per commuting group.
-fn circuits_for_theta(
+pub(crate) fn circuits_for_theta(
     h: &Hamiltonian,
     groups: &[Vec<usize>],
     reps: usize,

@@ -21,11 +21,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod campaign;
 mod extrapolation;
 mod folding;
 mod readout;
 mod runner;
 
+pub use campaign::{ZneCampaign, ZneCampaignOutput};
 pub use extrapolation::{standard_factories, ExtrapolationError, Factory};
 pub use folding::{achieved_scale, fold_gates_at_random, fold_global, scale_ladder};
 pub use readout::{mitigate_counts, mitigate_distribution, ReadoutError};

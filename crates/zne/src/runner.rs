@@ -80,7 +80,7 @@ pub struct ZneOutcome {
 /// Extrapolates with every standard factory and keeps the value closest
 /// to `ideal` — the paper only reports the best factory because ZNE's
 /// extrapolation choice is noise-sensitive.
-fn best_extrapolation(samples: &[(f64, f64)], ideal: f64) -> (f64, Factory) {
+pub(crate) fn best_extrapolation(samples: &[(f64, f64)], ideal: f64) -> (f64, Factory) {
     let mut best: Option<(f64, Factory)> = None;
     for factory in standard_factories() {
         if let Ok(v) = factory.extrapolate(samples) {

@@ -7,7 +7,10 @@
 //! situation `Backfill` and `ShortestJobFirst` exist for — and a
 //! **routing shoot-out** on a two-chip fleet whose calibrations differ
 //! ~3×, where `CalibrationAware` routing must beat `EarliestFree` on
-//! delivered fidelity at bounded turnaround cost.
+//! delivered fidelity at bounded turnaround cost — then the streaming
+//! side of the same service: per-ticket result claims (`take_result`,
+//! exactly-once, drain-invariant) and per-job routing overrides that
+//! steer individual submissions without touching the fleet default.
 //!
 //! ```text
 //! cargo run --release -p qucp-bench --example cloud_scheduler
@@ -240,6 +243,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         drift_aware.epoch_bumps,
         drift_aware.fresh_jobs_per_device[0].1,
         drift_stale.fresh_jobs_per_device[0].1,
+    );
+
+    // --- streaming retrieval + per-job routing overrides --------------------
+    //
+    // Campaign-style consumers don't wait for the drain: each ticket's
+    // result is claimed exactly once as soon as its batch completes.
+    // Claims never disturb the final report (the service keeps the
+    // canonical copy), and any job may carry its own routing override —
+    // here every *odd* job pins CalibrationAware routing for the batch
+    // it heads, while even jobs ride the service default.
+    println!("\nStreaming retrieval on [toronto_noisy, toronto], per-job routing overrides:\n");
+    let mut service = Service::builder()
+        .registry(qucp_bench::skewed_fleet())
+        .strategy(strategy::qucp(4.0))
+        .max_parallel(3)
+        .default_shots(256)
+        .seed(0x5EED)
+        .build()?;
+    let mut tickets = Vec::new();
+    for (i, job) in synthetic_jobs(8, 400.0, 256, 0xC10D).iter().enumerate() {
+        let mut request = JobRequest::from_job(job);
+        if i % 2 == 1 {
+            request = request.with_routing(qucp_runtime::RoutingChoice::CalibrationAware {
+                pressure_per_ns: CalibrationAware::DEFAULT_PRESSURE_PER_NS,
+            });
+        }
+        tickets.push(service.submit(request)?);
+    }
+    // Drive the clock in slices; claim every ticket the moment its
+    // completion is announced.
+    let mut claimed = 0usize;
+    let mut now = 0.0;
+    while claimed < tickets.len() {
+        now += 5_000.0;
+        for ticket in service.tick(now)? {
+            let result = service
+                .take_result(&ticket)
+                .expect("a completed ticket claims exactly once");
+            claimed += 1;
+            println!(
+                "  claimed job {:>2} [{:<16}] turnaround {:>8.0} ns",
+                result.job_id, result.result.name, result.turnaround
+            );
+            // The ticket is spent; the canonical copy stays for the drain.
+            assert!(service.take_result(&ticket).is_none());
+        }
+    }
+    let report = service.run_until_drained()?;
+    assert_eq!(
+        report.job_results.len(),
+        tickets.len(),
+        "claims must not evict results from the drained report"
+    );
+    println!(
+        "\nAll {} results claimed mid-stream; drained report still carries {} jobs.",
+        claimed,
+        report.job_results.len()
     );
     Ok(())
 }

@@ -50,9 +50,28 @@ fn main() {
         .map(JobRequest::from_job)
         .collect();
     let submitted = jobs.len();
+    let mut tickets = Vec::with_capacity(submitted);
     for job in jobs {
         let ticket = client.submit(job).expect("submit");
         println!("submitted job {} (seq {})", ticket.id, ticket.seq);
+        tickets.push(ticket);
+    }
+
+    // Ticket-level retrieval (protocol v2): serve everything, then
+    // claim each result exactly once. Claims don't evict — the drained
+    // report below still carries every job.
+    client.tick(f64::INFINITY).expect("tick");
+    for &ticket in &tickets {
+        let result = client
+            .take_result(ticket)
+            .expect("take_result")
+            .expect("ticket completed by the infinite tick");
+        println!(
+            "claimed job {:>2} [{}] turnaround {:.1} ns",
+            result.job_id, result.result.name, result.turnaround
+        );
+        // The ticket is spent: a second claim yields nothing.
+        assert!(client.take_result(ticket).expect("take_result").is_none());
     }
 
     // Graceful shutdown: the daemon drains every admitted job, replies

@@ -1,0 +1,282 @@
+//! Integration tests for the campaign / result-delivery seam: the
+//! `take_result` exactly-once contract (None before completion, Some
+//! once, None after; the drained report unchanged by any claim
+//! schedule), proptests over random claim/tick interleavings crossed
+//! with every admission policy, the campaign loop's serial ==
+//! concurrent determinism, and the per-job routing-override pins
+//! (no override == explicit default override == bit-identical report;
+//! an all-jobs override == the same policy set service-wide).
+
+use proptest::prelude::*;
+use qucp_bench::skewed_fleet;
+use qucp_circuit::library;
+use qucp_runtime::{
+    run_campaign, skewed_jobs, Backfill, CalibrationAware, CampaignDriver, ExecutionMode, Fifo,
+    JobRequest, JobResult, JobTicket, RoutingChoice, Service, ShortestJobFirst,
+};
+
+// ---------------------------------------------------------------------------
+// Fixtures.
+// ---------------------------------------------------------------------------
+
+fn service_with_policy(policy_tag: u8) -> Service {
+    let builder = Service::builder()
+        .device(qucp_device::ibm::melbourne())
+        .max_parallel(3)
+        .default_shots(32)
+        .seed(13);
+    match policy_tag % 3 {
+        0 => builder.policy(Fifo),
+        1 => builder.policy(Backfill::default()),
+        _ => builder.policy(ShortestJobFirst),
+    }
+    .build()
+    .expect("build service")
+}
+
+fn workload(n: usize) -> Vec<JobRequest> {
+    skewed_jobs(n, 8, 250.0, 32, 0xCA4A)
+        .iter()
+        .map(JobRequest::from_job)
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The exactly-once claim contract, deterministically.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn take_result_is_exactly_once_and_never_disturbs_the_drain() {
+    let mut claimed = service_with_policy(0);
+    let mut control = service_with_policy(0);
+    let mut tickets = Vec::new();
+    for request in workload(6) {
+        tickets.push(claimed.submit(request.clone()).expect("submit"));
+        control.submit(request).expect("submit");
+    }
+    // Nothing has run: every claim is None and spends nothing.
+    for t in &tickets {
+        assert!(claimed.take_result(t).is_none());
+    }
+    claimed.tick(f64::INFINITY).expect("tick");
+    for t in &tickets {
+        let taken = claimed.take_result(t).expect("first claim yields");
+        assert_eq!(taken.job_id, t.id);
+        // The peek still sees the canonical copy after the claim…
+        assert_eq!(claimed.result(*t), Some(&taken));
+        // …but the ticket is spent.
+        assert!(claimed.take_result(t).is_none());
+    }
+    // The drained report is invariant under any claim schedule.
+    let claimed_report = claimed.run_until_drained().expect("drain");
+    let control_report = control.run_until_drained().expect("drain");
+    assert_eq!(claimed_report, control_report);
+}
+
+// ---------------------------------------------------------------------------
+// Random claim/tick interleavings × admission policies.
+// ---------------------------------------------------------------------------
+
+/// One step of a random retrieval schedule.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    /// Advance the clock by this many simulated ns.
+    Tick(f64),
+    /// Try to claim ticket `index % tickets.len()`.
+    Claim(usize),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0.0f64..30_000.0).prop_map(Step::Tick),
+            (0usize..64).prop_map(Step::Claim),
+        ],
+        0usize..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Under every admission policy and any interleaving of clock
+    /// advances and claims: a ticket yields `Some` at most once, only
+    /// after its batch ran, always equal to the non-consuming peek —
+    /// and the end-of-run drained report is bit-identical to a twin
+    /// service that never claimed anything.
+    #[test]
+    fn claims_are_exactly_once_under_any_interleaving(
+        policy_tag in 0u8..3,
+        steps in arb_steps(),
+    ) {
+        let mut claimed = service_with_policy(policy_tag);
+        let mut control = service_with_policy(policy_tag);
+        let mut tickets: Vec<JobTicket> = Vec::new();
+        for request in workload(8) {
+            tickets.push(claimed.submit(request.clone()).expect("submit"));
+            control.submit(request).expect("submit");
+        }
+        let mut now = 0.0;
+        let mut claims = vec![0usize; tickets.len()];
+        for step in steps {
+            match step {
+                Step::Tick(delta) => {
+                    now += delta;
+                    claimed.tick(now).expect("tick");
+                }
+                Step::Claim(i) => {
+                    let idx = i % tickets.len();
+                    let peek = claimed.result(tickets[idx]).cloned();
+                    if let Some(taken) = claimed.take_result(&tickets[idx]) {
+                        claims[idx] += 1;
+                        // A claim only ever yields the canonical result.
+                        prop_assert_eq!(Some(&taken), peek.as_ref());
+                        prop_assert_eq!(taken.job_id, tickets[idx].id);
+                    } else {
+                        // Refused because unfinished or already spent.
+                        prop_assert!(peek.is_none() || claims[idx] == 1);
+                    }
+                }
+            }
+        }
+        for &c in &claims {
+            prop_assert!(c <= 1, "a ticket was claimed {c} times");
+        }
+        // The pin: mid-stream retrieval never changes what the drain
+        // reports.
+        let claimed_report = claimed.run_until_drained().expect("drain");
+        let control_report = control.run_until_drained().expect("drain");
+        prop_assert_eq!(claimed_report, control_report);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The campaign loop: deterministic across execution modes.
+// ---------------------------------------------------------------------------
+
+/// A minimal iterative driver: three rounds of small library circuits,
+/// folding mean turnaround — enough to exercise submit/await/claim
+/// without any application physics.
+struct RoundsDriver {
+    rounds: usize,
+    folded: Vec<f64>,
+}
+
+impl CampaignDriver for RoundsDriver {
+    type Output = Vec<f64>;
+
+    fn next_batch(&mut self, round: usize) -> Option<Vec<JobRequest>> {
+        if round >= self.rounds {
+            return None;
+        }
+        let names = ["bell", "fredkin", "qec"];
+        Some(
+            names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let mut c = library::by_name(name).expect("library benchmark").circuit();
+                    c.set_name(format!("{name}_r{round}_{i}"));
+                    JobRequest::new(c, 0.0).with_shots(16)
+                })
+                .collect(),
+        )
+    }
+
+    fn fold(&mut self, _round: usize, results: &[JobResult]) {
+        let mean = results.iter().map(|r| r.turnaround).sum::<f64>() / results.len() as f64;
+        self.folded.push(mean);
+    }
+
+    fn finish(self) -> Vec<f64> {
+        self.folded
+    }
+}
+
+#[test]
+fn campaign_loop_is_mode_invariant_and_accounts_correctly() {
+    let run = |mode| {
+        let mut svc = Service::builder()
+            .device(qucp_device::ibm::melbourne())
+            .max_parallel(3)
+            .default_shots(16)
+            .seed(21)
+            .mode(mode)
+            .build()
+            .expect("build service");
+        run_campaign(
+            &mut svc,
+            RoundsDriver {
+                rounds: 3,
+                folded: Vec::new(),
+            },
+        )
+        .expect("campaign drains")
+    };
+    let serial = run(ExecutionMode::Serial);
+    let concurrent = run(ExecutionMode::Concurrent);
+    assert_eq!(serial, concurrent, "campaign must be mode-invariant");
+    assert_eq!(serial.stats.rounds, 3);
+    assert_eq!(serial.stats.jobs, 9);
+    assert!(serial.stats.batches >= 3);
+    assert!(serial.stats.makespan > 0.0);
+    assert_eq!(serial.output.len(), 3);
+    // Rounds arrive at the campaign clock, so the makespan is the last
+    // round's completion and every fold saw a full batch.
+    assert!(serial.output.iter().all(|&t| t > 0.0));
+}
+
+// ---------------------------------------------------------------------------
+// Per-job routing overrides: the equivalence pins.
+// ---------------------------------------------------------------------------
+
+fn drained_with_overrides(routing: Option<RoutingChoice>) -> qucp_runtime::ServiceReport {
+    let mut service = Service::builder()
+        .registry(skewed_fleet())
+        .max_parallel(3)
+        .default_shots(32)
+        .seed(29)
+        .build()
+        .expect("build service");
+    for mut request in workload(9) {
+        request.routing = routing;
+        service.submit(request).expect("submit");
+    }
+    service.run_until_drained().expect("drain")
+}
+
+#[test]
+fn no_override_equals_explicit_default_override_bit_for_bit() {
+    // `None` and an explicit override naming the service default must
+    // route identically — same batches, same devices, same results.
+    let unset = drained_with_overrides(None);
+    let explicit = drained_with_overrides(Some(RoutingChoice::EarliestFree));
+    assert_eq!(unset, explicit);
+}
+
+#[test]
+fn all_jobs_override_equals_service_wide_policy() {
+    // Every head carrying the CalibrationAware override is
+    // indistinguishable from building the service with that policy.
+    let pressure = CalibrationAware::DEFAULT_PRESSURE_PER_NS;
+    let overridden = drained_with_overrides(Some(RoutingChoice::CalibrationAware {
+        pressure_per_ns: pressure,
+    }));
+    let mut service_wide = Service::builder()
+        .registry(skewed_fleet())
+        .routing(CalibrationAware::default())
+        .max_parallel(3)
+        .default_shots(32)
+        .seed(29)
+        .build()
+        .expect("build service");
+    for request in workload(9) {
+        service_wide.submit(request).expect("submit");
+    }
+    let baseline = service_wide.run_until_drained().expect("drain");
+    assert_eq!(overridden, baseline);
+    // And the override actually matters on the skewed fleet: it routes
+    // differently from the earliest-free default.
+    let default_routed = drained_with_overrides(None);
+    assert_ne!(overridden.batches, default_routed.batches);
+}

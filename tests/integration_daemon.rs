@@ -22,8 +22,8 @@ use qucp_daemon::{
 };
 use qucp_device::{ibm, Link, LinkPair};
 use qucp_runtime::{
-    skewed_jobs, BatchReport, DeviceReport, Event, JobRequest, JobResult, JobTicket, Service,
-    ServiceReport, ShotParallelism, ShrinkReason, TrajectoryKernel,
+    skewed_jobs, BatchReport, DeviceReport, Event, JobRequest, JobResult, JobTicket, RoutingChoice,
+    Service, ServiceReport, ShotParallelism, ShrinkReason, TrajectoryKernel,
 };
 use qucp_sim::Counts;
 
@@ -189,6 +189,13 @@ where
     .boxed()
 }
 
+fn arb_routing_choice() -> impl Strategy<Value = RoutingChoice> {
+    prop_oneof![
+        Just(RoutingChoice::EarliestFree),
+        arb_f64().prop_map(|pressure_per_ns| RoutingChoice::CalibrationAware { pressure_per_ns }),
+    ]
+}
+
 fn arb_job_request() -> impl Strategy<Value = JobRequest> {
     (
         (arb_circuit(), arb_f64(), arb_option(0u64..999)),
@@ -203,10 +210,15 @@ fn arb_job_request() -> impl Strategy<Value = JobRequest> {
                 Just(TrajectoryKernel::Replay),
                 Just(TrajectoryKernel::SurvivalSkip)
             ]),
+            arb_option(arb_routing_choice()),
         ),
     )
         .prop_map(
-            |((circuit, arrival, id), (shots, strategy, threshold), (parallelism, kernel))| {
+            |(
+                (circuit, arrival, id),
+                (shots, strategy, threshold),
+                (parallelism, kernel, routing),
+            )| {
                 JobRequest {
                     circuit,
                     arrival,
@@ -216,6 +228,7 @@ fn arb_job_request() -> impl Strategy<Value = JobRequest> {
                     fidelity_threshold: threshold,
                     shot_parallelism: parallelism,
                     trajectory_kernel: kernel,
+                    routing,
                 }
             },
         )
@@ -446,6 +459,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_job_request().prop_map(|job| Request::Submit(Box::new(job))),
         arb_f64().prop_map(|now| Request::Tick { now }),
         arb_ticket().prop_map(|ticket| Request::Report { ticket }),
+        arb_ticket().prop_map(|ticket| Request::TakeResult { ticket }),
         Just(Request::Drain),
         Just(Request::Events),
         Just(Request::Shutdown),
@@ -458,6 +472,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         arb_ticket().prop_map(Response::Ticket),
         proptest::collection::vec(arb_ticket(), 0usize..5).prop_map(Response::Completed),
         arb_option(arb_job_result()).prop_map(|result| Response::JobReport(result.map(Box::new))),
+        arb_option(arb_job_result()).prop_map(|result| Response::Taken(result.map(Box::new))),
         arb_service_report().prop_map(|report| Response::Report(Box::new(report))),
         proptest::collection::vec(arb_event(), 0usize..4).prop_map(Response::Events),
         arb_fault().prop_map(Response::Error),
@@ -673,6 +688,26 @@ fn mock_full_protocol_conversation() {
         .any(|e| matches!(e, Event::JobCompleted { .. })));
     let report = client.drain().expect("drain");
     assert_eq!(report.job_results.len(), 1);
+}
+
+#[test]
+fn mock_take_result_claims_exactly_once_and_spares_the_drain() {
+    let mut client = Client::connect(MockTransport::new(fleet())).expect("handshake");
+    let ticket = client.submit(bell_request(0.0)).expect("submit");
+    // Nothing to claim before the batch runs.
+    assert!(client.take_result(ticket).expect("take").is_none());
+    client.tick(f64::INFINITY).expect("tick");
+    // First claim yields the result, the second is spent.
+    let taken = client.take_result(ticket).expect("take").expect("claimed");
+    assert_eq!(taken.job_id, ticket.id);
+    assert!(client.take_result(ticket).expect("take").is_none());
+    // The claim is not eviction: the peek still sees the canonical
+    // copy, and the drained report carries the job as always.
+    let peeked = client.report(ticket).expect("report").expect("retained");
+    assert_eq!(peeked, taken);
+    let report = client.drain().expect("drain");
+    assert_eq!(report.job_results.len(), 1);
+    assert_eq!(report.job_results[0], taken);
 }
 
 // ---------------------------------------------------------------------------
