@@ -4,13 +4,20 @@
 //! heterogeneous [`mega_fleet`], once on the **indexed** queue path
 //! (arrival-ordered index, O(1) seq lookup, width-bucketed admission)
 //! and once on the **linear** seed-path ablation, and reports jobs/sec,
-//! mean and p99 turnaround, and dispatch-loop ns/job (wall time minus
-//! simulator execution time).
+//! mean and p99 turnaround, dispatch-loop ns/job (wall time minus
+//! simulator execution and planning time), planning ns/job and the
+//! plan-cache hit rate.
 //!
 //! Doubles as the CI smoke check of the scale-out seam — it **asserts**:
 //!
 //! - both queue paths produce bit-identical [`ServiceReport`]s (so the
 //!   simulated schedule, including p99 turnaround, cannot regress);
+//! - the memoized planning path ([`PlanMemo::EpochKeyed`], the default)
+//!   produces a report bit-identical to the [`PlanMemo::Never`]
+//!   ablation, and cuts planning ns/job ≥ 2× at the smoke scale and at
+//!   the heavy 100 × 20k configuration;
+//! - sharded dispatch ([`DispatchSharding::Grouped`]) produces a report
+//!   bit-identical to the single loop;
 //! - serial == concurrent execution at the smoke configuration;
 //! - the indexed path wins on dispatch-loop ns/job (≥ 5× at the
 //!   100-device × 20k-job configuration of the full grid).
@@ -22,9 +29,12 @@
 //!
 //! [`mega_fleet`]: qucp_bench::mega_fleet
 //! [`ServiceReport`]: qucp_runtime::ServiceReport
+//! [`PlanMemo::EpochKeyed`]: qucp_runtime::PlanMemo::EpochKeyed
+//! [`PlanMemo::Never`]: qucp_runtime::PlanMemo::Never
+//! [`DispatchSharding::Grouped`]: qucp_runtime::DispatchSharding::Grouped
 
-use qucp_bench::{fleet_shootout, FleetOutcome};
-use qucp_runtime::{ExecutionMode, QueueIndexing};
+use qucp_bench::{fleet_shootout, fleet_shootout_with, FleetOutcome};
+use qucp_runtime::{DispatchSharding, ExecutionMode, PlanMemo, QueueIndexing};
 
 /// The full measurement grid: fleet sizes × job counts.
 const FULL_GRID: [(usize, usize); 6] = [
@@ -42,6 +52,13 @@ const SMOKE: (usize, usize) = (16, 1_000);
 /// Speed-up bar at the heaviest configuration of the full grid.
 const MIN_SPEEDUP: f64 = 5.0;
 
+/// Planning speed-up bar for the memoized path vs the `PlanMemo::Never`
+/// ablation — enforced at the smoke scale and at 100 × 20k.
+const MIN_PLAN_SPEEDUP: f64 = 2.0;
+
+/// Group count of the sharded-dispatch equivalence run.
+const SHARD_GROUPS: usize = 4;
+
 fn label(indexing: QueueIndexing) -> &'static str {
     match indexing {
         QueueIndexing::Indexed => "indexed",
@@ -49,12 +66,23 @@ fn label(indexing: QueueIndexing) -> &'static str {
     }
 }
 
+fn memo_label(memo: PlanMemo) -> &'static str {
+    match memo {
+        PlanMemo::EpochKeyed => "memoized",
+        PlanMemo::Never => "no-memo",
+    }
+}
+
 fn print_outcome(o: &FleetOutcome) {
     println!(
-        "  {:<8} {:>9.0} jobs/s  dispatch {:>8.0} ns/job  mean {:>12.0} ns  p99 {:>12.0} ns",
+        "  {:<8} {:<8} {:>9.0} jobs/s  dispatch {:>8.0} ns/job  plan {:>8.0} ns/job \
+         (hit {:>5.1}%)  mean {:>12.0} ns  p99 {:>12.0} ns",
         label(o.indexing),
+        memo_label(o.plan_memo),
         o.jobs_per_sec,
         o.dispatch_ns_per_job,
+        o.planning_ns_per_job,
+        o.plan_hit_rate * 100.0,
         o.mean_turnaround_ns,
         o.p99_turnaround_ns,
     );
@@ -64,7 +92,7 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let grid: &[(usize, usize)] = if smoke { &[SMOKE] } else { &FULL_GRID };
     println!(
-        "fleet shoot-out: indexed vs linear queue path ({} grid)\n",
+        "fleet shoot-out: indexed vs linear queue path, memoized vs fresh planning ({} grid)\n",
         if smoke { "smoke" } else { "full" }
     );
 
@@ -88,8 +116,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut heavy_speedup = None;
+    let mut heavy_plan_speedup = None;
+    let mut smoke_plan_speedup = None;
     for &(devices, jobs) in grid {
         println!("{devices} devices x {jobs} jobs");
+        // The default path: indexed queue, memoized planning, single
+        // dispatch loop.
         let (indexed, indexed_report) = fleet_shootout(
             devices,
             jobs,
@@ -102,36 +134,86 @@ fn main() {
             QueueIndexing::Linear,
             ExecutionMode::Concurrent,
         );
+        // Ablation: every batch re-plans from scratch.
+        let (no_memo, no_memo_report) = fleet_shootout_with(
+            devices,
+            jobs,
+            QueueIndexing::Indexed,
+            ExecutionMode::Concurrent,
+            PlanMemo::Never,
+            DispatchSharding::Single,
+            None,
+        );
+        // Sharded dispatch: per-group execution workers, merged in
+        // batch order.
+        let (_sharded, sharded_report) = fleet_shootout_with(
+            devices,
+            jobs,
+            QueueIndexing::Indexed,
+            ExecutionMode::Concurrent,
+            PlanMemo::default(),
+            DispatchSharding::Grouped,
+            Some(SHARD_GROUPS),
+        );
 
-        // The ablation is observational-equivalence-pinned: identical
+        // Every seam is observational-equivalence-pinned: identical
         // simulated schedule, events, and per-job results — so the p99
         // turnaround is *exactly* no worse, not just statistically.
         assert_eq!(
             indexed_report, linear_report,
             "queue paths diverged at {devices} devices x {jobs} jobs"
         );
+        assert_eq!(
+            indexed_report, no_memo_report,
+            "plan memoization changed the schedule at {devices} devices x {jobs} jobs"
+        );
+        assert_eq!(
+            indexed_report, sharded_report,
+            "sharded dispatch diverged from the single loop at {devices} devices x {jobs} jobs"
+        );
 
         print_outcome(&indexed);
         print_outcome(&linear);
+        print_outcome(&no_memo);
         let speedup = linear.dispatch_ns_per_job / indexed.dispatch_ns_per_job;
-        println!("  speedup  {speedup:>8.2}x dispatch-loop\n");
+        let plan_speedup =
+            no_memo.planning_ns_per_job / indexed.planning_ns_per_job.max(f64::MIN_POSITIVE);
+        println!("  speedup  {speedup:>8.2}x dispatch-loop  {plan_speedup:>8.2}x planning\n");
         if (devices, jobs) == (100, 20_000) {
             heavy_speedup = Some(speedup);
+            heavy_plan_speedup = Some(plan_speedup);
         }
-        rows.push((indexed, linear, speedup));
+        if (devices, jobs) == SMOKE {
+            smoke_plan_speedup = Some(plan_speedup);
+        }
+        rows.push((indexed, linear, no_memo, speedup, plan_speedup));
     }
 
-    // The acceptance bar. Wall-clock ratios jitter, so the hard ≥5×
-    // bar applies only at the heavy configuration, where the linear
-    // path's O(n) rebuilds dominate by orders of magnitude; everywhere
-    // else the indexed path must simply win.
+    // The acceptance bars. Wall-clock ratios jitter, so the hard ≥5×
+    // dispatch bar applies only at the heavy configuration, where the
+    // linear path's O(n) rebuilds dominate by orders of magnitude;
+    // everywhere else the indexed path must simply win. Planning is
+    // different: a cache hit skips the partition/map/merge pipeline
+    // wholesale, so the ≥2× bar holds even at smoke scale.
     if let Some(speedup) = heavy_speedup {
         assert!(
             speedup >= MIN_SPEEDUP,
             "indexed path must win >= {MIN_SPEEDUP}x at 100 x 20k, got {speedup:.2}x"
         );
     }
-    let (smoke_indexed, smoke_linear, _) = &rows[if smoke { 0 } else { 1 }];
+    if let Some(plan_speedup) = heavy_plan_speedup {
+        assert!(
+            plan_speedup >= MIN_PLAN_SPEEDUP,
+            "memoized planning must win >= {MIN_PLAN_SPEEDUP}x at 100 x 20k, got {plan_speedup:.2}x"
+        );
+    }
+    if let Some(plan_speedup) = smoke_plan_speedup {
+        assert!(
+            plan_speedup >= MIN_PLAN_SPEEDUP,
+            "memoized planning must win >= {MIN_PLAN_SPEEDUP}x at the smoke scale, got {plan_speedup:.2}x"
+        );
+    }
+    let (smoke_indexed, smoke_linear, _, _, _) = &rows[if smoke { 0 } else { 1 }];
     assert!(
         smoke_indexed.dispatch_ns < smoke_linear.dispatch_ns,
         "indexed path must beat the linear ablation at the smoke config: {} !< {}",
@@ -141,26 +223,34 @@ fn main() {
 
     let row_json = |o: &FleetOutcome| {
         format!(
-            "{{ \"indexing\": \"{}\", \"jobs_per_sec\": {:.1}, \"dispatch_ns_per_job\": {:.1}, \
-             \"mean_turnaround_ns\": {:.1}, \"p99_turnaround_ns\": {:.1} }}",
+            "{{ \"indexing\": \"{}\", \"plan_memo\": \"{}\", \"jobs_per_sec\": {:.1}, \
+             \"dispatch_ns_per_job\": {:.1}, \"planning_ns_per_job\": {:.1}, \
+             \"plan_hit_rate\": {:.4}, \"mean_turnaround_ns\": {:.1}, \
+             \"p99_turnaround_ns\": {:.1} }}",
             label(o.indexing),
+            memo_label(o.plan_memo),
             o.jobs_per_sec,
             o.dispatch_ns_per_job,
+            o.planning_ns_per_job,
+            o.plan_hit_rate,
             o.mean_turnaround_ns,
             o.p99_turnaround_ns,
         )
     };
     let configs = rows
         .iter()
-        .map(|(i, l, speedup)| {
+        .map(|(i, l, n, speedup, plan_speedup)| {
             format!(
-                "    {{ \"devices\": {}, \"jobs\": {}, \"speedup\": {:.2},\n      \
-                 \"indexed\": {},\n      \"linear\": {} }}",
+                "    {{ \"devices\": {}, \"jobs\": {}, \"speedup\": {:.2}, \
+                 \"plan_speedup\": {:.2},\n      \
+                 \"indexed\": {},\n      \"linear\": {},\n      \"no_memo\": {} }}",
                 i.devices,
                 i.jobs,
                 speedup,
+                plan_speedup,
                 row_json(i),
                 row_json(l),
+                row_json(n),
             )
         })
         .collect::<Vec<_>>()

@@ -604,6 +604,23 @@ pub struct FleetOutcome {
     pub mean_turnaround_ns: f64,
     /// 99th-percentile simulated turnaround (ns).
     pub p99_turnaround_ns: f64,
+    /// Plan-memoization mode of the run ([`PlanMemo::Never`] is the
+    /// every-batch-replans ablation).
+    ///
+    /// [`PlanMemo::Never`]: qucp_runtime::PlanMemo::Never
+    pub plan_memo: qucp_runtime::PlanMemo,
+    /// Dispatch-sharding mode of the run.
+    pub sharding: qucp_runtime::DispatchSharding,
+    /// Wall-clock planning nanoseconds per job
+    /// (`Service::planning_time_ns` over the job count) — what the plan
+    /// cache exists to cut. Cache hits contribute nothing here: replay
+    /// is bookkeeping, not planning.
+    pub planning_ns_per_job: f64,
+    /// Plan-cache hit rate over all lookups (0 under
+    /// [`PlanMemo::Never`], which never looks up).
+    ///
+    /// [`PlanMemo::Never`]: qucp_runtime::PlanMemo::Never
+    pub plan_hit_rate: f64,
 }
 
 /// Runs the heavy-traffic fleet shoot-out: `jobs` Poisson-arrival
@@ -625,17 +642,54 @@ pub fn fleet_shootout(
     indexing: qucp_runtime::QueueIndexing,
     mode: qucp_runtime::ExecutionMode,
 ) -> (FleetOutcome, qucp_runtime::ServiceReport) {
+    fleet_shootout_with(
+        devices,
+        jobs,
+        indexing,
+        mode,
+        qucp_runtime::PlanMemo::default(),
+        qucp_runtime::DispatchSharding::default(),
+        None,
+    )
+}
+
+/// [`fleet_shootout`] with the planning and sharding seams exposed:
+/// `plan_memo` toggles whole-plan memoization ([`PlanMemo::Never`] is
+/// the every-batch-replans ablation), `sharding` +
+/// `device_groups` run execution on per-group scoped workers. All
+/// configurations must produce bit-identical drained reports (asserted
+/// by the `fleet_shootout` bin and the `integration_fleet` suite).
+///
+/// [`PlanMemo::Never`]: qucp_runtime::PlanMemo::Never
+///
+/// # Panics
+///
+/// Panics if `jobs` is zero or the service rejects the fixture
+/// workload (a runtime regression).
+pub fn fleet_shootout_with(
+    devices: usize,
+    jobs: usize,
+    indexing: qucp_runtime::QueueIndexing,
+    mode: qucp_runtime::ExecutionMode,
+    plan_memo: qucp_runtime::PlanMemo,
+    sharding: qucp_runtime::DispatchSharding,
+    device_groups: Option<usize>,
+) -> (FleetOutcome, qucp_runtime::ServiceReport) {
     use qucp_runtime::{JobRequest, Service};
     assert!(jobs > 0, "fleet shoot-out needs at least one job");
-    let mut service = Service::builder()
+    let mut builder = Service::builder()
         .registry(mega_fleet(devices, EXPERIMENT_SEED))
         .strategy(qucp_core::strategy::qucp(4.0))
         .max_parallel(4)
         .mode(mode)
         .seed(EXPERIMENT_SEED)
         .queue_indexing(indexing)
-        .build()
-        .expect("fleet shoot-out service must build");
+        .plan_memo(plan_memo)
+        .dispatch_sharding(sharding);
+    if let Some(groups) = device_groups {
+        builder = builder.device_groups(groups);
+    }
+    let mut service = builder.build().expect("fleet shoot-out service must build");
     let stream = poisson_jobs(jobs, FLEET_MEAN_GAP_NS, 1, 0xF1EE7);
     let started = std::time::Instant::now();
     for job in &stream {
@@ -659,6 +713,8 @@ pub fn fleet_shootout(
     turnarounds.sort_by(f64::total_cmp);
     let p99_turnaround_ns =
         turnarounds[((turnarounds.len() as f64 * 0.99).ceil() as usize).saturating_sub(1)];
+    let cache = service.route_cache_stats();
+    let plan_lookups = cache.plan_hits + cache.plan_misses;
     let outcome = FleetOutcome {
         devices,
         jobs,
@@ -668,6 +724,14 @@ pub fn fleet_shootout(
         jobs_per_sec: jobs as f64 / (dispatch_ns as f64 * 1e-9),
         mean_turnaround_ns: report.stats.mean_turnaround,
         p99_turnaround_ns,
+        plan_memo,
+        sharding,
+        planning_ns_per_job: service.planning_time_ns() as f64 / jobs as f64,
+        plan_hit_rate: if plan_lookups > 0 {
+            cache.plan_hits as f64 / plan_lookups as f64
+        } else {
+            0.0
+        },
     };
     (outcome, report)
 }

@@ -105,6 +105,21 @@ pub trait Backend: Send + Sync {
 }
 
 /// A fully planned (not yet executed) workload.
+///
+/// ## Replay
+///
+/// Planning is a pure function of *(device calibration state, ordered
+/// program structures, strategy, optimize flag)* — program **names**
+/// never influence any stage. A caller holding a plan for one batch may
+/// therefore replay it for a later batch whose members have the same
+/// ordered shapes (width + exact gate sequence) on the same calibration
+/// epoch of the same device: every field of the plan, including the
+/// merged [`WorkloadContext`], is bit-identical to what a fresh
+/// [`Pipeline::plan`] call would produce. Only the `name` carried by
+/// each program (and thus by [`ProgramResult::name`]) is stale under
+/// replay; replaying callers must re-bind result names to the current
+/// batch members. The runtime's plan cache builds on this contract and
+/// checks it with [`PlannedWorkload::replayable_for`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlannedWorkload {
     /// The (optionally optimized) circuits, in caller order.
@@ -121,6 +136,21 @@ impl PlannedWorkload {
     /// Total physical qubits claimed by the workload.
     pub fn used_qubits(&self) -> usize {
         self.allocations.iter().map(|a| a.qubits.len()).sum()
+    }
+
+    /// Whether this plan is structurally consistent with replaying for
+    /// `programs`: one plan program per member, widths aligned. A cheap
+    /// sanity gate for replay callers (the full shape equality is the
+    /// cache key's responsibility — optimization may have shrunk the
+    /// planned gate sequences, so gate counts are deliberately not
+    /// compared).
+    pub fn replayable_for(&self, programs: &[&Circuit]) -> bool {
+        self.programs.len() == programs.len()
+            && self
+                .programs
+                .iter()
+                .zip(programs)
+                .all(|(planned, current)| planned.width() == current.width())
     }
 }
 

@@ -146,6 +146,17 @@ impl<T: Transport> Client<T> {
         }
     }
 
+    /// Fetches the service's cumulative route-cache counters (probe
+    /// *and* plan caches; protocol version ≥ 3).
+    pub fn cache_stats(&mut self) -> Result<qucp_runtime::RouteCacheStats, ClientError> {
+        match self.call(&Request::CacheStats)? {
+            Response::CacheStats(stats) => Ok(stats),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "CacheStats",
+            }),
+        }
+    }
+
     /// Fetches the telemetry log accumulated so far.
     pub fn events(&mut self) -> Result<Vec<qucp_runtime::Event>, ClientError> {
         match self.call(&Request::Events)? {

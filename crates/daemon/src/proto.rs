@@ -17,7 +17,8 @@ use qucp_core::{CrosstalkTreatment, PartitionPolicy, ProgramResult, Strategy};
 use qucp_device::{Link, LinkPair};
 use qucp_runtime::{
     BatchReport, CalibrationFault, DeviceReport, Event, JobRequest, JobResult, JobTicket,
-    RoutingChoice, RuntimeError, ServiceReport, ShotParallelism, ShrinkReason, TrajectoryKernel,
+    RouteCacheStats, RoutingChoice, RuntimeError, ServiceReport, ShotParallelism, ShrinkReason,
+    TrajectoryKernel,
 };
 use qucp_sim::Counts;
 
@@ -36,7 +37,16 @@ pub const MAGIC: u32 = u32::from_le_bytes(*b"QCPD");
 ///   [`JobRequest`] wire form. Existing tags and fields are untouched
 ///   (frozen-tag rule: new variants append, existing numbers never
 ///   change).
-pub const PROTOCOL_VERSION: u16 = 2;
+/// - **3** — appends the route-cache introspection pair
+///   ([`Request::CacheStats`] / [`Response::CacheStats`], tags
+///   `0x09`/`0x89`). The stats payload carries the four v2-era probe
+///   counters followed by four *optional trailing* plan-cache counters
+///   (`plan_hits`, `plan_misses`, `plan_entries`, `plan_invalidated`):
+///   a decoder that sees the payload end after the probe counters
+///   reads the plan counters as zero, so a v3 client can talk to a
+///   peer that never learned the plan cache. Existing tags and fields
+///   are untouched.
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version this build still accepts.
 pub const MIN_SUPPORTED_VERSION: u16 = 1;
@@ -91,6 +101,10 @@ pub enum Request {
     /// Drain in-flight work, answer with the final [`Response::Report`],
     /// then stop the daemon's accept loop.
     Shutdown,
+    /// Fetch the service's cumulative route-cache counters (protocol
+    /// version ≥ 3); answered with [`Response::CacheStats`]. A pure
+    /// read — no scheduling state changes.
+    CacheStats,
 }
 
 /// A server-to-client message. Exactly one is sent per [`Request`].
@@ -117,6 +131,10 @@ pub enum Response {
     /// A typed error frame (the request failed; the connection stays
     /// usable unless the fault says otherwise).
     Error(Fault),
+    /// The route-cache counters (protocol version ≥ 3). The plan-cache
+    /// fields travel as optional trailing values — see the version-3
+    /// history note on [`PROTOCOL_VERSION`].
+    CacheStats(RouteCacheStats),
 }
 
 /// A typed server-side error frame.
@@ -949,6 +967,46 @@ fn get_service_report(d: &mut Decoder<'_>) -> Result<ServiceReport, WireError> {
     })
 }
 
+fn put_route_cache_stats(e: &mut Encoder, s: &RouteCacheStats) {
+    // The four probe counters are the frozen v3 base; the plan-cache
+    // counters append after them as optional trailing fields, so a
+    // payload truncated after the base still decodes (plan fields read
+    // as zero). Any future appendix must extend *after* these, whole
+    // or absent.
+    e.usize(s.hits);
+    e.usize(s.misses);
+    e.usize(s.entries);
+    e.usize(s.invalidated);
+    e.usize(s.plan_hits);
+    e.usize(s.plan_misses);
+    e.usize(s.plan_entries);
+    e.usize(s.plan_invalidated);
+}
+
+fn get_route_cache_stats(d: &mut Decoder<'_>) -> Result<RouteCacheStats, WireError> {
+    let hits = d.usize()?;
+    let misses = d.usize()?;
+    let entries = d.usize()?;
+    let invalidated = d.usize()?;
+    let (plan_hits, plan_misses, plan_entries, plan_invalidated) = if d.remaining() == 0 {
+        // A peer that predates the plan cache stops after the probe
+        // counters; its plan cache is trivially empty.
+        (0, 0, 0, 0)
+    } else {
+        (d.usize()?, d.usize()?, d.usize()?, d.usize()?)
+    };
+    Ok(RouteCacheStats {
+        hits,
+        misses,
+        entries,
+        invalidated,
+        plan_hits,
+        plan_misses,
+        plan_entries,
+        plan_invalidated,
+    })
+}
+
 fn put_calibration_fault(e: &mut Encoder, fault: &WireCalibrationFault) {
     match *fault {
         WireCalibrationFault::NonFinite => e.u8(0),
@@ -1109,6 +1167,7 @@ mod req_tag {
     pub const EVENTS: u8 = 0x06;
     pub const SHUTDOWN: u8 = 0x07;
     pub const TAKE_RESULT: u8 = 0x08;
+    pub const CACHE_STATS: u8 = 0x09;
 }
 
 /// Response tag bytes.
@@ -1121,6 +1180,7 @@ mod resp_tag {
     pub const EVENTS: u8 = 0x86;
     pub const ERROR: u8 = 0x87;
     pub const TAKEN: u8 = 0x88;
+    pub const CACHE_STATS: u8 = 0x89;
 }
 
 impl Request {
@@ -1152,6 +1212,7 @@ impl Request {
                 e.u8(req_tag::TAKE_RESULT);
                 put_ticket(&mut e, ticket);
             }
+            Request::CacheStats => e.u8(req_tag::CACHE_STATS),
         }
         e.finish()
     }
@@ -1178,6 +1239,7 @@ impl Request {
             req_tag::TAKE_RESULT => Request::TakeResult {
                 ticket: get_ticket(&mut d)?,
             },
+            req_tag::CACHE_STATS => Request::CacheStats,
             tag => {
                 return Err(WireError::UnknownTag {
                     context: "Request",
@@ -1230,6 +1292,10 @@ impl Response {
                 let inner = result.as_deref();
                 e.option(&inner, |e, r| put_job_result(e, r));
             }
+            Response::CacheStats(stats) => {
+                e.u8(resp_tag::CACHE_STATS);
+                put_route_cache_stats(&mut e, stats);
+            }
         }
         e.finish()
     }
@@ -1252,6 +1318,7 @@ impl Response {
             resp_tag::EVENTS => Response::Events(d.seq(1, get_event)?),
             resp_tag::ERROR => Response::Error(get_fault(&mut d)?),
             resp_tag::TAKEN => Response::Taken(d.option(get_job_result)?.map(Box::new)),
+            resp_tag::CACHE_STATS => Response::CacheStats(get_route_cache_stats(&mut d)?),
             tag => {
                 return Err(WireError::UnknownTag {
                     context: "Response",

@@ -154,6 +154,9 @@ impl ServerSession {
                 Err(e) => Response::Error(Fault::Runtime((&e).into())),
             },
             Request::Events => Response::Events(lock_service(&self.service).events().to_vec()),
+            Request::CacheStats => {
+                Response::CacheStats(lock_service(&self.service).route_cache_stats())
+            }
             Request::Shutdown => {
                 // Drain, then raise the flag *while still holding the
                 // service lock*: Submit re-checks the flag under the

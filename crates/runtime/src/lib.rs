@@ -120,6 +120,8 @@
 //! | dispatch step: admitting devices | O(D) filter | O(log D) + A width-bucket suffix |
 //! | batch removal | O(n·k) retain | offset bump (front run) or one compaction pass |
 //! | recalibrate / drift epoch bump | O(cache) invalidation | unchanged |
+//! | batch planning | partition + map + merge per batch | O(1) plan-cache hit ([`PlanMemo::EpochKeyed`], repeat shapes) |
+//! | batch execution | one global serial loop | per-group scoped workers ([`DispatchSharding::Grouped`]), merged in batch order |
 //!
 //! Both paths are observationally equivalent — identical dispatch
 //! order, events and reports on any submission/tick interleaving,
@@ -237,8 +239,8 @@ pub use scheduler::{
     RuntimeError,
 };
 pub use service::{
-    CacheInvalidation, DeviceReport, EfsGate, JobRequest, JobTicket, RouteCacheStats, Service,
-    ServiceBuilder, ServiceReport, MAX_DRIFT_STEPS_PER_ADVANCE,
+    CacheInvalidation, DeviceReport, DispatchSharding, EfsGate, JobRequest, JobTicket, PlanMemo,
+    RouteCacheStats, Service, ServiceBuilder, ServiceReport, MAX_DRIFT_STEPS_PER_ADVANCE,
 };
 
 // The shot-parallelism mode travels with the runtime config; re-export

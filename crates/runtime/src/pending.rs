@@ -57,6 +57,10 @@ pub(crate) struct Pending {
     pub(crate) gates: usize,
     /// Cached `circuit.depth()` (O(gates) to recompute).
     pub(crate) depth: usize,
+    /// Cached circuit-shape fingerprint (width + exact gate sequence,
+    /// name excluded) — the plan/probe cache key component, computed
+    /// once at submit instead of once per dispatch the job is probed.
+    pub(crate) shape: u64,
     pub(crate) shots: usize,
     pub(crate) arrival: f64,
     pub(crate) strategy: Option<Strategy>,
@@ -439,6 +443,7 @@ mod tests {
             width: circuit.width(),
             gates: circuit.gate_count(),
             depth: circuit.depth(),
+            shape: 0,
             circuit,
             shots: 64,
             arrival,

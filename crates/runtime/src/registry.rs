@@ -30,13 +30,23 @@
 //! NaN: the comparison stays total (positive NaN sorts after `+∞`,
 //! negative before `−∞`) and never panics.
 //!
-//! ## Calibration epochs and cross-batch probe caching
+//! ## Calibration epochs and cross-batch caching
 //!
-//! The partition probes behind [`CalibrationAware`] (and the head-only
-//! EFS gate) are pure functions of *(device, circuit shape, partition
-//! policy[, threshold])* **at a fixed calibration**; the service
-//! memoizes them across batches, so a stream of same-shape jobs pays
-//! the candidate growth once per chip instead of once per batch.
+//! Two kinds of planning work are memoized across batches, both pure
+//! functions of calibration state:
+//!
+//! - **Probe entries** — the partition probes behind
+//!   [`CalibrationAware`] and the head-only EFS gate, keyed by
+//!   *(device, circuit shape, partition policy[, threshold])*. A
+//!   stream of same-shape jobs pays the candidate growth once per chip
+//!   instead of once per batch.
+//! - **Plan entries** — entire committed batch plans (the
+//!   [`PlannedWorkload`](qucp_core::pipeline::PlannedWorkload) plus its
+//!   eviction trace), keyed by *(device **epoch**, ordered member
+//!   shape fingerprints, effective strategy, gate mode/threshold
+//!   bits)*. A hit replays the cached plan clone-free and skips
+//!   partitioning, mapping and merging entirely (see
+//!   [`PlanMemo`](crate::PlanMemo)).
 //!
 //! The fleet is *live*: calibrations mutate after build, through
 //! [`Service::recalibrate`](crate::Service::recalibrate) (a fresh
@@ -47,22 +57,41 @@
 //! state bumps that device's **calibration epoch** — a monotone
 //! per-device counter readable via [`DeviceRegistry::epoch`].
 //!
-//! **Invalidation rules:** cached probe entries are valid for exactly
-//! one epoch of their device. On an epoch bump the service drops every
-//! cache entry keyed by that device (other devices' entries survive —
-//! invalidation is per device, never fleet-wide) and emits
+//! **Invalidation rules:** cached entries of *both* kinds are valid
+//! for exactly one epoch of their device. On an epoch bump the service
+//! drops every probe *and* plan entry keyed by that device (other
+//! devices' entries survive — invalidation is per device, never
+//! fleet-wide) and emits
 //! [`Event::DeviceRecalibrated`](crate::Event::DeviceRecalibrated), so
-//! the next dispatch re-probes against the *current* calibration.
-//! While a device's epoch stays put its entries stay valid
-//! indefinitely — a frozen fleet (no drift model, no recalibration
-//! calls) therefore behaves exactly like the pre-live-fleet runtime:
-//! epochs stay 0 and entries never invalidate. Invalidations are
-//! observable via
-//! [`Service::route_cache_stats`](crate::Service::route_cache_stats),
-//! and
+//! the next dispatch re-probes and re-plans against the *current*
+//! calibration. While a device's epoch stays put its entries stay
+//! valid indefinitely — a frozen fleet (no drift model, no
+//! recalibration calls) therefore behaves exactly like the
+//! pre-live-fleet runtime: epochs stay 0 and entries never invalidate.
+//! The two kinds differ in one deliberate way: probe entries are keyed
+//! by device *index* and dropped eagerly on the bump, while plan
+//! entries carry the epoch **inside their key**, so a stale plan can
+//! never replay even under
+//! [`CacheInvalidation::Never`](crate::CacheInvalidation::Never) — for
+//! plans the eager drop is garbage collection, not correctness.
+//! Invalidations of both kinds are observable via
+//! [`Service::route_cache_stats`](crate::Service::route_cache_stats)
+//! (`invalidated` / `plan_invalidated`), and
 //! [`CacheInvalidation::Never`](crate::CacheInvalidation::Never)
-//! disables the protocol as an ablation (stale-cache routing, the
-//! baseline the `drift_shootout` bench beats).
+//! disables the drop protocol as an ablation (stale-cache *routing*,
+//! the baseline the `drift_shootout` bench beats — plan replay stays
+//! calibration-correct regardless, per the epoch-in-key rule above).
+//!
+//! ## Device groups and sharded dispatch
+//!
+//! Each device belongs to a **dispatch group** (default: group 0).
+//! Groups are the unit of execution parallelism under
+//! [`DispatchSharding::Grouped`](crate::DispatchSharding): staged
+//! batches are executed by one scoped worker per group, then merged
+//! back in global batch order, so the sharded schedule is bit-for-bit
+//! the serial one. Assign groups at build time via
+//! [`ServiceBuilder::device_groups`](crate::ServiceBuilder::device_groups)
+//! (round-robin) or per device with [`DeviceRegistry::set_group`].
 
 use std::fmt;
 
@@ -114,6 +143,11 @@ pub struct DeviceRegistry {
     /// (recalibration never resizes a chip), so the index never goes
     /// stale.
     by_width: Vec<(usize, usize)>,
+    /// Per-device dispatch group, parallel to `devices`; every device
+    /// starts in group 0. Groups never influence scheduling decisions —
+    /// only which scoped worker executes a staged batch under
+    /// [`DispatchSharding::Grouped`](crate::DispatchSharding).
+    groups: Vec<usize>,
 }
 
 impl DeviceRegistry {
@@ -129,6 +163,7 @@ impl DeviceRegistry {
             devices: vec![device],
             epochs: vec![0],
             by_width: vec![(width, 0)],
+            groups: vec![0],
         }
     }
 
@@ -141,7 +176,58 @@ impl DeviceRegistry {
         self.by_width.insert(pos, entry);
         self.devices.push(device);
         self.epochs.push(0);
+        self.groups.push(0);
         DeviceId(index)
+    }
+
+    /// The device's dispatch group (0 unless assigned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry and is out of
+    /// range.
+    pub fn group(&self, id: DeviceId) -> usize {
+        self.groups[id.0]
+    }
+
+    /// Assigns the device to a dispatch group. Groups partition
+    /// *execution* only — scheduling decisions (admission, routing,
+    /// planning) are group-blind, which is what keeps
+    /// [`DispatchSharding::Grouped`](crate::DispatchSharding)
+    /// bit-identical to the single loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different registry and is out of
+    /// range.
+    pub fn set_group(&mut self, id: DeviceId, group: usize) {
+        self.groups[id.0] = group;
+    }
+
+    /// The number of distinct dispatch groups in use (1 for a fleet
+    /// that never assigned groups — every device in group 0; 0 for an
+    /// empty registry).
+    pub fn group_count(&self) -> usize {
+        let mut seen: Vec<usize> = self.groups.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+
+    /// Spreads the fleet across `n` dispatch groups round-robin by
+    /// registration index (device `i` joins group `i % n`). `n` is
+    /// clamped to at least 1.
+    pub fn assign_groups_round_robin(&mut self, n: usize) {
+        let n = n.max(1);
+        for (i, group) in self.groups.iter_mut().enumerate() {
+            *group = i % n;
+        }
+    }
+
+    /// The dispatch group of the device at a registration index — the
+    /// dispatch loop's internal indexed accessor.
+    pub(crate) fn group_of(&self, index: usize) -> usize {
+        self.groups[index]
     }
 
     /// The device's calibration epoch: 0 at registration, bumped once

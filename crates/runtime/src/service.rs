@@ -254,6 +254,64 @@ pub enum CacheInvalidation {
     Never,
 }
 
+/// Whether the service memoizes whole committed *plans* across batches.
+///
+/// Plan entries are keyed by *(device, calibration epoch, ordered
+/// member circuit shapes, strategy, gate mode/optimize bits[, member
+/// thresholds])* — every input planning consults — so a replayed plan
+/// is **bit-identical** to what a fresh partition + map + merge pass
+/// would produce (only stale program *names* need re-binding, which the
+/// dispatch loop does for both paths). The two modes therefore produce
+/// identical tickets, events and reports on any submission/tick/drift
+/// sequence; `Never` exists as the ablation baseline the
+/// `fleet_shootout` bench quantifies against, mirroring
+/// [`CacheInvalidation::Never`].
+///
+/// Note the epoch lives **in the key**, not just in the invalidation
+/// protocol: even under [`CacheInvalidation::Never`] (which skips the
+/// garbage collection) a post-bump dispatch can never replay a
+/// stale-epoch plan — stale routing is an acceptable ablation, stale
+/// *execution plans* never are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMemo {
+    /// The default: memoize committed plans per calibration epoch; a
+    /// hit skips the whole gated planning pass and replays the cached
+    /// plan clone-free (shared behind an `Arc`).
+    #[default]
+    EpochKeyed,
+    /// Plan every batch from scratch — the ablation baseline.
+    Never,
+}
+
+/// How the service runs the execution half of its dispatch loop.
+///
+/// Dispatch decisions (head choice, routing, packing, planning) never
+/// depend on execution *results* — a batch's completion time is
+/// `start + plan.context.makespan`, a pure planning output — so the
+/// loop splits into a sequential *staging* pass (all decisions, queue
+/// and clock mutations) and per-batch *execution* that only fills in
+/// measurement outcomes. Both modes run the same staging pass; they
+/// differ only in when execution happens. Serial == sharded bit-for-bit
+/// (tickets, events, drained report), pinned by the fleet equivalence
+/// proptests the same way [`QueueIndexing::Linear`] vs
+/// [`QueueIndexing::Indexed`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DispatchSharding {
+    /// The default: stage and execute one batch at a time on the
+    /// calling thread — the seed loop's behaviour.
+    #[default]
+    Single,
+    /// Stage every dispatchable batch, then execute per device
+    /// **group** ([`DeviceRegistry`] groups, see
+    /// [`ServiceBuilder::device_groups`]): one `std::thread::scope`
+    /// worker per non-empty group runs its group's batches in batch
+    /// order, and the results merge back deterministically in global
+    /// batch order. After an *execution* error (exotic backend
+    /// failures only — planning errors surface identically in both
+    /// modes) the service should be discarded in either mode.
+    Grouped,
+}
+
 /// Builds a [`Service`]; validation happens in [`ServiceBuilder::build`].
 pub struct ServiceBuilder {
     registry: DeviceRegistry,
@@ -269,6 +327,9 @@ pub struct ServiceBuilder {
     queue_indexing: QueueIndexing,
     event_capacity: Option<usize>,
     best_k: usize,
+    plan_memo: PlanMemo,
+    sharding: DispatchSharding,
+    device_groups: Option<usize>,
 }
 
 impl std::fmt::Debug for ServiceBuilder {
@@ -312,6 +373,9 @@ impl ServiceBuilder {
             queue_indexing: QueueIndexing::default(),
             event_capacity: None,
             best_k: 1,
+            plan_memo: PlanMemo::default(),
+            sharding: DispatchSharding::default(),
+            device_groups: None,
         }
     }
 
@@ -510,6 +574,44 @@ impl ServiceBuilder {
         self
     }
 
+    /// Chooses whether committed plans are memoized across batches (see
+    /// [`PlanMemo`]). The [`PlanMemo::EpochKeyed`] default replays a
+    /// cached plan whenever a batch with the same ordered member shapes
+    /// dispatches to the same device at the same calibration epoch —
+    /// observationally identical to replanning, pinned by the plan-memo
+    /// equivalence proptest; [`PlanMemo::Never`] is the replan-always
+    /// ablation the `fleet_shootout` bench quantifies against.
+    #[must_use]
+    pub fn plan_memo(mut self, memo: PlanMemo) -> Self {
+        self.plan_memo = memo;
+        self
+    }
+
+    /// Chooses how the dispatch loop executes staged batches (see
+    /// [`DispatchSharding`]). [`DispatchSharding::Grouped`] runs one
+    /// worker per device group; configure the grouping with
+    /// [`ServiceBuilder::device_groups`] (or
+    /// [`DeviceRegistry::set_group`] before handing the registry over).
+    /// Both modes are observationally equivalent, pinned by the sharded
+    /// equivalence proptest.
+    #[must_use]
+    pub fn dispatch_sharding(mut self, sharding: DispatchSharding) -> Self {
+        self.sharding = sharding;
+        self
+    }
+
+    /// Splits the fleet into `groups` dispatch groups round-robin by
+    /// registration index (group = index mod `groups`, clamped to at
+    /// least 1), overriding any grouping already present on the
+    /// registry. Groups only matter under
+    /// [`DispatchSharding::Grouped`], where each group's batches
+    /// execute on their own worker thread.
+    #[must_use]
+    pub fn device_groups(mut self, groups: usize) -> Self {
+        self.device_groups = Some(groups.max(1));
+        self
+    }
+
     /// Validates the configuration and builds the service.
     ///
     /// # Errors
@@ -552,6 +654,15 @@ impl ServiceBuilder {
         let clock_index = (self.queue_indexing == QueueIndexing::Indexed)
             .then(|| ClockIndex::new(self.registry.len()));
         let pending = PendingStore::new(self.queue_indexing, self.strategy.clone());
+        let mut registry = self.registry;
+        if let Some(groups) = self.device_groups {
+            registry.assign_groups_round_robin(groups);
+        }
+        // Plan-cache key components that never change over the
+        // service's lifetime, fingerprinted once here instead of once
+        // per dispatch.
+        let plan_cfg_fp = plan_cfg_fingerprint(self.efs_gate, self.cfg.optimize);
+        let default_strategy_fp = strategy_fingerprint(&self.strategy);
         Ok(Service {
             strategy: self.strategy,
             policy: self.policy,
@@ -559,7 +670,7 @@ impl ServiceBuilder {
             cfg: self.cfg,
             efs_gate: self.efs_gate,
             default_shots: self.default_shots,
-            registry: self.registry,
+            registry,
             states,
             pending,
             next_seq: 0,
@@ -576,6 +687,10 @@ impl ServiceBuilder {
             baselines,
             invalidation: self.invalidation,
             best_k: self.best_k.max(1),
+            plan_memo: self.plan_memo,
+            sharding: self.sharding,
+            plan_cfg_fp,
+            default_strategy_fp,
             exec_ns: 0,
             plan_ns: 0,
         })
@@ -654,6 +769,16 @@ pub struct Service {
     invalidation: CacheInvalidation,
     /// Top-k speculative planning width (1 = sequential).
     best_k: usize,
+    /// Whether committed plans are memoized across batches.
+    plan_memo: PlanMemo,
+    /// Serial or per-group-sharded batch execution.
+    sharding: DispatchSharding,
+    /// Fingerprint of the immutable plan-key bits (EFS gate mode +
+    /// optimize flag), computed once at build.
+    plan_cfg_fp: u64,
+    /// Fingerprint of the service's default strategy; overridden heads
+    /// fingerprint their own strategy per dispatch.
+    default_strategy_fp: u64,
     /// Cumulative wall-clock nanoseconds spent *executing* batches
     /// (trajectory simulation), as opposed to dispatch bookkeeping.
     exec_ns: u64,
@@ -691,6 +816,21 @@ pub struct RouteCacheStats {
     /// frozen fleet, and always 0 under
     /// [`CacheInvalidation::Never`]).
     pub invalidated: usize,
+    /// Whole-plan cache hits: batches whose committed plan was replayed
+    /// from memo instead of re-derived (always 0 under
+    /// [`PlanMemo::Never`]).
+    pub plan_hits: usize,
+    /// Whole-plan cache misses: batches planned fresh with memoization
+    /// enabled (always 0 under [`PlanMemo::Never`], which does not
+    /// consult the cache at all).
+    pub plan_misses: usize,
+    /// Whole-plan entries currently cached.
+    pub plan_entries: usize,
+    /// Whole-plan entries dropped by calibration-epoch invalidations.
+    /// Epochs also live in the plan *key*, so this is pure garbage
+    /// collection — a stale-epoch plan can never replay even under
+    /// [`CacheInvalidation::Never`].
+    pub plan_invalidated: usize,
 }
 
 /// Cross-batch memo of the planning probes the dispatch loop repeats
@@ -712,9 +852,38 @@ struct RouteCache {
     /// threshold bits. Planning errors are cached alongside successes:
     /// the probe is deterministic either way.
     head_cap: HashMap<(usize, u64, u64, u64), Result<usize, CoreError>>,
+    /// Whole committed plans by `(device, plan fingerprint)` — the
+    /// fingerprint folds in the device's calibration epoch, the ordered
+    /// member shapes, the head's effective strategy, the gate
+    /// mode/optimize bits, and (in the batch-gate modes) the member
+    /// thresholds, i.e. every input [`plan_gated_members`] consults. A
+    /// hit skips planning entirely: the shrink *trace* replays against
+    /// the current members' ids and the [`PlannedWorkload`] is shared
+    /// clone-free behind its `Arc`. `JobUnplaceable` outcomes are
+    /// cached alongside successes (planning is deterministic either
+    /// way); hard [`RuntimeError::Core`] outcomes are not.
+    plans: HashMap<(usize, u64), PlanEntry>,
     hits: usize,
     misses: usize,
     invalidated: usize,
+    plan_hits: usize,
+    plan_misses: usize,
+    plan_invalidated: usize,
+}
+
+/// One memoized planning outcome (see [`RouteCache::plans`]).
+#[derive(Debug, Clone)]
+struct PlanEntry {
+    /// The eviction trace of the original planning run: `(position,
+    /// reason)` per shrink, in order. Replay applies it to the current
+    /// batch's members to regenerate the surviving member list and the
+    /// [`Event::BatchShrunk`] stream with current job ids.
+    trace: Vec<(usize, ShrinkReason)>,
+    /// The plan the surviving members committed with, or the
+    /// `JobUnplaceable` source when the batch shrank to one member and
+    /// still failed (the head is never evicted, so replay re-binds the
+    /// error to the current head's id).
+    outcome: Result<std::sync::Arc<PlannedWorkload>, CoreError>,
 }
 
 impl RouteCache {
@@ -727,7 +896,11 @@ impl RouteCache {
         self.head_cap.retain(|k, _| k.0 != device_index);
         let dropped = before - (self.solo.len() + self.head_cap.len());
         self.invalidated += dropped;
-        dropped
+        let plans_before = self.plans.len();
+        self.plans.retain(|k, _| k.0 != device_index);
+        let plans_dropped = plans_before - self.plans.len();
+        self.plan_invalidated += plans_dropped;
+        dropped + plans_dropped
     }
 }
 
@@ -765,6 +938,31 @@ fn partition_policy_fingerprint(policy: &PartitionPolicy) -> u64 {
     use std::hash::Hasher as _;
     let mut h = std::collections::hash_map::DefaultHasher::new();
     let _ = write!(HashWriter(&mut h), "{policy:?}");
+    h.finish()
+}
+
+/// Fingerprint of a *whole* strategy — unlike the probes, whole-plan
+/// memoization must key every stage knob planning consults (partition
+/// policy, routing crosstalk-awareness, merge serialization, σ), so the
+/// full `Debug` rendering is hashed. `f64` fields render round-trip
+/// exactly, so distinct strategies never alias.
+fn strategy_fingerprint(strategy: &Strategy) -> u64 {
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let _ = write!(HashWriter(&mut h), "{strategy:?}");
+    h.finish()
+}
+
+/// Fingerprint of the service-lifetime plan-key bits: the EFS gate mode
+/// (it decides the eviction rule baked into a cached shrink trace) and
+/// the optimize flag (it decides the planned gate sequences).
+fn plan_cfg_fingerprint(gate: EfsGate, optimize: bool) -> u64 {
+    use std::fmt::Write as _;
+    use std::hash::Hasher as _;
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let _ = write!(HashWriter(&mut h), "{gate:?}");
+    std::hash::Hasher::write_u8(&mut h, optimize as u8);
     h.finish()
 }
 
@@ -806,6 +1004,10 @@ impl Service {
             misses: self.route_cache.misses,
             entries: self.route_cache.solo.len() + self.route_cache.head_cap.len(),
             invalidated: self.route_cache.invalidated,
+            plan_hits: self.route_cache.plan_hits,
+            plan_misses: self.route_cache.plan_misses,
+            plan_entries: self.route_cache.plans.len(),
+            plan_invalidated: self.route_cache.plan_invalidated,
         }
     }
 
@@ -1122,6 +1324,10 @@ impl Service {
         let width = request.circuit.width();
         let gates = request.circuit.gate_count();
         let depth = request.circuit.depth();
+        // The shape fingerprint keys every plan/probe cache lookup the
+        // job will ever be part of; hashing once at submit (O(gates),
+        // like the depth above) beats re-hashing per dispatch.
+        let shape = circuit_shape_fingerprint(&request.circuit);
         self.pending.insert(Pending {
             seq,
             id,
@@ -1129,6 +1335,7 @@ impl Service {
             width,
             gates,
             depth,
+            shape,
             shots,
             arrival: request.arrival,
             strategy: request.strategy,
@@ -1174,7 +1381,7 @@ impl Service {
         if now.is_nan() {
             return Err(RuntimeError::NonFiniteTime { value: now });
         }
-        while self.dispatch_one(now)? {}
+        self.dispatch_until(now)?;
         let mut done: Vec<(f64, JobTicket)> = Vec::new();
         self.unreported.retain(|&(completion, ticket)| {
             if completion <= now {
@@ -1205,8 +1412,7 @@ impl Service {
         if now.is_nan() {
             return Err(RuntimeError::NonFiniteTime { value: now });
         }
-        while self.dispatch_one(now)? {}
-        Ok(())
+        self.dispatch_until(now)
     }
 
     /// Serves every pending job to completion and reports fleet-wide
@@ -1224,9 +1430,127 @@ impl Service {
     /// any registered device; [`RuntimeError::Core`] on backend
     /// failures.
     pub fn run_until_drained(&mut self) -> Result<ServiceReport, RuntimeError> {
-        while self.dispatch_one(f64::INFINITY)? {}
+        self.dispatch_until(f64::INFINITY)?;
         self.unreported.clear();
         Ok(self.drained_report())
+    }
+
+    /// Dispatches every batch that can start at or before `limit`.
+    ///
+    /// The loop is split into a **staging** pass ([`Service::stage_one`]
+    /// — every scheduling decision and queue/clock mutation, batch
+    /// events buffered) and a **finishing** pass
+    /// ([`Service::finish_batch`] — execution results folded into
+    /// results, statistics and the event log, always in batch order).
+    /// Under [`DispatchSharding::Single`] each batch finishes before
+    /// the next one stages, reproducing the seed loop exactly; under
+    /// [`DispatchSharding::Grouped`] all batches stage first, each
+    /// device group's batches execute on their own scoped worker, and
+    /// the finishes replay in global batch order — bit-for-bit the same
+    /// observable sequence, because no staging decision ever reads an
+    /// execution result (completion times are plan-derived).
+    fn dispatch_until(&mut self, limit: f64) -> Result<(), RuntimeError> {
+        match self.sharding {
+            DispatchSharding::Single => {
+                while let Some(staged) = self.stage_one(limit, 0)? {
+                    let exec_started = std::time::Instant::now();
+                    let results = execute_members(
+                        &staged.pipeline,
+                        &staged.device,
+                        &staged.plan,
+                        &staged.shots,
+                        staged.batch_seed,
+                        self.cfg.mode,
+                        &staged.parallelism,
+                        &staged.kernels,
+                    );
+                    self.exec_ns = self
+                        .exec_ns
+                        .saturating_add(exec_started.elapsed().as_nanos() as u64);
+                    self.finish_batch(staged, results?);
+                }
+                Ok(())
+            }
+            DispatchSharding::Grouped => {
+                // Stage everything first: admission, routing and
+                // planning decisions are inherently sequential (each
+                // reads the queue/clock state the previous one wrote).
+                // A staging error behaves like the serial loop's: the
+                // batches staged before it still execute and finish.
+                let mut staged: Vec<StagedBatch> = Vec::new();
+                let mut stage_err: Option<RuntimeError> = None;
+                loop {
+                    match self.stage_one(limit, staged.len()) {
+                        Ok(Some(batch)) => staged.push(batch),
+                        Ok(None) => break,
+                        Err(e) => {
+                            stage_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                // Execute per group: one worker per non-empty group,
+                // each running its own batches in batch order.
+                let mode = self.cfg.mode;
+                let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> =
+                    std::collections::BTreeMap::new();
+                for (i, batch) in staged.iter().enumerate() {
+                    by_group.entry(batch.group).or_default().push(i);
+                }
+                let mut slots: Vec<Option<Result<Vec<ProgramResult>, RuntimeError>>> =
+                    staged.iter().map(|_| None).collect();
+                let mut exec_ns = 0u64;
+                std::thread::scope(|scope| {
+                    let staged = &staged;
+                    let handles: Vec<_> = by_group
+                        .values()
+                        .map(|indices| {
+                            scope.spawn(move || {
+                                indices
+                                    .iter()
+                                    .map(|&i| {
+                                        let b = &staged[i];
+                                        let started = std::time::Instant::now();
+                                        let r = execute_members(
+                                            &b.pipeline,
+                                            &b.device,
+                                            &b.plan,
+                                            &b.shots,
+                                            b.batch_seed,
+                                            mode,
+                                            &b.parallelism,
+                                            &b.kernels,
+                                        );
+                                        (i, r, started.elapsed().as_nanos() as u64)
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                        })
+                        .collect();
+                    for handle in handles {
+                        let outcomes = handle
+                            .join()
+                            .unwrap_or_else(|p| std::panic::resume_unwind(p));
+                        for (i, result, ns) in outcomes {
+                            exec_ns = exec_ns.saturating_add(ns);
+                            slots[i] = Some(result);
+                        }
+                    }
+                });
+                self.exec_ns = self.exec_ns.saturating_add(exec_ns);
+                // Deterministic merge: finish in global batch order,
+                // surfacing the first batch-order execution error
+                // (matching which error the serial loop would report).
+                for (batch, slot) in staged.into_iter().zip(slots) {
+                    let results = slot.expect("every staged batch was executed")?;
+                    self.finish_batch(batch, results);
+                }
+                match stage_err {
+                    Some(e) => Err(e),
+                    None => Ok(()),
+                }
+            }
+        }
     }
 
     /// Emits an event to every observer and the log.
@@ -1247,11 +1571,22 @@ impl Service {
             .ok_or(RuntimeError::QueueCorrupted { seq })
     }
 
-    /// Dispatches the next batch if one can start at or before `limit`.
-    /// Returns whether a batch was dispatched.
-    fn dispatch_one(&mut self, limit: f64) -> Result<bool, RuntimeError> {
+    /// Stages the next batch if one can start at or before `limit`:
+    /// every scheduling decision (head choice, routing, packing,
+    /// planning through the plan cache), every queue/clock mutation,
+    /// and the batch's full event block — buffered on the returned
+    /// [`StagedBatch`], not yet emitted. Execution and the event/stat
+    /// fold happen in [`Service::finish_batch`]. `in_flight` is the
+    /// number of staged-but-unfinished batches, so `batch_index` stays
+    /// dense while [`DispatchSharding::Grouped`] defers the
+    /// [`BatchReport`] pushes.
+    fn stage_one(
+        &mut self,
+        limit: f64,
+        in_flight: usize,
+    ) -> Result<Option<StagedBatch>, RuntimeError> {
         let Some(t_min) = self.pending.first_arrival() else {
-            return Ok(false);
+            return Ok(None);
         };
 
         // Earliest-free device (free time, then registration order):
@@ -1288,8 +1623,10 @@ impl Service {
         };
         let head = self.pending_by_seq(head_seq)?;
         let head_width = head.width;
+        let head_shape = head.shape;
         let head_circuit = head.circuit.clone();
         let head_id = head.id;
+        let head_has_strategy_override = head.strategy.is_some();
         let head_strategy = head
             .strategy
             .clone()
@@ -1326,11 +1663,21 @@ impl Service {
             !probe_widest && self.efs_gate == EfsGate::HeadOnly && head_threshold.is_some();
         let (shape, policy_fp) = if wants_score || gate_probes {
             (
-                circuit_shape_fingerprint(&head_circuit),
+                head_shape,
                 partition_policy_fingerprint(&head_strategy.partition),
             )
         } else {
             (0, 0)
+        };
+        // The head's effective-strategy fingerprint keys the plan
+        // cache; the common no-override case reads the fingerprint
+        // computed once at build.
+        let strategy_fp = match self.plan_memo {
+            PlanMemo::Never => 0,
+            PlanMemo::EpochKeyed if head_has_strategy_override => {
+                strategy_fingerprint(&head_strategy)
+            }
+            PlanMemo::EpochKeyed => self.default_strategy_fp,
         };
         let (candidates, route_scores): (Vec<usize>, Vec<f64>) = if probe_widest {
             let widest = self.registry.widest().expect("fleet is non-empty").index();
@@ -1390,7 +1737,7 @@ impl Service {
         // so each dispatch builds one for the head's effective strategy
         // rather than fighting the borrow checker over a cached copy.
         let pipeline = Pipeline::from_strategy(&head_strategy);
-        let batch_index = self.batches.len();
+        let batch_index = self.batches.len() + in_flight;
 
         // Best-k speculation: precompute the top-k candidates' pack and
         // plan outcomes (planning concurrently) before walking the
@@ -1412,6 +1759,7 @@ impl Service {
                 head_id,
                 &head_circuit,
                 &head_strategy,
+                strategy_fp,
                 head_threshold,
                 shape,
                 policy_fp,
@@ -1434,7 +1782,7 @@ impl Service {
                 // horizon-independent) are the only way down the
                 // ranking. Speculative outcomes (hard errors included)
                 // for this and lower ranks are discarded unseen.
-                return Ok(false);
+                return Ok(None);
             }
             let outcome = match spec.get_mut(rank).and_then(Option::take) {
                 Some(outcome) => outcome,
@@ -1472,19 +1820,14 @@ impl Service {
                                 probe_widest,
                             )?;
                             let members = self.plan_members(&pack.picks_seqs)?;
-                            let plan_started = std::time::Instant::now();
-                            let plan = plan_gated_members(
+                            let plan = self.plan_batch(
                                 &pipeline,
-                                self.registry.device_at(d),
+                                d,
                                 batch_index,
-                                self.efs_gate,
-                                self.cfg.optimize,
                                 &head_strategy,
+                                strategy_fp,
                                 members,
                             );
-                            self.plan_ns = self
-                                .plan_ns
-                                .saturating_add(plan_started.elapsed().as_nanos() as u64);
                             SpecOutcome::Planned {
                                 pack,
                                 plan: Box::new(plan),
@@ -1519,7 +1862,7 @@ impl Service {
             let (plan, members, shrinks) = planned;
             debug_assert_eq!(pack.start.to_bits(), start.to_bits());
 
-            // Cloned so the commit below can take `&mut self`; one
+            // Cloned so the staging below can take `&mut self`; one
             // clone per dispatch, dwarfed by the batch's trajectories.
             let device = self.registry.device_at(d).clone();
             // The routing decision is recorded only for the device the
@@ -1527,7 +1870,8 @@ impl Service {
             // trace, like their shrink events).
             // The recorded policy is the *effective* one: the head's
             // override when present, the service default otherwise.
-            let routed = Event::BatchRouted {
+            let mut events: Vec<Event> = Vec::with_capacity(2 + shrinks.len() + members.seqs.len());
+            events.push(Event::BatchRouted {
                 batch_index,
                 device: device.name().to_string(),
                 policy: match &head_routing {
@@ -1537,22 +1881,67 @@ impl Service {
                 score: route_scores[rank],
                 start,
                 candidates: candidates.len(),
-            };
-            self.emit(routed);
-            for event in shrinks {
-                self.emit(event);
+            });
+            events.extend(shrinks);
+
+            // Everything the execution and finish halves need, copied
+            // out of the pending store before the members are removed.
+            let makespan = plan.context.makespan;
+            let completion = start + makespan;
+            let n = members.seqs.len();
+            let mut shots: Vec<usize> = Vec::with_capacity(n);
+            let mut parallelism: Vec<ShotParallelism> = Vec::with_capacity(n);
+            let mut kernels: Vec<TrajectoryKernel> = Vec::with_capacity(n);
+            let mut job_ids: Vec<u64> = Vec::with_capacity(n);
+            let mut names: Vec<String> = Vec::with_capacity(n);
+            let mut widths: Vec<usize> = Vec::with_capacity(n);
+            let mut waits: Vec<f64> = Vec::with_capacity(n);
+            let mut turnarounds: Vec<f64> = Vec::with_capacity(n);
+            for &s in &members.seqs {
+                let p = self.pending_by_seq(s)?;
+                shots.push(p.shots);
+                parallelism.push(p.shot_parallelism.unwrap_or(self.cfg.shot_parallelism));
+                kernels.push(p.trajectory_kernel.unwrap_or(self.cfg.trajectory_kernel));
+                job_ids.push(p.id);
+                names.push(p.circuit.name().to_string());
+                widths.push(p.width);
+                waits.push(start - p.arrival);
+                turnarounds.push(completion - p.arrival);
+            }
+            events.push(Event::BatchPlanned {
+                batch_index,
+                device: device.name().to_string(),
+                job_ids: job_ids.clone(),
+                start,
+                makespan,
+            });
+            for (pos, &seq) in members.seqs.iter().enumerate() {
+                events.push(Event::JobCompleted {
+                    job_id: job_ids[pos],
+                    seq,
+                    batch_index,
+                    completion,
+                    turnaround: turnarounds[pos],
+                });
+                self.unreported.push((
+                    completion,
+                    JobTicket {
+                        seq,
+                        id: job_ids[pos],
+                    },
+                ));
             }
 
-            // Execute and commit.
-            self.commit_batch(
-                &pipeline,
-                &device,
-                d,
-                batch_index,
-                start,
-                &members.seqs,
-                &plan,
-            )?;
+            // The scheduling state the *next* staging decision reads
+            // mutates now; statistics and the event fold wait for the
+            // finish pass.
+            let state = &mut self.states[d];
+            let old_clock = state.clock;
+            state.clock = completion;
+            if let Some(index) = &mut self.clock_index {
+                index.update(d, old_clock, completion);
+            }
+            self.pending.remove_members(&members.seqs);
 
             // Starvation accounting: every arrived candidate that an
             // admitted later candidate jumped over was overtaken once.
@@ -1581,9 +1970,193 @@ impl Service {
                     self.pending.bump_skip(seq);
                 }
             }
-            return Ok(true);
+            let group = self.registry.group_of(d);
+            return Ok(Some(StagedBatch {
+                device_index: d,
+                group,
+                batch_index,
+                device,
+                pipeline,
+                plan,
+                start,
+                completion,
+                makespan,
+                batch_seed: derive_batch_seed(self.cfg.seed, batch_index),
+                member_seqs: members.seqs,
+                job_ids,
+                names,
+                widths,
+                shots,
+                parallelism,
+                kernels,
+                waits,
+                turnarounds,
+                events,
+            }));
         }
         Err(last_unplaceable.expect("every candidate device failed with an unplaceable error"))
+    }
+
+    /// The finish half of one batch dispatch: emits the batch's
+    /// buffered event block, folds the execution results into the
+    /// per-job result store and per-device statistics, and records the
+    /// [`BatchReport`]. Always called in global batch order — under
+    /// both sharding modes — so the event log and every floating-point
+    /// accumulation sequence are bit-identical to the serial loop's.
+    fn finish_batch(&mut self, staged: StagedBatch, results: Vec<ProgramResult>) {
+        for event in staged.events {
+            self.emit(event);
+        }
+        for (pos, (&seq, mut result)) in staged.member_seqs.iter().zip(results).enumerate() {
+            // Re-bind the result name to the *current* member: a
+            // replayed plan carries the program names of the batch it
+            // was first planned for (a no-op on freshly planned
+            // batches — planning preserves names).
+            result.name.clear();
+            result.name.push_str(&staged.names[pos]);
+            let state = &mut self.states[staged.device_index];
+            state.jobs += 1;
+            state.total_wait += staged.waits[pos];
+            state.total_turnaround += staged.turnarounds[pos];
+            state.busy_qubit_time +=
+                staged.widths[pos] as f64 * staged.plan.context.program_makespans[pos];
+            self.results[seq] = Some(JobResult {
+                job_id: staged.job_ids[pos],
+                batch_index: staged.batch_index,
+                start: staged.start,
+                completion: staged.completion,
+                waiting: staged.waits[pos],
+                turnaround: staged.turnarounds[pos],
+                result,
+            });
+        }
+        self.batches.push(BatchReport {
+            batch_index: staged.batch_index,
+            device: staged.device.name().to_string(),
+            job_ids: staged.job_ids,
+            start: staged.start,
+            completion: staged.completion,
+            makespan: staged.makespan,
+            used_qubits: staged.plan.used_qubits(),
+            conflict_count: staged.plan.context.conflict_count,
+        });
+        let state = &mut self.states[staged.device_index];
+        state.busy_time += staged.makespan;
+        state.batches += 1;
+    }
+
+    /// Plans one candidate's batch through the plan cache: a hit
+    /// replays the memoized outcome against the current members
+    /// (re-binding shrink events and unplaceable errors to current job
+    /// ids), a miss plans fresh and memoizes. Under [`PlanMemo::Never`]
+    /// the cache is bypassed entirely — every batch pays the fresh
+    /// planning cost the `fleet_shootout` ablation measures.
+    fn plan_batch(
+        &mut self,
+        pipeline: &Pipeline,
+        d: usize,
+        batch_index: usize,
+        head_strategy: &Strategy,
+        strategy_fp: u64,
+        members: PlanMembers,
+    ) -> Result<PlannedParts, RuntimeError> {
+        let fp = (self.plan_memo == PlanMemo::EpochKeyed)
+            .then(|| self.plan_fingerprint(d, strategy_fp, &members));
+        if let Some(fp) = fp {
+            if let Some(entry) = self.route_cache.plans.get(&(d, fp)).cloned() {
+                self.route_cache.plan_hits += 1;
+                return replay_plan(
+                    entry,
+                    batch_index,
+                    self.registry.device_at(d).name(),
+                    members,
+                );
+            }
+            self.route_cache.plan_misses += 1;
+        }
+        let plan_started = std::time::Instant::now();
+        let fresh = plan_gated_members(
+            pipeline,
+            self.registry.device_at(d),
+            batch_index,
+            self.efs_gate,
+            self.cfg.optimize,
+            head_strategy,
+            members,
+        );
+        self.plan_ns = self
+            .plan_ns
+            .saturating_add(plan_started.elapsed().as_nanos() as u64);
+        self.memoize_plan(d, fp, fresh)
+    }
+
+    /// The plan-cache key of one candidate's batch: device epoch, gate
+    /// mode/optimize bits, the head's effective strategy, and the
+    /// ordered member shapes (plus per-member thresholds in the
+    /// batch-gate modes — the only modes whose eviction decisions read
+    /// them). Job ids, names and the batch index are deliberately
+    /// excluded: replay re-binds all three.
+    fn plan_fingerprint(&self, d: usize, strategy_fp: u64, members: &PlanMembers) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        h.write_u64(self.registry.epoch(DeviceId::from_index(d)));
+        h.write_u64(self.plan_cfg_fp);
+        h.write_u64(strategy_fp);
+        h.write_usize(members.seqs.len());
+        for &shape in &members.shapes {
+            h.write_u64(shape);
+        }
+        for threshold in &members.thresholds {
+            match threshold {
+                Some(t) => {
+                    h.write_u8(1);
+                    h.write_u64(t.to_bits());
+                }
+                None => h.write_u8(0),
+            }
+        }
+        h.finish()
+    }
+
+    /// Folds a fresh planning outcome into the plan cache (when `fp` is
+    /// set) and converts it to the shared-plan form the commit path
+    /// consumes. `Ok` and `JobUnplaceable` outcomes are memoized —
+    /// planning is deterministic either way — hard `Core` errors are
+    /// not.
+    fn memoize_plan(
+        &mut self,
+        d: usize,
+        fp: Option<u64>,
+        fresh: Result<GatedPlan, RuntimeError>,
+    ) -> Result<PlannedParts, RuntimeError> {
+        match fresh {
+            Ok(gated) => {
+                let plan = std::sync::Arc::new(gated.plan);
+                if let Some(fp) = fp {
+                    self.route_cache.plans.insert(
+                        (d, fp),
+                        PlanEntry {
+                            trace: gated.trace,
+                            outcome: Ok(std::sync::Arc::clone(&plan)),
+                        },
+                    );
+                }
+                Ok((plan, gated.members, gated.shrinks))
+            }
+            Err(RuntimeError::JobUnplaceable { job_id, source }) => {
+                if let Some(fp) = fp {
+                    self.route_cache.plans.insert(
+                        (d, fp),
+                        PlanEntry {
+                            trace: Vec::new(),
+                            outcome: Err(source.clone()),
+                        },
+                    );
+                }
+                Err(RuntimeError::JobUnplaceable { job_id, source })
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Phase one of best-k speculation: probe, pack and plan the top-k
@@ -1597,6 +2170,7 @@ impl Service {
     /// change wall-clock only, never an outcome. Losing candidates'
     /// probes stay in the route cache and warm later dispatches.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)]
     fn speculate(
         &mut self,
         ranked: &[usize],
@@ -1606,6 +2180,7 @@ impl Service {
         head_id: u64,
         head_circuit: &Circuit,
         head_strategy: &Strategy,
+        strategy_fp: u64,
         head_threshold: Option<f64>,
         shape: u64,
         policy_fp: u64,
@@ -1616,6 +2191,7 @@ impl Service {
                 d: usize,
                 pack: CandidatePack,
                 members: PlanMembers,
+                fp: Option<u64>,
             },
             Done(SpecOutcome),
         }
@@ -1644,7 +2220,43 @@ impl Service {
                             let members = self.plan_members(&pack.picks_seqs)?;
                             Ok((pack, members))
                         }) {
-                        Ok((pack, members)) => Prep::Ready { d, pack, members },
+                        Ok((pack, members)) => {
+                            // The plan cache is consulted here, on the
+                            // main thread in ranked order, so the
+                            // hit/miss counters and lookup sequence are
+                            // deterministic regardless of how the
+                            // planning workers below interleave.
+                            let fp = (self.plan_memo == PlanMemo::EpochKeyed)
+                                .then(|| self.plan_fingerprint(d, strategy_fp, &members));
+                            let cached =
+                                fp.and_then(|fp| self.route_cache.plans.get(&(d, fp)).cloned());
+                            match cached {
+                                Some(entry) => {
+                                    self.route_cache.plan_hits += 1;
+                                    let replayed = replay_plan(
+                                        entry,
+                                        batch_index,
+                                        self.registry.device_at(d).name(),
+                                        members,
+                                    );
+                                    Prep::Done(SpecOutcome::Planned {
+                                        pack,
+                                        plan: Box::new(replayed),
+                                    })
+                                }
+                                None => {
+                                    if fp.is_some() {
+                                        self.route_cache.plan_misses += 1;
+                                    }
+                                    Prep::Ready {
+                                        d,
+                                        pack,
+                                        members,
+                                        fp,
+                                    }
+                                }
+                            }
+                        }
                         Err(e) => Prep::Done(SpecOutcome::Failed(e)),
                     }
                 }
@@ -1661,56 +2273,85 @@ impl Service {
         let gate = self.efs_gate;
         let optimize = self.cfg.optimize;
         let registry = &self.registry;
-        let (outcomes, plan_ns) = std::thread::scope(|scope| {
+        struct FreshSlot {
+            d: usize,
+            fp: Option<u64>,
+            pack: CandidatePack,
+            gated: Result<GatedPlan, RuntimeError>,
+        }
+        enum RawSlot {
+            Done(SpecOutcome),
+            Fresh(Box<FreshSlot>),
+        }
+        let (raw, plan_ns) = std::thread::scope(|scope| {
             let slots: Vec<_> = preps
                 .into_iter()
                 .map(|prep| match prep {
-                    Prep::Done(outcome) => Ok(outcome),
-                    Prep::Ready { d, pack, members } => {
+                    Prep::Done(outcome) => Ok(RawSlot::Done(outcome)),
+                    Prep::Ready {
+                        d,
+                        pack,
+                        members,
+                        fp,
+                    } => {
                         let device = registry.device_at(d);
-                        Err(scope.spawn(move || {
-                            let plan_started = std::time::Instant::now();
-                            let plan = plan_gated_members(
-                                pipeline,
-                                device,
-                                batch_index,
-                                gate,
-                                optimize,
-                                head_strategy,
-                                members,
-                            );
-                            let elapsed = plan_started.elapsed().as_nanos() as u64;
-                            (
-                                SpecOutcome::Planned {
-                                    pack,
-                                    plan: Box::new(plan),
-                                },
-                                elapsed,
-                            )
-                        }))
+                        Err(Box::new((
+                            d,
+                            fp,
+                            pack,
+                            scope.spawn(move || {
+                                let plan_started = std::time::Instant::now();
+                                let gated = plan_gated_members(
+                                    pipeline,
+                                    device,
+                                    batch_index,
+                                    gate,
+                                    optimize,
+                                    head_strategy,
+                                    members,
+                                );
+                                (gated, plan_started.elapsed().as_nanos() as u64)
+                            }),
+                        )))
                     }
                 })
                 .collect();
             let mut plan_ns = 0u64;
-            let outcomes: Vec<Option<SpecOutcome>> = slots
+            let raw: Vec<RawSlot> = slots
                 .into_iter()
-                .map(|slot| {
-                    Some(match slot {
-                        Ok(outcome) => outcome,
-                        Err(handle) => {
-                            let (outcome, elapsed) = handle
-                                .join()
-                                .unwrap_or_else(|p| std::panic::resume_unwind(p));
-                            plan_ns = plan_ns.saturating_add(elapsed);
-                            outcome
-                        }
-                    })
+                .map(|slot| match slot {
+                    Ok(done) => done,
+                    Err(pending) => {
+                        let (d, fp, pack, handle) = *pending;
+                        let (gated, elapsed) = handle
+                            .join()
+                            .unwrap_or_else(|p| std::panic::resume_unwind(p));
+                        plan_ns = plan_ns.saturating_add(elapsed);
+                        RawSlot::Fresh(Box::new(FreshSlot { d, fp, pack, gated }))
+                    }
                 })
                 .collect();
-            (outcomes, plan_ns)
+            (raw, plan_ns)
         });
         self.plan_ns = self.plan_ns.saturating_add(plan_ns);
-        outcomes
+        // Memoization runs after the scope, again in ranked order: the
+        // cache sees the same insertion sequence the sequential path
+        // would produce for these candidates.
+        raw.into_iter()
+            .map(|slot| {
+                Some(match slot {
+                    RawSlot::Done(outcome) => outcome,
+                    RawSlot::Fresh(fresh) => {
+                        let FreshSlot { d, fp, pack, gated } = *fresh;
+                        let plan = self.memoize_plan(d, fp, gated);
+                        SpecOutcome::Planned {
+                            pack,
+                            plan: Box::new(plan),
+                        }
+                    }
+                })
+            })
+            .collect()
     }
 
     /// One candidate device's admission pass: bind the arrived window
@@ -1767,10 +2408,12 @@ impl Service {
     fn plan_members(&self, seqs: &[usize]) -> Result<PlanMembers, RuntimeError> {
         let mut ids = Vec::with_capacity(seqs.len());
         let mut circuits = Vec::with_capacity(seqs.len());
+        let mut shapes = Vec::with_capacity(seqs.len());
         for &s in seqs {
             let p = self.pending_by_seq(s)?;
             ids.push(p.id);
             circuits.push(p.circuit.clone());
+            shapes.push(p.shape);
         }
         let gated = matches!(self.efs_gate, EfsGate::Batch | EfsGate::BatchWorstExcess);
         let thresholds = if gated {
@@ -1790,6 +2433,7 @@ impl Service {
             seqs: seqs.to_vec(),
             ids,
             circuits,
+            shapes,
             thresholds,
         })
     }
@@ -1845,118 +2489,6 @@ impl Service {
         );
         self.route_cache.head_cap.insert(key, result.clone());
         result
-    }
-
-    /// Executes a planned batch on its device and folds the outcome
-    /// into clocks, statistics, results, events and the batch list.
-    #[allow(clippy::too_many_arguments)]
-    fn commit_batch(
-        &mut self,
-        pipeline: &Pipeline,
-        device: &Device,
-        device_index: usize,
-        batch_index: usize,
-        start: f64,
-        member_seqs: &[usize],
-        plan: &PlannedWorkload,
-    ) -> Result<(), RuntimeError> {
-        let mut shots: Vec<usize> = Vec::with_capacity(member_seqs.len());
-        // Per-member effective shot parallelism and trajectory kernel:
-        // the job's override, or the service default.
-        let mut parallelism: Vec<ShotParallelism> = Vec::with_capacity(member_seqs.len());
-        let mut kernels: Vec<TrajectoryKernel> = Vec::with_capacity(member_seqs.len());
-        let mut job_ids: Vec<u64> = Vec::with_capacity(member_seqs.len());
-        for &s in member_seqs {
-            let p = self.pending_by_seq(s)?;
-            shots.push(p.shots);
-            parallelism.push(p.shot_parallelism.unwrap_or(self.cfg.shot_parallelism));
-            kernels.push(p.trajectory_kernel.unwrap_or(self.cfg.trajectory_kernel));
-            job_ids.push(p.id);
-        }
-        let batch_seed = derive_batch_seed(self.cfg.seed, batch_index);
-        // Simulation wall-clock is accounted separately from dispatch
-        // bookkeeping so the fleet bench can isolate scheduler overhead
-        // (the timer never feeds a scheduling decision — determinism is
-        // untouched).
-        let exec_started = std::time::Instant::now();
-        let results = execute_members(
-            pipeline,
-            device,
-            plan,
-            &shots,
-            batch_seed,
-            self.cfg.mode,
-            &parallelism,
-            &kernels,
-        );
-        self.exec_ns = self
-            .exec_ns
-            .saturating_add(exec_started.elapsed().as_nanos() as u64);
-        let results = results?;
-
-        let makespan = plan.context.makespan;
-        let completion = start + makespan;
-        self.emit(Event::BatchPlanned {
-            batch_index,
-            device: device.name().to_string(),
-            job_ids: job_ids.clone(),
-            start,
-            makespan,
-        });
-
-        let mut completions: Vec<Event> = Vec::with_capacity(member_seqs.len());
-        for (pos, (&seq, result)) in member_seqs.iter().zip(results).enumerate() {
-            let job = self.pending_by_seq(seq)?;
-            let (job_id, job_arrival, job_width) = (job.id, job.arrival, job.width);
-            let waiting = start - job_arrival;
-            let turnaround = completion - job_arrival;
-            let state = &mut self.states[device_index];
-            state.jobs += 1;
-            state.total_wait += waiting;
-            state.total_turnaround += turnaround;
-            state.busy_qubit_time += job_width as f64 * plan.context.program_makespans[pos];
-            self.results[seq] = Some(JobResult {
-                job_id,
-                batch_index,
-                start,
-                completion,
-                waiting,
-                turnaround,
-                result,
-            });
-            self.unreported
-                .push((completion, JobTicket { seq, id: job_id }));
-            completions.push(Event::JobCompleted {
-                job_id,
-                seq,
-                batch_index,
-                completion,
-                turnaround,
-            });
-        }
-        for event in completions {
-            self.emit(event);
-        }
-        self.batches.push(BatchReport {
-            batch_index,
-            device: device.name().to_string(),
-            job_ids,
-            start,
-            completion,
-            makespan,
-            used_qubits: plan.used_qubits(),
-            conflict_count: plan.context.conflict_count,
-        });
-        let state = &mut self.states[device_index];
-        state.busy_time += makespan;
-        state.batches += 1;
-        let old_clock = state.clock;
-        state.clock = completion;
-        if let Some(index) = &mut self.clock_index {
-            index.update(device_index, old_clock, completion);
-        }
-        self.pending.remove_members(member_seqs);
-        Ok(())
     }
 
     /// The report of a drained service (all results present).
@@ -2076,10 +2608,20 @@ struct PlanMembers {
     seqs: Vec<usize>,
     ids: Vec<u64>,
     circuits: Vec<Circuit>,
+    /// Per-member circuit-shape fingerprints (copied from the pending
+    /// store) — the ordered structural identity that keys the plan
+    /// cache.
+    shapes: Vec<u64>,
     /// Effective per-member thresholds; resolved only in the batch-gate
     /// modes (empty otherwise, matching the sequential path's laziness).
     thresholds: Vec<Option<f64>>,
 }
+
+/// A committed candidate's plan in shared form: the (fresh or replayed)
+/// workload plan behind an [`Arc`][std::sync::Arc] so cache entries and
+/// staged batches share one allocation, the surviving members, and the
+/// buffered shrink events.
+type PlannedParts = (std::sync::Arc<PlannedWorkload>, PlanMembers, Vec<Event>);
 
 /// One speculative candidate's precomputed dispatch outcome.
 enum SpecOutcome {
@@ -2096,9 +2638,102 @@ enum SpecOutcome {
     /// succeeded.
     Planned {
         pack: CandidatePack,
-        #[allow(clippy::type_complexity)]
-        plan: Box<Result<(PlannedWorkload, PlanMembers, Vec<Event>), RuntimeError>>,
+        plan: Box<Result<PlannedParts, RuntimeError>>,
     },
+}
+
+/// A successful gated planning pass: the plan, the surviving members,
+/// the buffered shrink events, and the eviction `trace` that reproduces
+/// them — `(position, reason)` per eviction, in order. The trace is
+/// what the plan cache memoizes: replaying it against a future batch
+/// with the same shape fingerprints re-derives the shrink events (bound
+/// to the *current* job ids) without re-running the partitioner.
+struct GatedPlan {
+    plan: PlannedWorkload,
+    members: PlanMembers,
+    shrinks: Vec<Event>,
+    trace: Vec<(usize, ShrinkReason)>,
+}
+
+/// One staged batch: every scheduling decision made, every queue/clock
+/// mutation applied, and the batch's full event block buffered — with
+/// execution and the event/statistics fold still pending
+/// ([`Service::finish_batch`]). Holds everything execution needs by
+/// value (or behind [`Arc`][std::sync::Arc]), so
+/// [`DispatchSharding::Grouped`] workers can run batches from `&self`
+/// references across scoped threads.
+struct StagedBatch {
+    device_index: usize,
+    /// The device's dispatch group — the unit of execution parallelism
+    /// under [`DispatchSharding::Grouped`].
+    group: usize,
+    batch_index: usize,
+    device: Device,
+    pipeline: Pipeline,
+    plan: std::sync::Arc<PlannedWorkload>,
+    start: f64,
+    completion: f64,
+    makespan: f64,
+    batch_seed: u64,
+    member_seqs: Vec<usize>,
+    job_ids: Vec<u64>,
+    /// Current member circuit names, captured at stage time: a replayed
+    /// plan carries the names of the batch it was first planned for, so
+    /// the finish pass re-binds each result's name from here.
+    names: Vec<String>,
+    widths: Vec<usize>,
+    shots: Vec<usize>,
+    parallelism: Vec<ShotParallelism>,
+    kernels: Vec<TrajectoryKernel>,
+    waits: Vec<f64>,
+    turnarounds: Vec<f64>,
+    events: Vec<Event>,
+}
+
+/// Replays a memoized plan entry against the current batch members:
+/// a memoized unplaceable outcome re-binds to the current head's job
+/// id, and a memoized plan re-applies the recorded eviction trace so
+/// the shrink events carry the *current* dropped job ids. The cached
+/// [`PlannedWorkload`] itself is shared untouched — replay is an `Arc`
+/// clone plus O(trace) bookkeeping, never a partitioner call.
+fn replay_plan(
+    entry: PlanEntry,
+    batch_index: usize,
+    device_name: &str,
+    mut members: PlanMembers,
+) -> Result<PlannedParts, RuntimeError> {
+    match entry.outcome {
+        Err(source) => Err(RuntimeError::JobUnplaceable {
+            // The head is never evicted, so a whole-batch planning
+            // failure is always attributed to it.
+            job_id: members.ids[0],
+            source,
+        }),
+        Ok(plan) => {
+            let mut shrinks = Vec::with_capacity(entry.trace.len());
+            for (evict, reason) in entry.trace {
+                members.seqs.remove(evict);
+                let dropped_id = members.ids.remove(evict);
+                members.circuits.remove(evict);
+                members.shapes.remove(evict);
+                if !members.thresholds.is_empty() {
+                    members.thresholds.remove(evict);
+                }
+                shrinks.push(Event::BatchShrunk {
+                    batch_index,
+                    device: device_name.to_string(),
+                    dropped_job_id: dropped_id,
+                    remaining: members.seqs.len(),
+                    reason,
+                });
+            }
+            debug_assert!(
+                plan.replayable_for(&members.circuits.iter().collect::<Vec<_>>()),
+                "plan-cache fingerprint collision: cached plan does not match members"
+            );
+            Ok((plan, members, shrinks))
+        }
+    }
 }
 
 /// Plans `members` on `device`, shrinking while the partitioner cannot
@@ -2124,7 +2759,6 @@ enum SpecOutcome {
 /// thresholds are resolved once, and the solo-best EFS baselines are
 /// probed once on the first successful plan; each shrink step merely
 /// removes the evicted member's entry from every cache.
-#[allow(clippy::type_complexity)]
 fn plan_gated_members(
     pipeline: &Pipeline,
     device: &Device,
@@ -2133,7 +2767,29 @@ fn plan_gated_members(
     optimize: bool,
     head_strategy: &Strategy,
     mut members: PlanMembers,
-) -> Result<(PlannedWorkload, PlanMembers, Vec<Event>), RuntimeError> {
+) -> Result<GatedPlan, RuntimeError> {
+    // Solo fast path: a one-job batch can never gate (the head anchors
+    // the batch) and never shrink (a placement failure is terminal), so
+    // it skips the gate machinery entirely. `plan(optimize)` clones and
+    // optimizes internally, which is equivalent to the general path's
+    // pre-optimize-then-`plan(false)` sequence.
+    if members.seqs.len() == 1 {
+        return match pipeline.plan(device, &members.circuits, optimize) {
+            Ok(plan) => Ok(GatedPlan {
+                plan,
+                members,
+                shrinks: Vec::new(),
+                trace: Vec::new(),
+            }),
+            Err(
+                e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
+            ) => Err(RuntimeError::JobUnplaceable {
+                job_id: members.ids[0],
+                source: e,
+            }),
+            Err(e) => Err(RuntimeError::Core(e)),
+        };
+    }
     let device_name = device.name().to_string();
     if optimize {
         // Pre-optimized here exactly once; the pipeline is then asked
@@ -2145,6 +2801,7 @@ fn plan_gated_members(
     }
     let gated = matches!(gate, EfsGate::Batch | EfsGate::BatchWorstExcess);
     let mut shrinks: Vec<Event> = Vec::new();
+    let mut trace: Vec<(usize, ShrinkReason)> = Vec::new();
     let mut solo_cache: Option<Vec<f64>> = None;
     loop {
         match pipeline.plan(device, &members.circuits, false) {
@@ -2182,10 +2839,12 @@ fn plan_gated_members(
                         members.seqs.remove(evict);
                         let dropped_id = members.ids.remove(evict);
                         members.circuits.remove(evict);
+                        members.shapes.remove(evict);
                         members.thresholds.remove(evict);
                         if let Some(cache) = solo_cache.as_mut() {
                             cache.remove(evict);
                         }
+                        trace.push((evict, ShrinkReason::FidelityGate));
                         shrinks.push(Event::BatchShrunk {
                             batch_index,
                             device: device_name.clone(),
@@ -2196,7 +2855,12 @@ fn plan_gated_members(
                         continue;
                     }
                 }
-                return Ok((plan, members, shrinks));
+                return Ok(GatedPlan {
+                    plan,
+                    members,
+                    shrinks,
+                    trace,
+                });
             }
             Err(
                 e @ (CoreError::PartitionUnavailable { .. } | CoreError::ProgramTooWide { .. }),
@@ -2207,9 +2871,11 @@ fn plan_gated_members(
                         source: e,
                     });
                 }
+                trace.push((members.seqs.len() - 1, ShrinkReason::PartitionFailure));
                 members.seqs.pop().expect("len > 1");
                 let dropped_id = members.ids.pop().expect("len > 1");
                 members.circuits.pop();
+                members.shapes.pop();
                 if gated {
                     members.thresholds.pop();
                 }
@@ -3009,5 +3675,122 @@ mod tests {
         service.run_until_drained().unwrap();
         assert_eq!(*seen.lock().unwrap(), service.events().len());
         assert!(service.events().len() >= 4 + 4); // submissions + completions
+    }
+
+    #[test]
+    fn plan_cache_replays_repeated_batches_and_counts_lookups() {
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        let mut service = fifo_service(2);
+        // Four identical jobs, packed two per batch: the second batch's
+        // member shapes fingerprint-match the first, so its committed
+        // plan replays from the cache.
+        for i in 0..4u64 {
+            service
+                .submit(JobRequest::new(bell.clone(), i as f64 * 100.0).with_id(i))
+                .unwrap();
+        }
+        let report = service.run_until_drained().unwrap();
+        let stats = service.route_cache_stats();
+        assert!(stats.plan_misses >= 1, "the first batch must plan fresh");
+        assert!(
+            stats.plan_hits >= 1,
+            "identical batches must replay: {stats:?}"
+        );
+        assert_eq!(
+            stats.plan_hits + stats.plan_misses,
+            report.stats.batches,
+            "every dispatched batch does exactly one plan-cache lookup"
+        );
+        assert_eq!(
+            stats.plan_entries, stats.plan_misses,
+            "each miss memoizes exactly one entry"
+        );
+        assert_eq!(stats.plan_invalidated, 0);
+    }
+
+    #[test]
+    fn plan_memo_never_skips_the_cache_entirely() {
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        let run = |memo: PlanMemo| {
+            let mut service = Service::builder()
+                .device(ibm::toronto())
+                .strategy(strategy::qucp(4.0))
+                .max_parallel(2)
+                .seed(42)
+                .plan_memo(memo)
+                .build()
+                .unwrap();
+            for i in 0..4u64 {
+                service
+                    .submit(JobRequest::new(bell.clone(), i as f64 * 100.0).with_id(i))
+                    .unwrap();
+            }
+            let report = service.run_until_drained().unwrap();
+            (report, service.route_cache_stats())
+        };
+        let (memoized_report, memoized) = run(PlanMemo::EpochKeyed);
+        let (fresh_report, fresh) = run(PlanMemo::Never);
+        assert_eq!(
+            memoized_report, fresh_report,
+            "memoization must be observationally invisible"
+        );
+        assert_eq!(
+            (fresh.plan_hits, fresh.plan_misses, fresh.plan_entries),
+            (0, 0, 0),
+            "the ablation never consults or fills the plan cache"
+        );
+        assert!(memoized.plan_hits >= 1);
+    }
+
+    #[test]
+    fn memoized_unplaceable_outcome_replays_from_the_cache() {
+        let mut service = fifo_service(2);
+        // 64 qubits cannot run alone on the 27-qubit Toronto; the
+        // failed plan is memoized like a committed one.
+        let wide = qucp_circuit::Circuit::new(64);
+        service
+            .submit(JobRequest::new(wide, 0.0).with_id(7))
+            .unwrap();
+        let err = service.run_until_drained().unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::JobUnplaceable { job_id: 7, .. }
+        ));
+        let stats = service.route_cache_stats();
+        assert_eq!((stats.plan_hits, stats.plan_misses), (0, 1));
+        // The job stays queued; retrying replays the memoized failure
+        // (a hit, not a second fresh plan) re-bound to the batch head.
+        let err = service.run_until_drained().unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::JobUnplaceable { job_id: 7, .. }
+        ));
+        let stats = service.route_cache_stats();
+        assert_eq!((stats.plan_hits, stats.plan_misses), (1, 1));
+    }
+
+    #[test]
+    fn recalibration_drops_plan_entries_with_the_probes() {
+        let bell = qucp_circuit::library::by_name("bell").unwrap().circuit();
+        let mut service = fifo_service(2);
+        for i in 0..2u64 {
+            service
+                .submit(JobRequest::new(bell.clone(), i as f64 * 100.0).with_id(i))
+                .unwrap();
+        }
+        service.run_until_drained().unwrap();
+        let before = service.route_cache_stats();
+        assert!(before.plan_entries >= 1);
+        let (id, snapshot) = {
+            let (id, d) = service.registry().iter().next().unwrap();
+            (id, d.calibration().clone())
+        };
+        service.recalibrate(id, snapshot).unwrap();
+        let after = service.route_cache_stats();
+        assert_eq!(
+            after.plan_entries, 0,
+            "the epoch bump drops the device's plans"
+        );
+        assert_eq!(after.plan_invalidated, before.plan_entries);
     }
 }

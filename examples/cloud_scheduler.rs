@@ -29,7 +29,7 @@ fn serve(
     policy: impl AdmissionPolicy + 'static,
     device: qucp_device::Device,
     max_parallel: usize,
-) -> Result<ServiceReport, qucp_runtime::RuntimeError> {
+) -> Result<(ServiceReport, qucp_runtime::RouteCacheStats), qucp_runtime::RuntimeError> {
     let mut service = Service::builder()
         .device(device)
         .strategy(strategy::qucp(4.0))
@@ -40,7 +40,9 @@ fn serve(
     for job in jobs {
         service.submit(JobRequest::from_job(job))?;
     }
-    service.run_until_drained()
+    let report = service.run_until_drained()?;
+    let cache = service.route_cache_stats();
+    Ok((report, cache))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -70,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut reports = Vec::new();
     for (label, k) in [("dedicated", 1usize), ("pack 2", 2), ("pack 4", 4)] {
-        let report = serve(&stream, Fifo, ibm::toronto(), k)?;
+        let (report, _) = serve(&stream, Fifo, ibm::toronto(), k)?;
         let mean_jsd: f64 = report.job_results.iter().map(|r| r.result.jsd).sum::<f64>()
             / report.job_results.len() as f64;
         println!(
@@ -130,9 +132,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "policy", "batches", "mean wait ns", "turnaround ns", "throughput"
     );
     let skewed = skewed_jobs(12, 13, 50.0, 512, 7);
-    let fifo = serve(&skewed, Fifo, ibm::melbourne(), 3)?;
-    let backfill = serve(&skewed, Backfill { max_overtakes: 2 }, ibm::melbourne(), 3)?;
-    let sjf = serve(&skewed, ShortestJobFirst, ibm::melbourne(), 3)?;
+    let (fifo, fifo_cache) = serve(&skewed, Fifo, ibm::melbourne(), 3)?;
+    let (backfill, backfill_cache) =
+        serve(&skewed, Backfill { max_overtakes: 2 }, ibm::melbourne(), 3)?;
+    let (sjf, sjf_cache) = serve(&skewed, ShortestJobFirst, ibm::melbourne(), 3)?;
     for (label, report) in [("FIFO", &fifo), ("Backfill", &backfill), ("SJF", &sjf)] {
         println!(
             "{label:<14} {:>8} {:>14.0} {:>14.0} {:>10.1}%",
@@ -147,6 +150,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fifo.stats.mean_turnaround / backfill.stats.mean_turnaround,
         fifo.stats.mean_turnaround / sjf.stats.mean_turnaround,
     );
+
+    // The whole-plan cache behind those runs: the skewed burst repeats
+    // two circuit shapes, so once each (device, member-shapes) batch
+    // has been planned, later batches replay the committed plan instead
+    // of re-running partition + mapping + merging.
+    println!("\nWhole-plan cache across the policy runs:\n");
+    for (label, c) in [
+        ("FIFO", &fifo_cache),
+        ("Backfill", &backfill_cache),
+        ("SJF", &sjf_cache),
+    ] {
+        let lookups = c.plan_hits + c.plan_misses;
+        println!(
+            "{label:<14} {:>4} hits {:>4} misses {:>4} entries   {:>5.1}% of batches replayed",
+            c.plan_hits,
+            c.plan_misses,
+            c.plan_entries,
+            100.0 * c.plan_hits as f64 / lookups.max(1) as f64,
+        );
+    }
 
     // --- routing shoot-out on the skewed two-chip fleet --------------------
     //

@@ -2,17 +2,49 @@
 //! equivalence under zero drift (property), typed rejection of poisoned
 //! recalibrations, epoch-aware re-routing after a recalibration flips
 //! the fleet's quality ordering, the drift shoot-out's payoff at test
-//! scale, and the per-job shot-parallelism overrides (thread-count
-//! invariance, `Auto` resolution).
+//! scale, the per-job shot-parallelism overrides (thread-count
+//! invariance, `Auto` resolution), and the whole-plan cache's
+//! epoch-keyed invalidation under drift (only the bumped device's plan
+//! entries drop; cached plans replay bit-for-bit the fresh planner).
 
 use proptest::prelude::*;
 use qucp_core::strategy;
-use qucp_device::{ibm, GaussianWalk};
+use qucp_device::{ibm, DriftModel, GaussianWalk};
 use qucp_runtime::{
-    synthetic_jobs, CacheInvalidation, CalibrationAware, CalibrationFault, JobRequest,
-    RuntimeError, Service, ServiceBuilder, ServiceReport, ShotParallelism,
+    synthetic_jobs, Backfill, CacheInvalidation, CalibrationAware, CalibrationFault, Fifo,
+    JobRequest, PlanMemo, RuntimeError, Service, ServiceBuilder, ServiceReport, ShortestJobFirst,
+    ShotParallelism,
 };
 use qucp_sim::auto_shard_count;
+
+/// A [`GaussianWalk`] confined to the device with the given salt: every
+/// other device's steps report "nothing changed", so only one chip's
+/// epoch ever bumps. Lets the plan-cache tests pin that invalidation is
+/// per-device, not fleet-wide.
+#[derive(Debug, Clone, Copy)]
+struct OneDeviceWalk {
+    inner: GaussianWalk,
+    salt: u64,
+}
+
+impl DriftModel for OneDeviceWalk {
+    fn steps_at(&self, now: f64) -> u64 {
+        self.inner.steps_at(now)
+    }
+
+    fn apply_step(
+        &self,
+        step: u64,
+        device_salt: u64,
+        calibration: &mut qucp_device::Calibration,
+        crosstalk: &mut qucp_device::CrosstalkModel,
+    ) -> bool {
+        device_salt == self.salt
+            && self
+                .inner
+                .apply_step(step, device_salt, calibration, crosstalk)
+    }
+}
 
 fn aware_fleet_builder(seed: u64) -> ServiceBuilder {
     Service::builder()
@@ -80,6 +112,154 @@ proptest! {
             .iter()
             .all(|e| !matches!(e, qucp_runtime::Event::DeviceRecalibrated { .. })));
     }
+
+    /// Whole-plan memoization is observationally invisible under live
+    /// drift: on any admission policy and any random submit/tick/drift
+    /// interleaving, a [`PlanMemo::EpochKeyed`] service hands out the
+    /// same tickets from every tick and drains a bit-identical report
+    /// to the [`PlanMemo::Never`] ablation — replayed plans equal fresh
+    /// plans, and epoch-keyed invalidation never serves a stale one.
+    #[test]
+    fn cached_plans_match_fresh_plans_under_drift(
+        n in 3usize..8,
+        seed in 0u64..200,
+        policy in 0u8..3,
+        interval in prop_oneof![Just(40_000.0), Just(250_000.0)],
+        split_frac in 0f64..1.0,
+        horizons in proptest::collection::vec(0.0f64..2e6, 1usize..4),
+    ) {
+        let build = |memo: PlanMemo| {
+            let walk = GaussianWalk::new(seed ^ 0xCAFE, interval);
+            let builder = aware_fleet_builder(seed).plan_memo(memo).drift(walk);
+            match policy {
+                0 => builder.policy(Fifo),
+                1 => builder.policy(Backfill::default()),
+                _ => builder.policy(ShortestJobFirst),
+            }
+            .build()
+            .expect("build")
+        };
+        let mut cached = build(PlanMemo::EpochKeyed);
+        let mut fresh = build(PlanMemo::Never);
+        let jobs = synthetic_jobs(n, 300.0, 64, 0xD21F7);
+        let split = ((n as f64) * split_frac) as usize;
+
+        for job in &jobs[..split] {
+            let a = cached.submit(JobRequest::from_job(job)).expect("cached submit");
+            let b = fresh.submit(JobRequest::from_job(job)).expect("fresh submit");
+            prop_assert_eq!(a, b);
+        }
+        for &t in &horizons {
+            prop_assert_eq!(
+                cached.advance_drift(t).expect("cached advance"),
+                fresh.advance_drift(t).expect("fresh advance")
+            );
+            prop_assert_eq!(cached.tick(t).expect("cached tick"), fresh.tick(t).expect("fresh tick"));
+        }
+        for job in &jobs[split..] {
+            let a = cached.submit(JobRequest::from_job(job)).expect("cached submit");
+            let b = fresh.submit(JobRequest::from_job(job)).expect("fresh submit");
+            prop_assert_eq!(a, b);
+        }
+        let a = cached.run_until_drained().expect("cached drain");
+        let b = fresh.run_until_drained().expect("fresh drain");
+        prop_assert_eq!(a, b);
+        // The ablation never consults the plan cache; the memoized side
+        // must have actually exercised it.
+        let stats = fresh.route_cache_stats();
+        prop_assert_eq!((stats.plan_hits, stats.plan_misses, stats.plan_entries), (0, 0, 0));
+        let stats = cached.route_cache_stats();
+        prop_assert!(stats.plan_hits + stats.plan_misses > 0);
+    }
+}
+
+/// Regression: a drift-driven epoch bump invalidates the whole-plan
+/// cache *per device*. On the skewed fleet every plan lands on the
+/// well-calibrated Toronto (salt 1), so the two sides of "only the
+/// bumped device" split cleanly: bumping the idle noisy twin (salt 0)
+/// drops nothing and the cached plans keep replaying, while bumping the
+/// loaded chip drops its entries and forces the next burst to re-plan.
+#[test]
+fn drift_epoch_bump_drops_only_the_bumped_devices_plan_entries() {
+    let jobs = synthetic_jobs(8, 300.0, 64, 0x9E0);
+    let run = |salt: u64| {
+        let walk = OneDeviceWalk {
+            inner: GaussianWalk::new(0xD81F7, 50_000.0),
+            salt,
+        };
+        let mut service = aware_fleet_builder(29).drift(walk).build().expect("build");
+        for job in &jobs {
+            service.submit(JobRequest::from_job(job)).expect("submit");
+        }
+        let first = service.run_until_drained().expect("drain 1");
+        assert!(
+            first.batches.iter().all(|b| b.device == "ibmq_toronto"),
+            "the skewed fleet must route every batch to the good chip"
+        );
+        let before = service.route_cache_stats();
+        assert!(
+            before.plan_entries > 0,
+            "the drain must have memoized plans"
+        );
+        assert_eq!(before.plan_invalidated, 0);
+
+        // One drift interval elapses: exactly the salted chip's
+        // calibration walks and its epoch bumps.
+        assert_eq!(service.advance_drift(60_000.0).expect("advance"), 1);
+        let ids: Vec<_> = service.registry().iter().map(|(id, _)| id).collect();
+        for (index, id) in ids.iter().enumerate() {
+            let expected = u64::from(index as u64 == salt);
+            assert_eq!(
+                service.device_epoch(*id),
+                expected,
+                "epoch of device {index}"
+            );
+        }
+        let after = service.route_cache_stats();
+
+        // The same burst again, after the bump.
+        for job in &jobs {
+            service
+                .submit(
+                    JobRequest::new(job.circuit.clone(), job.arrival + 1e7).with_id(job.id + 100),
+                )
+                .expect("submit");
+        }
+        service.run_until_drained().expect("drain 2");
+        (before, after, service.route_cache_stats())
+    };
+
+    // Bumping the idle twin: no plan entry belongs to it, so none may
+    // drop — and the loaded chip's cached plans must keep replaying
+    // (hits grow, no fresh miss).
+    let (before, after, end) = run(0);
+    assert_eq!(
+        after.plan_invalidated, 0,
+        "an idle chip's bump must drop nothing"
+    );
+    assert_eq!(after.plan_entries, before.plan_entries);
+    assert!(
+        end.plan_hits > after.plan_hits && end.plan_misses == after.plan_misses,
+        "plans on the untouched chip must survive and replay: {end:?}"
+    );
+
+    // Bumping the loaded chip: its entries drop, and the next burst
+    // carries a new-epoch fingerprint — it must re-plan from scratch,
+    // never replay a stale plan.
+    let (before, after, end) = run(1);
+    assert!(
+        after.plan_invalidated > 0,
+        "the bumped device's plan entries must drop"
+    );
+    assert_eq!(
+        after.plan_entries + after.plan_invalidated,
+        before.plan_entries,
+        "invalidation must account for every dropped entry"
+    );
+    assert!(
+        end.plan_misses > after.plan_misses,
+        "post-drift batches on the bumped chip must re-plan: {end:?}"
+    );
 }
 
 /// Regression: a recalibration snapshot with NaN entries is rejected

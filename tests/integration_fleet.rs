@@ -5,12 +5,12 @@
 //! mega-fleet fixture's serial == concurrent determinism.
 
 use proptest::prelude::*;
-use qucp_bench::{fleet_shootout, EXPERIMENT_SEED};
+use qucp_bench::{fleet_shootout, fleet_shootout_with, EXPERIMENT_SEED};
 use qucp_circuit::library;
 use qucp_core::strategy;
 use qucp_runtime::{
-    Backfill, CalibrationAware, Event, ExecutionMode, Fifo, JobRequest, QueueIndexing, Service,
-    ServiceReport, ShortestJobFirst,
+    Backfill, CalibrationAware, DispatchSharding, Event, ExecutionMode, Fifo, JobRequest, PlanMemo,
+    QueueIndexing, Service, ServiceReport, ShortestJobFirst,
 };
 
 const NAMES: [&str; 6] = [
@@ -26,13 +26,38 @@ const NAMES: [&str; 6] = [
 /// given queue path and admission policy (0 = FIFO, 1 = backfill,
 /// 2 = shortest-job-first).
 fn policy_service(indexing: QueueIndexing, policy: u8, best_k: usize) -> Service {
-    let builder = Service::builder()
+    dispatch_service(
+        indexing,
+        policy,
+        best_k,
+        PlanMemo::default(),
+        DispatchSharding::Single,
+        None,
+    )
+}
+
+/// [`policy_service`] with the planning-memoization and
+/// dispatch-sharding seams exposed.
+fn dispatch_service(
+    indexing: QueueIndexing,
+    policy: u8,
+    best_k: usize,
+    plan_memo: PlanMemo,
+    sharding: DispatchSharding,
+    groups: Option<usize>,
+) -> Service {
+    let mut builder = Service::builder()
         .registry(qucp_bench::skewed_fleet())
         .strategy(strategy::qucp(4.0))
         .max_parallel(3)
         .seed(EXPERIMENT_SEED)
         .queue_indexing(indexing)
-        .best_k(best_k);
+        .best_k(best_k)
+        .plan_memo(plan_memo)
+        .dispatch_sharding(sharding);
+    if let Some(groups) = groups {
+        builder = builder.device_groups(groups);
+    }
     let builder = match policy % 3 {
         0 => builder.policy(Fifo),
         1 => builder.policy(Backfill::default()),
@@ -115,6 +140,66 @@ proptest! {
         prop_assert_eq!(a, b);
     }
 
+    /// The sharded-dispatch equivalence: per-group execution workers
+    /// ([`DispatchSharding::Grouped`], any group count, any admission
+    /// policy, any plan-memoization mode, any submit/tick interleaving)
+    /// produce exactly the single loop's tickets from every tick and a
+    /// bit-identical final report — staging stays sequential, execution
+    /// shards, and the finish pass merges in global batch order.
+    #[test]
+    fn sharded_dispatch_matches_the_single_loop(
+        jobs in proptest::collection::vec(
+            (0u16..400, 0usize..6, 1usize..3, 0u8..3),
+            1usize..14,
+        ),
+        policy in 0u8..3,
+        memo in 0u8..2,
+        groups in 1usize..5,
+        split_frac in 0f64..1.0,
+        tick_gap in 0f64..5e5,
+    ) {
+        let plan_memo = if memo == 0 { PlanMemo::EpochKeyed } else { PlanMemo::Never };
+        let mut single = dispatch_service(
+            QueueIndexing::Indexed, policy, 1, plan_memo, DispatchSharding::Single, None,
+        );
+        let mut sharded = dispatch_service(
+            QueueIndexing::Indexed, policy, 1, plan_memo, DispatchSharding::Grouped, Some(groups),
+        );
+        let mut t = 0.0;
+        let reqs: Vec<JobRequest> = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(gap, name, shots, ov))| {
+                t += f64::from(gap);
+                request_of(i, t, name, shots, ov)
+            })
+            .collect();
+        let split = ((reqs.len() as f64) * split_frac) as usize;
+
+        for req in &reqs[..split] {
+            let a = single.submit(req.clone()).expect("single submit");
+            let b = sharded.submit(req.clone()).expect("sharded submit");
+            prop_assert_eq!(a, b);
+        }
+        let t1 = t * 0.5 + tick_gap;
+        prop_assert_eq!(
+            single.tick(t1).expect("single tick"),
+            sharded.tick(t1).expect("sharded tick")
+        );
+        for req in &reqs[split..] {
+            let a = single.submit(req.clone()).expect("single submit");
+            let b = sharded.submit(req.clone()).expect("sharded submit");
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(
+            single.tick(t1 + tick_gap).expect("single tick"),
+            sharded.tick(t1 + tick_gap).expect("sharded tick")
+        );
+        let a = single.run_until_drained().expect("single drain");
+        let b = sharded.run_until_drained().expect("sharded drain");
+        prop_assert_eq!(a, b);
+    }
+
     /// The best-k determinism rule: speculative planning over the top-k
     /// routing candidates commits exactly the sequential (k = 1)
     /// winner — identical reports, including the `BatchRouted` device
@@ -159,6 +244,30 @@ fn mega_fleet_drain_is_deterministic_across_modes_and_paths() {
     assert_eq!(concurrent, serial);
     let (_, linear_serial) = fleet_shootout(8, 60, QueueIndexing::Linear, ExecutionMode::Serial);
     assert_eq!(concurrent, linear_serial);
+    // Plan memoization and sharded dispatch are schedule-invariant too.
+    let (no_memo, no_memo_report) = fleet_shootout_with(
+        8,
+        60,
+        QueueIndexing::Indexed,
+        ExecutionMode::Concurrent,
+        PlanMemo::Never,
+        DispatchSharding::Single,
+        None,
+    );
+    assert_eq!(concurrent, no_memo_report);
+    assert_eq!(no_memo.plan_hit_rate, 0.0);
+    let (sharded, sharded_report) = fleet_shootout_with(
+        8,
+        60,
+        QueueIndexing::Indexed,
+        ExecutionMode::Concurrent,
+        PlanMemo::EpochKeyed,
+        DispatchSharding::Grouped,
+        Some(3),
+    );
+    assert_eq!(concurrent, sharded_report);
+    // The six-shape library stream must actually hit the plan cache.
+    assert!(sharded.plan_hit_rate > 0.0);
 }
 
 /// The bounded event log: a capacity keeps only the most recent events
